@@ -1,0 +1,141 @@
+// Command covidkg-server runs the COVIDKG HTTP service: it generates (or
+// loads) a corpus, trains the models, builds the knowledge graph, and
+// serves the interactive browser plus the JSON API.
+//
+// Usage:
+//
+//	covidkg-server [-addr :8080] [-pubs 300] [-seed 42] [-data DIR]
+//
+// With -data, the store is loaded from DIR when present and saved there
+// after ingestion otherwise, so restarts are warm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"covidkg/internal/api"
+	"covidkg/internal/cord19"
+	"covidkg/internal/core"
+	"covidkg/internal/jsondoc"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	pubs := flag.Int("pubs", 300, "synthetic publications to generate when no data dir is loaded")
+	seed := flag.Int64("seed", 42, "corpus generator seed")
+	dataDir := flag.String("data", "", "optional directory for store persistence")
+	shards := flag.Int("shards", 4, "document store shards")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Shards = *shards
+	cfg.Seed = *seed
+	sys := core.NewSystem(cfg)
+
+	loaded := false
+	if *dataDir != "" {
+		if _, err := os.Stat(filepath.Join(*dataDir, core.PubsCollection+".jsonl")); err == nil {
+			log.Printf("loading store from %s", *dataDir)
+			if err := sys.Store.Load(*dataDir); err != nil {
+				log.Fatalf("load: %v", err)
+			}
+			// re-index loaded documents
+			sys.Search = nil // the engine below re-scans
+			sys = rebuildSystem(cfg, sys)
+			loaded = true
+		}
+	}
+	if !loaded {
+		log.Printf("generating %d publications (seed %d)", *pubs, *seed)
+		g := cord19.NewGenerator(*seed)
+		corpus := g.Corpus(*pubs)
+		corpus = append(corpus, sideEffectPapers(g)...)
+		if err := sys.IngestPublications(corpus); err != nil {
+			log.Fatalf("ingest: %v", err)
+		}
+		if *dataDir != "" {
+			if err := sys.Store.Save(*dataDir); err != nil {
+				log.Fatalf("save: %v", err)
+			}
+			log.Printf("store saved to %s", *dataDir)
+		}
+	}
+
+	log.Printf("training models")
+	stats, err := sys.TrainModels()
+	if err != nil {
+		log.Fatalf("train: %v", err)
+	}
+	log.Printf("trained: vocab=%d termW2V=%d cellW2V=%d textW2V=%d svm=%s",
+		stats.VocabSize, stats.TermVocab, stats.CellVocab, stats.TextVocab,
+		stats.SVMMetrics)
+
+	if restored, err := sys.RestoreGraph(); err != nil {
+		log.Fatalf("restore graph: %v", err)
+	} else if restored {
+		log.Printf("knowledge graph restored from store: %d nodes", sys.Graph.Size())
+	} else {
+		log.Printf("building knowledge graph")
+		bs := sys.BuildKG()
+		log.Printf("kg built: tables=%d subtrees=%d fused=%d queued=%d nodes+%d",
+			bs.Tables, bs.Subtrees, bs.Fused, bs.Queued, bs.NodesAdded)
+		if *dataDir != "" {
+			if err := sys.PersistGraph(); err != nil {
+				log.Fatalf("persist graph: %v", err)
+			}
+			if err := sys.Store.Save(*dataDir); err != nil {
+				log.Fatalf("save: %v", err)
+			}
+			log.Printf("store + graph saved to %s", *dataDir)
+		}
+	}
+
+	srv := api.NewServer(sys)
+	log.Printf("covidkg listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+}
+
+// rebuildSystem recreates the system over an already-populated store so
+// the search engine re-indexes loaded documents. Non-publication
+// collections (the persisted knowledge graph) carry over verbatim.
+func rebuildSystem(cfg core.Config, old *core.System) *core.System {
+	fresh := core.NewSystem(cfg)
+	count := 0
+	old.Pubs.Scan(func(d jsondoc.Doc) bool {
+		if _, err := fresh.Search.AddDocument(d); err != nil {
+			log.Printf("reindex: %v", err)
+		}
+		count++
+		return true
+	})
+	for _, name := range old.Store.CollectionNames() {
+		if name == core.PubsCollection {
+			continue
+		}
+		dst := fresh.Store.Collection(name)
+		old.Store.Collection(name).Scan(func(d jsondoc.Doc) bool {
+			if _, err := dst.Insert(d); err != nil {
+				log.Printf("copy %s: %v", name, err)
+			}
+			return true
+		})
+	}
+	fmt.Printf("reindexed %d publications\n", count)
+	return fresh
+}
+
+func sideEffectPapers(g *cord19.Generator) []*cord19.Publication {
+	vaccines := []string{"Pfizer-BioNTech", "Moderna", "AstraZeneca"}
+	out := make([]*cord19.Publication, 3)
+	for i := range out {
+		out[i] = g.SideEffectPaper(vaccines)
+	}
+	return out
+}

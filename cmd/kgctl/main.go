@@ -1,0 +1,324 @@
+// Command kgctl is the COVIDKG command-line tool: generate corpora,
+// ingest them, train models, build the knowledge graph, and query the
+// system — the whole Figure 1 pipeline from a terminal.
+//
+// Subcommands:
+//
+//	kgctl gen       -n 500 -seed 42 -out DIR     generate a corpus into a store dir
+//	kgctl search    -data DIR -engine all -q "masks" [-page 1]
+//	kgctl kg        -data DIR [-q vaccines] [-graph FILE]  build/load and query the KG
+//	kgctl profile   -data DIR                    build the side-effect meta-profile
+//	kgctl topics    -data DIR -k 8               topical clustering
+//	kgctl stats     -data DIR                    store statistics
+//	kgctl bias      -data DIR                    interrogate the corpus for bias
+//	kgctl aggregate -data DIR -q '[{"$group": ...}]'  run a JSON pipeline
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"covidkg/internal/cord19"
+	"covidkg/internal/core"
+	"covidkg/internal/docstore"
+	"covidkg/internal/jsondoc"
+	"covidkg/internal/kg"
+	"covidkg/internal/pipeline"
+	"covidkg/internal/search"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "search":
+		cmdSearch(os.Args[2:])
+	case "kg":
+		cmdKG(os.Args[2:])
+	case "profile":
+		cmdProfile(os.Args[2:])
+	case "topics":
+		cmdTopics(os.Args[2:])
+	case "stats":
+		cmdStats(os.Args[2:])
+	case "bias":
+		cmdBias(os.Args[2:])
+	case "aggregate":
+		cmdAggregate(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: kgctl <gen|search|kg|profile|topics|stats|bias|aggregate> [flags]")
+	os.Exit(2)
+}
+
+// cmdAggregate runs a MongoDB-dialect JSON pipeline over a collection:
+//
+//	kgctl aggregate -data DIR -q '[{"$group": {"_id": "$topic", "n": {"$sum": 1}}}]'
+func cmdAggregate(args []string) {
+	fs := flag.NewFlagSet("aggregate", flag.ExitOnError)
+	data := fs.String("data", "covidkg-data", "store directory")
+	collName := fs.String("collection", core.PubsCollection, "collection to query")
+	q := fs.String("q", "", "JSON pipeline (array of $-stages)")
+	limit := fs.Int("limit", 20, "max results printed")
+	fs.Parse(args)
+	if *q == "" {
+		log.Fatal("aggregate: -q is required")
+	}
+	var stages []any
+	if err := json.Unmarshal([]byte(*q), &stages); err != nil {
+		log.Fatalf("aggregate: parse pipeline: %v", err)
+	}
+	p, err := pipeline.Compile(stages)
+	if err != nil {
+		log.Fatalf("aggregate: %v", err)
+	}
+	p.Append(pipeline.Limit(*limit))
+
+	sys := core.NewSystem(core.DefaultConfig())
+	if err := sys.Store.Load(*data); err != nil {
+		log.Fatalf("load: %v", err)
+	}
+	coll := sys.Store.Collection(*collName)
+	out, err := p.Run(collSource{coll})
+	if err != nil {
+		log.Fatalf("aggregate: %v", err)
+	}
+	for _, d := range out {
+		fmt.Println(d.String())
+	}
+	fmt.Fprintf(os.Stderr, "(%d results)\n", len(out))
+}
+
+// collSource adapts a docstore collection to pipeline.Source.
+type collSource struct{ c *docstore.Collection }
+
+func (s collSource) Scan(fn func(jsondoc.Doc) bool) { s.c.Scan(fn) }
+
+func cmdBias(args []string) {
+	fs := flag.NewFlagSet("bias", flag.ExitOnError)
+	data := fs.String("data", "covidkg-data", "store directory")
+	fs.Parse(args)
+	sys := loadSystem(*data, false)
+	fmt.Print(sys.AuditBias().Format())
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	n := fs.Int("n", 500, "publications to generate")
+	seed := fs.Int64("seed", 42, "generator seed")
+	out := fs.String("out", "covidkg-data", "output store directory")
+	withSE := fs.Bool("side-effects", true, "include Figure 6 side-effect papers")
+	fs.Parse(args)
+
+	sys := core.NewSystem(core.DefaultConfig())
+	g := cord19.NewGenerator(*seed)
+	pubs := g.Corpus(*n)
+	if *withSE {
+		vaccines := []string{"Pfizer-BioNTech", "Moderna", "AstraZeneca"}
+		for i := 0; i < 3; i++ {
+			pubs = append(pubs, g.SideEffectPaper(vaccines))
+		}
+	}
+	if err := sys.IngestPublications(pubs); err != nil {
+		log.Fatalf("ingest: %v", err)
+	}
+	if err := sys.Store.Save(*out); err != nil {
+		log.Fatalf("save: %v", err)
+	}
+	log.Printf("wrote %d publications to %s", sys.Pubs.Count(), *out)
+}
+
+// loadSystem loads a store dir and retrains models.
+func loadSystem(dataDir string, train bool) *core.System {
+	cfg := core.DefaultConfig()
+	sys := core.NewSystem(cfg)
+	if err := sys.Store.Load(dataDir); err != nil {
+		log.Fatalf("load %s: %v (run `kgctl gen` first)", dataDir, err)
+	}
+	// reindex into a fresh engine
+	fresh := core.NewSystem(cfg)
+	sys.Store.Collection(core.PubsCollection).Scan(func(d jsondoc.Doc) bool {
+		if _, err := fresh.Search.AddDocument(d); err != nil {
+			log.Printf("reindex: %v", err)
+		}
+		return true
+	})
+	if train {
+		if _, err := fresh.TrainModels(); err != nil {
+			log.Fatalf("train: %v", err)
+		}
+	}
+	return fresh
+}
+
+func cmdSearch(args []string) {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	data := fs.String("data", "covidkg-data", "store directory")
+	engine := fs.String("engine", "all", "all|tables|fields")
+	q := fs.String("q", "", "query (quote phrases for exact match)")
+	title := fs.String("title", "", "title query (fields engine)")
+	abstract := fs.String("abstract", "", "abstract query (fields engine)")
+	caption := fs.String("caption", "", "caption query (fields engine)")
+	page := fs.Int("page", 1, "result page (10 per page)")
+	fs.Parse(args)
+
+	sys := loadSystem(*data, false)
+	var (
+		pg  search.Page
+		err error
+	)
+	switch *engine {
+	case "all":
+		pg, err = sys.Search.SearchAll(*q, *page)
+	case "tables":
+		pg, err = sys.Search.SearchTables(*q, *page)
+	case "fields":
+		pg, err = sys.Search.SearchFields(search.FieldQuery{
+			Title: *title, Abstract: *abstract, Caption: *caption,
+		}, *page)
+	default:
+		log.Fatalf("unknown engine %q", *engine)
+	}
+	if err != nil {
+		log.Fatalf("search: %v", err)
+	}
+	fmt.Printf("%d results (page %d/%d)\n\n", pg.Total, pg.PageNum, pg.NumPages)
+	for i, r := range pg.Results {
+		fmt.Printf("%2d. [%.3f] %s\n    %s — %s\n",
+			(pg.PageNum-1)*pg.PerPage+i+1, r.Score, r.Title,
+			strings.Join(r.Authors, ", "), r.Journal)
+		for _, sn := range r.Snippets {
+			fmt.Printf("      %-14s %s\n", sn.Field+":", sn.HighlightMarked())
+		}
+		fmt.Println()
+	}
+}
+
+func cmdKG(args []string) {
+	fs := flag.NewFlagSet("kg", flag.ExitOnError)
+	data := fs.String("data", "covidkg-data", "store directory")
+	q := fs.String("q", "", "optional KG query")
+	dump := fs.Bool("tree", false, "print the full tree")
+	graphFile := fs.String("graph", "", "optional file: load the graph from it when present, save after building otherwise")
+	fs.Parse(args)
+
+	var sys *core.System
+	if *graphFile != "" {
+		if blob, err := os.ReadFile(*graphFile); err == nil {
+			g, err := kg.FromJSON(blob)
+			if err != nil {
+				log.Fatalf("graph file: %v", err)
+			}
+			sys = loadSystem(*data, false)
+			sys.Graph = g
+			sys.Fuser = kg.NewFuser(g)
+			fmt.Printf("knowledge graph loaded from %s: %d nodes\n\n", *graphFile, g.Size())
+			queryAndDump(sys, *q, *dump)
+			return
+		}
+	}
+	sys = loadSystem(*data, true)
+	st := sys.BuildKG()
+	fmt.Printf("knowledge graph: %d nodes (tables=%d subtrees=%d fused=%d queued=%d)\n\n",
+		sys.Graph.Size(), st.Tables, st.Subtrees, st.Fused, st.Queued)
+	if *graphFile != "" {
+		blob, err := sys.Graph.MarshalJSON()
+		if err != nil {
+			log.Fatalf("serialize graph: %v", err)
+		}
+		if err := os.WriteFile(*graphFile, blob, 0o644); err != nil {
+			log.Fatalf("save graph: %v", err)
+		}
+		fmt.Printf("graph saved to %s\n", *graphFile)
+	}
+	queryAndDump(sys, *q, *dump)
+}
+
+func queryAndDump(sys *core.System, q string, dump bool) {
+	if q != "" {
+		hits := sys.Graph.Search(q)
+		fmt.Printf("%d hits for %q\n", len(hits), q)
+		for _, h := range hits {
+			var labels []string
+			for _, p := range h.Path {
+				labels = append(labels, p.Label)
+			}
+			fmt.Printf("  %s  (%d papers)\n", strings.Join(labels, " → "), len(h.Node.Papers))
+		}
+	}
+	if dump {
+		sys.Graph.Walk(func(n kg.Node, depth int) bool {
+			fmt.Printf("%s%s", strings.Repeat("  ", depth), n.Label)
+			if len(n.Papers) > 0 {
+				fmt.Printf("  [%d papers]", len(n.Papers))
+			}
+			fmt.Println()
+			return true
+		})
+	}
+}
+
+func cmdProfile(args []string) {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	data := fs.String("data", "covidkg-data", "store directory")
+	fs.Parse(args)
+	sys := loadSystem(*data, true)
+	p := sys.BuildMetaProfile("COVID-19 Vaccine Side-effects")
+	fmt.Print(p.Render())
+}
+
+func cmdTopics(args []string) {
+	fs := flag.NewFlagSet("topics", flag.ExitOnError)
+	data := fs.String("data", "covidkg-data", "store directory")
+	k := fs.Int("k", len(cord19.TopicNames()), "number of clusters")
+	fs.Parse(args)
+	sys := loadSystem(*data, true)
+	res, ids, truths, err := sys.TopicClusters(*k)
+	if err != nil {
+		log.Fatalf("topics: %v", err)
+	}
+	counts := make(map[int]map[string]int)
+	for i, c := range res.Assign {
+		if counts[c] == nil {
+			counts[c] = map[string]int{}
+		}
+		counts[c][truths[i]]++
+	}
+	fmt.Printf("clustered %d publications into %d topics (%d iterations)\n",
+		len(ids), *k, res.Iterations)
+	for c := 0; c < *k; c++ {
+		fmt.Printf("  cluster %d:", c)
+		for topic, n := range counts[c] {
+			fmt.Printf(" %s=%d", topic, n)
+		}
+		fmt.Println()
+	}
+}
+
+func cmdStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	data := fs.String("data", "covidkg-data", "store directory")
+	fs.Parse(args)
+	cfg := core.DefaultConfig()
+	sys := core.NewSystem(cfg)
+	if err := sys.Store.Load(*data); err != nil {
+		log.Fatalf("load: %v", err)
+	}
+	st := sys.Store.Stats()
+	fmt.Printf("collections: %d\ndocuments:   %d\nbytes:       %d\n", st.Collections, st.Documents, st.Bytes)
+	for i, n := range st.PerShard {
+		fmt.Printf("shard %d:     %d docs\n", i, n)
+	}
+}

@@ -1,0 +1,3 @@
+module covidkg
+
+go 1.22

@@ -1,0 +1,353 @@
+// Package api exposes the COVIDKG system over HTTP: the interactive
+// knowledge-graph browse/search surface the paper's front-end uses
+// (№9/10 in Figure 1) and the programmatic API releasing search,
+// publications, and pre-trained models to downstream users (№11/13).
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"covidkg/internal/core"
+	"covidkg/internal/docstore"
+	"covidkg/internal/jsondoc"
+	"covidkg/internal/kg"
+	"covidkg/internal/pipeline"
+	"covidkg/internal/search"
+)
+
+// Server wraps a core system with HTTP handlers.
+type Server struct {
+	sys *core.System
+	mux *http.ServeMux
+}
+
+// NewServer builds the handler tree over a (typically trained) system.
+func NewServer(sys *core.System) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/search", s.handleSearch)
+	s.mux.HandleFunc("GET /api/publications/{id}", s.handlePublication)
+	s.mux.HandleFunc("GET /api/publications/{id}/tables", s.handleTableMatches)
+	s.mux.HandleFunc("GET /api/publications/{id}/nodes", s.handlePubNodes)
+	s.mux.HandleFunc("GET /api/kg", s.handleGraph)
+	s.mux.HandleFunc("GET /api/kg/search", s.handleGraphSearch)
+	s.mux.HandleFunc("GET /api/kg/node/{id}", s.handleNode)
+	s.mux.HandleFunc("GET /api/kg/node/{id}/children", s.handleChildren)
+	s.mux.HandleFunc("GET /api/reviews", s.handleReviews)
+	s.mux.HandleFunc("POST /api/reviews/{id}/approve", s.handleApprove)
+	s.mux.HandleFunc("POST /api/reviews/{id}/reject", s.handleReject)
+	s.mux.HandleFunc("POST /api/aggregate", s.handleAggregate)
+	s.mux.HandleFunc("POST /api/publications", s.handleIngest)
+	s.mux.HandleFunc("GET /api/bias", s.handleBias)
+	s.mux.HandleFunc("GET /api/models", s.handleModels)
+	s.mux.HandleFunc("GET /api/models/{name}", s.handleModel)
+	s.mux.HandleFunc("GET /", s.handleIndex)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.sys.Store.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"publications": s.sys.Pubs.Count(),
+		"collections":  st.Collections,
+		"bytes":        st.Bytes,
+		"per_shard":    st.PerShard,
+		"kg_nodes":     s.sys.Graph.Size(),
+	})
+}
+
+// handleSearch dispatches to the three engines via ?engine=.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	page, _ := strconv.Atoi(q.Get("page"))
+	if page < 1 {
+		page = 1
+	}
+	engine := q.Get("engine")
+	if engine == "" {
+		engine = "all"
+	}
+	var (
+		res any
+		err error
+	)
+	switch engine {
+	case "all":
+		res, err = s.sys.Search.SearchAll(q.Get("q"), page)
+	case "tables":
+		res, err = s.sys.Search.SearchTables(q.Get("q"), page)
+	case "fields":
+		res, err = s.sys.Search.SearchFields(search.FieldQuery{
+			Title:    q.Get("title"),
+			Abstract: q.Get("abstract"),
+			Caption:  q.Get("caption"),
+		}, page)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown engine %q", engine))
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handlePublication(w http.ResponseWriter, r *http.Request) {
+	d, err := s.sys.Pubs.Get(r.PathValue("id"))
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, docstore.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+// handleTableMatches returns the matched-cell coordinates of one
+// publication's tables for a query — the data behind Figure 4's red
+// highlighting.
+func (s *Server) handleTableMatches(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	ms, err := s.sys.Search.TableCellMatches(r.PathValue("id"), q)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, docstore.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tables": ms})
+}
+
+// handlePubNodes lists the KG nodes whose provenance cites a
+// publication — from a paper to everything the graph learned from it.
+func (s *Server) handlePubNodes(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.sys.Pubs.Get(id); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"nodes": s.sys.Graph.NodesByPaper(id)})
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, _ *http.Request) {
+	data, err := s.sys.Graph.MarshalJSON()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) handleGraphSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if strings.TrimSpace(q) == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sys.Graph.Search(q))
+}
+
+func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
+	n, err := s.sys.Graph.Node(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	path, _ := s.sys.Graph.PathToRoot(n.ID)
+	writeJSON(w, http.StatusOK, map[string]any{"node": n, "path": path})
+}
+
+func (s *Server) handleChildren(w http.ResponseWriter, r *http.Request) {
+	kids, err := s.sys.Graph.Children(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, kids)
+}
+
+func (s *Server) handleReviews(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sys.Fuser.Pending())
+}
+
+func (s *Server) reviewID(r *http.Request) (int, error) {
+	return strconv.Atoi(r.PathValue("id"))
+}
+
+func (s *Server) handleApprove(w http.ResponseWriter, r *http.Request) {
+	id, err := s.reviewID(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	target := r.URL.Query().Get("target")
+	if target == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing target node id"))
+		return
+	}
+	if err := s.sys.Fuser.Approve(id, target); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, kg.ErrNodeNotFound) {
+			status = http.StatusNotFound
+		}
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "approved"})
+}
+
+func (s *Server) handleReject(w http.ResponseWriter, r *http.Request) {
+	id, err := s.reviewID(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.sys.Fuser.Reject(id); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "rejected"})
+}
+
+// handleIngest accepts new publication documents (№12 in Figure 1: new
+// information arriving from the Web), stores and indexes them, and
+// incrementally refreshes the knowledge graph from their tables.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var docs []jsondoc.Doc
+	if err := json.NewDecoder(r.Body).Decode(&docs); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body (want a JSON array of publications): %w", err))
+		return
+	}
+	if len(docs) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("no publications in request"))
+		return
+	}
+	st, err := s.sys.RefreshDocs(docs)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ingested":    len(docs),
+		"tables":      st.Tables,
+		"subtrees":    st.Subtrees,
+		"fused":       st.Fused,
+		"queued":      st.Queued,
+		"nodes_added": st.NodesAdded,
+	})
+}
+
+// aggregateRequest is the POST /api/aggregate body: a collection name
+// and a MongoDB-dialect JSON pipeline (see pipeline.Compile).
+type aggregateRequest struct {
+	Collection string `json:"collection"`
+	Pipeline   []any  `json:"pipeline"`
+	Limit      int    `json:"limit"` // server-side result cap; default 100
+}
+
+// handleAggregate runs a compiled aggregation pipeline over a
+// collection — the paper's "API users that might want to query the
+// Knowledge Graph" surface (№11/13), speaking the same $-stage dialect
+// the internal search engines use.
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	var req aggregateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Collection == "" {
+		req.Collection = core.PubsCollection
+	}
+	if !s.sys.Store.HasCollection(req.Collection) {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("collection %q does not exist", req.Collection))
+		return
+	}
+	p, err := pipeline.Compile(req.Pipeline)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	limit := req.Limit
+	if limit <= 0 || limit > 1000 {
+		limit = 100
+	}
+	p.Append(pipeline.Limit(limit))
+	coll := s.sys.Store.Collection(req.Collection)
+	out, err := p.Run(collScanner{coll})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": out, "n": len(out)})
+}
+
+// collScanner adapts a docstore collection to pipeline.Source.
+type collScanner struct{ c *docstore.Collection }
+
+func (s collScanner) Scan(fn func(jsondoc.Doc) bool) { s.c.Scan(fn) }
+
+func (s *Server) handleBias(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sys.AuditBias())
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	models, err := s.sys.ExportModels()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": names})
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	models, err := s.sys.ExportModels()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	for _, m := range models {
+		if m.Name == name {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", `attachment; filename="`+name+`.json"`)
+			w.Write(m.Data)
+			return
+		}
+	}
+	writeErr(w, http.StatusNotFound, fmt.Errorf("model %q not found", name))
+}

@@ -1,0 +1,413 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"covidkg/internal/cord19"
+	"covidkg/internal/core"
+	"covidkg/internal/kg"
+)
+
+func testServer(t *testing.T) (*Server, *core.System) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.TrainTables = 40
+	cfg.W2V.Epochs = 2
+	cfg.VocabSize = 1000
+	sys := core.NewSystem(cfg)
+	g := cord19.NewGenerator(4)
+	if err := sys.IngestPublications(g.Corpus(40)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.TrainModels(); err != nil {
+		t.Fatal(err)
+	}
+	sys.BuildKG()
+	return NewServer(sys), sys
+}
+
+func get(t *testing.T, s *Server, path string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var body map[string]any
+	ct := rec.Header().Get("Content-Type")
+	if strings.HasPrefix(ct, "application/json") {
+		_ = json.Unmarshal(rec.Body.Bytes(), &body)
+	}
+	return rec, body
+}
+
+func TestHealthz(t *testing.T) {
+	s, _ := testServer(t)
+	rec, body := get(t, s, "/healthz")
+	if rec.Code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("health = %d %v", rec.Code, body)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s, _ := testServer(t)
+	rec, body := get(t, s, "/api/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats = %d", rec.Code)
+	}
+	if body["publications"].(float64) != 40 {
+		t.Fatalf("pubs = %v", body["publications"])
+	}
+	if body["kg_nodes"].(float64) < 15 {
+		t.Fatalf("kg_nodes = %v", body["kg_nodes"])
+	}
+}
+
+func TestSearchEndpoints(t *testing.T) {
+	s, _ := testServer(t)
+	for _, path := range []string{
+		"/api/search?q=vaccine",
+		"/api/search?engine=all&q=vaccine",
+		"/api/search?engine=tables&q=vaccine&page=1",
+		"/api/search?engine=fields&title=vaccine",
+	} {
+		rec, body := get(t, s, path)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s = %d: %v", path, rec.Code, body)
+		}
+		if _, ok := body["Total"]; !ok {
+			t.Fatalf("%s: missing Total: %v", path, body)
+		}
+	}
+	// errors
+	rec, _ := get(t, s, "/api/search?engine=warp&q=x")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown engine = %d", rec.Code)
+	}
+	rec, _ = get(t, s, "/api/search?q=")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty query = %d", rec.Code)
+	}
+}
+
+func TestPublicationEndpoint(t *testing.T) {
+	s, sys := testServer(t)
+	id := sys.Pubs.IDs()[0]
+	rec, body := get(t, s, "/api/publications/"+id)
+	if rec.Code != http.StatusOK || body["title"] == "" {
+		t.Fatalf("pub = %d %v", rec.Code, body)
+	}
+	rec, _ = get(t, s, "/api/publications/nope")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("missing pub = %d", rec.Code)
+	}
+}
+
+func TestGraphEndpoints(t *testing.T) {
+	s, sys := testServer(t)
+	rec, body := get(t, s, "/api/kg")
+	if rec.Code != http.StatusOK || body["root"] == nil {
+		t.Fatalf("kg = %d %v", rec.Code, body)
+	}
+	rec, _ = get(t, s, "/api/kg/search?q=vaccines")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("kg search = %d", rec.Code)
+	}
+	rec, _ = get(t, s, "/api/kg/search?q=")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty kg search = %d", rec.Code)
+	}
+	root := sys.Graph.RootID()
+	rec, body = get(t, s, "/api/kg/node/"+root)
+	if rec.Code != http.StatusOK || body["node"] == nil || body["path"] == nil {
+		t.Fatalf("node = %d %v", rec.Code, body)
+	}
+	rec, _ = get(t, s, "/api/kg/node/"+root+"/children")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("children = %d", rec.Code)
+	}
+	rec, _ = get(t, s, "/api/kg/node/bogus")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("bogus node = %d", rec.Code)
+	}
+}
+
+func TestReviewEndpoints(t *testing.T) {
+	s, sys := testServer(t)
+	res := sys.Fuser.Fuse(&kg.Subtree{
+		Label: "Novel thing",
+		Children: []*kg.Subtree{
+			{Label: "Mid", Children: []*kg.Subtree{{Label: "Leaf"}}},
+		},
+	})
+	rec, _ := get(t, s, "/api/reviews")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reviews = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "Novel thing") {
+		t.Fatalf("review body = %s", rec.Body.String())
+	}
+
+	post := func(path string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, path, nil)
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		return w
+	}
+	// missing target
+	if w := post("/api/reviews/" + itoa(res.ReviewID) + "/approve"); w.Code != http.StatusBadRequest {
+		t.Fatalf("no target = %d", w.Code)
+	}
+	// bad target
+	if w := post("/api/reviews/" + itoa(res.ReviewID) + "/approve?target=zzz"); w.Code != http.StatusNotFound {
+		t.Fatalf("bad target = %d", w.Code)
+	}
+	// good approve
+	if w := post("/api/reviews/" + itoa(res.ReviewID) + "/approve?target=" + sys.Graph.RootID()); w.Code != http.StatusOK {
+		t.Fatalf("approve = %d %s", w.Code, w.Body.String())
+	}
+	if len(sys.Graph.Search("leaf")) == 0 {
+		t.Fatal("approved subtree missing")
+	}
+	// reject flow
+	res2 := sys.Fuser.Fuse(&kg.Subtree{Label: "Another", Children: []*kg.Subtree{
+		{Label: "m", Children: []*kg.Subtree{{Label: "l"}}},
+	}})
+	if w := post("/api/reviews/" + itoa(res2.ReviewID) + "/reject"); w.Code != http.StatusOK {
+		t.Fatalf("reject = %d", w.Code)
+	}
+	if w := post("/api/reviews/abc/reject"); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad id = %d", w.Code)
+	}
+}
+
+func TestModelEndpoints(t *testing.T) {
+	s, _ := testServer(t)
+	rec, body := get(t, s, "/api/models")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("models = %d", rec.Code)
+	}
+	names, _ := body["models"].([]any)
+	if len(names) == 0 {
+		t.Fatal("no models listed")
+	}
+	first := names[0].(string)
+	rec, _ = get(t, s, "/api/models/"+first)
+	if rec.Code != http.StatusOK || rec.Body.Len() == 0 {
+		t.Fatalf("model download = %d", rec.Code)
+	}
+	rec, _ = get(t, s, "/api/models/none")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("missing model = %d", rec.Code)
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	s, _ := testServer(t)
+	rec, _ := get(t, s, "/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("index = %d", rec.Code)
+	}
+	html := rec.Body.String()
+	for _, want := range []string{"COVIDKG", "Knowledge Graph", "COVID-19"} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("index missing %q", want)
+		}
+	}
+	rec, _ = get(t, s, "/nope")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown path = %d", rec.Code)
+	}
+}
+
+func postJSON(t *testing.T, s *Server, path, body string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var out map[string]any
+	_ = json.Unmarshal(rec.Body.Bytes(), &out)
+	return rec, out
+}
+
+func TestAggregateEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	rec, body := postJSON(t, s, "/api/aggregate", `{
+		"pipeline": [
+			{"$match": {"title": {"$regex": "(?i)covid"}}},
+			{"$project": {"title": 1}},
+			{"$sort": {"title": 1}},
+			{"$limit": 5}
+		]
+	}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("aggregate = %d: %v", rec.Code, body)
+	}
+	results, _ := body["results"].([]any)
+	if len(results) == 0 || len(results) > 5 {
+		t.Fatalf("results = %d", len(results))
+	}
+	first := results[0].(map[string]any)
+	if first["title"] == nil || first["abstract"] != nil {
+		t.Fatalf("projection wrong: %v", first)
+	}
+}
+
+func TestAggregateGroupBy(t *testing.T) {
+	s, _ := testServer(t)
+	rec, body := postJSON(t, s, "/api/aggregate", `{
+		"pipeline": [{"$group": {"_id": "$topic", "n": {"$sum": 1}}}]
+	}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("group = %d: %v", rec.Code, body)
+	}
+	results, _ := body["results"].([]any)
+	total := 0.0
+	for _, r := range results {
+		total += r.(map[string]any)["n"].(float64)
+	}
+	if int(total) != 40 {
+		t.Fatalf("group counts sum to %v, want 40", total)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	s, _ := testServer(t)
+	if rec, _ := postJSON(t, s, "/api/aggregate", `{"pipeline": [{"$warp": 1}]}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad stage = %d", rec.Code)
+	}
+	if rec, _ := postJSON(t, s, "/api/aggregate", `not json`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad body = %d", rec.Code)
+	}
+	if rec, _ := postJSON(t, s, "/api/aggregate", `{"collection": "nope", "pipeline": []}`); rec.Code != http.StatusNotFound {
+		t.Fatalf("missing collection = %d", rec.Code)
+	}
+}
+
+func TestAggregateDefaultLimit(t *testing.T) {
+	s, _ := testServer(t)
+	rec, body := postJSON(t, s, "/api/aggregate", `{"pipeline": []}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("empty pipeline = %d", rec.Code)
+	}
+	if n := body["n"].(float64); n != 40 { // 40 docs < default cap 100
+		t.Fatalf("n = %v", n)
+	}
+}
+
+func TestIngestEndpoint(t *testing.T) {
+	s, sys := testServer(t)
+	before := sys.Pubs.Count()
+	sys.BuildKG() // mark existing pubs processed
+	body := `[{
+		"_id": "web-new-1",
+		"title": "Remdesivir outcomes in ICU cohorts",
+		"abstract": "New evidence on antiviral therapy.",
+		"body_text": "Trial details.",
+		"journal": "Web Source",
+		"publish_date": "2022-05-01",
+		"tables": [{"caption": "Table 1: Drugs",
+			"rows": [["Drug", "Outcome measure"], ["Remdesivir", "Recovery time"]],
+			"header_rows": [0], "n_rows": 2, "n_cols": 2}]
+	}]`
+	rec, resp := postJSON(t, s, "/api/publications", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ingest = %d: %v", rec.Code, resp)
+	}
+	if resp["ingested"].(float64) != 1 || resp["tables"].(float64) != 1 {
+		t.Fatalf("refresh stats: %v", resp)
+	}
+	if sys.Pubs.Count() != before+1 {
+		t.Fatalf("count = %d", sys.Pubs.Count())
+	}
+	// immediately searchable
+	rec, page := get(t, s, "/api/search?q=remdesivir")
+	if rec.Code != http.StatusOK || page["Total"].(float64) < 1 {
+		t.Fatalf("new doc not searchable: %v", page)
+	}
+	// errors
+	if rec, _ := postJSON(t, s, "/api/publications", `[]`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty ingest = %d", rec.Code)
+	}
+	if rec, _ := postJSON(t, s, "/api/publications", `{"not": "an array"}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("non-array ingest = %d", rec.Code)
+	}
+	// duplicate id rejected
+	if rec, _ := postJSON(t, s, "/api/publications", body); rec.Code != http.StatusBadRequest {
+		t.Fatalf("duplicate ingest = %d", rec.Code)
+	}
+}
+
+func TestTableMatchesEndpoint(t *testing.T) {
+	s, sys := testServer(t)
+	// find a publication with a table and a cell term
+	var id, term string
+	for _, pid := range sys.Pubs.IDs() {
+		d, _ := sys.Pubs.Get(pid)
+		tables := d.GetArray("tables")
+		if len(tables) == 0 {
+			continue
+		}
+		td := tables[0].(map[string]any)
+		rows, _ := td["rows"].([]any)
+		if len(rows) == 0 {
+			continue
+		}
+		cells, _ := rows[0].([]any)
+		for _, cv := range cells {
+			if sstr, ok := cv.(string); ok && len(sstr) > 3 {
+				id, term = pid, sstr
+				break
+			}
+		}
+		if id != "" {
+			break
+		}
+	}
+	if id == "" {
+		t.Skip("no suitable table in corpus")
+	}
+	rec, body := get(t, s, "/api/publications/"+id+"/tables?q="+term)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("table matches = %d: %v", rec.Code, body)
+	}
+	tables, _ := body["tables"].([]any)
+	if len(tables) == 0 {
+		t.Fatalf("no table matches for %q in %s", term, id)
+	}
+	if rec, _ := get(t, s, "/api/publications/nope/tables?q=x"); rec.Code != http.StatusNotFound {
+		t.Fatalf("missing pub = %d", rec.Code)
+	}
+	if rec, _ := get(t, s, "/api/publications/"+id+"/tables?q="); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty query = %d", rec.Code)
+	}
+}
+
+func TestPubNodesEndpoint(t *testing.T) {
+	s, sys := testServer(t)
+	// find a publication that contributed to the graph
+	var pid string
+	for _, id := range sys.Pubs.IDs() {
+		if len(sys.Graph.NodesByPaper(id)) > 0 {
+			pid = id
+			break
+		}
+	}
+	if pid == "" {
+		t.Skip("no publication contributed to the KG in this corpus")
+	}
+	rec, body := get(t, s, "/api/publications/"+pid+"/nodes")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pub nodes = %d", rec.Code)
+	}
+	nodes, _ := body["nodes"].([]any)
+	if len(nodes) == 0 {
+		t.Fatal("no nodes returned")
+	}
+	if rec, _ := get(t, s, "/api/publications/nope/nodes"); rec.Code != http.StatusNotFound {
+		t.Fatalf("missing pub = %d", rec.Code)
+	}
+}

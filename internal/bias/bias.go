@@ -1,0 +1,244 @@
+// Package bias implements the "interrogated for bias" part of the
+// paper's title: auditing the training corpus and datasets behind the
+// knowledge graph. The paper couples the KG with "actively maintained
+// and interrogated for bias training datasets"; this module quantifies
+// the dataset properties a curator would interrogate:
+//
+//   - topical balance: is any topic over/under-represented?
+//   - label balance: metadata vs data rows in classifier training sets;
+//   - source concentration: are a few journals dominating (Gini)?
+//   - temporal skew: is the corpus stale or front-loaded?
+//   - vocabulary dominance: do a handful of terms carry the corpus?
+//
+// Each probe returns a score in [0, 1] (0 = balanced, 1 = maximally
+// skewed) and an Audit aggregates them into a report with flagged
+// findings.
+package bias
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"covidkg/internal/jsondoc"
+	"covidkg/internal/textproc"
+)
+
+// Distribution is a named count histogram.
+type Distribution map[string]int
+
+// total sums the histogram.
+func (d Distribution) total() int {
+	n := 0
+	for _, c := range d {
+		n += c
+	}
+	return n
+}
+
+// NormalizedEntropySkew returns 1 − H(d)/H_max: 0 for a uniform
+// distribution, 1 when all mass sits on one value. Empty or single-key
+// distributions score 0 (nothing to be skewed between).
+func NormalizedEntropySkew(d Distribution) float64 {
+	n := d.total()
+	if n == 0 || len(d) < 2 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range d {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(n)
+		h -= p * math.Log2(p)
+	}
+	hmax := math.Log2(float64(len(d)))
+	if hmax == 0 {
+		return 0
+	}
+	return 1 - h/hmax
+}
+
+// Gini computes the Gini coefficient of the histogram counts: 0 when all
+// values are equal, →1 as one value dominates.
+func Gini(d Distribution) float64 {
+	if len(d) == 0 {
+		return 0
+	}
+	vals := make([]float64, 0, len(d))
+	for _, c := range d {
+		vals = append(vals, float64(c))
+	}
+	sort.Float64s(vals)
+	n := float64(len(vals))
+	var cum, weighted float64
+	for i, v := range vals {
+		cum += v
+		weighted += float64(i+1) * v
+	}
+	if cum == 0 {
+		return 0
+	}
+	return (2*weighted - (n+1)*cum) / (n * cum)
+}
+
+// Finding is one flagged bias observation.
+type Finding struct {
+	Probe    string
+	Score    float64
+	Severity string // "info", "warn", "high"
+	Detail   string
+}
+
+// Report is the outcome of an audit.
+type Report struct {
+	Findings []Finding
+	// Probes holds every probe's score whether or not it was flagged.
+	Probes map[string]float64
+}
+
+// severity maps a skew score to a severity band.
+func severity(score float64) string {
+	switch {
+	case score >= 0.5:
+		return "high"
+	case score >= 0.25:
+		return "warn"
+	default:
+		return "info"
+	}
+}
+
+// Auditor inspects publication corpora and classifier training sets.
+type Auditor struct {
+	// FlagThreshold is the minimum score that lands a probe in
+	// Findings (all probes always appear in Probes).
+	FlagThreshold float64
+}
+
+// NewAuditor returns an auditor flagging probes scoring ≥ 0.25.
+func NewAuditor() *Auditor { return &Auditor{FlagThreshold: 0.25} }
+
+// AuditCorpus interrogates a publication corpus (documents in the store
+// shape: topic, journal, publish_date, title, abstract).
+func (a *Auditor) AuditCorpus(docs []jsondoc.Doc) *Report {
+	topics := Distribution{}
+	journals := Distribution{}
+	years := Distribution{}
+	terms := Distribution{}
+	for _, d := range docs {
+		if t := d.GetString("topic"); t != "" {
+			topics[t]++
+		}
+		if j := d.GetString("journal"); j != "" {
+			journals[j]++
+		}
+		if date := d.GetString("publish_date"); len(date) >= 4 {
+			years[date[:4]]++
+		}
+		for _, w := range textproc.ContentWords(d.GetString("title") + " " + d.GetString("abstract")) {
+			terms[w]++
+		}
+	}
+
+	r := &Report{Probes: map[string]float64{}}
+	a.probe(r, "topic-balance", NormalizedEntropySkew(topics),
+		describeTop("topic", topics))
+	a.probe(r, "source-concentration", Gini(journals),
+		describeTop("journal", journals))
+	a.probe(r, "temporal-skew", NormalizedEntropySkew(years),
+		describeTop("year", years))
+	a.probe(r, "vocabulary-dominance", topTermMass(terms, 10),
+		fmt.Sprintf("top-10 terms carry %.0f%% of the text mass", topTermMass(terms, 10)*100))
+	return r
+}
+
+// AuditLabels interrogates a binary training set (the metadata/data
+// labels of §3.5): score is the absolute deviation from a 50/50 split,
+// scaled to [0,1].
+func (a *Auditor) AuditLabels(labels []int) *Report {
+	pos := 0
+	for _, l := range labels {
+		if l == 1 {
+			pos++
+		}
+	}
+	r := &Report{Probes: map[string]float64{}}
+	score := 0.0
+	detail := "no labels"
+	if len(labels) > 0 {
+		p := float64(pos) / float64(len(labels))
+		score = math.Abs(p-0.5) * 2
+		detail = fmt.Sprintf("positive rate %.2f (%d/%d)", p, pos, len(labels))
+	}
+	a.probe(r, "label-balance", score, detail)
+	return r
+}
+
+func (a *Auditor) probe(r *Report, name string, score float64, detail string) {
+	r.Probes[name] = score
+	if score >= a.FlagThreshold {
+		r.Findings = append(r.Findings, Finding{
+			Probe: name, Score: score, Severity: severity(score), Detail: detail,
+		})
+	}
+}
+
+// topTermMass returns the fraction of total term occurrences carried by
+// the k most frequent terms.
+func topTermMass(terms Distribution, k int) float64 {
+	total := terms.total()
+	if total == 0 || len(terms) <= k {
+		return 0
+	}
+	counts := make([]int, 0, len(terms))
+	for _, c := range terms {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	top := 0
+	for i := 0; i < k; i++ {
+		top += counts[i]
+	}
+	return float64(top) / float64(total)
+}
+
+// describeTop names the dominant key of a distribution.
+func describeTop(kind string, d Distribution) string {
+	best, bestN := "", -1
+	for k, n := range d {
+		if n > bestN || (n == bestN && k < best) {
+			best, bestN = k, n
+		}
+	}
+	if best == "" {
+		return "empty distribution"
+	}
+	total := d.total()
+	return fmt.Sprintf("dominant %s %q holds %d/%d (%.0f%%)",
+		kind, best, bestN, total, 100*float64(bestN)/float64(total))
+}
+
+// Format renders the report for terminals.
+func (r *Report) Format() string {
+	var b strings.Builder
+	b.WriteString("bias audit:\n")
+	names := make([]string, 0, len(r.Probes))
+	for n := range r.Probes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %-22s %.3f\n", n, r.Probes[n])
+	}
+	if len(r.Findings) == 0 {
+		b.WriteString("  no probes flagged\n")
+		return b.String()
+	}
+	b.WriteString("flagged:\n")
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "  [%s] %s (%.3f): %s\n", f.Severity, f.Probe, f.Score, f.Detail)
+	}
+	return b.String()
+}

@@ -1,0 +1,176 @@
+package bias
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"covidkg/internal/cord19"
+	"covidkg/internal/jsondoc"
+)
+
+func TestNormalizedEntropySkew(t *testing.T) {
+	if s := NormalizedEntropySkew(Distribution{"a": 10, "b": 10, "c": 10}); s > 1e-9 {
+		t.Fatalf("uniform skew = %v", s)
+	}
+	if s := NormalizedEntropySkew(Distribution{"a": 100, "b": 1, "c": 1}); s < 0.5 {
+		t.Fatalf("dominated skew = %v", s)
+	}
+	if s := NormalizedEntropySkew(Distribution{}); s != 0 {
+		t.Fatalf("empty skew = %v", s)
+	}
+	if s := NormalizedEntropySkew(Distribution{"a": 5}); s != 0 {
+		t.Fatalf("single-key skew = %v", s)
+	}
+}
+
+func TestNormalizedEntropySkewBoundsQuick(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		d := Distribution{"a": int(a), "b": int(b), "c": int(c)}
+		s := NormalizedEntropySkew(d)
+		return s >= -1e-12 && s <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini(Distribution{"a": 5, "b": 5, "c": 5}); math.Abs(g) > 1e-9 {
+		t.Fatalf("equal gini = %v", g)
+	}
+	gSkew := Gini(Distribution{"a": 100, "b": 1, "c": 1, "d": 1})
+	if gSkew < 0.5 {
+		t.Fatalf("skewed gini = %v", gSkew)
+	}
+	if g := Gini(Distribution{}); g != 0 {
+		t.Fatalf("empty gini = %v", g)
+	}
+	// more concentration → higher gini
+	gLess := Gini(Distribution{"a": 10, "b": 5, "c": 5, "d": 5})
+	if gSkew <= gLess {
+		t.Fatalf("gini ordering: %v <= %v", gSkew, gLess)
+	}
+}
+
+func pubDoc(topic, journal, date string) jsondoc.Doc {
+	return jsondoc.Doc{
+		"topic": topic, "journal": journal, "publish_date": date,
+		"title": "a study of " + topic, "abstract": topic + " findings",
+	}
+}
+
+func TestAuditCorpusBalanced(t *testing.T) {
+	var docs []jsondoc.Doc
+	topics := []string{"vaccines", "transmission", "treatment", "symptoms"}
+	journals := []string{"J1", "J2", "J3", "J4"}
+	for i := 0; i < 80; i++ {
+		docs = append(docs, pubDoc(topics[i%4], journals[i%4],
+			[]string{"2020-01-01", "2021-01-01", "2022-01-01"}[i%3]))
+	}
+	r := NewAuditor().AuditCorpus(docs)
+	if r.Probes["topic-balance"] > 0.05 {
+		t.Fatalf("balanced corpus flagged: %v", r.Probes)
+	}
+	if r.Probes["source-concentration"] > 0.05 {
+		t.Fatalf("balanced journals flagged: %v", r.Probes)
+	}
+	for _, f := range r.Findings {
+		if f.Probe == "topic-balance" || f.Probe == "source-concentration" {
+			t.Fatalf("unexpected finding: %+v", f)
+		}
+	}
+}
+
+func TestAuditCorpusSkewed(t *testing.T) {
+	var docs []jsondoc.Doc
+	for i := 0; i < 95; i++ {
+		docs = append(docs, pubDoc("vaccines", "MegaJournal", "2020-05-01"))
+	}
+	docs = append(docs, pubDoc("treatment", "Other", "2022-01-01"))
+	r := NewAuditor().AuditCorpus(docs)
+	var flagged []string
+	for _, f := range r.Findings {
+		flagged = append(flagged, f.Probe)
+	}
+	joined := strings.Join(flagged, ",")
+	for _, want := range []string{"topic-balance", "source-concentration", "temporal-skew"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("skewed corpus missing finding %q: %v", want, flagged)
+		}
+	}
+	// severity escalates with skew
+	for _, f := range r.Findings {
+		if f.Probe == "topic-balance" && f.Severity != "high" {
+			t.Fatalf("topic severity = %s (%v)", f.Severity, f.Score)
+		}
+	}
+}
+
+func TestAuditLabels(t *testing.T) {
+	balanced := make([]int, 100)
+	for i := range balanced {
+		balanced[i] = i % 2
+	}
+	r := NewAuditor().AuditLabels(balanced)
+	if r.Probes["label-balance"] > 1e-9 {
+		t.Fatalf("balanced labels = %v", r.Probes)
+	}
+	skewed := make([]int, 100)
+	skewed[0] = 1
+	r = NewAuditor().AuditLabels(skewed)
+	if r.Probes["label-balance"] < 0.9 {
+		t.Fatalf("skewed labels = %v", r.Probes)
+	}
+	if len(r.Findings) != 1 || r.Findings[0].Severity != "high" {
+		t.Fatalf("findings = %+v", r.Findings)
+	}
+	r = NewAuditor().AuditLabels(nil)
+	if r.Probes["label-balance"] != 0 {
+		t.Fatalf("empty labels = %v", r.Probes)
+	}
+}
+
+func TestAuditGeneratedCorpusIsReasonable(t *testing.T) {
+	g := cord19.NewGenerator(5)
+	var docs []jsondoc.Doc
+	for _, p := range g.Corpus(300) {
+		docs = append(docs, p.Doc())
+	}
+	r := NewAuditor().AuditCorpus(docs)
+	// the generator samples topics/journals uniformly: neither probe
+	// should reach "high"
+	for _, f := range r.Findings {
+		if (f.Probe == "topic-balance" || f.Probe == "source-concentration") &&
+			f.Severity == "high" {
+			t.Fatalf("generator produced a badly biased corpus: %+v", f)
+		}
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	r := NewAuditor().AuditLabels([]int{1, 1, 1, 1, 0})
+	out := r.Format()
+	if !strings.Contains(out, "label-balance") {
+		t.Fatalf("format = %s", out)
+	}
+	clean := NewAuditor().AuditLabels([]int{1, 0})
+	if !strings.Contains(clean.Format(), "no probes flagged") {
+		t.Fatalf("clean format = %s", clean.Format())
+	}
+}
+
+func TestTopTermMass(t *testing.T) {
+	d := Distribution{}
+	for i := 0; i < 30; i++ {
+		d[string(rune('a'+i))] = 1
+	}
+	d["dominant"] = 300
+	if m := topTermMass(d, 10); m < 0.8 {
+		t.Fatalf("dominated mass = %v", m)
+	}
+	if m := topTermMass(Distribution{"a": 1}, 10); m != 0 {
+		t.Fatalf("tiny vocab mass = %v", m)
+	}
+}

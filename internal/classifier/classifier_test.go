@@ -1,0 +1,330 @@
+package classifier
+
+import (
+	"math"
+	"testing"
+
+	"covidkg/internal/cord19"
+	"covidkg/internal/embeddings"
+	"covidkg/internal/features"
+	"covidkg/internal/svm"
+)
+
+func TestMetricsArithmetic(t *testing.T) {
+	var m Metrics
+	m.Add(1, 1) // TP
+	m.Add(1, 0) // FP
+	m.Add(0, 0) // TN
+	m.Add(0, 1) // FN
+	m.Add(1, 1) // TP
+	if m.TP != 2 || m.FP != 1 || m.TN != 1 || m.FN != 1 {
+		t.Fatalf("confusion = %+v", m)
+	}
+	if got := m.Precision(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("precision = %v", got)
+	}
+	if got := m.Recall(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("recall = %v", got)
+	}
+	if got := m.F1(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("f1 = %v", got)
+	}
+	if got := m.Accuracy(); math.Abs(got-3.0/5) > 1e-12 {
+		t.Fatalf("acc = %v", got)
+	}
+}
+
+func TestMetricsEmptyIsZero(t *testing.T) {
+	var m Metrics
+	if m.Precision() != 0 || m.Recall() != 0 || m.F1() != 0 || m.Accuracy() != 0 {
+		t.Fatal("empty metrics should be zero, not NaN")
+	}
+}
+
+func TestMetricsMerge(t *testing.T) {
+	a := Metrics{TP: 1, FP: 2, TN: 3, FN: 4}
+	b := Metrics{TP: 10, FP: 20, TN: 30, FN: 40}
+	a.Merge(b)
+	if a.TP != 11 || a.FP != 22 || a.TN != 33 || a.FN != 44 {
+		t.Fatalf("merge = %+v", a)
+	}
+}
+
+func TestKFoldSplit(t *testing.T) {
+	folds := KFoldSplit(23, 10, 1)
+	if len(folds) != 10 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	seen := map[int]int{}
+	for _, f := range folds {
+		for _, i := range f {
+			seen[i]++
+		}
+	}
+	if len(seen) != 23 {
+		t.Fatalf("covered %d indices", len(seen))
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("index %d in %d folds", i, n)
+		}
+	}
+	// sizes within 1 of each other
+	min, max := 100, 0
+	for _, f := range folds {
+		if len(f) < min {
+			min = len(f)
+		}
+		if len(f) > max {
+			max = len(f)
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("fold sizes %d..%d", min, max)
+	}
+	// k > n clamps
+	if got := KFoldSplit(3, 10, 1); len(got) != 3 {
+		t.Fatalf("clamped folds = %d", len(got))
+	}
+}
+
+func TestCrossValidatePipeline(t *testing.T) {
+	// a classifier that memorizes training labels and predicts 1 for
+	// held-out even indices: CV must call train before predict per fold.
+	labels := make([]int, 50)
+	for i := range labels {
+		if i%2 == 0 {
+			labels[i] = 1
+		}
+	}
+	trainCalls := 0
+	results, pooled := CrossValidate(50, 5, 7,
+		func(trainIdx []int) { trainCalls++ },
+		func(i int) int { return labels[i] }, // oracle
+		func(i int) int { return labels[i] },
+	)
+	if trainCalls != 5 || len(results) != 5 {
+		t.Fatalf("train calls = %d, results = %d", trainCalls, len(results))
+	}
+	if pooled.Total() != 50 || pooled.Accuracy() != 1 {
+		t.Fatalf("pooled = %+v", pooled)
+	}
+}
+
+// buildSamples creates labeled tuple samples and word2vec models from
+// synthetic tables.
+func buildSamples(t *testing.T, nTables int, seed int64) ([]TupleSample, *embeddings.Word2Vec, *embeddings.Word2Vec) {
+	t.Helper()
+	g := cord19.NewGenerator(seed)
+	tables := g.LabeledTables(nTables, 0.6)
+	var samples []TupleSample
+	var grids [][][]string
+	for _, lt := range tables {
+		samples = append(samples, SamplesFromTable(lt.Rows, lt.Meta)...)
+		grids = append(grids, lt.Rows)
+	}
+	termSents, cellSents := embeddings.TableSentences(grids)
+	cfg := embeddings.DefaultConfig()
+	cfg.Dim = 12
+	cfg.Epochs = 3
+	cfg.MinCount = 1
+	termW2V := embeddings.Train(termSents, cfg)
+	cellW2V := embeddings.Train(cellSents, cfg)
+	return samples, termW2V, cellW2V
+}
+
+func TestSamplesFromTable(t *testing.T) {
+	rows := [][]string{{"Vaccine", "Fever %"}, {"Pfizer", "8.5"}}
+	meta := []bool{true, false}
+	samples := SamplesFromTable(rows, meta)
+	if len(samples) != 2 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	if samples[0].Label != 1 || samples[1].Label != 0 {
+		t.Fatalf("labels = %d,%d", samples[0].Label, samples[1].Label)
+	}
+	if len(samples[0].TermTokens) == 0 || len(samples[0].CellTokens) != 2 {
+		t.Fatalf("tokens = %v / %v", samples[0].TermTokens, samples[0].CellTokens)
+	}
+}
+
+func TestEnsembleLearnsMetadata(t *testing.T) {
+	samples, termW2V, cellW2V := buildSamples(t, 60, 1)
+	split := len(samples) * 4 / 5
+	train, test := samples[:split], samples[split:]
+
+	cfg := DefaultEnsembleConfig()
+	cfg.Units = 8
+	cfg.Epochs = 8
+	m, err := NewEnsemble(termW2V, cellW2V, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := m.Train(train)
+	if len(stats.EpochLoss) != cfg.Epochs {
+		t.Fatalf("epoch losses = %d", len(stats.EpochLoss))
+	}
+	if stats.EpochLoss[len(stats.EpochLoss)-1] > stats.EpochLoss[0]*0.8 {
+		t.Fatalf("loss barely moved: %v", stats.EpochLoss)
+	}
+	mt := m.Evaluate(test)
+	if mt.F1() < 0.75 {
+		t.Fatalf("ensemble F1 = %v (%v)", mt.F1(), mt)
+	}
+}
+
+func TestEnsembleLSTMVariant(t *testing.T) {
+	samples, termW2V, cellW2V := buildSamples(t, 30, 2)
+	cfg := DefaultEnsembleConfig()
+	cfg.Cell = "lstm"
+	cfg.Units = 6
+	cfg.Epochs = 4
+	m, err := NewEnsemble(termW2V, cellW2V, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Train(samples)
+	mt := m.Evaluate(samples)
+	if mt.F1() < 0.7 {
+		t.Fatalf("lstm train-set F1 = %v", mt.F1())
+	}
+}
+
+func TestEnsembleRejectsUnknownCell(t *testing.T) {
+	_, termW2V, cellW2V := buildSamples(t, 5, 3)
+	cfg := DefaultEnsembleConfig()
+	cfg.Cell = "transformer"
+	if _, err := NewEnsemble(termW2V, cellW2V, cfg); err == nil {
+		t.Fatal("expected error for unknown cell")
+	}
+}
+
+func TestEnsemblePredictProbRange(t *testing.T) {
+	samples, termW2V, cellW2V := buildSamples(t, 10, 4)
+	cfg := DefaultEnsembleConfig()
+	cfg.Units = 4
+	cfg.Epochs = 2
+	m, err := NewEnsemble(termW2V, cellW2V, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Train(samples[:20])
+	for _, s := range samples[:20] {
+		p := m.PredictProb(s)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("prob = %v", p)
+		}
+	}
+}
+
+func TestSVMModelLearnsMetadata(t *testing.T) {
+	g := cord19.NewGenerator(11)
+	tables := g.LabeledTables(80, 0.6)
+	var samples []SVMSample
+	var texts []string
+	for _, lt := range tables {
+		samples = append(samples, SVMSamplesFromTable(lt.Rows, lt.Meta)...)
+		for _, row := range lt.Rows {
+			for _, c := range row {
+				texts = append(texts, c)
+			}
+		}
+	}
+	vocab := features.BuildVocabulary(texts, 2000)
+	m := NewSVMModel(vocab, svm.DefaultConfig())
+	split := len(samples) * 4 / 5
+	if err := m.Train(samples[:split]); err != nil {
+		t.Fatal(err)
+	}
+	mt := m.Evaluate(samples[split:])
+	if mt.F1() < 0.8 {
+		t.Fatalf("svm F1 = %v (%v)", mt.F1(), mt)
+	}
+}
+
+func TestSVMModelEmptyTrainingError(t *testing.T) {
+	vocab := features.BuildVocabulary(nil, 10)
+	m := NewSVMModel(vocab, svm.DefaultConfig())
+	if err := m.Train(nil); err == nil {
+		t.Fatal("expected error")
+	}
+	// untrained model predicts negative class rather than panicking
+	f := features.ExtractRows([][]string{{"a"}}, nil)[0]
+	if got := m.Predict(f); got != 0 {
+		t.Fatalf("untrained predict = %d", got)
+	}
+}
+
+func TestEnsembleCrossValidation(t *testing.T) {
+	// a miniature version of the paper's 10-fold protocol (3 folds here
+	// to keep the test fast)
+	samples, termW2V, cellW2V := buildSamples(t, 24, 5)
+	cfg := DefaultEnsembleConfig()
+	cfg.Units = 4
+	cfg.Epochs = 3
+	var m *Ensemble
+	_, pooled := CrossValidate(len(samples), 3, 1,
+		func(trainIdx []int) {
+			var err error
+			m, err = NewEnsemble(termW2V, cellW2V, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := make([]TupleSample, len(trainIdx))
+			for i, idx := range trainIdx {
+				tr[i] = samples[idx]
+			}
+			m.Train(tr)
+		},
+		func(i int) int { return m.Predict(samples[i]) },
+		func(i int) int { return samples[i].Label },
+	)
+	if pooled.Total() != len(samples) {
+		t.Fatalf("pooled total = %d", pooled.Total())
+	}
+	if pooled.F1() < 0.6 {
+		t.Fatalf("cv F1 = %v", pooled.F1())
+	}
+}
+
+func TestEnsembleExportImportRoundTrip(t *testing.T) {
+	samples, termW2V, cellW2V := buildSamples(t, 20, 9)
+	cfg := DefaultEnsembleConfig()
+	cfg.Units = 6
+	cfg.Epochs = 3
+	m, err := NewEnsemble(termW2V, cellW2V, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Train(samples)
+
+	data, err := m.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ImportEnsemble(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the imported model must predict identically
+	for _, s := range samples[:30] {
+		a, b := m.PredictProb(s), m2.PredictProb(s)
+		if diff := a - b; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("prediction drift after import: %v vs %v", a, b)
+		}
+	}
+	// and remain trainable (the paper's fine-tune path)
+	stats := m2.Train(samples[:16])
+	if len(stats.EpochLoss) == 0 {
+		t.Fatal("imported model not trainable")
+	}
+}
+
+func TestImportEnsembleErrors(t *testing.T) {
+	if _, err := ImportEnsemble([]byte(`{"broken`)); err == nil {
+		t.Fatal("bad json")
+	}
+	if _, err := ImportEnsemble([]byte(`{"config":{"Cell":"gru"},"term_dim":0,"cell_dim":4}`)); err == nil {
+		t.Fatal("zero dims")
+	}
+}

@@ -1,0 +1,100 @@
+package classifier
+
+import (
+	"math/rand"
+
+	"covidkg/internal/embeddings"
+	"covidkg/internal/mlcore"
+)
+
+// padID marks padding/out-of-vocabulary positions; their embedding is a
+// frozen zero vector.
+const padID = -1
+
+// EmbeddingLayer is a trainable token-embedding lookup, initialized from
+// pre-trained Word2Vec vectors and fine-tuned end-to-end (§3.6: "we
+// pre-trained on WDC and CORD-19 and then fine-tuned with end-to-end
+// training on the target corpus").
+type EmbeddingLayer struct {
+	W      *mlcore.Param
+	Vocab  map[string]int
+	Dim    int
+	MaxLen int
+
+	lastIDs []int
+}
+
+// NewEmbeddingFromWord2Vec copies a trained Word2Vec table into a
+// trainable layer.
+func NewEmbeddingFromWord2Vec(w2v *embeddings.Word2Vec, maxLen int) *EmbeddingLayer {
+	w := w2v.In.Clone()
+	vocab := make(map[string]int, len(w2v.Vocab))
+	for t, id := range w2v.Vocab {
+		vocab[t] = id
+	}
+	return &EmbeddingLayer{
+		W:      mlcore.NewParam("emb", w),
+		Vocab:  vocab,
+		Dim:    w2v.Dim,
+		MaxLen: maxLen,
+	}
+}
+
+// NewRandomEmbedding builds a randomly initialized layer (the
+// no-pretraining ablation).
+func NewRandomEmbedding(vocab map[string]int, dim, maxLen int, rng *rand.Rand) *EmbeddingLayer {
+	return &EmbeddingLayer{
+		W:      mlcore.NewParam("emb", mlcore.RandMatrix(len(vocab), dim, 0.1, rng)),
+		Vocab:  vocab,
+		Dim:    dim,
+		MaxLen: maxLen,
+	}
+}
+
+// encode maps tokens to ids, padding/truncating to MaxLen.
+func (e *EmbeddingLayer) encode(tokens []string) []int {
+	ids := make([]int, e.MaxLen)
+	for i := range ids {
+		ids[i] = padID
+	}
+	for i, t := range tokens {
+		if i >= e.MaxLen {
+			break
+		}
+		if id, ok := e.Vocab[t]; ok {
+			ids[i] = id
+		}
+	}
+	return ids
+}
+
+// Forward embeds a token sequence as a MaxLen×Dim matrix and caches the
+// ids for Backward.
+func (e *EmbeddingLayer) Forward(tokens []string) *mlcore.Matrix {
+	ids := e.encode(tokens)
+	e.lastIDs = ids
+	out := mlcore.NewMatrix(e.MaxLen, e.Dim)
+	for t, id := range ids {
+		if id >= 0 {
+			copy(out.Row(t), e.W.W.Row(id))
+		}
+	}
+	return out
+}
+
+// Backward scatter-adds gradients into the embedding table for the ids
+// of the most recent Forward.
+func (e *EmbeddingLayer) Backward(d *mlcore.Matrix) {
+	for t, id := range e.lastIDs {
+		if id < 0 {
+			continue
+		}
+		grow := e.W.Grad.Row(id)
+		for c, v := range d.Row(t) {
+			grow[c] += v
+		}
+	}
+}
+
+// Params exposes the embedding table for the optimizer.
+func (e *EmbeddingLayer) Params() []*mlcore.Param { return []*mlcore.Param{e.W} }

@@ -1,0 +1,240 @@
+package classifier
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"covidkg/internal/embeddings"
+	"covidkg/internal/mlcore"
+	"covidkg/internal/rnn"
+)
+
+// TupleSample is one classification instance: a table tuple in its two
+// parallel token representations (Figure 3's term-wise and cell-wise
+// inputs) plus its metadata label.
+type TupleSample struct {
+	TermTokens []string
+	CellTokens []string
+	Label      int // 1 metadata, 0 data
+}
+
+// SamplesFromTable converts a labeled table into tuple samples using the
+// §3.4/§3.6 pre-processing (numeric substitution, term and cell
+// tokenization). meta may be nil for unlabeled prediction inputs.
+func SamplesFromTable(rows [][]string, meta []bool) []TupleSample {
+	out := make([]TupleSample, len(rows))
+	for i, row := range rows {
+		s := TupleSample{
+			TermTokens: embeddings.TermSentence(row),
+			CellTokens: embeddings.CellSentence(row),
+		}
+		if meta != nil && meta[i] {
+			s.Label = 1
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// EnsembleConfig controls the Figure 3 model.
+type EnsembleConfig struct {
+	Cell       string  // "gru" (paper's choice) or "lstm" (ablation)
+	Units      int     // BiRNN units per direction (paper: 100)
+	MaxTerms   int     // term-sequence length after padding/truncation
+	MaxCells   int     // cell-sequence length after padding/truncation
+	DenseUnits int     // width of the head's dense layer (paper: 16)
+	Dropout    float64 // head dropout probability
+	LR         float64
+	Epochs     int
+	BatchSize  int
+	Seed       int64
+}
+
+// DefaultEnsembleConfig returns a configuration scaled down from the
+// paper's (100 GRU units) to sizes that train in seconds on synthetic
+// corpora; benches scale it back up.
+func DefaultEnsembleConfig() EnsembleConfig {
+	return EnsembleConfig{
+		Cell: "gru", Units: 16, MaxTerms: 24, MaxCells: 10,
+		DenseUnits: 16, Dropout: 0.2, LR: 0.005, Epochs: 12,
+		BatchSize: 16, Seed: 1,
+	}
+}
+
+// Ensemble is the §3.6 BiGRU ensemble: two parallel paths (term-level
+// and cell-level), each embedding its tokens, running a bidirectional
+// RNN, and concatenating the contextual states with the original
+// embeddings; the flattened path outputs are concatenated and classified
+// by a dense-16 → batch-norm → dropout → dense-1 sigmoid head.
+type Ensemble struct {
+	cfg EnsembleConfig
+
+	termEmb, cellEmb *EmbeddingLayer
+	termRNN, cellRNN *rnn.Bidirectional
+	head             *mlcore.Sequential
+
+	params []*mlcore.Param
+	rng    *rand.Rand
+}
+
+// NewEnsemble builds the model from pre-trained term- and cell-level
+// Word2Vec embeddings.
+func NewEnsemble(termW2V, cellW2V *embeddings.Word2Vec, cfg EnsembleConfig) (*Ensemble, error) {
+	if cfg.Cell != "gru" && cfg.Cell != "lstm" {
+		return nil, fmt.Errorf("classifier: unknown cell %q", cfg.Cell)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Ensemble{
+		cfg:     cfg,
+		termEmb: NewEmbeddingFromWord2Vec(termW2V, cfg.MaxTerms),
+		cellEmb: NewEmbeddingFromWord2Vec(cellW2V, cfg.MaxCells),
+		rng:     rng,
+	}
+	newBi := func(in int) *rnn.Bidirectional {
+		if cfg.Cell == "lstm" {
+			return rnn.NewBiLSTM(in, cfg.Units, rng)
+		}
+		return rnn.NewBiGRU(in, cfg.Units, rng)
+	}
+	m.termRNN = newBi(termW2V.Dim)
+	m.cellRNN = newBi(cellW2V.Dim)
+
+	termW := cfg.MaxTerms * (2*cfg.Units + termW2V.Dim)
+	cellW := cfg.MaxCells * (2*cfg.Units + cellW2V.Dim)
+	m.head = mlcore.NewSequential(
+		mlcore.NewDense(termW+cellW, cfg.DenseUnits, rng),
+		mlcore.NewBatchNorm(cfg.DenseUnits),
+		mlcore.NewDropout(cfg.Dropout, rng),
+		mlcore.NewDense(cfg.DenseUnits, 1, rng),
+		&mlcore.SigmoidLayer{},
+	)
+
+	m.params = append(m.params, m.termEmb.Params()...)
+	m.params = append(m.params, m.cellEmb.Params()...)
+	m.params = append(m.params, m.termRNN.Params()...)
+	m.params = append(m.params, m.cellRNN.Params()...)
+	m.params = append(m.params, m.head.Params()...)
+	return m, nil
+}
+
+// Params returns every trainable parameter.
+func (m *Ensemble) Params() []*mlcore.Param { return m.params }
+
+// pathWidth is the flattened width of one path.
+func pathWidth(maxLen, units, dim int) int { return maxLen * (2*units + dim) }
+
+// pathForward runs one path: embed → BiRNN → concat with embeddings →
+// flatten. The caches needed for backward live inside emb and cell.
+func pathForward(emb *EmbeddingLayer, cell *rnn.Bidirectional, tokens []string) *mlcore.Matrix {
+	x := emb.Forward(tokens) // L×D
+	h := cell.Forward(x)     // L×2H
+	return mlcore.HStack(h, x).Flatten()
+}
+
+// pathBackward propagates a flattened gradient back through one path.
+// Forward must have been called for the same tokens immediately before.
+func pathBackward(emb *EmbeddingLayer, cell *rnn.Bidirectional, dFlat []float64, maxLen, units, dim int) {
+	width := 2*units + dim
+	d := mlcore.FromSlice(maxLen, width, dFlat)
+	parts := mlcore.HSplit(d, 2*units, dim)
+	dx := cell.Backward(parts[0])
+	mlcore.AddInPlace(dx, parts[1]) // gradient through the skip concat
+	emb.Backward(dx)
+}
+
+// featureVector computes the concatenated flat representation of one
+// sample (both paths).
+func (m *Ensemble) featureVector(s TupleSample) *mlcore.Matrix {
+	t := pathForward(m.termEmb, m.termRNN, s.TermTokens)
+	c := pathForward(m.cellEmb, m.cellRNN, s.CellTokens)
+	return mlcore.HStack(t, c)
+}
+
+// TrainStats reports a training run.
+type TrainStats struct {
+	EpochLoss []float64
+	Duration  time.Duration
+}
+
+// Train fits the model on samples with Adam, mini-batching at the head
+// so batch normalization sees true batch statistics.
+func (m *Ensemble) Train(samples []TupleSample) TrainStats {
+	start := time.Now()
+	opt := mlcore.NewAdam(m.cfg.LR)
+	stats := TrainStats{}
+	termW := pathWidth(m.cfg.MaxTerms, m.cfg.Units, m.termEmb.Dim)
+	cellW := pathWidth(m.cfg.MaxCells, m.cfg.Units, m.cellEmb.Dim)
+
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		m.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		epochLoss := 0.0
+		batches := 0
+		for from := 0; from < len(idx); from += m.cfg.BatchSize {
+			to := from + m.cfg.BatchSize
+			if to > len(idx) {
+				to = len(idx)
+			}
+			batch := idx[from:to]
+			b := len(batch)
+
+			flats := mlcore.NewMatrix(b, termW+cellW)
+			target := mlcore.NewMatrix(b, 1)
+			for bi, si := range batch {
+				copy(flats.Row(bi), m.featureVector(samples[si]).Data)
+				target.Set(bi, 0, float64(samples[si].Label))
+			}
+			pred := m.head.Forward(flats, true)
+			loss, grad := mlcore.BCELoss(pred, target)
+			epochLoss += loss
+			batches++
+			dFlats := m.head.Backward(grad)
+
+			// Re-run each sample's paths to restore their caches, then
+			// backpropagate its slice of the batch gradient.
+			for bi, si := range batch {
+				s := samples[si]
+				pathForward(m.termEmb, m.termRNN, s.TermTokens)
+				pathBackward(m.termEmb, m.termRNN, dFlats.Row(bi)[:termW],
+					m.cfg.MaxTerms, m.cfg.Units, m.termEmb.Dim)
+				pathForward(m.cellEmb, m.cellRNN, s.CellTokens)
+				pathBackward(m.cellEmb, m.cellRNN, dFlats.Row(bi)[termW:],
+					m.cfg.MaxCells, m.cfg.Units, m.cellEmb.Dim)
+			}
+			mlcore.ClipGradients(m.params, 5)
+			opt.Step(m.params)
+		}
+		if batches > 0 {
+			stats.EpochLoss = append(stats.EpochLoss, epochLoss/float64(batches))
+		}
+	}
+	stats.Duration = time.Since(start)
+	return stats
+}
+
+// PredictProb returns the model's metadata probability for a sample.
+func (m *Ensemble) PredictProb(s TupleSample) float64 {
+	flat := m.featureVector(s)
+	return m.head.Forward(flat, false).Data[0]
+}
+
+// Predict returns the hard label (threshold 0.5).
+func (m *Ensemble) Predict(s TupleSample) int {
+	if m.PredictProb(s) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// Evaluate scores the model on labeled samples.
+func (m *Ensemble) Evaluate(samples []TupleSample) Metrics {
+	var mt Metrics
+	for _, s := range samples {
+		mt.Add(m.Predict(s), s.Label)
+	}
+	return mt
+}

@@ -1,0 +1,139 @@
+// Package classifier implements the paper's metadata classification
+// models and their evaluation harness (§3): the SVM over positional
+// features (§3.5), the BiGRU ensemble with parallel term- and cell-level
+// embedding layers (§3.6, Figure 3), its BiLSTM ablation variant, binary
+// classification metrics, and 10-fold cross-validation (§3.3).
+package classifier
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Metrics accumulates a binary confusion matrix.
+type Metrics struct {
+	TP, FP, TN, FN int
+}
+
+// Add records one (prediction, truth) pair; positive class is 1.
+func (m *Metrics) Add(pred, truth int) {
+	switch {
+	case pred == 1 && truth == 1:
+		m.TP++
+	case pred == 1 && truth != 1:
+		m.FP++
+	case pred != 1 && truth != 1:
+		m.TN++
+	default:
+		m.FN++
+	}
+}
+
+// Merge folds other into m.
+func (m *Metrics) Merge(other Metrics) {
+	m.TP += other.TP
+	m.FP += other.FP
+	m.TN += other.TN
+	m.FN += other.FN
+}
+
+// Total returns the number of recorded pairs.
+func (m Metrics) Total() int { return m.TP + m.FP + m.TN + m.FN }
+
+// Accuracy returns (TP+TN)/total.
+func (m Metrics) Accuracy() float64 {
+	t := m.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(m.TP+m.TN) / float64(t)
+}
+
+// Precision returns TP/(TP+FP).
+func (m Metrics) Precision() float64 {
+	if m.TP+m.FP == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FP)
+}
+
+// Recall returns TP/(TP+FN).
+func (m Metrics) Recall() float64 {
+	if m.TP+m.FN == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall — the paper's
+// F-measure.
+func (m Metrics) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the headline numbers.
+func (m Metrics) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f F1=%.3f acc=%.3f (n=%d)",
+		m.Precision(), m.Recall(), m.F1(), m.Accuracy(), m.Total())
+}
+
+// KFoldSplit partitions n indices into k shuffled folds. Every index
+// appears in exactly one fold; folds differ in size by at most one.
+func KFoldSplit(n, k int, seed int64) [][]int {
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	folds := make([][]int, k)
+	for i, idx := range perm {
+		folds[i%k] = append(folds[i%k], idx)
+	}
+	return folds
+}
+
+// FoldResult carries one fold's metrics.
+type FoldResult struct {
+	Fold    int
+	Metrics Metrics
+}
+
+// CrossValidate runs k-fold cross-validation: for each fold, train is
+// called on the remaining indices and predict on the held-out ones;
+// truth supplies labels. Returns per-fold results and pooled metrics.
+func CrossValidate(
+	n, k int, seed int64,
+	train func(trainIdx []int),
+	predict func(i int) int,
+	truth func(i int) int,
+) ([]FoldResult, Metrics) {
+	folds := KFoldSplit(n, k, seed)
+	var pooled Metrics
+	results := make([]FoldResult, 0, len(folds))
+	for fi, hold := range folds {
+		inHold := make(map[int]bool, len(hold))
+		for _, i := range hold {
+			inHold[i] = true
+		}
+		var trainIdx []int
+		for i := 0; i < n; i++ {
+			if !inHold[i] {
+				trainIdx = append(trainIdx, i)
+			}
+		}
+		train(trainIdx)
+		var fm Metrics
+		for _, i := range hold {
+			fm.Add(predict(i), truth(i))
+		}
+		pooled.Merge(fm)
+		results = append(results, FoldResult{Fold: fi, Metrics: fm})
+	}
+	return results, pooled
+}

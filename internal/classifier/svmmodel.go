@@ -1,0 +1,78 @@
+package classifier
+
+import (
+	"fmt"
+
+	"covidkg/internal/features"
+	"covidkg/internal/svm"
+)
+
+// SVMModel is the §3.5 metadata classifier: a linear SVM over the
+// bag-of-words encoding of the substituted row text (f1) concatenated
+// with the positional features (f2..f6).
+type SVMModel struct {
+	Vocab *features.Vocabulary
+	model *svm.Linear
+	cfg   svm.Config
+}
+
+// SVMSample is one row instance for the SVM path.
+type SVMSample struct {
+	Row   features.RowFeatures
+	Label int
+}
+
+// SVMSamplesFromTable extracts per-row SVM samples from a labeled table.
+func SVMSamplesFromTable(rows [][]string, meta []bool) []SVMSample {
+	fs := features.ExtractRows(rows, meta)
+	out := make([]SVMSample, len(fs))
+	for i, f := range fs {
+		label := 0
+		if f.Label == features.LabelMetadata {
+			label = 1
+		}
+		out[i] = SVMSample{Row: f, Label: label}
+	}
+	return out
+}
+
+// NewSVMModel creates an untrained model over the given vocabulary.
+func NewSVMModel(vocab *features.Vocabulary, cfg svm.Config) *SVMModel {
+	return &SVMModel{Vocab: vocab, cfg: cfg}
+}
+
+// Train fits the SVM on samples.
+func (m *SVMModel) Train(samples []SVMSample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("classifier: no SVM training samples")
+	}
+	x := make([][]float64, len(samples))
+	y := make([]int, len(samples))
+	for i, s := range samples {
+		x[i] = s.Row.Vector(m.Vocab)
+		y[i] = s.Label
+	}
+	model, err := svm.TrainLinear(x, y, m.cfg)
+	if err != nil {
+		return err
+	}
+	m.model = model
+	return nil
+}
+
+// Predict classifies one row (1 = metadata).
+func (m *SVMModel) Predict(row features.RowFeatures) int {
+	if m.model == nil {
+		return 0
+	}
+	return m.model.Predict(row.Vector(m.Vocab))
+}
+
+// Evaluate scores the trained model on labeled samples.
+func (m *SVMModel) Evaluate(samples []SVMSample) Metrics {
+	var mt Metrics
+	for _, s := range samples {
+		mt.Add(m.Predict(s.Row), s.Label)
+	}
+	return mt
+}

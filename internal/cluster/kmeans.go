@@ -1,0 +1,234 @@
+// Package cluster implements topical clustering of publications (№5 in
+// Figure 1): k-means++ over embedding vectors, with purity and silhouette
+// diagnostics, used to "classify and extract the clusters of prominent
+// COVID-19 topics" (§4.2).
+package cluster
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// ErrBadInput reports unusable clustering input.
+var ErrBadInput = errors.New("cluster: bad input")
+
+// Result is one k-means run.
+type Result struct {
+	Centroids  [][]float64
+	Assign     []int // Assign[i] = cluster of point i
+	Iterations int
+	Inertia    float64 // sum of squared distances to assigned centroids
+}
+
+// Config controls k-means.
+type Config struct {
+	K        int
+	MaxIters int
+	Seed     int64
+}
+
+// DefaultConfig returns a standard configuration for k clusters.
+func DefaultConfig(k int) Config { return Config{K: k, MaxIters: 50, Seed: 1} }
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// KMeans clusters points with the k-means++ seeding of Arthur &
+// Vassilvitskii. All points must share one dimensionality.
+func KMeans(points [][]float64, cfg Config) (*Result, error) {
+	n := len(points)
+	if n == 0 || cfg.K <= 0 {
+		return nil, ErrBadInput
+	}
+	dim := len(points[0])
+	for _, p := range points {
+		if len(p) != dim {
+			return nil, ErrBadInput
+		}
+	}
+	k := cfg.K
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// k-means++ seeding
+	centroids := make([][]float64, 0, k)
+	first := points[rng.Intn(n)]
+	centroids = append(centroids, append([]float64(nil), first...))
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		total := 0.0
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// all remaining points coincide with centroids
+			centroids = append(centroids, append([]float64(nil), points[rng.Intn(n)]...))
+			continue
+		}
+		r := rng.Float64() * total
+		acc := 0.0
+		pick := n - 1
+		for i, d := range d2 {
+			acc += d
+			if acc >= r {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[pick]...))
+	}
+
+	assign := make([]int, n)
+	res := &Result{Centroids: centroids, Assign: assign}
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for ci, c := range centroids {
+				if d := sqDist(p, c); d < bestD {
+					best, bestD = ci, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		res.Iterations = iter + 1
+		if !changed && iter > 0 {
+			break
+		}
+		// recompute centroids
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for ci := range sums {
+			sums[ci] = make([]float64, dim)
+		}
+		for i, p := range points {
+			ci := assign[i]
+			counts[ci]++
+			for d, v := range p {
+				sums[ci][d] += v
+			}
+		}
+		for ci := range centroids {
+			if counts[ci] == 0 {
+				// re-seed empty cluster at the farthest point
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if d := sqDist(p, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(centroids[ci], points[far])
+				continue
+			}
+			for d := range centroids[ci] {
+				centroids[ci][d] = sums[ci][d] / float64(counts[ci])
+			}
+		}
+	}
+	res.Inertia = 0
+	for i, p := range points {
+		res.Inertia += sqDist(p, centroids[assign[i]])
+	}
+	return res, nil
+}
+
+// Purity scores a clustering against ground-truth labels: the fraction
+// of points belonging to their cluster's majority label.
+func Purity(assign []int, labels []string) float64 {
+	if len(assign) == 0 || len(assign) != len(labels) {
+		return 0
+	}
+	counts := map[int]map[string]int{}
+	for i, c := range assign {
+		m := counts[c]
+		if m == nil {
+			m = map[string]int{}
+			counts[c] = m
+		}
+		m[labels[i]]++
+	}
+	correct := 0
+	for _, m := range counts {
+		best := 0
+		for _, n := range m {
+			if n > best {
+				best = n
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(assign))
+}
+
+// Silhouette computes the mean silhouette coefficient, a label-free
+// cohesion/separation score in [-1, 1]. O(n²); intended for evaluation,
+// not production paths.
+func Silhouette(points [][]float64, assign []int) float64 {
+	n := len(points)
+	if n < 2 {
+		return 0
+	}
+	clusters := map[int][]int{}
+	for i, c := range assign {
+		clusters[c] = append(clusters[c], i)
+	}
+	if len(clusters) < 2 {
+		return 0
+	}
+	total := 0.0
+	counted := 0
+	for i := range points {
+		own := clusters[assign[i]]
+		if len(own) < 2 {
+			continue
+		}
+		a := 0.0
+		for _, j := range own {
+			if j != i {
+				a += math.Sqrt(sqDist(points[i], points[j]))
+			}
+		}
+		a /= float64(len(own) - 1)
+		b := math.Inf(1)
+		for c, members := range clusters {
+			if c == assign[i] {
+				continue
+			}
+			s := 0.0
+			for _, j := range members {
+				s += math.Sqrt(sqDist(points[i], points[j]))
+			}
+			if v := s / float64(len(members)); v < b {
+				b = v
+			}
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+			counted++
+		}
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}

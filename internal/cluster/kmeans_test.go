@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// blobs generates k well-separated Gaussian clusters.
+func blobs(rng *rand.Rand, k, perCluster int) ([][]float64, []string) {
+	var points [][]float64
+	var labels []string
+	for c := 0; c < k; c++ {
+		cx, cy := float64(c*10), float64((c%2)*10)
+		for i := 0; i < perCluster; i++ {
+			points = append(points, []float64{
+				cx + rng.NormFloat64(),
+				cy + rng.NormFloat64(),
+			})
+			labels = append(labels, string(rune('a'+c)))
+		}
+	}
+	return points, labels
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	points, labels := blobs(rng, 4, 50)
+	res, err := KMeans(points, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := Purity(res.Assign, labels); p < 0.95 {
+		t.Fatalf("purity = %v", p)
+	}
+	if res.Inertia <= 0 {
+		t.Fatalf("inertia = %v", res.Inertia)
+	}
+	if res.Iterations < 1 {
+		t.Fatal("no iterations recorded")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	points, _ := blobs(rng, 3, 30)
+	a, _ := KMeans(points, DefaultConfig(3))
+	b, _ := KMeans(points, DefaultConfig(3))
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("clustering not deterministic")
+		}
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(nil, DefaultConfig(2)); !errors.Is(err, ErrBadInput) {
+		t.Fatal("nil points")
+	}
+	if _, err := KMeans([][]float64{{1}}, DefaultConfig(0)); !errors.Is(err, ErrBadInput) {
+		t.Fatal("k=0")
+	}
+	if _, err := KMeans([][]float64{{1, 2}, {1}}, DefaultConfig(2)); !errors.Is(err, ErrBadInput) {
+		t.Fatal("ragged dims")
+	}
+}
+
+func TestKMeansKLargerThanN(t *testing.T) {
+	points := [][]float64{{0, 0}, {10, 10}}
+	res, err := KMeans(points, DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 2 {
+		t.Fatalf("centroids = %d", len(res.Centroids))
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	points := make([][]float64, 10)
+	for i := range points {
+		points[i] = []float64{1, 1}
+	}
+	res, err := KMeans(points, DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Fatalf("inertia = %v", res.Inertia)
+	}
+}
+
+func TestInertiaDecreasesWithK(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	points, _ := blobs(rng, 4, 40)
+	var prev float64
+	for i, k := range []int{1, 2, 4, 8} {
+		res, err := KMeans(points, DefaultConfig(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && res.Inertia > prev {
+			t.Fatalf("inertia rose from %v to %v at k=%d", prev, res.Inertia, k)
+		}
+		prev = res.Inertia
+	}
+}
+
+func TestPurity(t *testing.T) {
+	assign := []int{0, 0, 1, 1}
+	labels := []string{"a", "a", "b", "b"}
+	if p := Purity(assign, labels); p != 1 {
+		t.Fatalf("perfect purity = %v", p)
+	}
+	labels = []string{"a", "b", "a", "b"}
+	if p := Purity(assign, labels); p != 0.5 {
+		t.Fatalf("mixed purity = %v", p)
+	}
+	if Purity(nil, nil) != 0 {
+		t.Fatal("empty purity")
+	}
+	if Purity([]int{0}, []string{"a", "b"}) != 0 {
+		t.Fatal("mismatched lengths")
+	}
+}
+
+func TestSilhouetteOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	points, _ := blobs(rng, 3, 30)
+	good, _ := KMeans(points, DefaultConfig(3))
+	sGood := Silhouette(points, good.Assign)
+	// random assignment should score much worse
+	bad := make([]int, len(points))
+	for i := range bad {
+		bad[i] = rng.Intn(3)
+	}
+	sBad := Silhouette(points, bad)
+	if sGood <= sBad {
+		t.Fatalf("silhouette good %v <= bad %v", sGood, sBad)
+	}
+	if sGood < 0.5 {
+		t.Fatalf("good clustering silhouette = %v", sGood)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	if Silhouette(nil, nil) != 0 {
+		t.Fatal("empty")
+	}
+	if Silhouette([][]float64{{1}, {2}}, []int{0, 0}) != 0 {
+		t.Fatal("single cluster")
+	}
+}

@@ -1,0 +1,236 @@
+package cord19
+
+import (
+	"strings"
+	"testing"
+
+	"covidkg/internal/tableparse"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := NewGenerator(42).Corpus(20)
+	b := NewGenerator(42).Corpus(20)
+	for i := range a {
+		if a[i].Title != b[i].Title || a[i].Abstract != b[i].Abstract || a[i].ID != b[i].ID {
+			t.Fatalf("corpus not deterministic at %d", i)
+		}
+	}
+	c := NewGenerator(43).Corpus(20)
+	same := 0
+	for i := range a {
+		if a[i].Title == c[i].Title {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestPublicationShape(t *testing.T) {
+	g := NewGenerator(7)
+	for i := 0; i < 50; i++ {
+		p := g.Publication()
+		if p.ID == "" || p.Title == "" || p.Abstract == "" || p.BodyText == "" {
+			t.Fatalf("empty field in %+v", p)
+		}
+		if len(p.Authors) < 2 {
+			t.Fatalf("authors = %v", p.Authors)
+		}
+		if p.Topic == "" {
+			t.Fatal("no ground-truth topic")
+		}
+		found := false
+		for _, tn := range TopicNames() {
+			if tn == p.Topic {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("unknown topic %q", p.Topic)
+		}
+	}
+}
+
+func TestTopicVocabularyShowsUp(t *testing.T) {
+	g := NewGenerator(1)
+	p := g.Publication()
+	var topic Topic
+	for _, tp := range Topics {
+		if tp.Name == p.Topic {
+			topic = tp
+		}
+	}
+	text := strings.ToLower(p.Abstract + " " + p.BodyText)
+	hits := 0
+	for _, term := range topic.Terms {
+		if strings.Contains(text, strings.ToLower(term)) {
+			hits++
+		}
+	}
+	if hits < 3 {
+		t.Fatalf("topic %q vocabulary underrepresented: %d hits", p.Topic, hits)
+	}
+}
+
+func TestPublicationDoc(t *testing.T) {
+	g := NewGenerator(3)
+	var p *Publication
+	for {
+		p = g.Publication()
+		if len(p.Tables) > 0 {
+			break
+		}
+	}
+	d := p.Doc()
+	if d.GetString("title") != p.Title {
+		t.Fatal("title mismatch")
+	}
+	if len(d.GetArray("tables")) != len(p.Tables) {
+		t.Fatalf("tables = %d, want %d", len(d.GetArray("tables")), len(p.Tables))
+	}
+	if len(d.GetArray("authors")) != len(p.Authors) {
+		t.Fatal("authors mismatch")
+	}
+}
+
+func TestTableHTMLRoundTrip(t *testing.T) {
+	g := NewGenerator(9)
+	tp := g.Table(Topics[0])
+	parsed, err := tableparse.ParseOne(tp.HTML)
+	if err != nil {
+		t.Fatalf("generated HTML unparseable: %v", err)
+	}
+	if parsed.NumRows() != len(tp.Rows) {
+		t.Fatalf("rows: parsed %d, ground truth %d", parsed.NumRows(), len(tp.Rows))
+	}
+	if parsed.Caption != tp.Caption {
+		t.Fatalf("caption: %q vs %q", parsed.Caption, tp.Caption)
+	}
+	// markup header hints agree with ground truth
+	for _, h := range parsed.MarkupHeaderRows {
+		if !tp.MetaRows[h] {
+			t.Fatalf("markup header %d not in ground truth %v", h, tp.MetaRows)
+		}
+	}
+}
+
+func TestLabeledTablesShape(t *testing.T) {
+	g := NewGenerator(11)
+	tables := g.LabeledTables(200, 0.5)
+	var horiz, vert, med, web, headerless int
+	for _, lt := range tables {
+		if len(lt.Rows) != len(lt.Meta) {
+			t.Fatalf("labels misaligned: %d rows, %d labels", len(lt.Rows), len(lt.Meta))
+		}
+		if lt.NumMeta() == 0 {
+			headerless++
+		}
+		if lt.NumMeta() >= len(lt.Rows) {
+			t.Fatal("table with no data row")
+		}
+		if lt.NumMeta() > 0 && !lt.Meta[0] {
+			t.Fatal("tables with metadata must start with it")
+		}
+		// rectangular
+		w := len(lt.Rows[0])
+		for _, r := range lt.Rows {
+			if len(r) != w {
+				t.Fatalf("ragged generated table: %v", lt.Rows)
+			}
+		}
+		switch lt.Orientation {
+		case "horizontal":
+			horiz++
+		case "vertical":
+			vert++
+		default:
+			t.Fatalf("orientation %q", lt.Orientation)
+		}
+		switch lt.Domain {
+		case "medical":
+			med++
+		case "web":
+			web++
+		}
+	}
+	if horiz == 0 || vert == 0 {
+		t.Fatalf("orientation mix: %d/%d", horiz, vert)
+	}
+	if med == 0 || web == 0 {
+		t.Fatalf("domain mix: %d/%d", med, web)
+	}
+	// headerless continuation fragments must exist but not dominate
+	if headerless == 0 || headerless > 80 {
+		t.Fatalf("headerless fragments = %d/200", headerless)
+	}
+}
+
+func TestWDCTablesAreWeb(t *testing.T) {
+	for _, lt := range NewGenerator(5).WDCTables(20) {
+		if lt.Domain != "web" {
+			t.Fatalf("domain = %q", lt.Domain)
+		}
+	}
+}
+
+func TestSideEffectPaper(t *testing.T) {
+	g := NewGenerator(21)
+	p := g.SideEffectPaper([]string{"Pfizer-BioNTech", "Moderna"})
+	if len(p.Tables) != 1 {
+		t.Fatalf("tables = %d", len(p.Tables))
+	}
+	tb := p.Tables[0]
+	if tb.Rows[0][0] != "Vaccine" {
+		t.Fatalf("header = %v", tb.Rows[0])
+	}
+	seenVaccines := map[string]bool{}
+	for _, r := range tb.Rows[1:] {
+		seenVaccines[r[0]] = true
+		if r[1] != "1" && r[1] != "2" {
+			t.Fatalf("dose = %q", r[1])
+		}
+	}
+	if !seenVaccines["Pfizer-BioNTech"] || !seenVaccines["Moderna"] {
+		t.Fatalf("vaccines = %v", seenVaccines)
+	}
+	if _, err := tableparse.ParseOne(tb.HTML); err != nil {
+		t.Fatalf("side-effect HTML unparseable: %v", err)
+	}
+}
+
+func TestUnseenVaccineNeverGenerated(t *testing.T) {
+	g := NewGenerator(2)
+	for _, p := range g.Corpus(100) {
+		all := p.Title + p.Abstract + p.BodyText
+		for _, tb := range p.Tables {
+			all += tb.HTML
+		}
+		if strings.Contains(all, UnseenVaccine) {
+			t.Fatalf("unseen vaccine %q leaked into corpus", UnseenVaccine)
+		}
+	}
+}
+
+func TestRenderHTMLTable(t *testing.T) {
+	html := RenderHTMLTable("Cap", [][]string{{"H"}, {"d"}}, []int{0})
+	if !strings.Contains(html, "<th>H</th>") || !strings.Contains(html, "<td>d</td>") {
+		t.Fatalf("html = %s", html)
+	}
+	if !strings.Contains(html, "<caption>Cap</caption>") {
+		t.Fatalf("caption missing: %s", html)
+	}
+}
+
+func TestCorpusTopicSpread(t *testing.T) {
+	g := NewGenerator(13)
+	counts := map[string]int{}
+	for _, p := range g.Corpus(400) {
+		counts[p.Topic]++
+	}
+	for _, name := range TopicNames() {
+		if counts[name] == 0 {
+			t.Errorf("topic %q never generated", name)
+		}
+	}
+}

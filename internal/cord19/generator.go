@@ -1,0 +1,265 @@
+package cord19
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"covidkg/internal/jsondoc"
+	"covidkg/internal/tableparse"
+)
+
+// Publication is one synthetic CORD-19-like paper with its ground truth
+// attached (topic, table metadata labels) so downstream experiments can
+// score themselves.
+type Publication struct {
+	ID             string
+	Title          string
+	Abstract       string
+	BodyText       string
+	Authors        []string
+	Journal        string
+	PublishDate    string
+	Topic          string // ground-truth topical cluster
+	Tables         []*PubTable
+	FigureCaptions []string
+}
+
+// PubTable is a table inside a publication: the raw HTML fragment as it
+// would appear in CORD-19, plus generation-time ground truth.
+type PubTable struct {
+	HTML        string
+	Caption     string
+	Rows        [][]string
+	MetaRows    map[int]bool // ground truth: which rows are metadata
+	Orientation string       // "horizontal" (header rows) or "vertical" (header column)
+}
+
+// Doc converts the publication to the JSON document shape stored in the
+// back-end (§2: parsed into JSON and enriched). Tables are parsed from
+// their HTML with the production parser so stored tables reflect what
+// extraction actually yields.
+func (p *Publication) Doc() jsondoc.Doc {
+	authors := make([]any, len(p.Authors))
+	for i, a := range p.Authors {
+		authors[i] = a
+	}
+	tables := make([]any, 0, len(p.Tables))
+	for _, pt := range p.Tables {
+		if t, err := tableparse.ParseOne(pt.HTML); err == nil {
+			td := t.Doc()
+			tables = append(tables, map[string]any(td))
+		}
+	}
+	figs := make([]any, len(p.FigureCaptions))
+	for i, c := range p.FigureCaptions {
+		figs[i] = c
+	}
+	return jsondoc.Doc{
+		"_id":             p.ID,
+		"title":           p.Title,
+		"abstract":        p.Abstract,
+		"body_text":       p.BodyText,
+		"authors":         authors,
+		"journal":         p.Journal,
+		"publish_date":    p.PublishDate,
+		"topic":           p.Topic,
+		"tables":          tables,
+		"figure_captions": figs,
+	}
+}
+
+// Generator produces deterministic synthetic corpora.
+type Generator struct {
+	rng  *rand.Rand
+	seed int64
+	seq  int
+}
+
+// NewGenerator creates a generator; equal seeds give identical corpora.
+// Publication ids embed the seed, so corpora from different seeds can be
+// ingested into one store without id collisions.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+func (g *Generator) pick(list []string) string {
+	return list[g.rng.Intn(len(list))]
+}
+
+func (g *Generator) topic() Topic {
+	return Topics[g.rng.Intn(len(Topics))]
+}
+
+// sentence builds one research-flavoured sentence biased toward the
+// topic's vocabulary, with a small cross-topic leakage — real papers
+// mention neighbouring topics in passing, which is what makes ranking
+// (and clustering) non-trivial.
+func (g *Generator) sentence(t Topic) string {
+	n := 8 + g.rng.Intn(10)
+	words := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		r := g.rng.Float64()
+		switch {
+		case r < 0.35:
+			words = append(words, g.pick(t.Terms))
+		case r < 0.41:
+			other := Topics[g.rng.Intn(len(Topics))]
+			words = append(words, g.pick(other.Terms))
+		case r < 0.5:
+			words = append(words, g.pick(measurementPhrases))
+		default:
+			words = append(words, g.pick(backgroundTerms))
+		}
+	}
+	s := strings.Join(words, " ")
+	return strings.ToUpper(s[:1]) + s[1:] + "."
+}
+
+func (g *Generator) paragraph(t Topic, sentences int) string {
+	out := make([]string, sentences)
+	for i := range out {
+		out[i] = g.sentence(t)
+	}
+	return strings.Join(out, " ")
+}
+
+func (g *Generator) authors() []string {
+	n := 2 + g.rng.Intn(5)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = g.pick(firstNames) + " " + g.pick(lastNames)
+	}
+	return out
+}
+
+func (g *Generator) date() string {
+	year := 2020 + g.rng.Intn(3)
+	month := 1 + g.rng.Intn(12)
+	day := 1 + g.rng.Intn(28)
+	return fmt.Sprintf("%04d-%02d-%02d", year, month, day)
+}
+
+var titleTemplates = []string{
+	"%s and %s in COVID-19: a %s study",
+	"Effect of %s on %s among hospitalized patients: %s findings",
+	"%s-associated %s during the pandemic: %s evidence",
+	"Assessing %s and %s in SARS-CoV-2 %s",
+	"A %s analysis of %s and %s",
+}
+
+func (g *Generator) title(t Topic) string {
+	tpl := g.pick(titleTemplates)
+	return fmt.Sprintf(tpl, g.pick(t.Terms), g.pick(t.Terms), g.pick(backgroundTerms))
+}
+
+// Publication generates one synthetic paper.
+func (g *Generator) Publication() *Publication {
+	t := g.topic()
+	g.seq++
+	p := &Publication{
+		ID:          fmt.Sprintf("cord-%x-%06d", g.seed, g.seq),
+		Title:       g.title(t),
+		Abstract:    g.paragraph(t, 3+g.rng.Intn(3)),
+		BodyText:    g.paragraph(t, 10+g.rng.Intn(15)),
+		Authors:     g.authors(),
+		Journal:     g.pick(Journals),
+		PublishDate: g.date(),
+		Topic:       t.Name,
+	}
+	nt := g.rng.Intn(3) // 0..2 tables
+	for i := 0; i < nt; i++ {
+		p.Tables = append(p.Tables, g.Table(t))
+	}
+	nf := g.rng.Intn(3)
+	for i := 0; i < nf; i++ {
+		p.FigureCaptions = append(p.FigureCaptions,
+			fmt.Sprintf("Figure %d: %s", i+1, g.sentence(t)))
+	}
+	return p
+}
+
+// Corpus generates n publications.
+func (g *Generator) Corpus(n int) []*Publication {
+	out := make([]*Publication, n)
+	for i := range out {
+		out[i] = g.Publication()
+	}
+	return out
+}
+
+// SideEffectPaper generates a publication focused on vaccine side-effects
+// whose tables follow the Figure 6 shape: rows of (vaccine, dose,
+// side-effect, frequency). These feed the meta-profile experiments.
+func (g *Generator) SideEffectPaper(vaccines []string) *Publication {
+	t := Topics[0] // vaccines
+	g.seq++
+	p := &Publication{
+		ID:          fmt.Sprintf("cord-se-%x-%06d", g.seed, g.seq),
+		Title:       fmt.Sprintf("Vaccine side-effects after %s and %s immunization", vaccines[0], g.pick(t.Terms)),
+		Abstract:    g.paragraph(t, 3),
+		BodyText:    g.paragraph(t, 8),
+		Authors:     g.authors(),
+		Journal:     g.pick(Journals),
+		PublishDate: g.date(),
+		Topic:       t.Name,
+	}
+	p.Tables = append(p.Tables, g.sideEffectTable(vaccines))
+	return p
+}
+
+// sideEffectTable builds the canonical Figure 6 table: header row plus
+// one data row per (vaccine, dose, side-effect) sample.
+func (g *Generator) sideEffectTable(vaccines []string) *PubTable {
+	header := []string{"Vaccine", "Dose", "Side effect", "Frequency %"}
+	rows := [][]string{header}
+	meta := map[int]bool{0: true}
+	for _, v := range vaccines {
+		for dose := 1; dose <= 2; dose++ {
+			n := 2 + g.rng.Intn(3)
+			for i := 0; i < n; i++ {
+				rows = append(rows, []string{
+					v,
+					fmt.Sprintf("%d", dose),
+					g.pick(SideEffects),
+					fmt.Sprintf("%.1f", 1+g.rng.Float64()*40),
+				})
+			}
+		}
+	}
+	caption := fmt.Sprintf("Table %d: Prevalence of vaccine side effects by dose", 1+g.rng.Intn(4))
+	return &PubTable{
+		HTML:        RenderHTMLTable(caption, rows, []int{0}),
+		Caption:     caption,
+		Rows:        rows,
+		MetaRows:    meta,
+		Orientation: "horizontal",
+	}
+}
+
+// RenderHTMLTable renders rows as an HTML fragment, marking headerRows
+// with <th> cells. Exported so tests and tools can fabricate fragments.
+func RenderHTMLTable(caption string, rows [][]string, headerRows []int) string {
+	head := map[int]bool{}
+	for _, h := range headerRows {
+		head[h] = true
+	}
+	var b strings.Builder
+	b.WriteString("<table>")
+	if caption != "" {
+		b.WriteString("<caption>" + caption + "</caption>")
+	}
+	for i, row := range rows {
+		b.WriteString("<tr>")
+		tag := "td"
+		if head[i] {
+			tag = "th"
+		}
+		for _, cell := range row {
+			b.WriteString("<" + tag + ">" + cell + "</" + tag + ">")
+		}
+		b.WriteString("</tr>")
+	}
+	b.WriteString("</table>")
+	return b.String()
+}

@@ -1,0 +1,310 @@
+package cord19
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LabeledTable is a table with per-row ground-truth metadata labels, the
+// training/eval unit for the §3 classifiers. For vertical tables the
+// grid is stored transposed (the header column becomes row 0), matching
+// how the paper's models consume "vertical metadata": the classifiers
+// always see tuples, and orientation is carried as context.
+type LabeledTable struct {
+	Rows        [][]string
+	Meta        []bool // Meta[i] == row i is metadata
+	Orientation string // "horizontal" or "vertical"
+	Domain      string // "medical" (CORD-19-like) or "web" (WDC-like)
+}
+
+// NumMeta counts metadata rows.
+func (t *LabeledTable) NumMeta() int {
+	n := 0
+	for _, m := range t.Meta {
+		if m {
+			n++
+		}
+	}
+	return n
+}
+
+// medAttributes are header cells for medical tables.
+var medAttributes = []string{
+	"Age (years)", "Sex", "BMI", "Fever", "Cough", "Dose", "Vaccine",
+	"N", "Mortality", "P-value", "Hazard ratio", "Days to onset",
+	"Viral load", "ICU admission", "Oxygen saturation", "Comorbidity",
+	"Antibody titer", "Symptom duration", "Hospital stay", "Severity",
+}
+
+// medGroups are section labels for grouped tables ("Male", "Severe", ...).
+var medGroups = []string{
+	"All patients", "Severe cases", "Mild cases", "Vaccinated",
+	"Unvaccinated", "ICU cohort", "Outpatients", "Control group",
+}
+
+// webAttributes are header cells for WDC-style web tables.
+var webAttributes = []string{
+	"Name", "Price", "Rating", "Country", "Population", "Area", "Year",
+	"Team", "Points", "Rank", "Model", "Weight", "Capacity", "Distance",
+	"Category", "Brand", "Release date", "Score", "Length", "Height",
+}
+
+// webValues are text-typed values for web-table data rows.
+var webValues = []string{
+	"Falcon", "Atlas", "Vertex", "Nimbus", "Orion", "Pioneer", "Summit",
+	"Brazil", "Japan", "Canada", "Norway", "Kenya", "Chile", "Poland",
+	"Tigers", "Hawks", "Wolves", "Comets", "Rapids", "Storm",
+}
+
+// dataCell fabricates a plausible numeric-ish data cell.
+func (g *Generator) dataCell() string {
+	switch g.rng.Intn(8) {
+	case 0:
+		return fmt.Sprintf("%d", g.rng.Intn(500))
+	case 1:
+		return fmt.Sprintf("%.1f", g.rng.Float64()*100)
+	case 2:
+		return fmt.Sprintf("%.1f%%", g.rng.Float64()*100)
+	case 3:
+		lo := g.rng.Intn(50)
+		return fmt.Sprintf("%d-%d", lo, lo+1+g.rng.Intn(50))
+	case 4:
+		return fmt.Sprintf("%d mg", 5+g.rng.Intn(500))
+	case 5:
+		return fmt.Sprintf("%.2f", g.rng.Float64())
+	case 6:
+		return fmt.Sprintf("<%.2f", g.rng.Float64())
+	default:
+		return fmt.Sprintf("%d days", 1+g.rng.Intn(30))
+	}
+}
+
+// textCell fabricates a text-typed data cell (name-like). A fraction of
+// values reuse attribute vocabulary ("Severity", "Rank" as categorical
+// values), because real tables do — this lexical overlap between headers
+// and values is a major source of classifier error (§3.3).
+func (g *Generator) textCell(domain string) string {
+	if g.rng.Float64() < 0.15 {
+		return g.headerCell(domain)
+	}
+	if domain == "medical" {
+		return g.pick(Vaccines)
+	}
+	return g.pick(webValues)
+}
+
+// headerCell picks an attribute label for the domain.
+func (g *Generator) headerCell(domain string) string {
+	if domain == "medical" {
+		return g.pick(medAttributes)
+	}
+	return g.pick(webAttributes)
+}
+
+// headerCellNoisy returns a header cell that is sometimes
+// numeric-flavoured ("2020", "Dose 1", "Week 2") — real tables label
+// columns with years and ordinals, which is exactly what makes metadata
+// classification non-trivial (§3.3's 89–96 % rather than 100 %).
+func (g *Generator) headerCellNoisy(domain string) string {
+	if g.rng.Float64() < 0.25 {
+		switch g.rng.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%d", 2019+g.rng.Intn(4))
+		case 1:
+			return fmt.Sprintf("Dose %d", 1+g.rng.Intn(3))
+		case 2:
+			return fmt.Sprintf("Week %d", 1+g.rng.Intn(12))
+		default:
+			return fmt.Sprintf("Q%d %d", 1+g.rng.Intn(4), 2020+g.rng.Intn(3))
+		}
+	}
+	return g.headerCell(domain)
+}
+
+// horizontalTable builds a table whose metadata is one (sometimes two)
+// top rows, with a small chance of a mid-table section-header row —
+// the hard case the positional features exist for.
+func (g *Generator) horizontalTable(domain string) *LabeledTable {
+	cols := 3 + g.rng.Intn(5)
+	dataRows := 3 + g.rng.Intn(10)
+	t := &LabeledTable{Orientation: "horizontal", Domain: domain}
+
+	// header row(s)
+	header := make([]string, cols)
+	used := map[string]bool{}
+	for c := range header {
+		h := g.headerCellNoisy(domain)
+		for used[h] {
+			h = g.headerCellNoisy(domain)
+		}
+		used[h] = true
+		header[c] = h
+	}
+	t.Rows = append(t.Rows, header)
+	t.Meta = append(t.Meta, true)
+	if g.rng.Float64() < 0.2 {
+		// a units sub-header row, also metadata
+		units := make([]string, cols)
+		unitNames := []string{"(n)", "(%)", "(mg)", "(days)", "(years)", "(ml)"}
+		for c := range units {
+			units[c] = unitNames[g.rng.Intn(len(unitNames))]
+		}
+		t.Rows = append(t.Rows, units)
+		t.Meta = append(t.Meta, true)
+	}
+
+	sectionAt := -1
+	if g.rng.Float64() < 0.25 && dataRows > 4 {
+		sectionAt = 2 + g.rng.Intn(dataRows-3)
+	}
+	for r := 0; r < dataRows; r++ {
+		if r == sectionAt {
+			// a mid-table section header spanning the row
+			sec := make([]string, cols)
+			sec[0] = g.pick(medGroups)
+			t.Rows = append(t.Rows, sec)
+			t.Meta = append(t.Meta, true)
+		}
+		row := make([]string, cols)
+		if g.rng.Float64() < 0.15 {
+			// an all-text data row (categorical values only) — looks
+			// like a header to a naive classifier
+			for c := range row {
+				row[c] = g.textCell(domain)
+			}
+		} else {
+			for c := range row {
+				if c == 0 && g.rng.Float64() < 0.5 {
+					row[c] = g.textCell(domain)
+				} else {
+					row[c] = g.dataCell()
+				}
+			}
+		}
+		t.Rows = append(t.Rows, row)
+		t.Meta = append(t.Meta, false)
+	}
+	return t
+}
+
+// verticalTable builds a table whose metadata is the leading column,
+// stored transposed so the header column appears as row 0.
+func (g *Generator) verticalTable(domain string) *LabeledTable {
+	attrs := 3 + g.rng.Intn(6)   // becomes column count after transpose
+	records := 2 + g.rng.Intn(5) // becomes data row count
+	t := &LabeledTable{Orientation: "vertical", Domain: domain}
+
+	header := make([]string, attrs)
+	used := map[string]bool{}
+	for c := range header {
+		h := g.headerCellNoisy(domain)
+		for used[h] {
+			h = g.headerCellNoisy(domain)
+		}
+		used[h] = true
+		header[c] = h
+	}
+	t.Rows = append(t.Rows, header)
+	t.Meta = append(t.Meta, true)
+	for r := 0; r < records; r++ {
+		row := make([]string, attrs)
+		if g.rng.Float64() < 0.15 {
+			for c := range row {
+				row[c] = g.textCell(domain)
+			}
+		} else {
+			for c := range row {
+				if c == 0 {
+					row[c] = g.textCell(domain)
+				} else {
+					row[c] = g.dataCell()
+				}
+			}
+		}
+		t.Rows = append(t.Rows, row)
+		t.Meta = append(t.Meta, false)
+	}
+	return t
+}
+
+// headerlessFragment builds a continuation fragment: a table whose
+// header was lost when the original was split across pages — every row
+// is data. These make row position alone an unreliable metadata signal,
+// which is why the paper's numbers sit at 89–96 % rather than 100 %.
+func (g *Generator) headerlessFragment(domain string) *LabeledTable {
+	base := g.horizontalTable(domain)
+	t := &LabeledTable{Orientation: base.Orientation, Domain: domain}
+	for i, row := range base.Rows {
+		if base.Meta[i] {
+			continue
+		}
+		t.Rows = append(t.Rows, row)
+		t.Meta = append(t.Meta, false)
+	}
+	if len(t.Rows) == 0 {
+		// degenerate; keep one data row
+		t.Rows = append(t.Rows, base.Rows[len(base.Rows)-1])
+		t.Meta = append(t.Meta, false)
+	}
+	return t
+}
+
+// LabeledTables generates n labeled tables with a horizontal/vertical and
+// medical/web mix, including headerless continuation fragments. The
+// medical fraction plays the role of CORD-19; the rest stands in for WDC
+// pre-training data.
+func (g *Generator) LabeledTables(n int, medicalFrac float64) []*LabeledTable {
+	out := make([]*LabeledTable, n)
+	for i := range out {
+		domain := "web"
+		if g.rng.Float64() < medicalFrac {
+			domain = "medical"
+		}
+		switch {
+		case g.rng.Float64() < 0.18:
+			out[i] = g.headerlessFragment(domain)
+		case g.rng.Float64() < 0.5:
+			out[i] = g.horizontalTable(domain)
+		default:
+			out[i] = g.verticalTable(domain)
+		}
+	}
+	return out
+}
+
+// WDCTables generates n web-domain labeled tables (the WDC substitute).
+func (g *Generator) WDCTables(n int) []*LabeledTable {
+	out := make([]*LabeledTable, n)
+	for i := range out {
+		if g.rng.Float64() < 0.5 {
+			out[i] = g.horizontalTable("web")
+		} else {
+			out[i] = g.verticalTable("web")
+		}
+	}
+	return out
+}
+
+// Table generates one PubTable for a publication in the given topic,
+// rendering ground truth into HTML exactly as the corpus would carry it.
+func (g *Generator) Table(t Topic) *PubTable {
+	lt := g.horizontalTable("medical")
+	var headerRows []int
+	meta := map[int]bool{}
+	for i, m := range lt.Meta {
+		if m {
+			headerRows = append(headerRows, i)
+			meta[i] = true
+		}
+	}
+	term := g.pick(t.Terms)
+	caption := fmt.Sprintf("Table %d: %s by %s",
+		1+g.rng.Intn(5), strings.ToUpper(term[:1])+term[1:], g.pick(backgroundTerms))
+	return &PubTable{
+		HTML:        RenderHTMLTable(caption, lt.Rows, headerRows),
+		Caption:     caption,
+		Rows:        lt.Rows,
+		MetaRows:    meta,
+		Orientation: lt.Orientation,
+	}
+}

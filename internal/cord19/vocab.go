@@ -1,0 +1,152 @@
+// Package cord19 generates a synthetic COVID-19 research corpus that
+// stands in for the CORD-19 dataset [Wang et al. 2020] the paper builds
+// on, plus WDC-style web tables [Lehmberg et al. 2016] used to pre-train
+// the classifiers. The real corpora are unavailable offline; the
+// generator reproduces the *statistical shape* the COVIDKG pipelines
+// depend on — topical clusters, field structure (title/abstract/body/
+// tables/captions), horizontal and vertical table metadata, numeric cell
+// content — with fully deterministic seeded output so every experiment
+// is reproducible.
+package cord19
+
+// Topic is a ground-truth topical cluster a synthetic publication is
+// drawn from. The clusters mirror the prominent COVID-19 topics the
+// paper's KG organizes (№5 in Figure 1).
+type Topic struct {
+	Name  string
+	Terms []string
+}
+
+// Topics is the closed set of topical clusters the generator samples.
+var Topics = []Topic{
+	{
+		Name: "vaccines",
+		Terms: []string{
+			"vaccine", "vaccination", "immunization", "mRNA", "booster",
+			"dose", "efficacy", "antibody", "immunity", "adjuvant",
+			"seroconversion", "immunogenicity", "breakthrough",
+		},
+	},
+	{
+		Name: "transmission",
+		Terms: []string{
+			"transmission", "aerosol", "droplet", "airborne", "contact",
+			"masks", "distancing", "ventilation", "superspreading",
+			"exposure", "quarantine", "contagion", "fomite",
+		},
+	},
+	{
+		Name: "treatment",
+		Terms: []string{
+			"treatment", "remdesivir", "dexamethasone", "antiviral",
+			"therapy", "ventilators", "oxygen", "intubation", "plasma",
+			"monoclonal", "corticosteroid", "tocilizumab", "dosage",
+		},
+	},
+	{
+		Name: "symptoms",
+		Terms: []string{
+			"symptoms", "fever", "cough", "fatigue", "anosmia",
+			"dyspnea", "headache", "myalgia", "pneumonia", "hypoxia",
+			"chills", "nausea", "congestion",
+		},
+	},
+	{
+		Name: "diagnostics",
+		Terms: []string{
+			"diagnosis", "PCR", "antigen", "testing", "sensitivity",
+			"specificity", "swab", "serology", "screening", "assay",
+			"biomarker", "radiography", "detection",
+		},
+	},
+	{
+		Name: "epidemiology",
+		Terms: []string{
+			"epidemiology", "incidence", "prevalence", "mortality",
+			"reproduction", "outbreak", "surveillance", "cohort",
+			"lockdown", "wave", "hospitalization", "comorbidity",
+			"seroprevalence",
+		},
+	},
+	{
+		Name: "genomics",
+		Terms: []string{
+			"genome", "variant", "mutation", "spike", "protein",
+			"sequencing", "lineage", "phylogenetic", "receptor",
+			"glycoprotein", "nucleotide", "strain", "recombination",
+		},
+	},
+	{
+		Name: "mental-health",
+		Terms: []string{
+			"anxiety", "depression", "stress", "isolation", "wellbeing",
+			"psychological", "insomnia", "burnout", "resilience",
+			"loneliness", "telehealth", "counseling", "coping",
+		},
+	},
+}
+
+// TopicNames returns the cluster names in declaration order.
+func TopicNames() []string {
+	out := make([]string, len(Topics))
+	for i, t := range Topics {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// backgroundTerms pads sentences with domain-neutral research language.
+var backgroundTerms = []string{
+	"study", "patients", "analysis", "results", "clinical", "data",
+	"hospital", "participants", "risk", "period", "baseline", "outcome",
+	"group", "model", "rate", "sample", "population", "effect", "care",
+	"infection", "disease", "severity", "response", "protocol", "trial",
+	"evidence", "follow-up", "observational", "retrospective", "interval",
+}
+
+// Vaccines are the vaccine names used in side-effect tables; NovoVac is
+// the deliberately unseen vaccine §4.2 uses to exercise embedding-driven
+// KG fusion.
+var Vaccines = []string{
+	"Pfizer-BioNTech", "Moderna", "AstraZeneca", "Janssen", "Novavax",
+	"Sinovac", "Sputnik-V",
+}
+
+// UnseenVaccine is excluded from generated corpora so fusion tests can
+// present it as a genuinely novel term.
+const UnseenVaccine = "NovoVac"
+
+// SideEffects are side-effect terms for meta-profile tables (Figure 6).
+var SideEffects = []string{
+	"injection-site pain", "fatigue", "headache", "fever", "chills",
+	"myalgia", "nausea", "arthralgia", "lymphadenopathy", "rash",
+	"dizziness", "swelling",
+}
+
+// Journals are synthetic venue names.
+var Journals = []string{
+	"Journal of Medical Virology", "The Lancet Infectious Diseases",
+	"Clinical Microbiology Review", "Nature Medicine Reports",
+	"Vaccine Research Quarterly", "Epidemiology and Public Health",
+	"Respiratory Medicine Journal", "International Journal of Immunology",
+}
+
+// firstNames and lastNames build author lists.
+var firstNames = []string{
+	"Anna", "Wei", "Carlos", "Fatima", "John", "Priya", "Elena", "Ahmed",
+	"Sofia", "Kenji", "Maria", "David", "Amara", "Lucas", "Ingrid", "Omar",
+}
+
+var lastNames = []string{
+	"Smith", "Chen", "Garcia", "Khan", "Johnson", "Patel", "Rossi",
+	"Hassan", "Silva", "Tanaka", "Lopez", "Brown", "Okafor", "Müller",
+	"Novak", "Kim",
+}
+
+// measurementPhrases inject numeric content so the §3.4 pre-processing
+// grammar has realistic material to normalize.
+var measurementPhrases = []string{
+	"5-10 mg", "0.5%", "12.5%", "50 mg", "10 ml", "70 kg", "7 days",
+	"14 days", "24 hours", "30 min", "<0.05", ">90%", "0.0", "42",
+	"2 doses", "95% CI", "March 2020", "5 January 2021", "3.5", "-2",
+}

@@ -1,0 +1,558 @@
+// Package core wires the COVIDKG subsystems into the end-to-end system
+// of Figure 1: publications are ingested into the sharded store (№3),
+// models are trained on WDC-style and CORD-19-style tables (№4), table
+// rows are classified into metadata and data (§3), subtrees extracted
+// from classified metadata are fused into the expert-seeded knowledge
+// graph (№5, №6, №14), topical clusters are computed over document
+// embeddings, and meta-profiles summarize side-effect tables (№7).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"covidkg/internal/bias"
+	"covidkg/internal/classifier"
+	"covidkg/internal/cluster"
+	"covidkg/internal/cord19"
+	"covidkg/internal/docstore"
+	"covidkg/internal/embeddings"
+	"covidkg/internal/features"
+	"covidkg/internal/jsondoc"
+	"covidkg/internal/kg"
+	"covidkg/internal/metaprofile"
+	"covidkg/internal/mlcore"
+	"covidkg/internal/search"
+	"covidkg/internal/svm"
+	"covidkg/internal/tableparse"
+)
+
+// PubsCollection is the collection name holding publications.
+const PubsCollection = "publications"
+
+// Config assembles a System.
+type Config struct {
+	Shards      int // document-store shards
+	VocabSize   int // §3.2 feature-space size (paper: 100,000)
+	TrainTables int // labeled tables generated for classifier training
+	Seed        int64
+
+	// UseEnsemble selects the BiGRU ensemble for row classification in
+	// BuildKG; false uses the (much faster) SVM.
+	UseEnsemble bool
+
+	W2V      embeddings.Config
+	Ensemble classifier.EnsembleConfig
+	SVM      svm.Config
+}
+
+// DefaultConfig returns a configuration sized for interactive use on the
+// synthetic corpus.
+func DefaultConfig() Config {
+	w2v := embeddings.DefaultConfig()
+	w2v.MinCount = 1
+	return Config{
+		Shards:      4,
+		VocabSize:   5000,
+		TrainTables: 150,
+		Seed:        1,
+		W2V:         w2v,
+		Ensemble:    classifier.DefaultEnsembleConfig(),
+		SVM:         svm.DefaultConfig(),
+	}
+}
+
+// System is a running COVIDKG instance.
+type System struct {
+	cfg Config
+
+	Store  *docstore.Store
+	Pubs   *docstore.Collection
+	Search *search.Engine
+
+	Vocab    *features.Vocabulary
+	TermW2V  *embeddings.Word2Vec // term-level tabular embeddings
+	CellW2V  *embeddings.Word2Vec // cell-level tabular embeddings
+	TextW2V  *embeddings.Word2Vec // free-text embeddings (clustering, KG matching)
+	SVM      *classifier.SVMModel
+	Ensemble *classifier.Ensemble
+
+	Graph *kg.Graph
+	Fuser *kg.Fuser
+
+	// processed tracks publications whose tables already went through
+	// KG enrichment, so Refresh only touches new arrivals.
+	processed map[string]bool
+}
+
+// NewSystem creates an empty system with the expert-seeded KG.
+func NewSystem(cfg Config) *System {
+	store := docstore.Open(docstore.WithShards(cfg.Shards))
+	s := &System{
+		cfg:       cfg,
+		Store:     store,
+		Pubs:      store.Collection(PubsCollection),
+		processed: map[string]bool{},
+	}
+	s.Search = search.NewEngine(s.Pubs)
+	s.Graph = kg.SeedCOVID(nil)
+	s.Fuser = kg.NewFuser(s.Graph)
+	return s
+}
+
+// IngestPublications parses and stores generated publications.
+func (s *System) IngestPublications(pubs []*cord19.Publication) error {
+	for _, p := range pubs {
+		if _, err := s.Search.AddDocument(p.Doc()); err != nil {
+			return fmt.Errorf("core: ingest %s: %w", p.ID, err)
+		}
+	}
+	return nil
+}
+
+// IngestDocs stores raw publication documents (the non-generated path).
+func (s *System) IngestDocs(docs []jsondoc.Doc) error {
+	for _, d := range docs {
+		if _, err := s.Search.AddDocument(d); err != nil {
+			return fmt.Errorf("core: ingest: %w", err)
+		}
+	}
+	return nil
+}
+
+// storedTables iterates every stored table with its owning publication.
+func (s *System) storedTables(fn func(pubID string, t *tableparse.Table)) {
+	s.Pubs.Scan(func(d jsondoc.Doc) bool {
+		id := d.GetString("_id")
+		for _, tv := range d.GetArray("tables") {
+			tm, _ := tv.(map[string]any)
+			if tm == nil {
+				continue
+			}
+			fn(id, tableparse.TableFromDoc(jsondoc.Doc(tm)))
+		}
+		return true
+	})
+}
+
+// TrainStats summarizes TrainModels.
+type TrainStats struct {
+	VocabSize      int
+	TermVocab      int
+	CellVocab      int
+	TextVocab      int
+	TrainRows      int
+	SVMMetrics     classifier.Metrics
+	EnsembleEpochs int
+}
+
+// TrainModels trains every model the system needs: Word2Vec embeddings
+// (pre-trained on WDC-substitute tables, fine-tuned on the stored
+// corpus, per §3.6), the §3.2 vocabulary, the SVM, and — when
+// UseEnsemble is set — the BiGRU ensemble.
+func (s *System) TrainModels() (TrainStats, error) {
+	var stats TrainStats
+	gen := cord19.NewGenerator(s.cfg.Seed + 1000)
+
+	// WDC-substitute labeled tables for pre-training and classifier
+	// training
+	wdc := gen.LabeledTables(s.cfg.TrainTables, 0.5)
+	var grids [][][]string
+	var svmSamples []classifier.SVMSample
+	var tupleSamples []classifier.TupleSample
+	var cellTexts []string
+	for _, lt := range wdc {
+		grids = append(grids, lt.Rows)
+		svmSamples = append(svmSamples, classifier.SVMSamplesFromTable(lt.Rows, lt.Meta)...)
+		tupleSamples = append(tupleSamples, classifier.SamplesFromTable(lt.Rows, lt.Meta)...)
+		for _, row := range lt.Rows {
+			cellTexts = append(cellTexts, row...)
+		}
+	}
+	stats.TrainRows = len(svmSamples)
+
+	// tabular embeddings: pre-train on the WDC substitute
+	termSents, cellSents := embeddings.TableSentences(grids)
+	s.TermW2V = embeddings.Train(termSents, s.cfg.W2V)
+	s.CellW2V = embeddings.Train(cellSents, s.cfg.W2V)
+
+	// fine-tune on the stored corpus's tables (the target corpus)
+	var corpusGrids [][][]string
+	s.storedTables(func(_ string, t *tableparse.Table) {
+		corpusGrids = append(corpusGrids, t.Rows)
+	})
+	if len(corpusGrids) > 0 {
+		ft, cf := embeddings.TableSentences(corpusGrids)
+		s.TermW2V.FineTune(ft, s.cfg.W2V)
+		s.CellW2V.FineTune(cf, s.cfg.W2V)
+	}
+
+	// free-text embeddings over titles+abstracts for clustering and KG
+	// label matching
+	var textSents [][]string
+	s.Pubs.Scan(func(d jsondoc.Doc) bool {
+		text := d.GetString("title") + " " + d.GetString("abstract")
+		if sent := contentSentence(text); len(sent) > 1 {
+			textSents = append(textSents, sent)
+		}
+		return true
+	})
+	if len(textSents) > 0 {
+		s.TextW2V = embeddings.Train(textSents, s.cfg.W2V)
+		s.Graph.SetEmbedder(func(label string) []float64 {
+			return s.TextW2V.EmbedText(label)
+		})
+	}
+
+	// §3.2 vocabulary + §3.5 SVM
+	s.Vocab = features.BuildVocabulary(cellTexts, s.cfg.VocabSize)
+	stats.VocabSize = s.Vocab.Size()
+	s.SVM = classifier.NewSVMModel(s.Vocab, s.cfg.SVM)
+	if err := s.SVM.Train(svmSamples); err != nil {
+		return stats, fmt.Errorf("core: svm: %w", err)
+	}
+	stats.SVMMetrics = s.SVM.Evaluate(svmSamples)
+
+	if s.cfg.UseEnsemble {
+		ens, err := classifier.NewEnsemble(s.TermW2V, s.CellW2V, s.cfg.Ensemble)
+		if err != nil {
+			return stats, fmt.Errorf("core: ensemble: %w", err)
+		}
+		ts := ens.Train(tupleSamples)
+		stats.EnsembleEpochs = len(ts.EpochLoss)
+		s.Ensemble = ens
+	}
+	stats.TermVocab = len(s.TermW2V.Words)
+	stats.CellVocab = len(s.CellW2V.Words)
+	if s.TextW2V != nil {
+		stats.TextVocab = len(s.TextW2V.Words)
+	}
+	return stats, nil
+}
+
+func contentSentence(text string) []string {
+	return embeddings.TermSentence([]string{text})
+}
+
+// classifyRows predicts metadata labels for a table's rows with the
+// configured model; falls back to the markup hints when no model is
+// trained yet.
+func (s *System) classifyRows(t *tableparse.Table) []bool {
+	meta := make([]bool, t.NumRows())
+	switch {
+	case s.cfg.UseEnsemble && s.Ensemble != nil:
+		for i, sample := range classifier.SamplesFromTable(t.Rows, nil) {
+			meta[i] = s.Ensemble.Predict(sample) == 1
+		}
+	case s.SVM != nil:
+		for i, f := range features.ExtractRows(t.Rows, nil) {
+			meta[i] = s.SVM.Predict(f) == 1
+		}
+	default:
+		for _, h := range t.MarkupHeaderRows {
+			if h < len(meta) {
+				meta[h] = true
+			}
+		}
+	}
+	return meta
+}
+
+// BuildStats summarizes a BuildKG run.
+type BuildStats struct {
+	Tables         int
+	RowsClassified int
+	MetaRows       int
+	Subtrees       int
+	Fused          int
+	Queued         int
+	NodesAdded     int
+}
+
+// BuildKG runs the enrichment pipeline of §4.2 over every stored table:
+// classify rows, extract one subtree per column (header label → distinct
+// text values), and fuse each subtree into the graph with the paper's
+// provenance attached. Publications are marked processed, so a later
+// Refresh only enriches from new arrivals.
+func (s *System) BuildKG() BuildStats {
+	return s.enrichFrom(func(string) bool { return true })
+}
+
+// Refresh is the paper's "scalable mechanism to keep the KG up to date":
+// it ingests new publications and runs enrichment over only the tables
+// the graph has not seen, leaving everything already fused untouched.
+func (s *System) Refresh(pubs []*cord19.Publication) (BuildStats, error) {
+	if err := s.IngestPublications(pubs); err != nil {
+		return BuildStats{}, err
+	}
+	return s.enrichFrom(func(pubID string) bool { return !s.processed[pubID] }), nil
+}
+
+// RefreshDocs ingests raw publication documents (№12 in Figure 1: new
+// information arriving from the Web) and incrementally enriches the KG
+// from them.
+func (s *System) RefreshDocs(docs []jsondoc.Doc) (BuildStats, error) {
+	if err := s.IngestDocs(docs); err != nil {
+		return BuildStats{}, err
+	}
+	return s.enrichFrom(func(pubID string) bool { return !s.processed[pubID] }), nil
+}
+
+// enrichFrom runs classification + extraction + fusion over stored
+// tables whose publication passes the filter.
+func (s *System) enrichFrom(include func(pubID string) bool) BuildStats {
+	var st BuildStats
+	before := s.Graph.Size()
+	s.storedTables(func(pubID string, t *tableparse.Table) {
+		if !include(pubID) {
+			return
+		}
+		st.Tables++
+		meta := s.classifyRows(t)
+		st.RowsClassified += len(meta)
+		for _, m := range meta {
+			if m {
+				st.MetaRows++
+			}
+		}
+		for _, sub := range ExtractSubtrees(t, meta, pubID) {
+			st.Subtrees++
+			res := s.Fuser.Fuse(sub)
+			switch res.Action {
+			case kg.ActionFused:
+				st.Fused++
+			case kg.ActionQueued:
+				st.Queued++
+			}
+		}
+	})
+	// mark every included publication processed (including table-less
+	// ones, which need no re-visit either)
+	s.Pubs.Scan(func(d jsondoc.Doc) bool {
+		if id := d.GetString("_id"); id != "" && include(id) {
+			s.processed[id] = true
+		}
+		return true
+	})
+	st.NodesAdded = s.Graph.Size() - before
+	return st
+}
+
+// ExtractSubtrees converts one classified table into fusion subtrees:
+// for every column whose header cell (first metadata row) is non-empty,
+// the subtree root is the header label and the leaves are the column's
+// distinct non-numeric values. Columns without text values (pure
+// measurements) yield no subtree.
+func ExtractSubtrees(t *tableparse.Table, meta []bool, pubID string) []*kg.Subtree {
+	headerIdx := -1
+	for i, m := range meta {
+		if m {
+			headerIdx = i
+			break
+		}
+	}
+	if headerIdx < 0 || t.NumRows() <= headerIdx+1 {
+		return nil
+	}
+	header := t.Rows[headerIdx]
+	var out []*kg.Subtree
+	for c, label := range header {
+		label = strings.TrimSpace(label)
+		if label == "" {
+			continue
+		}
+		seen := map[string]bool{}
+		var leaves []string
+		for r := headerIdx + 1; r < t.NumRows(); r++ {
+			if r < len(meta) && meta[r] {
+				continue // skip mid-table section headers
+			}
+			row := t.Rows[r]
+			if c >= len(row) {
+				continue
+			}
+			v := strings.TrimSpace(row[c])
+			if v == "" || !isTextValue(v) || seen[v] {
+				continue
+			}
+			seen[v] = true
+			leaves = append(leaves, v)
+		}
+		if len(leaves) == 0 {
+			continue
+		}
+		sort.Strings(leaves)
+		sub := kg.NewSubtree(label, leaves...)
+		sub.Papers = []string{pubID}
+		out = append(out, sub)
+	}
+	return out
+}
+
+// isTextValue reports whether a cell is a categorical text value rather
+// than a measurement (numbers, ranges, percents never become KG leaves).
+func isTextValue(v string) bool {
+	letters, digits := 0, 0
+	for _, r := range v {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+			letters++
+		case r >= '0' && r <= '9':
+			digits++
+		}
+	}
+	return letters > digits && letters >= 3
+}
+
+// TopicClusters clusters stored publications into k topics over their
+// text embeddings. Returns the clustering, aligned publication ids, and
+// aligned ground-truth topics (empty string when absent).
+func (s *System) TopicClusters(k int) (*cluster.Result, []string, []string, error) {
+	if s.TextW2V == nil {
+		return nil, nil, nil, fmt.Errorf("core: text embeddings not trained")
+	}
+	var points [][]float64
+	var ids, truths []string
+	s.Pubs.Scan(func(d jsondoc.Doc) bool {
+		vec := s.TextW2V.EmbedText(d.GetString("title") + " " + d.GetString("abstract"))
+		if vec == nil {
+			return true
+		}
+		points = append(points, vec)
+		ids = append(ids, d.GetString("_id"))
+		truths = append(truths, d.GetString("topic"))
+		return true
+	})
+	if len(points) == 0 {
+		return nil, nil, nil, fmt.Errorf("core: no embeddable publications")
+	}
+	res, err := cluster.KMeans(points, cluster.DefaultConfig(k))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return res, ids, truths, nil
+}
+
+// BuildMetaProfile extracts observations from every profile-shaped
+// stored table and fuses them into one meta-profile (Figure 6).
+func (s *System) BuildMetaProfile(name string) *metaprofile.Profile {
+	var obs []metaprofile.Observation
+	s.storedTables(func(pubID string, t *tableparse.Table) {
+		headerRow := -1
+		if s.SVM != nil || (s.cfg.UseEnsemble && s.Ensemble != nil) {
+			meta := s.classifyRows(t)
+			for i, m := range meta {
+				if m {
+					headerRow = i
+					break
+				}
+			}
+		}
+		obs = append(obs, metaprofile.ExtractObservations(t, pubID, headerRow)...)
+	})
+	return metaprofile.Build(name, obs)
+}
+
+// GraphCollection is the collection persisting the knowledge graph —
+// the paper stores the KG as JSON in the same sharded store as the
+// publications (§4.2: "the graph is populated with nodes and edges and
+// is stored in JSON format").
+const GraphCollection = "knowledge_graph"
+
+// PersistGraph writes the current knowledge graph into the store, so
+// Store.Save captures it alongside the publications.
+func (s *System) PersistGraph() error {
+	blob, err := s.Graph.MarshalJSON()
+	if err != nil {
+		return fmt.Errorf("core: persist graph: %w", err)
+	}
+	doc, err := jsondoc.FromJSON(blob)
+	if err != nil {
+		return fmt.Errorf("core: persist graph: %w", err)
+	}
+	doc["_id"] = "kg"
+	s.Store.DropCollection(GraphCollection)
+	if _, err := s.Store.Collection(GraphCollection).Insert(doc); err != nil {
+		return fmt.Errorf("core: persist graph: %w", err)
+	}
+	return nil
+}
+
+// RestoreGraph loads a previously persisted knowledge graph from the
+// store, replacing the current graph (and resetting the fuser). Returns
+// false when the store holds no graph.
+func (s *System) RestoreGraph() (bool, error) {
+	if !s.Store.HasCollection(GraphCollection) {
+		return false, nil
+	}
+	doc, err := s.Store.Collection(GraphCollection).Get("kg")
+	if err != nil {
+		return false, nil
+	}
+	delete(doc, "_id")
+	g, err := kg.FromJSON(doc.JSON())
+	if err != nil {
+		return false, fmt.Errorf("core: restore graph: %w", err)
+	}
+	if s.TextW2V != nil {
+		g.SetEmbedder(func(label string) []float64 { return s.TextW2V.EmbedText(label) })
+	}
+	s.Graph = g
+	s.Fuser = kg.NewFuser(g)
+	return true, nil
+}
+
+// AuditBias interrogates the stored corpus for bias (the title's
+// "interrogated for bias"): topical balance, source concentration,
+// temporal skew, and vocabulary dominance of the publications backing
+// the knowledge graph.
+func (s *System) AuditBias() *bias.Report {
+	var docs []jsondoc.Doc
+	s.Pubs.Scan(func(d jsondoc.Doc) bool {
+		docs = append(docs, d)
+		return true
+	})
+	return bias.NewAuditor().AuditCorpus(docs)
+}
+
+// ExportedModel is one released artifact (№11/13 in Figure 1).
+type ExportedModel struct {
+	Name string
+	Data []byte
+}
+
+// ExportModels serializes the trained models and embeddings for the
+// public model API.
+func (s *System) ExportModels() ([]ExportedModel, error) {
+	var out []ExportedModel
+	add := func(name string, params []*mlcore.Param) error {
+		data, err := mlcore.ExportParams(params)
+		if err != nil {
+			return err
+		}
+		out = append(out, ExportedModel{Name: name, Data: data})
+		return nil
+	}
+	if s.TermW2V != nil {
+		if err := add("embeddings-term", []*mlcore.Param{mlcore.NewParam("in", s.TermW2V.In)}); err != nil {
+			return nil, err
+		}
+	}
+	if s.CellW2V != nil {
+		if err := add("embeddings-cell", []*mlcore.Param{mlcore.NewParam("in", s.CellW2V.In)}); err != nil {
+			return nil, err
+		}
+	}
+	if s.TextW2V != nil {
+		if err := add("embeddings-text", []*mlcore.Param{mlcore.NewParam("in", s.TextW2V.In)}); err != nil {
+			return nil, err
+		}
+	}
+	if s.Ensemble != nil {
+		if err := add("bigru-ensemble", s.Ensemble.Params()); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

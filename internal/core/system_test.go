@@ -1,0 +1,464 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"covidkg/internal/cluster"
+	"covidkg/internal/cord19"
+	"covidkg/internal/kg"
+	"covidkg/internal/tableparse"
+)
+
+// smallSystem builds a trained system over a small generated corpus.
+func smallSystem(t *testing.T, nPubs int) *System {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.TrainTables = 60
+	cfg.W2V.Epochs = 2
+	cfg.VocabSize = 1500
+	s := NewSystem(cfg)
+	g := cord19.NewGenerator(7)
+	if err := s.IngestPublications(g.Corpus(nPubs)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.TrainModels(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEndToEndArchitecture(t *testing.T) {
+	// The Figure 1 / Figure 5 integration test: ingest → train →
+	// classify → extract → fuse → search, all subsystems touching.
+	s := smallSystem(t, 60)
+
+	// №3: publications stored and sharded
+	if s.Pubs.Count() != 60 {
+		t.Fatalf("stored pubs = %d", s.Pubs.Count())
+	}
+	if s.Store.Stats().Documents != 60 {
+		t.Fatalf("stats = %+v", s.Store.Stats())
+	}
+
+	// search engines operational (№9/10)
+	page, err := s.Search.SearchAll("vaccine", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Total == 0 {
+		t.Fatal("search found nothing")
+	}
+
+	// №5/6/14: KG enrichment
+	before := s.Graph.Size()
+	st := s.BuildKG()
+	if st.Tables == 0 {
+		t.Fatal("no tables processed")
+	}
+	if st.Fused+st.Queued != st.Subtrees {
+		t.Fatalf("fusion accounting: %+v", st)
+	}
+	if s.Graph.Size() <= before {
+		t.Fatal("KG did not grow")
+	}
+
+	// KG search with provenance paths
+	hits := s.Graph.Search("vaccines")
+	if len(hits) == 0 {
+		t.Fatal("KG search found nothing")
+	}
+	if hits[0].Path[0].Label != "COVID-19" {
+		t.Fatalf("path root = %q", hits[0].Path[0].Label)
+	}
+}
+
+func TestTrainModelsStats(t *testing.T) {
+	s := smallSystem(t, 30)
+	if s.Vocab == nil || s.Vocab.Size() == 0 {
+		t.Fatal("vocabulary missing")
+	}
+	if s.TermW2V == nil || s.CellW2V == nil || s.TextW2V == nil {
+		t.Fatal("embeddings missing")
+	}
+	if s.SVM == nil {
+		t.Fatal("svm missing")
+	}
+}
+
+func TestSVMTrainingQuality(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TrainTables = 80
+	cfg.W2V.Epochs = 2
+	s := NewSystem(cfg)
+	g := cord19.NewGenerator(3)
+	if err := s.IngestPublications(g.Corpus(10)); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := s.TrainModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SVMMetrics.F1() < 0.85 {
+		t.Fatalf("train-set F1 = %v", stats.SVMMetrics.F1())
+	}
+	if stats.TrainRows == 0 || stats.VocabSize == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestExtractSubtrees(t *testing.T) {
+	src := `<table>
+	<tr><th>Vaccine</th><th>Side effect</th><th>Rate %</th></tr>
+	<tr><td>Pfizer</td><td>Fever</td><td>8.5</td></tr>
+	<tr><td>Moderna</td><td>Chills</td><td>3.1</td></tr>
+	<tr><td>Pfizer</td><td>Fever</td><td>9.0</td></tr>
+	</table>`
+	tb, err := tableparse.ParseOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := []bool{true, false, false, false}
+	subs := ExtractSubtrees(tb, meta, "paper-1")
+	if len(subs) != 2 { // Rate % column is numeric-only → no subtree
+		t.Fatalf("subtrees = %d: %+v", len(subs), subs)
+	}
+	if subs[0].Label != "Vaccine" {
+		t.Fatalf("root = %q", subs[0].Label)
+	}
+	leaves := subs[0].Leaves()
+	if len(leaves) != 2 { // deduplicated
+		t.Fatalf("leaves = %v", leaves)
+	}
+	if subs[0].Papers[0] != "paper-1" {
+		t.Fatal("provenance missing")
+	}
+	// no metadata row → nothing extracted
+	if got := ExtractSubtrees(tb, []bool{false, false, false, false}, "p"); got != nil {
+		t.Fatalf("no-meta extraction = %v", got)
+	}
+}
+
+func TestExtractSubtreesSkipsSectionRows(t *testing.T) {
+	src := `<table>
+	<tr><th>Vaccine</th><th>Group</th></tr>
+	<tr><td>Pfizer</td><td>Adults</td></tr>
+	<tr><td>Severe cases</td><td></td></tr>
+	<tr><td>Moderna</td><td>Children</td></tr>
+	</table>`
+	tb, _ := tableparse.ParseOne(src)
+	meta := []bool{true, false, true, false} // row 2 is a section header
+	subs := ExtractSubtrees(tb, meta, "p")
+	for _, sub := range subs {
+		for _, leaf := range sub.Leaves() {
+			if leaf == "Severe cases" {
+				t.Fatal("section header leaked into leaves")
+			}
+		}
+	}
+}
+
+func TestIsTextValue(t *testing.T) {
+	cases := map[string]bool{
+		"Pfizer":    true,
+		"8.5":       false,
+		"8.5%":      false,
+		"5-10 mg":   false,
+		"Fever":     true,
+		"n/a":       false, // 2 letters < 3
+		"ICU stays": true,
+		"":          false,
+	}
+	for in, want := range cases {
+		if got := isTextValue(in); got != want {
+			t.Errorf("isTextValue(%q) = %v", in, got)
+		}
+	}
+}
+
+func TestBuildKGProvenanceReachesGraph(t *testing.T) {
+	s := smallSystem(t, 50)
+	s.BuildKG()
+	// at least one fused node must carry provenance
+	found := false
+	s.Graph.Walk(func(n kg.Node, _ int) bool {
+		if n.Source == kg.SourceFusion && len(n.Papers) > 0 {
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("no fused node carries provenance")
+	}
+}
+
+func TestTopicClusters(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TrainTables = 40
+	cfg.W2V.Epochs = 6
+	s := NewSystem(cfg)
+	g := cord19.NewGenerator(7)
+	if err := s.IngestPublications(g.Corpus(160)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.TrainModels(); err != nil {
+		t.Fatal(err)
+	}
+	res, ids, truths, err := s.TopicClusters(len(cord19.TopicNames()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(res.Assign) || len(truths) != len(ids) {
+		t.Fatalf("alignment: %d/%d/%d", len(ids), len(res.Assign), len(truths))
+	}
+	purity := cluster.Purity(res.Assign, truths)
+	// topic vocabulary makes clusters separable above the random
+	// baseline (8 topics: majority-class floor ≈ 0.2)
+	if purity < 0.3 {
+		t.Fatalf("topic purity = %v", purity)
+	}
+}
+
+func TestTopicClustersRequiresTraining(t *testing.T) {
+	s := NewSystem(DefaultConfig())
+	if _, _, _, err := s.TopicClusters(3); err == nil {
+		t.Fatal("expected error before training")
+	}
+}
+
+func TestBuildMetaProfile(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TrainTables = 60
+	cfg.W2V.Epochs = 2
+	s := NewSystem(cfg)
+	g := cord19.NewGenerator(17)
+	vaccines := []string{"Pfizer-BioNTech", "Moderna", "AstraZeneca"}
+	var pubs []*cord19.Publication
+	for i := 0; i < 3; i++ {
+		pubs = append(pubs, g.SideEffectPaper(vaccines))
+	}
+	pubs = append(pubs, g.Corpus(10)...)
+	if err := s.IngestPublications(pubs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.TrainModels(); err != nil {
+		t.Fatal(err)
+	}
+	p := s.BuildMetaProfile("Vaccine side-effects")
+	if len(p.Sources()) < 3 {
+		t.Fatalf("sources = %v", p.Sources())
+	}
+	if !strings.Contains(p.Render(), "Pfizer-BioNTech") {
+		t.Fatal("profile missing vaccines")
+	}
+}
+
+func TestExportModels(t *testing.T) {
+	s := smallSystem(t, 20)
+	models, err := s.ExportModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, m := range models {
+		if len(m.Data) == 0 {
+			t.Fatalf("model %s empty", m.Name)
+		}
+		names[m.Name] = true
+	}
+	for _, want := range []string{"embeddings-term", "embeddings-cell", "embeddings-text"} {
+		if !names[want] {
+			t.Errorf("missing export %q", want)
+		}
+	}
+}
+
+func TestEnsemblePathInBuildKG(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TrainTables = 40
+	cfg.W2V.Epochs = 2
+	cfg.UseEnsemble = true
+	cfg.Ensemble.Units = 4
+	cfg.Ensemble.Epochs = 3
+	s := NewSystem(cfg)
+	g := cord19.NewGenerator(23)
+	if err := s.IngestPublications(g.Corpus(15)); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := s.TrainModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EnsembleEpochs != 3 {
+		t.Fatalf("ensemble epochs = %d", stats.EnsembleEpochs)
+	}
+	st := s.BuildKG()
+	if st.Tables == 0 {
+		t.Skip("corpus had no tables") // possible but unlikely with 15 pubs
+	}
+	if st.RowsClassified == 0 {
+		t.Fatal("ensemble classified nothing")
+	}
+}
+
+func TestRefreshProcessesOnlyNewTables(t *testing.T) {
+	s := smallSystem(t, 40)
+	first := s.BuildKG()
+	if first.Tables == 0 {
+		t.Fatal("no tables in initial build")
+	}
+	// a refresh with nothing new touches nothing
+	empty, err := s.Refresh(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Tables != 0 || empty.NodesAdded != 0 {
+		t.Fatalf("empty refresh did work: %+v", empty)
+	}
+
+	// new arrivals: only their tables are processed
+	g := cord19.NewGenerator(777)
+	fresh := g.Corpus(20)
+	freshTables := 0
+	for _, p := range fresh {
+		freshTables += len(p.Tables)
+	}
+	st, err := s.Refresh(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tables != freshTables {
+		t.Fatalf("refresh processed %d tables, want %d", st.Tables, freshTables)
+	}
+	if s.Pubs.Count() != 60 {
+		t.Fatalf("pubs = %d", s.Pubs.Count())
+	}
+	// new publications are searchable
+	page, err := s.Search.SearchAll("vaccine", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Total == 0 {
+		t.Fatal("refreshed corpus not searchable")
+	}
+	// a second refresh of the same batch is a no-op
+	again, err := s.Refresh(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Tables != 0 {
+		t.Fatalf("re-refresh reprocessed %d tables", again.Tables)
+	}
+}
+
+func TestRefreshMatchesFullBuildForTermFusions(t *testing.T) {
+	// Incremental A then refresh(B) must reach the same term-fused leaf
+	// set as a full build over A+B (term matching is deterministic and
+	// order-independent under leaf merging).
+	g1 := cord19.NewGenerator(55)
+	corpusA := g1.Corpus(25)
+	corpusB := g1.Corpus(25)
+
+	build := func(ingestFirst, refreshWith []*cord19.Publication) map[string]bool {
+		cfg := DefaultConfig()
+		cfg.TrainTables = 40
+		cfg.W2V.Epochs = 2
+		s := NewSystem(cfg)
+		if err := s.IngestPublications(ingestFirst); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.TrainModels(); err != nil {
+			t.Fatal(err)
+		}
+		s.BuildKG()
+		if refreshWith != nil {
+			if _, err := s.Refresh(refreshWith); err != nil {
+				t.Fatal(err)
+			}
+		}
+		labels := map[string]bool{}
+		s.Graph.Walk(func(n kg.Node, _ int) bool {
+			if n.Source == kg.SourceFusion {
+				labels[n.Norm] = true
+			}
+			return true
+		})
+		return labels
+	}
+
+	all := append(append([]*cord19.Publication{}, corpusA...), corpusB...)
+	full := build(all, nil)
+	incr := build(corpusA, corpusB)
+
+	// every label the incremental build fused must exist in the full
+	// build and vice versa, modulo embedding-fallback differences (the
+	// text embeddings differ between runs); term-matched seed children
+	// are deterministic, so demand high overlap.
+	common := 0
+	for l := range incr {
+		if full[l] {
+			common++
+		}
+	}
+	if len(full) == 0 || len(incr) == 0 {
+		t.Fatalf("no fusions: full=%d incr=%d", len(full), len(incr))
+	}
+	overlap := float64(common) / float64(max(len(full), len(incr)))
+	if overlap < 0.9 {
+		t.Fatalf("incremental diverged from full build: overlap %.2f (%d vs %d)",
+			overlap, len(incr), len(full))
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestPersistRestoreGraph(t *testing.T) {
+	s := smallSystem(t, 30)
+	s.BuildKG()
+	size := s.Graph.Size()
+	if err := s.PersistGraph(); err != nil {
+		t.Fatal(err)
+	}
+	// save + load the whole store, then restore the graph from it
+	dir := t.TempDir()
+	if err := s.Store.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSystem(DefaultConfig())
+	if err := s2.Store.Load(dir); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := s2.RestoreGraph()
+	if err != nil || !ok {
+		t.Fatalf("restore: ok=%v err=%v", ok, err)
+	}
+	if s2.Graph.Size() != size {
+		t.Fatalf("restored %d nodes, want %d", s2.Graph.Size(), size)
+	}
+	// restored graph is searchable and fusable
+	if len(s2.Graph.Search("vaccines")) == 0 {
+		t.Fatal("restored graph not searchable")
+	}
+	res := s2.Fuser.Fuse(kg.NewSubtree("Vaccines", "RestoredVac"))
+	if res.Action != kg.ActionFused {
+		t.Fatalf("fusion on restored graph: %+v", res)
+	}
+	// no graph present → ok=false
+	s3 := NewSystem(DefaultConfig())
+	if ok, err := s3.RestoreGraph(); err != nil || ok {
+		t.Fatalf("empty restore: ok=%v err=%v", ok, err)
+	}
+	// re-persist overwrites rather than duplicating
+	if err := s.PersistGraph(); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Store.Collection(GraphCollection).Count(); n != 1 {
+		t.Fatalf("graph collection holds %d docs", n)
+	}
+}

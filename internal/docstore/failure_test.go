@@ -1,0 +1,127 @@
+package docstore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"covidkg/internal/jsondoc"
+)
+
+// TestLoadCorruptedLine: a broken JSON line must fail loudly with the
+// line number, not silently drop data.
+func TestLoadCorruptedLine(t *testing.T) {
+	dir := t.TempDir()
+	content := `{"_id":"a","x":1}` + "\n" + `{"broken` + "\n" + `{"_id":"b","x":2}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "pubs.jsonl"), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := Open()
+	err := s.Load(dir)
+	if err == nil {
+		t.Fatal("corrupted file loaded silently")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error lacks line number: %v", err)
+	}
+}
+
+// TestLoadDuplicateIDs: duplicate _id lines must be rejected.
+func TestLoadDuplicateIDs(t *testing.T) {
+	dir := t.TempDir()
+	content := `{"_id":"a","x":1}` + "\n" + `{"_id":"a","x":2}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "pubs.jsonl"), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Open().Load(dir); err == nil {
+		t.Fatal("duplicate ids loaded silently")
+	}
+}
+
+// TestLoadSkipsBlankLinesAndForeignFiles.
+func TestLoadSkipsBlankLinesAndForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	content := "\n" + `{"_id":"a","x":1}` + "\n\n"
+	os.WriteFile(filepath.Join(dir, "pubs.jsonl"), []byte(content), 0o644)
+	os.WriteFile(filepath.Join(dir, "README.txt"), []byte("not data"), 0o644)
+	os.MkdirAll(filepath.Join(dir, "subdir"), 0o755)
+	s := Open()
+	if err := s.Load(dir); err != nil {
+		t.Fatal(err)
+	}
+	if s.Collection("pubs").Count() != 1 {
+		t.Fatalf("count = %d", s.Collection("pubs").Count())
+	}
+	if s.HasCollection("README") {
+		t.Fatal("foreign file loaded")
+	}
+}
+
+// TestSaveToUnwritableDir surfaces the error.
+func TestSaveToUnwritableDir(t *testing.T) {
+	s := Open()
+	s.Collection("pubs").Insert(jsondoc.Doc{"x": 1})
+	if err := s.Save("/proc/definitely/not/writable"); err == nil {
+		t.Fatal("save into unwritable path succeeded")
+	}
+}
+
+// TestSaveDeterministic: two saves of the same store are byte-identical.
+func TestSaveDeterministic(t *testing.T) {
+	s := Open(WithShards(3))
+	c := s.Collection("pubs")
+	for i := 0; i < 40; i++ {
+		c.Insert(jsondoc.Doc{"i": i})
+	}
+	d1, d2 := t.TempDir(), t.TempDir()
+	if err := s.Save(d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(d2); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(filepath.Join(d1, "pubs.jsonl"))
+	b2, _ := os.ReadFile(filepath.Join(d2, "pubs.jsonl"))
+	if string(b1) != string(b2) {
+		t.Fatal("saves differ")
+	}
+	if len(b1) == 0 {
+		t.Fatal("empty save")
+	}
+}
+
+// TestConcurrentUpdateAtomicity: concurrent read-modify-write increments
+// must not lose updates (the per-shard exclusive lock guarantees it).
+func TestConcurrentUpdateAtomicity(t *testing.T) {
+	s := Open(WithShards(2))
+	c := s.Collection("pubs")
+	id, err := c.Insert(jsondoc.Doc{"counter": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				err := c.Update(id, func(d jsondoc.Doc) error {
+					n, _ := d.GetNumber("counter")
+					return d.Set("counter", n+1)
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	d, _ := c.Get(id)
+	if n, _ := d.GetNumber("counter"); n != workers*perWorker {
+		t.Fatalf("lost updates: %v != %d", n, workers*perWorker)
+	}
+}

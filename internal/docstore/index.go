@@ -1,0 +1,178 @@
+package docstore
+
+import (
+	"sort"
+	"strings"
+
+	"covidkg/internal/jsondoc"
+)
+
+// equalityIndex maps the JSON-encoded value at a dotted path to the set
+// of document ids holding that value. Array values index each element,
+// MongoDB-style (multikey index).
+type equalityIndex struct {
+	path string
+	ids  map[string]map[string]struct{} // key -> id set
+}
+
+// indexKey encodes an indexed value as a canonical string key.
+func indexKey(v any) string {
+	switch x := v.(type) {
+	case string:
+		return "s:" + x
+	case nil:
+		return "n:"
+	default:
+		d := jsondoc.Doc{"v": v}
+		return "j:" + string(d.JSON())
+	}
+}
+
+// EnsureIndex creates an equality index on a dotted path and backfills it
+// from existing documents. Creating the same index twice is a no-op.
+func (c *Collection) EnsureIndex(path string) {
+	c.idxMu.Lock()
+	if _, ok := c.indexes[path]; ok {
+		c.idxMu.Unlock()
+		return
+	}
+	idx := &equalityIndex{path: path, ids: map[string]map[string]struct{}{}}
+	c.indexes[path] = idx
+	c.idxMu.Unlock()
+
+	c.Scan(func(d jsondoc.Doc) bool {
+		id, _ := d[IDField].(string)
+		c.idxMu.Lock()
+		idx.add(id, d)
+		c.idxMu.Unlock()
+		return true
+	})
+}
+
+// Indexes lists indexed paths, sorted.
+func (c *Collection) Indexes() []string {
+	c.idxMu.RLock()
+	defer c.idxMu.RUnlock()
+	out := make([]string, 0, len(c.indexes))
+	for p := range c.indexes {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (idx *equalityIndex) keysFor(d jsondoc.Doc) []string {
+	v, ok := d.Get(idx.path)
+	if !ok {
+		return nil
+	}
+	if arr, isArr := v.([]any); isArr {
+		keys := make([]string, 0, len(arr))
+		for _, e := range arr {
+			keys = append(keys, indexKey(e))
+		}
+		return keys
+	}
+	return []string{indexKey(v)}
+}
+
+func (idx *equalityIndex) add(id string, d jsondoc.Doc) {
+	for _, k := range idx.keysFor(d) {
+		set, ok := idx.ids[k]
+		if !ok {
+			set = map[string]struct{}{}
+			idx.ids[k] = set
+		}
+		set[id] = struct{}{}
+	}
+}
+
+func (idx *equalityIndex) remove(id string, d jsondoc.Doc) {
+	for _, k := range idx.keysFor(d) {
+		if set, ok := idx.ids[k]; ok {
+			delete(set, id)
+			if len(set) == 0 {
+				delete(idx.ids, k)
+			}
+		}
+	}
+}
+
+func (c *Collection) indexInsert(id string, d jsondoc.Doc) {
+	c.idxMu.Lock()
+	defer c.idxMu.Unlock()
+	for _, idx := range c.indexes {
+		idx.add(id, d)
+	}
+}
+
+func (c *Collection) indexRemove(id string, d jsondoc.Doc) {
+	c.idxMu.Lock()
+	defer c.idxMu.Unlock()
+	for _, idx := range c.indexes {
+		idx.remove(id, d)
+	}
+}
+
+// FindByIndex returns copies of all documents whose indexed path equals
+// value. If no index exists on path, it falls back to a full scan (and
+// reports usedIndex=false) so callers can detect missing indexes in
+// tests and benchmarks.
+func (c *Collection) FindByIndex(path string, value any) (docs []jsondoc.Doc, usedIndex bool) {
+	value = jsondoc.Normalize(value)
+	c.idxMu.RLock()
+	idx, ok := c.indexes[path]
+	var ids []string
+	if ok {
+		if set, hit := idx.ids[indexKey(value)]; hit {
+			ids = make([]string, 0, len(set))
+			for id := range set {
+				ids = append(ids, id)
+			}
+		}
+	}
+	c.idxMu.RUnlock()
+	if !ok {
+		return c.Find(func(d jsondoc.Doc) bool {
+			v, has := d.Get(path)
+			if !has {
+				return false
+			}
+			if arr, isArr := v.([]any); isArr {
+				for _, e := range arr {
+					if jsondoc.Equal(e, value) {
+						return true
+					}
+				}
+				return false
+			}
+			return jsondoc.Equal(v, value)
+		}), false
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if d, err := c.Get(id); err == nil {
+			docs = append(docs, d)
+		}
+	}
+	return docs, true
+}
+
+// DistinctIndexed returns the distinct string values present under an
+// indexed path; non-string keys are skipped. Useful for facet listings.
+func (c *Collection) DistinctIndexed(path string) []string {
+	c.idxMu.RLock()
+	defer c.idxMu.RUnlock()
+	idx, ok := c.indexes[path]
+	if !ok {
+		return nil
+	}
+	var out []string
+	for k := range idx.ids {
+		if strings.HasPrefix(k, "s:") {
+			out = append(out, k[2:])
+		}
+	}
+	sort.Strings(out)
+	return out
+}

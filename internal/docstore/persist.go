@@ -1,0 +1,108 @@
+package docstore
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"covidkg/internal/jsondoc"
+)
+
+// Save writes every collection to dir as one JSON-lines file per
+// collection (<name>.jsonl). The directory is created if needed. The
+// on-disk order is the deterministic scan order, so saves of equal
+// stores are byte-identical.
+func (s *Store) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("docstore: save: %w", err)
+	}
+	for _, name := range s.CollectionNames() {
+		c := s.Collection(name)
+		if err := c.saveFile(filepath.Join(dir, name+".jsonl")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Collection) saveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("docstore: save %s: %w", c.name, err)
+	}
+	w := bufio.NewWriter(f)
+	var werr error
+	c.Scan(func(d jsondoc.Doc) bool {
+		if _, err := w.Write(d.JSON()); err != nil {
+			werr = err
+			return false
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	})
+	if werr == nil {
+		werr = w.Flush()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("docstore: save %s: %w", c.name, werr)
+	}
+	return nil
+}
+
+// Load reads every *.jsonl file in dir into same-named collections.
+// Existing collections are replaced.
+func (s *Store) Load(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("docstore: load: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".jsonl") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".jsonl")
+		s.DropCollection(name)
+		c := s.Collection(name)
+		if err := c.loadFile(filepath.Join(dir, e.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Collection) loadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("docstore: load %s: %w", c.name, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		d, err := jsondoc.FromJSON([]byte(raw))
+		if err != nil {
+			return fmt.Errorf("docstore: load %s line %d: %w", c.name, line, err)
+		}
+		if _, err := c.Insert(d); err != nil {
+			return fmt.Errorf("docstore: load %s line %d: %w", c.name, line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("docstore: load %s: %w", c.name, err)
+	}
+	return nil
+}

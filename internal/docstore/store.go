@@ -1,0 +1,360 @@
+// Package docstore is the COVIDKG back-end storage substrate: a sharded,
+// concurrency-safe JSON document store standing in for the paper's
+// sharded MongoDB cluster (§2, "Storage"). It offers named collections,
+// hash sharding on the document id, CRUD, snapshot scans feeding the
+// aggregation pipeline, secondary equality indexes, and JSON-lines
+// persistence.
+package docstore
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"covidkg/internal/jsondoc"
+)
+
+// IDField is the reserved primary-key field, mirroring MongoDB's _id.
+const IDField = "_id"
+
+// Errors returned by the store.
+var (
+	ErrNotFound     = errors.New("docstore: document not found")
+	ErrDuplicateID  = errors.New("docstore: duplicate _id")
+	ErrNoCollection = errors.New("docstore: collection does not exist")
+)
+
+// Store is a sharded multi-collection document store.
+type Store struct {
+	numShards int
+
+	mu          sync.RWMutex
+	collections map[string]*Collection
+
+	idSeq atomic.Uint64
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithShards sets the shard count (default 4, min 1).
+func WithShards(n int) Option {
+	return func(s *Store) {
+		if n >= 1 {
+			s.numShards = n
+		}
+	}
+}
+
+// Open creates an empty in-memory store.
+func Open(opts ...Option) *Store {
+	s := &Store{numShards: 4, collections: map[string]*Collection{}}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// NumShards returns the configured shard count.
+func (s *Store) NumShards() int { return s.numShards }
+
+// Collection returns the named collection, creating it on first use.
+func (s *Store) Collection(name string) *Collection {
+	s.mu.RLock()
+	c, ok := s.collections[name]
+	s.mu.RUnlock()
+	if ok {
+		return c
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.collections[name]; ok {
+		return c
+	}
+	c = newCollection(name, s)
+	s.collections[name] = c
+	return c
+}
+
+// HasCollection reports whether name exists without creating it.
+func (s *Store) HasCollection(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.collections[name]
+	return ok
+}
+
+// DropCollection removes the named collection and its data.
+func (s *Store) DropCollection(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.collections, name)
+}
+
+// CollectionNames returns the existing collection names, sorted.
+func (s *Store) CollectionNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.collections))
+	for n := range s.collections {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// nextID generates a store-unique document id.
+func (s *Store) nextID() string {
+	return "doc-" + strconv.FormatUint(s.idSeq.Add(1), 36)
+}
+
+// Stats summarizes the store's physical layout.
+type Stats struct {
+	Collections int
+	Documents   int
+	Bytes       int // approximate JSON bytes across all shards
+	PerShard    []int
+}
+
+// Stats computes storage statistics across collections and shards.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{Collections: len(s.collections), PerShard: make([]int, s.numShards)}
+	for _, c := range s.collections {
+		for i, sh := range c.shards {
+			sh.mu.RLock()
+			st.Documents += len(sh.docs)
+			st.PerShard[i] += len(sh.docs)
+			st.Bytes += sh.bytes
+			sh.mu.RUnlock()
+		}
+	}
+	return st
+}
+
+// shardOf hashes an id onto a shard index.
+func shardOf(id string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(n))
+}
+
+// shard holds one hash partition of a collection.
+type shard struct {
+	mu    sync.RWMutex
+	docs  map[string]jsondoc.Doc
+	bytes int
+}
+
+// Collection is a named set of documents partitioned over the store's
+// shards.
+type Collection struct {
+	name   string
+	store  *Store
+	shards []*shard
+
+	idxMu   sync.RWMutex
+	indexes map[string]*equalityIndex
+}
+
+func newCollection(name string, s *Store) *Collection {
+	c := &Collection{
+		name:    name,
+		store:   s,
+		shards:  make([]*shard, s.numShards),
+		indexes: map[string]*equalityIndex{},
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{docs: map[string]jsondoc.Doc{}}
+	}
+	return c
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// Insert stores a document. A missing _id is assigned; the stored copy is
+// detached from the caller's document. Returns the document id.
+func (c *Collection) Insert(d jsondoc.Doc) (string, error) {
+	doc := jsondoc.NormalizeDoc(d)
+	id, _ := doc[IDField].(string)
+	if id == "" {
+		id = c.store.nextID()
+		doc[IDField] = id
+	}
+	sh := c.shards[shardOf(id, len(c.shards))]
+	size := len(doc.JSON())
+	sh.mu.Lock()
+	if _, exists := sh.docs[id]; exists {
+		sh.mu.Unlock()
+		return "", fmt.Errorf("%w: %s", ErrDuplicateID, id)
+	}
+	sh.docs[id] = doc
+	sh.bytes += size
+	sh.mu.Unlock()
+	c.indexInsert(id, doc)
+	return id, nil
+}
+
+// InsertMany inserts a batch, stopping at the first error.
+func (c *Collection) InsertMany(docs []jsondoc.Doc) ([]string, error) {
+	ids := make([]string, 0, len(docs))
+	for _, d := range docs {
+		id, err := c.Insert(d)
+		if err != nil {
+			return ids, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// Get returns a deep copy of the document with the given id.
+func (c *Collection) Get(id string) (jsondoc.Doc, error) {
+	sh := c.shards[shardOf(id, len(c.shards))]
+	sh.mu.RLock()
+	doc, ok := sh.docs[id]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return doc.Clone(), nil
+}
+
+// Replace swaps the document with the given id for a new body (the _id is
+// preserved).
+func (c *Collection) Replace(id string, d jsondoc.Doc) error {
+	doc := jsondoc.NormalizeDoc(d)
+	doc[IDField] = id
+	sh := c.shards[shardOf(id, len(c.shards))]
+	size := len(doc.JSON())
+	sh.mu.Lock()
+	old, ok := sh.docs[id]
+	if !ok {
+		sh.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	sh.bytes += size - len(old.JSON())
+	sh.docs[id] = doc
+	sh.mu.Unlock()
+	c.indexRemove(id, old)
+	c.indexInsert(id, doc)
+	return nil
+}
+
+// Update applies fn to a copy of the document and stores the result. fn
+// returning an error aborts the update.
+func (c *Collection) Update(id string, fn func(jsondoc.Doc) error) error {
+	sh := c.shards[shardOf(id, len(c.shards))]
+	sh.mu.Lock()
+	old, ok := sh.docs[id]
+	if !ok {
+		sh.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	doc := old.Clone()
+	if err := fn(doc); err != nil {
+		sh.mu.Unlock()
+		return err
+	}
+	doc[IDField] = id
+	sh.bytes += len(doc.JSON()) - len(old.JSON())
+	sh.docs[id] = doc
+	sh.mu.Unlock()
+	c.indexRemove(id, old)
+	c.indexInsert(id, doc)
+	return nil
+}
+
+// Delete removes the document with the given id.
+func (c *Collection) Delete(id string) error {
+	sh := c.shards[shardOf(id, len(c.shards))]
+	sh.mu.Lock()
+	old, ok := sh.docs[id]
+	if !ok {
+		sh.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	sh.bytes -= len(old.JSON())
+	delete(sh.docs, id)
+	sh.mu.Unlock()
+	c.indexRemove(id, old)
+	return nil
+}
+
+// Count returns the number of documents in the collection.
+func (c *Collection) Count() int {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		n += len(sh.docs)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Scan streams a snapshot of every document to fn; fn returning false
+// stops the scan. Documents are deep copies; mutation is safe. Shards are
+// visited in order, ids within a shard in sorted order, so scans are
+// deterministic.
+func (c *Collection) Scan(fn func(jsondoc.Doc) bool) {
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		ids := make([]string, 0, len(sh.docs))
+		for id := range sh.docs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		docs := make([]jsondoc.Doc, len(ids))
+		for i, id := range ids {
+			docs[i] = sh.docs[id].Clone()
+		}
+		sh.mu.RUnlock()
+		for _, d := range docs {
+			if !fn(d) {
+				return
+			}
+		}
+	}
+}
+
+// All returns a snapshot of every document, deterministic order.
+func (c *Collection) All() []jsondoc.Doc {
+	out := make([]jsondoc.Doc, 0, c.Count())
+	c.Scan(func(d jsondoc.Doc) bool {
+		out = append(out, d)
+		return true
+	})
+	return out
+}
+
+// IDs returns every document id, sorted.
+func (c *Collection) IDs() []string {
+	var out []string
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		for id := range sh.docs {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Find returns copies of all documents for which pred returns true.
+func (c *Collection) Find(pred func(jsondoc.Doc) bool) []jsondoc.Doc {
+	var out []jsondoc.Doc
+	c.Scan(func(d jsondoc.Doc) bool {
+		if pred(d) {
+			out = append(out, d)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,421 @@
+package docstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"covidkg/internal/jsondoc"
+)
+
+func TestInsertGet(t *testing.T) {
+	s := Open()
+	c := s.Collection("pubs")
+	id, err := c.Insert(jsondoc.Doc{"title": "Masks", "year": 2021})
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if id == "" {
+		t.Fatal("empty id")
+	}
+	got, err := c.Get(id)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if got.GetString("title") != "Masks" {
+		t.Errorf("title = %q", got.GetString("title"))
+	}
+	if y, _ := got.GetNumber("year"); y != 2021 {
+		t.Errorf("year = %v (ints must normalize to float64)", y)
+	}
+}
+
+func TestInsertExplicitAndDuplicateID(t *testing.T) {
+	s := Open()
+	c := s.Collection("pubs")
+	if _, err := c.Insert(jsondoc.Doc{IDField: "p1", "x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Insert(jsondoc.Doc{IDField: "p1", "x": 2})
+	if !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("want ErrDuplicateID, got %v", err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := Open()
+	_, err := s.Collection("x").Get("nope")
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := Open()
+	c := s.Collection("pubs")
+	id, _ := c.Insert(jsondoc.Doc{"nested": map[string]any{"k": "v"}})
+	got, _ := c.Get(id)
+	if err := got.Set("nested.k", "mutated"); err != nil {
+		t.Fatal(err)
+	}
+	again, _ := c.Get(id)
+	if again.GetString("nested.k") != "v" {
+		t.Fatal("Get returned a shared document")
+	}
+}
+
+func TestInsertDetachesCaller(t *testing.T) {
+	s := Open()
+	c := s.Collection("pubs")
+	src := jsondoc.Doc{"nested": map[string]any{"k": "v"}}
+	id, _ := c.Insert(src)
+	src["nested"].(map[string]any)["k"] = "mutated"
+	got, _ := c.Get(id)
+	if got.GetString("nested.k") != "v" {
+		t.Fatal("Insert shared the caller's document")
+	}
+}
+
+func TestReplace(t *testing.T) {
+	s := Open()
+	c := s.Collection("pubs")
+	id, _ := c.Insert(jsondoc.Doc{"a": 1})
+	if err := c.Replace(id, jsondoc.Doc{"b": 2}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.Get(id)
+	if got.Has("a") || !got.Has("b") {
+		t.Fatalf("replace result: %v", got)
+	}
+	if got[IDField] != id {
+		t.Fatal("_id not preserved")
+	}
+	if err := c.Replace("missing", jsondoc.Doc{}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Replace missing: %v", err)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	s := Open()
+	c := s.Collection("pubs")
+	id, _ := c.Insert(jsondoc.Doc{"views": 1})
+	err := c.Update(id, func(d jsondoc.Doc) error {
+		n, _ := d.GetNumber("views")
+		return d.Set("views", n+1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.Get(id)
+	if n, _ := got.GetNumber("views"); n != 2 {
+		t.Fatalf("views = %v", n)
+	}
+	// error from fn aborts
+	sentinel := errors.New("abort")
+	if err := c.Update(id, func(jsondoc.Doc) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("Update error not propagated: %v", err)
+	}
+	got, _ = c.Get(id)
+	if n, _ := got.GetNumber("views"); n != 2 {
+		t.Fatal("aborted update mutated the document")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := Open()
+	c := s.Collection("pubs")
+	id, _ := c.Insert(jsondoc.Doc{"a": 1})
+	if err := c.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(id); !errors.Is(err, ErrNotFound) {
+		t.Fatal("document survived delete")
+	}
+	if err := c.Delete(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if c.Count() != 0 {
+		t.Fatalf("count = %d", c.Count())
+	}
+}
+
+func TestScanDeterministicAndStoppable(t *testing.T) {
+	s := Open(WithShards(3))
+	c := s.Collection("pubs")
+	for i := 0; i < 20; i++ {
+		if _, err := c.Insert(jsondoc.Doc{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var order1, order2 []string
+	c.Scan(func(d jsondoc.Doc) bool {
+		order1 = append(order1, d[IDField].(string))
+		return true
+	})
+	c.Scan(func(d jsondoc.Doc) bool {
+		order2 = append(order2, d[IDField].(string))
+		return true
+	})
+	if len(order1) != 20 {
+		t.Fatalf("scan saw %d docs", len(order1))
+	}
+	for i := range order1 {
+		if order1[i] != order2[i] {
+			t.Fatal("scan order not deterministic")
+		}
+	}
+	n := 0
+	c.Scan(func(jsondoc.Doc) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop at %d", n)
+	}
+}
+
+func TestShardDistribution(t *testing.T) {
+	s := Open(WithShards(8))
+	c := s.Collection("pubs")
+	const N = 2000
+	for i := 0; i < N; i++ {
+		if _, err := c.Insert(jsondoc.Doc{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Documents != N {
+		t.Fatalf("documents = %d", st.Documents)
+	}
+	for i, n := range st.PerShard {
+		// FNV over sequential ids should be roughly uniform; allow wide slack.
+		if n < N/8/4 || n > N/8*4 {
+			t.Errorf("shard %d badly skewed: %d docs", i, n)
+		}
+	}
+	if st.Bytes <= 0 {
+		t.Error("byte accounting missing")
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	s := Open()
+	c := s.Collection("x")
+	id, _ := c.Insert(jsondoc.Doc{"payload": "0123456789"})
+	before := s.Stats().Bytes
+	if before <= 0 {
+		t.Fatal("no bytes after insert")
+	}
+	if err := c.Replace(id, jsondoc.Doc{"payload": "01234567890123456789"}); err != nil {
+		t.Fatal(err)
+	}
+	mid := s.Stats().Bytes
+	if mid <= before {
+		t.Fatalf("bytes did not grow on replace: %d -> %d", before, mid)
+	}
+	if err := c.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Bytes; got != 0 {
+		t.Fatalf("bytes after delete = %d", got)
+	}
+}
+
+func TestConcurrentInsertAndRead(t *testing.T) {
+	s := Open(WithShards(4))
+	c := s.Collection("pubs")
+	var wg sync.WaitGroup
+	const writers, perWriter = 8, 100
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := fmt.Sprintf("w%d-%d", w, i)
+				if _, err := c.Insert(jsondoc.Doc{IDField: id, "w": w}); err != nil {
+					t.Errorf("Insert: %v", err)
+					return
+				}
+				if _, err := c.Get(id); err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	// concurrent scans
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Scan(func(jsondoc.Doc) bool { return true })
+		}()
+	}
+	wg.Wait()
+	if c.Count() != writers*perWriter {
+		t.Fatalf("count = %d", c.Count())
+	}
+}
+
+func TestCollectionNamesAndDrop(t *testing.T) {
+	s := Open()
+	s.Collection("b")
+	s.Collection("a")
+	got := s.CollectionNames()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("names = %v", got)
+	}
+	if !s.HasCollection("a") {
+		t.Fatal("HasCollection(a)")
+	}
+	s.DropCollection("a")
+	if s.HasCollection("a") {
+		t.Fatal("a should be dropped")
+	}
+}
+
+func TestFind(t *testing.T) {
+	s := Open()
+	c := s.Collection("pubs")
+	for i := 0; i < 10; i++ {
+		c.Insert(jsondoc.Doc{"i": i})
+	}
+	got := c.Find(func(d jsondoc.Doc) bool {
+		n, _ := d.GetNumber("i")
+		return n >= 7
+	})
+	if len(got) != 3 {
+		t.Fatalf("Find = %d docs", len(got))
+	}
+}
+
+func TestEqualityIndex(t *testing.T) {
+	s := Open()
+	c := s.Collection("pubs")
+	for i := 0; i < 30; i++ {
+		c.Insert(jsondoc.Doc{"topic": fmt.Sprintf("t%d", i%3), "i": i})
+	}
+	c.EnsureIndex("topic")
+	docs, used := c.FindByIndex("topic", "t1")
+	if !used {
+		t.Fatal("index not used")
+	}
+	if len(docs) != 10 {
+		t.Fatalf("indexed find = %d docs", len(docs))
+	}
+	// index maintained on insert/delete/replace
+	id, _ := c.Insert(jsondoc.Doc{"topic": "t1"})
+	if docs, _ := c.FindByIndex("topic", "t1"); len(docs) != 11 {
+		t.Fatalf("after insert: %d", len(docs))
+	}
+	c.Replace(id, jsondoc.Doc{"topic": "t9"})
+	if docs, _ := c.FindByIndex("topic", "t1"); len(docs) != 10 {
+		t.Fatalf("after replace: %d", len(docs))
+	}
+	if docs, _ := c.FindByIndex("topic", "t9"); len(docs) != 1 {
+		t.Fatalf("t9: %d", len(docs))
+	}
+	c.Delete(id)
+	if docs, _ := c.FindByIndex("topic", "t9"); len(docs) != 0 {
+		t.Fatalf("after delete: %d", len(docs))
+	}
+}
+
+func TestIndexMultikeyArrays(t *testing.T) {
+	s := Open()
+	c := s.Collection("pubs")
+	c.EnsureIndex("tags")
+	c.Insert(jsondoc.Doc{IDField: "a", "tags": []any{"vaccine", "fever"}})
+	c.Insert(jsondoc.Doc{IDField: "b", "tags": []any{"fever"}})
+	docs, used := c.FindByIndex("tags", "fever")
+	if !used || len(docs) != 2 {
+		t.Fatalf("multikey: used=%v n=%d", used, len(docs))
+	}
+	docs, _ = c.FindByIndex("tags", "vaccine")
+	if len(docs) != 1 || docs[0][IDField] != "a" {
+		t.Fatalf("vaccine: %v", docs)
+	}
+}
+
+func TestFindByIndexFallbackScan(t *testing.T) {
+	s := Open()
+	c := s.Collection("pubs")
+	c.Insert(jsondoc.Doc{"k": "v"})
+	docs, used := c.FindByIndex("k", "v")
+	if used {
+		t.Fatal("no index exists; should report fallback")
+	}
+	if len(docs) != 1 {
+		t.Fatalf("fallback found %d", len(docs))
+	}
+}
+
+func TestDistinctIndexed(t *testing.T) {
+	s := Open()
+	c := s.Collection("pubs")
+	c.EnsureIndex("topic")
+	c.Insert(jsondoc.Doc{"topic": "b"})
+	c.Insert(jsondoc.Doc{"topic": "a"})
+	c.Insert(jsondoc.Doc{"topic": "a"})
+	got := c.DistinctIndexed("topic")
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("distinct = %v", got)
+	}
+	if c.DistinctIndexed("nope") != nil {
+		t.Fatal("unindexed path should return nil")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := Open(WithShards(3))
+	c := s.Collection("pubs")
+	for i := 0; i < 25; i++ {
+		c.Insert(jsondoc.Doc{"i": i, "s": fmt.Sprintf("doc %d", i)})
+	}
+	s.Collection("topics").Insert(jsondoc.Doc{"name": "vaccines"})
+	if err := s.Save(dir); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	s2 := Open(WithShards(5)) // different shard count must not matter
+	if err := s2.Load(dir); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got := s2.Collection("pubs").Count(); got != 25 {
+		t.Fatalf("pubs count = %d", got)
+	}
+	if got := s2.Collection("topics").Count(); got != 1 {
+		t.Fatalf("topics count = %d", got)
+	}
+	// all docs identical (scan order differs across shard counts, so
+	// compare per id)
+	for _, id := range s.Collection("pubs").IDs() {
+		a, err := s.Collection("pubs").Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s2.Collection("pubs").Get(id)
+		if err != nil {
+			t.Fatalf("doc %s missing after load: %v", id, err)
+		}
+		if !jsondoc.Equal(map[string]any(a), map[string]any(b)) {
+			t.Fatalf("doc %s differs: %v vs %v", id, a, b)
+		}
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	s := Open()
+	if err := s.Load("/nonexistent/dir"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	s := Open(WithShards(2))
+	st := s.Stats()
+	if st.Collections != 0 || st.Documents != 0 || st.Bytes != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+	if len(st.PerShard) != 2 {
+		t.Fatalf("PerShard = %v", st.PerShard)
+	}
+}

@@ -1,0 +1,56 @@
+package embeddings
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSentences(n int) [][]string {
+	rng := rand.New(rand.NewSource(1))
+	vocab := []string{"mask", "vaccine", "fever", "dose", "aerosol", "antibody",
+		"cough", "booster", "droplet", "immunity", "ventilator", "spike"}
+	out := make([][]string, n)
+	for i := range out {
+		s := make([]string, 8)
+		for j := range s {
+			s[j] = vocab[rng.Intn(len(vocab))]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func BenchmarkTrainSGNS(b *testing.B) {
+	sents := benchSentences(200)
+	cfg := DefaultConfig()
+	cfg.Dim = 32
+	cfg.Epochs = 1
+	cfg.MinCount = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Train(sents, cfg)
+	}
+}
+
+func BenchmarkEmbedText(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.MinCount = 1
+	w := Train(benchSentences(300), cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w.EmbedText("mask vaccine fever dose") == nil {
+			b.Fatal("nil embedding")
+		}
+	}
+}
+
+func BenchmarkMostSimilar(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.MinCount = 1
+	w := Train(benchSentences(300), cfg)
+	vec := w.Vector("mask")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.MostSimilar(vec, 5)
+	}
+}

@@ -1,0 +1,388 @@
+// Package embeddings implements the Word2Vec skip-gram model with
+// negative sampling [Mikolov et al. 2013] and the paper's tabular
+// embeddings: parallel term-level and cell-level representations of
+// table tuples (§3.6, Figure 3). The paper pre-trains on WDC and CORD-19
+// and fine-tunes end-to-end on the target corpus; Train and FineTune
+// mirror that regime.
+package embeddings
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"covidkg/internal/mlcore"
+	"covidkg/internal/preprocess"
+	"covidkg/internal/textproc"
+)
+
+// Config controls Word2Vec training.
+type Config struct {
+	Dim       int     // embedding dimensionality
+	Window    int     // context window radius
+	Negatives int     // negative samples per positive pair
+	Epochs    int     // passes over the corpus
+	LR        float64 // initial learning rate (linearly decayed)
+	MinCount  int     // drop words rarer than this
+	Seed      int64
+}
+
+// DefaultConfig returns a small, fast configuration suitable for the
+// synthetic corpora.
+func DefaultConfig() Config {
+	return Config{Dim: 32, Window: 4, Negatives: 5, Epochs: 5, LR: 0.05, MinCount: 2, Seed: 1}
+}
+
+// Word2Vec holds trained input (word) and output (context) embeddings.
+type Word2Vec struct {
+	Dim   int
+	Vocab map[string]int
+	Words []string
+	In    *mlcore.Matrix // vocab × dim word vectors
+	Out   *mlcore.Matrix // vocab × dim context vectors
+
+	counts   []int
+	negTable []int
+}
+
+// Train builds a vocabulary from sentences and trains skip-gram with
+// negative sampling. Sentences are pre-tokenized (already stemmed or
+// substituted as the caller requires).
+func Train(sentences [][]string, cfg Config) *Word2Vec {
+	w := &Word2Vec{Dim: cfg.Dim, Vocab: map[string]int{}}
+	counts := map[string]int{}
+	for _, s := range sentences {
+		for _, t := range s {
+			counts[t]++
+		}
+	}
+	var words []string
+	for t, c := range counts {
+		if c >= cfg.MinCount {
+			words = append(words, t)
+		}
+	}
+	sort.Strings(words) // deterministic ids
+	w.Words = words
+	w.counts = make([]int, len(words))
+	for i, t := range words {
+		w.Vocab[t] = i
+		w.counts[i] = counts[t]
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w.In = mlcore.RandMatrix(len(words), cfg.Dim, 0.5/float64(cfg.Dim), rng)
+	w.Out = mlcore.NewMatrix(len(words), cfg.Dim)
+	w.buildNegTable()
+	w.train(sentences, cfg, rng)
+	return w
+}
+
+// FineTune continues training the existing vectors on a new corpus,
+// extending the vocabulary with that corpus's frequent new words.
+func (w *Word2Vec) FineTune(sentences [][]string, cfg Config) {
+	counts := map[string]int{}
+	for _, s := range sentences {
+		for _, t := range s {
+			counts[t]++
+		}
+	}
+	var fresh []string
+	for t, c := range counts {
+		if c >= cfg.MinCount {
+			if _, known := w.Vocab[t]; !known {
+				fresh = append(fresh, t)
+			}
+		}
+	}
+	sort.Strings(fresh)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	if len(fresh) > 0 {
+		oldN := len(w.Words)
+		newIn := mlcore.RandMatrix(oldN+len(fresh), w.Dim, 0.5/float64(w.Dim), rng)
+		newOut := mlcore.NewMatrix(oldN+len(fresh), w.Dim)
+		copy(newIn.Data[:oldN*w.Dim], w.In.Data)
+		copy(newOut.Data[:oldN*w.Dim], w.Out.Data)
+		w.In, w.Out = newIn, newOut
+		for i, t := range fresh {
+			w.Vocab[t] = oldN + i
+			w.Words = append(w.Words, t)
+			w.counts = append(w.counts, counts[t])
+		}
+	}
+	// refresh counts of known words so the negative table tracks the
+	// combined corpus
+	for t, c := range counts {
+		if id, ok := w.Vocab[t]; ok {
+			w.counts[id] += c
+		}
+	}
+	w.buildNegTable()
+	w.train(sentences, cfg, rng)
+}
+
+const negTableSize = 1 << 16
+
+// buildNegTable constructs the unigram^(3/4) sampling table.
+func (w *Word2Vec) buildNegTable() {
+	if len(w.Words) == 0 {
+		w.negTable = nil
+		return
+	}
+	total := 0.0
+	pow := make([]float64, len(w.counts))
+	for i, c := range w.counts {
+		pow[i] = math.Pow(float64(c), 0.75)
+		total += pow[i]
+	}
+	w.negTable = make([]int, negTableSize)
+	idx := 0
+	cum := pow[0] / total
+	for i := range w.negTable {
+		w.negTable[i] = idx
+		if float64(i)/negTableSize > cum && idx < len(pow)-1 {
+			idx++
+			cum += pow[idx] / total
+		}
+	}
+}
+
+func (w *Word2Vec) sampleNegative(rng *rand.Rand, exclude int) int {
+	for tries := 0; tries < 8; tries++ {
+		id := w.negTable[rng.Intn(len(w.negTable))]
+		if id != exclude {
+			return id
+		}
+	}
+	return (exclude + 1) % len(w.Words)
+}
+
+func (w *Word2Vec) train(sentences [][]string, cfg Config, rng *rand.Rand) {
+	if len(w.Words) == 0 {
+		return
+	}
+	// Pre-encode sentences to ids.
+	enc := make([][]int, 0, len(sentences))
+	totalTokens := 0
+	for _, s := range sentences {
+		ids := make([]int, 0, len(s))
+		for _, t := range s {
+			if id, ok := w.Vocab[t]; ok {
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) > 1 {
+			enc = append(enc, ids)
+			totalTokens += len(ids)
+		}
+	}
+	steps := 0
+	totalSteps := cfg.Epochs * totalTokens
+	if totalSteps == 0 {
+		return
+	}
+	grad := make([]float64, w.Dim)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, ids := range enc {
+			for pos, center := range ids {
+				lr := cfg.LR * (1 - float64(steps)/float64(totalSteps+1))
+				if lr < cfg.LR*0.0001 {
+					lr = cfg.LR * 0.0001
+				}
+				steps++
+				win := 1 + rng.Intn(cfg.Window)
+				for off := -win; off <= win; off++ {
+					cp := pos + off
+					if off == 0 || cp < 0 || cp >= len(ids) {
+						continue
+					}
+					ctx := ids[cp]
+					vIn := w.In.Row(center)
+					for i := range grad {
+						grad[i] = 0
+					}
+					// positive pair
+					w.pair(vIn, ctx, 1, lr, grad)
+					// negatives
+					for n := 0; n < cfg.Negatives; n++ {
+						neg := w.sampleNegative(rng, ctx)
+						w.pair(vIn, neg, 0, lr, grad)
+					}
+					for i := range vIn {
+						vIn[i] += grad[i]
+					}
+				}
+			}
+		}
+	}
+}
+
+// pair applies one (center, context/negative) SGNS update to the output
+// vector and accumulates the input-vector gradient.
+func (w *Word2Vec) pair(vIn []float64, outID int, label float64, lr float64, grad []float64) {
+	vOut := w.Out.Row(outID)
+	score := mlcore.Sigmoid(mlcore.Dot(vIn, vOut))
+	g := lr * (label - score)
+	for i := range vOut {
+		grad[i] += g * vOut[i]
+		vOut[i] += g * vIn[i]
+	}
+}
+
+// Has reports whether word is in the vocabulary.
+func (w *Word2Vec) Has(word string) bool {
+	_, ok := w.Vocab[word]
+	return ok
+}
+
+// Vector returns the word's embedding, or nil for out-of-vocabulary
+// words.
+func (w *Word2Vec) Vector(word string) []float64 {
+	id, ok := w.Vocab[word]
+	if !ok {
+		return nil
+	}
+	return w.In.Row(id)
+}
+
+// Similarity returns the cosine similarity of two words (0 when either
+// is out of vocabulary).
+func (w *Word2Vec) Similarity(a, b string) float64 {
+	va, vb := w.Vector(a), w.Vector(b)
+	if va == nil || vb == nil {
+		return 0
+	}
+	return mlcore.CosineSimilarity(va, vb)
+}
+
+// Match is one nearest-neighbour result.
+type Match struct {
+	Word string
+	Sim  float64
+}
+
+// MostSimilar returns the k words nearest to the given vector.
+func (w *Word2Vec) MostSimilar(vec []float64, k int) []Match {
+	if vec == nil || k <= 0 {
+		return nil
+	}
+	out := make([]Match, 0, len(w.Words))
+	for i, word := range w.Words {
+		out = append(out, Match{Word: word, Sim: mlcore.CosineSimilarity(vec, w.In.Row(i))})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sim != out[j].Sim {
+			return out[i].Sim > out[j].Sim
+		}
+		return out[i].Word < out[j].Word
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Neighbors returns the k nearest words to word, excluding itself.
+func (w *Word2Vec) Neighbors(word string, k int) []Match {
+	vec := w.Vector(word)
+	if vec == nil {
+		return nil
+	}
+	all := w.MostSimilar(vec, k+1)
+	out := all[:0]
+	for _, m := range all {
+		if m.Word != word {
+			out = append(out, m)
+		}
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// EmbedText averages the vectors of a text's content words; returns nil
+// when nothing is in vocabulary. This is the document/label embedding
+// used by topical clustering and KG fusion.
+func (w *Word2Vec) EmbedText(text string) []float64 {
+	return w.EmbedTokens(textproc.ContentWords(text))
+}
+
+// EmbedTokens averages the vectors of pre-tokenized terms.
+func (w *Word2Vec) EmbedTokens(tokens []string) []float64 {
+	var acc []float64
+	n := 0
+	for _, t := range tokens {
+		v := w.Vector(t)
+		if v == nil {
+			continue
+		}
+		if acc == nil {
+			acc = make([]float64, len(v))
+		}
+		for i, x := range v {
+			acc[i] += x
+		}
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	for i := range acc {
+		acc[i] /= float64(n)
+	}
+	return acc
+}
+
+// ---------------------------------------------------------------- tabular
+
+// CellToken canonicalizes a table cell into a single token for
+// cell-level embeddings: §3.4 numeric substitution, lowercasing, and
+// underscore-joining.
+func CellToken(cell string) string {
+	sub := preprocess.Substitute(cell)
+	words := textproc.Words(sub)
+	if len(words) == 0 {
+		return "_empty_"
+	}
+	return strings.Join(words, "_")
+}
+
+// TermSentence flattens one table row into its term-level token
+// sequence: each cell is numeric-substituted then tokenized.
+func TermSentence(row []string) []string {
+	var out []string
+	for _, cell := range row {
+		out = append(out, textproc.Words(preprocess.Substitute(cell))...)
+	}
+	return out
+}
+
+// CellSentence maps one table row to its cell-level token sequence.
+func CellSentence(row []string) []string {
+	out := make([]string, len(row))
+	for i, cell := range row {
+		out[i] = CellToken(cell)
+	}
+	return out
+}
+
+// TableSentences converts tables to both term- and cell-level training
+// sentences, the two parallel corpora the Figure 3 model embeds.
+func TableSentences(tables [][][]string) (termSents, cellSents [][]string) {
+	for _, rows := range tables {
+		for _, row := range rows {
+			if ts := TermSentence(row); len(ts) > 0 {
+				termSents = append(termSents, ts)
+			}
+			cellSents = append(cellSents, CellSentence(row))
+		}
+	}
+	return termSents, cellSents
+}
+
+// String renders a brief summary.
+func (w *Word2Vec) String() string {
+	return fmt.Sprintf("word2vec(vocab=%d dim=%d)", len(w.Words), w.Dim)
+}

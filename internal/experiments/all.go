@@ -1,0 +1,50 @@
+package experiments
+
+import "sort"
+
+// Registry maps experiment ids to their runners.
+var Registry = map[string]func(quick bool) *Report{
+	"e1":  E1,
+	"e2":  E2,
+	"e3":  E3,
+	"e4":  E4,
+	"e5":  E5,
+	"e6":  E6,
+	"e7":  E7,
+	"e8":  E8,
+	"e9":  E9,
+	"e10": E10,
+	"e11": E11,
+	"e12": E12,
+	"e13": E13,
+}
+
+// IDs returns the registered experiment ids in run order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// e1 < e2 < ... < e10 (numeric order, not lexicographic)
+		return expNum(out[i]) < expNum(out[j])
+	})
+	return out
+}
+
+func expNum(id string) int {
+	n := 0
+	for _, r := range id[1:] {
+		n = n*10 + int(r-'0')
+	}
+	return n
+}
+
+// All runs every experiment in order.
+func All(quick bool) []*Report {
+	var out []*Report
+	for _, id := range IDs() {
+		out = append(out, Registry[id](quick))
+	}
+	return out
+}

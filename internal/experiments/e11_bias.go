@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"covidkg/internal/bias"
+	"covidkg/internal/classifier"
+	"covidkg/internal/cord19"
+	"covidkg/internal/jsondoc"
+)
+
+// E11 implements the title's "interrogated for bias": the training
+// corpus and the classifier training set are audited for topical
+// imbalance, source concentration, temporal skew, vocabulary dominance,
+// and label imbalance — once on a balanced corpus and once on a
+// deliberately skewed one, to show the probes discriminate.
+func E11(quick bool) *Report {
+	r := &Report{
+		ID:    "E11",
+		Title: "Bias interrogation of the training datasets (title claim)",
+		PaperClaim: "\"actively maintained and interrogated for bias training " +
+			"datasets\" — the KG is trustworthy because its sources are audited",
+		Header: []string{"dataset", "probe", "score", "flagged"},
+	}
+	nPubs := 400
+	if quick {
+		nPubs = 120
+	}
+	auditor := bias.NewAuditor()
+
+	// balanced: the generator's uniform sampling
+	g := cord19.NewGenerator(91)
+	var balanced []jsondoc.Doc
+	for _, p := range g.Corpus(nPubs) {
+		balanced = append(balanced, p.Doc())
+	}
+	// skewed: one topic, one journal, one month dominating
+	var skewed []jsondoc.Doc
+	g2 := cord19.NewGenerator(92)
+	for _, p := range g2.Corpus(nPubs) {
+		d := p.Doc()
+		if len(skewed) < nPubs*9/10 {
+			d["topic"] = "vaccines"
+			d["journal"] = "MegaJournal of Virology"
+			d["publish_date"] = "2020-04-15"
+		}
+		skewed = append(skewed, d)
+	}
+
+	addReport := func(name string, rep *bias.Report) {
+		flaggedSet := map[string]bool{}
+		for _, f := range rep.Findings {
+			flaggedSet[f.Probe] = true
+		}
+		for _, probe := range []string{"topic-balance", "source-concentration", "temporal-skew", "vocabulary-dominance"} {
+			score, ok := rep.Probes[probe]
+			if !ok {
+				continue
+			}
+			flag := "-"
+			if flaggedSet[probe] {
+				flag = "FLAG"
+			}
+			r.AddRow(name, probe, f3(score), flag)
+		}
+	}
+	balRep := auditor.AuditCorpus(balanced)
+	skewRep := auditor.AuditCorpus(skewed)
+	addReport("balanced corpus", balRep)
+	addReport("skewed corpus", skewRep)
+
+	// label balance of the §3.5 training set
+	var labels []int
+	for _, lt := range g.LabeledTables(60, 0.5) {
+		for _, s := range classifier.SVMSamplesFromTable(lt.Rows, lt.Meta) {
+			labels = append(labels, s.Label)
+		}
+	}
+	labRep := auditor.AuditLabels(labels)
+	r.AddRow("classifier labels", "label-balance", f3(labRep.Probes["label-balance"]),
+		map[bool]string{true: "FLAG", false: "-"}[len(labRep.Findings) > 0])
+
+	balFlagged := 0
+	for _, f := range balRep.Findings {
+		if f.Probe == "topic-balance" || f.Probe == "source-concentration" {
+			balFlagged++
+		}
+	}
+	if balFlagged == 0 && len(skewRep.Findings) >= 3 {
+		r.AddNote("shape holds: the skewed corpus trips %d probes the balanced corpus passes",
+			len(skewRep.Findings))
+	} else {
+		r.AddNote("shape check: balanced flagged %d, skewed flagged %d",
+			balFlagged, len(skewRep.Findings))
+	}
+	r.AddNote(fmt.Sprintf("corpus size %d; label set %d rows", nPubs, len(labels)))
+	return r
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"covidkg/internal/classifier"
+)
+
+// E2 reproduces the §3.6 ablation: BiGRU vs BiLSTM on the same data.
+// The paper chose biGRU: ΔF1 −0.02, ΔPrecision −0.07, ΔRecall +0.06
+// relative to biLSTM, with faster training.
+func E2(quick bool) *Report {
+	r := &Report{
+		ID:    "E2",
+		Title: "BiGRU vs BiLSTM cell ablation",
+		PaperClaim: "biGRU vs biLSTM: ΔF1 -0.02, ΔPrec -0.07, ΔRec +0.06, " +
+			"biGRU trains faster (§3.6)",
+		Header: []string{"cell", "precision", "recall", "F1", "train s"},
+	}
+	nTables, folds, units, epochs := 110, 5, 16, 8
+	if quick {
+		nTables, folds, units, epochs = 40, 2, 8, 4
+	}
+	d := buildClassificationData(nTables, 3, 3000)
+
+	gru, _, gruSec := d.crossValidateEnsemble("gru", folds, units, epochs, 4)
+	lstm, _, lstmSec := d.crossValidateEnsemble("lstm", folds, units, epochs, 4)
+
+	add := func(name string, m classifier.Metrics, sec float64) {
+		r.AddRow(name, f3(m.Precision()), f3(m.Recall()), f3(m.F1()), f1d(sec))
+	}
+	add("BiGRU", gru, gruSec)
+	add("BiLSTM", lstm, lstmSec)
+	r.AddRow("Δ (GRU−LSTM)",
+		f3(gru.Precision()-lstm.Precision()),
+		f3(gru.Recall()-lstm.Recall()),
+		f3(gru.F1()-lstm.F1()),
+		f1d(gruSec-lstmSec))
+	if gruSec < lstmSec {
+		r.AddNote("shape holds: BiGRU trained %.1fx faster than BiLSTM (the paper's "+
+			"reason for choosing biGRU)", lstmSec/gruSec)
+	} else {
+		r.AddNote("shape DIVERGES: BiGRU was not faster (%.1fs vs %.1fs)", gruSec, lstmSec)
+	}
+	dF1 := gru.F1() - lstm.F1()
+	switch {
+	case dF1 <= 0 && dF1 >= -0.15:
+		r.AddNote("shape holds: biGRU gives up a little F1 (measured %+.3f, paper -0.02) "+
+			"in exchange for speed", dF1)
+	case dF1 > 0:
+		r.AddNote("shape check: biGRU out-scored biLSTM here (%+.3f); the paper's gap "+
+			"is small enough to flip sign on a different corpus", dF1)
+	default:
+		r.AddNote("shape DIVERGES: biGRU F1 gap too large (%+.3f)", dF1)
+	}
+	return r
+}

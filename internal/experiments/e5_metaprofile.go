@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+
+	"covidkg/internal/cord19"
+	"covidkg/internal/metaprofile"
+	"covidkg/internal/tableparse"
+)
+
+// E5 reproduces Figure 6: a multi-layered meta-profile for COVID-19
+// vaccine side-effects composed from three papers, grouped by vaccine,
+// dosage, and paper.
+func E5(quick bool) *Report {
+	r := &Report{
+		ID:    "E5",
+		Title: "Meta-profiles for vaccine side-effects (Figure 6)",
+		PaperClaim: "a multi-layered 3D profile composed from three different " +
+			"COVID-19 papers, grouped by vaccine, dosage, and paper, " +
+			"summarizing 9 sources in one place",
+		Header: []string{"vaccine", "dose", "top side-effect", "mean %", "papers"},
+	}
+	_ = quick
+	g := cord19.NewGenerator(41)
+	vaccines := []string{"Pfizer-BioNTech", "Moderna", "AstraZeneca"}
+	var obs []metaprofile.Observation
+	papers := 0
+	for i := 0; i < 3; i++ {
+		pub := g.SideEffectPaper(vaccines)
+		papers++
+		for _, pt := range pub.Tables {
+			tb, err := tableparse.ParseOne(pt.HTML)
+			if err != nil {
+				panic(err)
+			}
+			obs = append(obs, metaprofile.ExtractObservations(tb, pub.ID, -1)...)
+		}
+	}
+	p := metaprofile.Build("COVID-19 Vaccine Side-effects", obs)
+	for _, group := range p.Groups() {
+		for _, layer := range p.Layers(group) {
+			aggs := p.Aggregate(group, layer)
+			if len(aggs) == 0 {
+				continue
+			}
+			top := aggs[0]
+			r.AddRow(group, layer, top.Attribute, f1d(top.Mean),
+				fmt.Sprintf("%d", top.NSources))
+		}
+	}
+	r.AddNote("profile fuses %d observations from %d papers across %d vaccines × %d dose layers",
+		len(obs), len(p.Sources()), len(p.Groups()), 2)
+	if len(p.Sources()) == papers && len(p.Groups()) == len(vaccines) {
+		r.AddNote("shape holds: one profile summarizes all %d sources, grouped by vaccine/dose/paper", papers)
+	} else {
+		r.AddNote("shape DIVERGES: sources=%d groups=%d", len(p.Sources()), len(p.Groups()))
+	}
+	return r
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"covidkg/internal/cord19"
+	"covidkg/internal/docstore"
+	"covidkg/internal/jsondoc"
+)
+
+// E6 reproduces the §2 storage claims at reduced scale: the corpus lives
+// in a hash-sharded JSON store. Ingest distributes documents evenly
+// across shards, and a concurrent read-modify-write workload — the
+// enrichment pattern of Figure 1, where classifiers "run non-stop,
+// classifying new incoming publications" and update stored documents —
+// scales with the shard count because updates hold an exclusive
+// per-shard lock.
+func E6(quick bool) *Report {
+	r := &Report{
+		ID:    "E6",
+		Title: "Sharded storage scaling (§2 Storage)",
+		PaperClaim: ">450,000 publications in a sharded MongoDB, ≈965 GB dataset, " +
+			">5 TB raw; DL models running non-stop enriching stored documents",
+		Header: []string{"shards", "docs", "ingest", "max/min shard", "update ops/s", "speedup"},
+	}
+	nDocs, workers, opsPerWorker := 4000, 8, 1500
+	if quick {
+		nDocs, workers, opsPerWorker = 1000, 4, 400
+	}
+	g := cord19.NewGenerator(51)
+	docs := make([]jsondoc.Doc, nDocs)
+	for i, p := range g.Corpus(nDocs) {
+		docs[i] = p.Doc()
+	}
+
+	var base float64
+	for _, shards := range []int{1, 2, 4, 8} {
+		store := docstore.Open(docstore.WithShards(shards))
+		coll := store.Collection("pubs")
+		start := time.Now()
+		ids := make([]string, 0, nDocs)
+		for _, d := range docs {
+			nd := d.Clone()
+			delete(nd, "_id")
+			id, err := coll.Insert(nd)
+			if err != nil {
+				panic(err)
+			}
+			ids = append(ids, id)
+		}
+		ingest := time.Since(start)
+
+		st := store.Stats()
+		minS, maxS := st.PerShard[0], st.PerShard[0]
+		for _, n := range st.PerShard {
+			if n < minS {
+				minS = n
+			}
+			if n > maxS {
+				maxS = n
+			}
+		}
+
+		// concurrent enrichment: each worker classifies and annotates
+		// random documents (read-modify-write under the shard lock)
+		start = time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < opsPerWorker; i++ {
+					id := ids[rng.Intn(len(ids))]
+					err := coll.Update(id, func(d jsondoc.Doc) error {
+						n, _ := d.GetNumber("enrich_count")
+						return d.Set("enrich_count", n+1)
+					})
+					if err != nil {
+						panic(err)
+					}
+				}
+			}(int64(w + 1))
+		}
+		wg.Wait()
+		updDur := time.Since(start)
+		rate := float64(workers*opsPerWorker) / updDur.Seconds()
+		if shards == 1 {
+			base = rate
+		}
+		r.AddRow(fmt.Sprintf("%d", shards), fmt.Sprintf("%d", nDocs),
+			ingest.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d/%d", maxS, minS),
+			fmt.Sprintf("%.0f", rate),
+			fmt.Sprintf("%.2fx", rate/base))
+	}
+	r.AddNote("update workload: %d workers × %d read-modify-write ops (the Figure 1 "+
+		"non-stop enrichment pattern); updates hold the exclusive per-shard lock", workers, opsPerWorker)
+	if runtime.NumCPU() == 1 {
+		r.AddNote("host has 1 CPU: concurrent shards cannot shorten wall-clock here; " +
+			"the measurable shape is even distribution (max/min column) and that " +
+			"sharding adds no overhead (speedup ≈ 1.0x across shard counts)")
+	} else {
+		r.AddNote("host has %d CPUs: update throughput should grow toward min(shards, CPUs)x", runtime.NumCPU())
+	}
+	r.AddNote("paper scale: 450k pubs ≈ %dx this corpus", 450000/nDocs)
+	return r
+}

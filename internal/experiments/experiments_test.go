@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportFormat(t *testing.T) {
+	r := &Report{
+		ID: "EX", Title: "demo", PaperClaim: "claim",
+		Header: []string{"a", "bb"},
+	}
+	r.AddRow("1", "2")
+	r.AddNote("hello %d", 7)
+	out := r.Format()
+	for _, want := range []string{"EX", "demo", "claim", "a", "bb", "1", "2", "hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestIDsOrder(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(Registry) {
+		t.Fatalf("ids = %v", ids)
+	}
+	if ids[0] != "e1" || ids[len(ids)-1] != "e13" {
+		t.Fatalf("order = %v", ids)
+	}
+	// numeric ordering: e9 before e10
+	for i, id := range ids {
+		if expNum(id) != i+1 {
+			t.Fatalf("order = %v", ids)
+		}
+	}
+}
+
+// runQuick runs one experiment in quick mode and does basic shape checks.
+func runQuick(t *testing.T, id string) *Report {
+	t.Helper()
+	rep := Registry[id](true)
+	if rep.ID == "" || rep.Title == "" {
+		t.Fatalf("%s: empty identity", id)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatalf("%s: no rows", id)
+	}
+	if out := rep.Format(); !strings.Contains(out, rep.ID) {
+		t.Fatalf("%s: bad format", id)
+	}
+	return rep
+}
+
+func TestE3QuickShapeHolds(t *testing.T) {
+	rep := runQuick(t, "e3")
+	if !notesContain(rep, "shape holds") {
+		t.Fatalf("E3 notes: %v", rep.Notes)
+	}
+}
+
+func TestE5QuickShapeHolds(t *testing.T) {
+	rep := runQuick(t, "e5")
+	if !notesContain(rep, "shape holds") {
+		t.Fatalf("E5 notes: %v", rep.Notes)
+	}
+}
+
+func TestE6Quick(t *testing.T) {
+	rep := runQuick(t, "e6")
+	if len(rep.Rows) != 4 {
+		t.Fatalf("E6 rows = %d", len(rep.Rows))
+	}
+}
+
+func TestE7Quick(t *testing.T) {
+	rep := runQuick(t, "e7")
+	if len(rep.Rows) < 3 {
+		t.Fatalf("E7 rows = %d", len(rep.Rows))
+	}
+}
+
+func TestE8QuickShapeHolds(t *testing.T) {
+	rep := runQuick(t, "e8")
+	if !notesContain(rep, "shape holds") {
+		t.Fatalf("E8 notes: %v", rep.Notes)
+	}
+	// the review row must exist (multi-layer subtree)
+	foundQueued := false
+	for _, row := range rep.Rows {
+		if row[2] == "queued" {
+			foundQueued = true
+		}
+	}
+	if !foundQueued {
+		t.Fatal("E8: no queued subtree in table")
+	}
+}
+
+func TestE10Quick(t *testing.T) {
+	rep := runQuick(t, "e10")
+	if len(rep.Rows) != 4 {
+		t.Fatalf("E10 rows = %d", len(rep.Rows))
+	}
+	// accuracy column must stay high at every worker count
+	for _, row := range rep.Rows {
+		if row[3] < "0.9" {
+			t.Fatalf("E10 accuracy dropped: %v", row)
+		}
+	}
+}
+
+func TestE9Quick(t *testing.T) {
+	rep := runQuick(t, "e9")
+	if len(rep.Rows) < 2 {
+		t.Fatalf("E9 rows = %d", len(rep.Rows))
+	}
+}
+
+func notesContain(r *Report, sub string) bool {
+	for _, n := range r.Notes {
+		if strings.Contains(n, sub) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,187 @@
+// Package features implements §3.2 and §3.5 of the paper: the
+// frequency-cut vocabulary that defines the term feature space (100K
+// terms at paper scale), and the 7-component positional feature vector
+// {f1..f7} extracted per table row for the SVM metadata classifier:
+//
+//	f1  the row text with numeric substitutions applied (§3.4)
+//	f2  the number of cells in the row
+//	f3  whether a row above exists
+//	f4  whether a row below exists
+//	f5  the number of cells in the row above
+//	f6  the number of cells in the row below
+//	f7  the metadata label (NULL/-1 for unlabeled instances)
+package features
+
+import (
+	"sort"
+	"strings"
+
+	"covidkg/internal/preprocess"
+	"covidkg/internal/textproc"
+)
+
+// Vocabulary is a closed term set built by sorting corpus terms by
+// frequency and cutting off noise (§3.2). Term ids are dense and stable.
+type Vocabulary struct {
+	Index map[string]int
+	Terms []string
+}
+
+// BuildVocabulary tokenizes, stems, stopword-filters, and frequency-ranks
+// the corpus texts, keeping at most maxTerms terms. The §3.4 substitution
+// keywords are always included so numeric categories survive the cut.
+func BuildVocabulary(texts []string, maxTerms int) *Vocabulary {
+	counts := map[string]int{}
+	for _, txt := range texts {
+		for _, term := range textproc.ContentWords(preprocess.Substitute(txt)) {
+			counts[term]++
+		}
+	}
+	type tc struct {
+		term string
+		n    int
+	}
+	ranked := make([]tc, 0, len(counts))
+	for t, n := range counts {
+		ranked = append(ranked, tc{t, n})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].n != ranked[j].n {
+			return ranked[i].n > ranked[j].n
+		}
+		return ranked[i].term < ranked[j].term
+	})
+
+	v := &Vocabulary{Index: map[string]int{}}
+	add := func(term string) {
+		if _, ok := v.Index[term]; ok {
+			return
+		}
+		v.Index[term] = len(v.Terms)
+		v.Terms = append(v.Terms, term)
+	}
+	// substitution keywords are part of the feature space by construction
+	for _, k := range preprocess.Keywords {
+		add(strings.ToLower(k))
+	}
+	for _, r := range ranked {
+		if maxTerms > 0 && len(v.Terms) >= maxTerms {
+			break
+		}
+		add(r.term)
+	}
+	return v
+}
+
+// Size returns the number of vocabulary terms.
+func (v *Vocabulary) Size() int { return len(v.Terms) }
+
+// Has reports whether the term is in the vocabulary.
+func (v *Vocabulary) Has(term string) bool {
+	_, ok := v.Index[term]
+	return ok
+}
+
+// BoW maps a text (after §3.4 substitution) to its term-frequency vector
+// over the vocabulary.
+func (v *Vocabulary) BoW(text string) []float64 {
+	out := make([]float64, len(v.Terms))
+	for _, term := range textproc.ContentWords(preprocess.Substitute(text)) {
+		if id, ok := v.Index[term]; ok {
+			out[id]++
+		}
+	}
+	return out
+}
+
+// Labels for f7.
+const (
+	LabelData     = 0
+	LabelMetadata = 1
+	LabelUnknown  = -1
+)
+
+// RowFeatures is the positional feature tuple of one table row.
+type RowFeatures struct {
+	Text       string // f1
+	NumCells   int    // f2
+	HasAbove   bool   // f3
+	HasBelow   bool   // f4
+	CellsAbove int    // f5
+	CellsBelow int    // f6
+	Label      int    // f7
+	RowIdx     int    // position within the source table (context, not a paper feature)
+}
+
+// countCells counts non-empty cells; padded rectangles make the raw
+// column count uninformative.
+func countCells(row []string) int {
+	n := 0
+	for _, c := range row {
+		if strings.TrimSpace(c) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// ExtractRows computes the feature tuple of every row of a table. labels
+// may be nil (every f7 becomes LabelUnknown) or must align with rows.
+func ExtractRows(rows [][]string, labels []bool) []RowFeatures {
+	out := make([]RowFeatures, len(rows))
+	for i, row := range rows {
+		f := RowFeatures{
+			Text:     strings.Join(preprocess.SubstituteCells(row), " "),
+			NumCells: countCells(row),
+			HasAbove: i > 0,
+			HasBelow: i < len(rows)-1,
+			RowIdx:   i,
+			Label:    LabelUnknown,
+		}
+		if i > 0 {
+			f.CellsAbove = countCells(rows[i-1])
+		}
+		if i < len(rows)-1 {
+			f.CellsBelow = countCells(rows[i+1])
+		}
+		if labels != nil {
+			if labels[i] {
+				f.Label = LabelMetadata
+			} else {
+				f.Label = LabelData
+			}
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// PositionalVector encodes f2..f6 as normalized numeric features. Cell
+// counts are scaled by 1/16 (wider tables are rare) so they live on the
+// same order of magnitude as the binary features.
+func (f RowFeatures) PositionalVector() []float64 {
+	b := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	const cellScale = 1.0 / 16
+	return []float64{
+		float64(f.NumCells) * cellScale,
+		b(f.HasAbove),
+		b(f.HasBelow),
+		float64(f.CellsAbove) * cellScale,
+		float64(f.CellsBelow) * cellScale,
+	}
+}
+
+// Vector builds the full SVM input: the bag-of-words encoding of f1 over
+// the vocabulary, concatenated with the positional features f2..f6.
+func (f RowFeatures) Vector(v *Vocabulary) []float64 {
+	bow := v.BoW(f.Text)
+	return append(bow, f.PositionalVector()...)
+}
+
+// VectorDim returns the dimensionality Vector produces for vocabulary v.
+func VectorDim(v *Vocabulary) int { return v.Size() + 5 }

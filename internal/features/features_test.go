@@ -1,0 +1,173 @@
+package features
+
+import (
+	"strings"
+	"testing"
+
+	"covidkg/internal/cord19"
+	"covidkg/internal/textproc"
+)
+
+func TestBuildVocabularyFrequencyOrder(t *testing.T) {
+	texts := []string{
+		"vaccine vaccine vaccine fever fever mask",
+		"vaccine fever",
+	}
+	v := BuildVocabulary(texts, 0)
+	// substitution keywords come first; corpus terms follow by frequency
+	vaccID := v.Index[textproc.Stem("vaccine")]
+	fevID := v.Index[textproc.Stem("fever")]
+	maskID := v.Index[textproc.Stem("mask")]
+	if !(vaccID < fevID && fevID < maskID) {
+		t.Fatalf("frequency order violated: vaccine=%d fever=%d mask=%d", vaccID, fevID, maskID)
+	}
+}
+
+func TestBuildVocabularyCutoff(t *testing.T) {
+	texts := []string{"alpha beta gamma delta epsilon zeta eta theta"}
+	nKeywords := len(BuildVocabulary(nil, 0).Terms)
+	v := BuildVocabulary(texts, nKeywords+3)
+	if v.Size() != nKeywords+3 {
+		t.Fatalf("size = %d, want %d", v.Size(), nKeywords+3)
+	}
+}
+
+func TestVocabularyKeywordsAlwaysPresent(t *testing.T) {
+	v := BuildVocabulary([]string{"some text"}, 5)
+	for _, k := range []string{"zero", "range", "int", "percent"} {
+		if !v.Has(k) {
+			t.Errorf("keyword %q missing", k)
+		}
+	}
+}
+
+func TestVocabularyStopwordsExcluded(t *testing.T) {
+	v := BuildVocabulary([]string{"the and of vaccine"}, 0)
+	if v.Has("the") || v.Has("and") {
+		t.Fatal("stopwords in vocabulary")
+	}
+	if !v.Has(textproc.Stem("vaccine")) {
+		t.Fatal("content word missing")
+	}
+}
+
+func TestBoW(t *testing.T) {
+	v := BuildVocabulary([]string{"vaccine fever mask"}, 0)
+	bow := v.BoW("vaccine vaccine fever")
+	if got := bow[v.Index[textproc.Stem("vaccine")]]; got != 2 {
+		t.Fatalf("vaccine tf = %v", got)
+	}
+	if got := bow[v.Index[textproc.Stem("fever")]]; got != 1 {
+		t.Fatalf("fever tf = %v", got)
+	}
+	if got := bow[v.Index[textproc.Stem("mask")]]; got != 0 {
+		t.Fatalf("mask tf = %v", got)
+	}
+	// numeric content maps onto substitution keywords
+	bow = v.BoW("5 patients with 8.5% prevalence")
+	if got := bow[v.Index["int"]]; got != 1 {
+		t.Fatalf("INT tf = %v", got)
+	}
+	if got := bow[v.Index["percent"]]; got != 1 {
+		t.Fatalf("PERCENT tf = %v", got)
+	}
+}
+
+func TestExtractRowsPositional(t *testing.T) {
+	rows := [][]string{
+		{"Vaccine", "Dose", "Fever %"},
+		{"Pfizer", "1", "8.5"},
+		{"Moderna", "", "15.2"},
+	}
+	labels := []bool{true, false, false}
+	fs := ExtractRows(rows, labels)
+	if len(fs) != 3 {
+		t.Fatalf("rows = %d", len(fs))
+	}
+	top := fs[0]
+	if top.HasAbove || !top.HasBelow {
+		t.Fatalf("top row flags: %+v", top)
+	}
+	if top.NumCells != 3 || top.CellsAbove != 0 || top.CellsBelow != 3 {
+		t.Fatalf("top row counts: %+v", top)
+	}
+	if top.Label != LabelMetadata {
+		t.Fatalf("top label = %d", top.Label)
+	}
+	mid := fs[1]
+	if !mid.HasAbove || !mid.HasBelow || mid.CellsAbove != 3 || mid.CellsBelow != 2 {
+		t.Fatalf("mid row: %+v", mid)
+	}
+	if mid.Label != LabelData {
+		t.Fatalf("mid label = %d", mid.Label)
+	}
+	bot := fs[2]
+	if bot.HasBelow || bot.NumCells != 2 {
+		t.Fatalf("bottom row: %+v", bot)
+	}
+}
+
+func TestExtractRowsSubstitutesNumbers(t *testing.T) {
+	fs := ExtractRows([][]string{{"8.5%", "5-10 mg"}}, nil)
+	if !strings.Contains(fs[0].Text, "PERCENT") || !strings.Contains(fs[0].Text, "RANGE") {
+		t.Fatalf("f1 = %q", fs[0].Text)
+	}
+	if fs[0].Label != LabelUnknown {
+		t.Fatalf("unlabeled f7 = %d", fs[0].Label)
+	}
+}
+
+func TestPositionalVector(t *testing.T) {
+	f := RowFeatures{NumCells: 4, HasAbove: true, HasBelow: false, CellsAbove: 3, CellsBelow: 0}
+	v := f.PositionalVector()
+	if len(v) != 5 {
+		t.Fatalf("len = %d", len(v))
+	}
+	if v[0] != 4.0/16 || v[1] != 1 || v[2] != 0 || v[3] != 3.0/16 || v[4] != 0 {
+		t.Fatalf("vector = %v", v)
+	}
+}
+
+func TestVectorDimension(t *testing.T) {
+	v := BuildVocabulary([]string{"vaccine fever"}, 0)
+	f := ExtractRows([][]string{{"vaccine", "2"}}, nil)[0]
+	vec := f.Vector(v)
+	if len(vec) != VectorDim(v) {
+		t.Fatalf("dim = %d, want %d", len(vec), VectorDim(v))
+	}
+}
+
+func TestFeaturesSeparateGeneratedMetadata(t *testing.T) {
+	// Sanity: on generated tables, metadata rows should on average carry
+	// fewer numeric-substitution keywords than data rows — the signal the
+	// SVM learns from f1.
+	g := cord19.NewGenerator(5)
+	v := BuildVocabulary([]string{"placeholder"}, 0)
+	var keywordIDs []int
+	for _, kw := range []string{"zero", "range", "neg", "smallpos", "float", "int", "percent", "time", "ml", "mg", "kg"} {
+		if id, ok := v.Index[kw]; ok {
+			keywordIDs = append(keywordIDs, id)
+		}
+	}
+	var metaNum, metaN, dataNum, dataN float64
+	for _, lt := range g.LabeledTables(100, 1.0) {
+		for _, f := range ExtractRows(lt.Rows, lt.Meta) {
+			bow := v.BoW(f.Text)
+			score := 0.0
+			for _, id := range keywordIDs {
+				score += bow[id]
+			}
+			if f.Label == LabelMetadata {
+				metaNum += score
+				metaN++
+			} else {
+				dataNum += score
+				dataN++
+			}
+		}
+	}
+	if metaNum/metaN >= dataNum/dataN {
+		t.Fatalf("metadata rows look as numeric as data rows: %v vs %v",
+			metaNum/metaN, dataNum/dataN)
+	}
+}

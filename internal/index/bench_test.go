@@ -1,0 +1,59 @@
+package index
+
+import (
+	"fmt"
+	"testing"
+
+	"covidkg/internal/textproc"
+)
+
+const benchText = "Masks reduce droplet transmission of SARS-CoV-2 in hospital settings; vaccination lowers severity and mortality among elderly patients with comorbidities."
+
+func BenchmarkAdd(b *testing.B) {
+	ix := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix.Add(fmt.Sprintf("d%d", i), "abstract", benchText)
+	}
+}
+
+func benchIndex(n int) *Index {
+	ix := New()
+	for i := 0; i < n; i++ {
+		ix.Add(fmt.Sprintf("d%d", i), "abstract", benchText)
+		ix.Add(fmt.Sprintf("d%d", i), "title", "Masks and vaccines")
+	}
+	return ix
+}
+
+func BenchmarkTFIDF(b *testing.B) {
+	ix := benchIndex(2000)
+	term := textproc.Stem("masks")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ix.TFIDF(term, "d42") == 0 {
+			b.Fatal("no score")
+		}
+	}
+}
+
+func BenchmarkDocsWithAll(b *testing.B) {
+	ix := benchIndex(2000)
+	terms := []string{textproc.Stem("masks"), textproc.Stem("vaccination")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(ix.DocsWithAll(terms)) == 0 {
+			b.Fatal("no docs")
+		}
+	}
+}
+
+func BenchmarkMinPairDistance(b *testing.B) {
+	ix := benchIndex(100)
+	a := textproc.Stem("masks")
+	c := textproc.Stem("transmission")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.MinPairDistance("d7", a, c)
+	}
+}

@@ -1,0 +1,345 @@
+// Package index implements the inverted text index and the TF-IDF term
+// weighting [Spärck Jones 1972] that back the COVIDKG search engines'
+// ranking function (§2.1). The index stores, per stemmed term, positional
+// postings by document and field, so rankers can weight the number of
+// matches, the field a term matched in, and the proximity between
+// matched terms — the three dynamic features the paper names.
+package index
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"covidkg/internal/textproc"
+)
+
+// Posting records the occurrences of one term in one field of one
+// document. Positions are token offsets within that field.
+type Posting struct {
+	DocID     string
+	Field     string
+	Positions []int
+}
+
+// fieldKey identifies a (document, field) pair.
+type fieldKey struct {
+	doc   string
+	field string
+}
+
+// fieldPostings maps field name → positions for one (term, doc) pair.
+type fieldPostings map[string][]int
+
+// Index is a thread-safe inverted index over stemmed content words.
+// Postings are keyed term → doc → field so per-document scoring (the
+// search ranking hot path) never scans other documents' postings.
+type Index struct {
+	mu sync.RWMutex
+	// postings: term -> doc -> field -> positions
+	postings map[string]map[string]fieldPostings
+	// docTerms: doc -> set of terms, for removal
+	docTerms map[string]map[string]struct{}
+	// fieldLen: (doc, field) -> token count, for normalization
+	fieldLen map[fieldKey]int
+	docs     map[string]struct{}
+}
+
+// New creates an empty index.
+func New() *Index {
+	return &Index{
+		postings: map[string]map[string]fieldPostings{},
+		docTerms: map[string]map[string]struct{}{},
+		fieldLen: map[fieldKey]int{},
+		docs:     map[string]struct{}{},
+	}
+}
+
+// Add tokenizes, stems, and indexes text as the given field of doc.
+// Calling Add twice for the same (doc, field) appends, with positions
+// continuing after the previous call's tokens.
+func (ix *Index) Add(docID, field, text string) {
+	terms := textproc.ContentWords(text)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.docs[docID] = struct{}{}
+	fk := fieldKey{docID, field}
+	base := ix.fieldLen[fk]
+	ix.fieldLen[fk] = base + len(terms)
+	seen := ix.docTerms[docID]
+	if seen == nil {
+		seen = map[string]struct{}{}
+		ix.docTerms[docID] = seen
+	}
+	for i, term := range terms {
+		byDoc := ix.postings[term]
+		if byDoc == nil {
+			byDoc = map[string]fieldPostings{}
+			ix.postings[term] = byDoc
+		}
+		fp := byDoc[docID]
+		if fp == nil {
+			fp = fieldPostings{}
+			byDoc[docID] = fp
+		}
+		fp[field] = append(fp[field], base+i)
+		seen[term] = struct{}{}
+	}
+}
+
+// Remove deletes every posting of doc.
+func (ix *Index) Remove(docID string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	terms, ok := ix.docTerms[docID]
+	if !ok {
+		return
+	}
+	for term := range terms {
+		byDoc := ix.postings[term]
+		delete(byDoc, docID)
+		if len(byDoc) == 0 {
+			delete(ix.postings, term)
+		}
+	}
+	delete(ix.docTerms, docID)
+	for fk := range ix.fieldLen {
+		if fk.doc == docID {
+			delete(ix.fieldLen, fk)
+		}
+	}
+	delete(ix.docs, docID)
+}
+
+// DocCount returns the number of indexed documents.
+func (ix *Index) DocCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docs)
+}
+
+// DocFreq returns the number of documents containing term (already
+// stemmed).
+func (ix *Index) DocFreq(term string) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.postings[term])
+}
+
+// IDF returns the inverse document frequency of a stemmed term:
+// log((N+1)/(df+1)) + 1, smoothed so unseen terms still rank.
+func (ix *Index) IDF(term string) float64 {
+	ix.mu.RLock()
+	n := len(ix.docs)
+	df := len(ix.postings[term])
+	ix.mu.RUnlock()
+	return math.Log(float64(n+1)/float64(df+1)) + 1
+}
+
+// TermFreq returns the occurrence count of term in the given field of
+// doc.
+func (ix *Index) TermFreq(term, docID, field string) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.postings[term][docID][field])
+}
+
+// TFIDF returns the tf·idf weight of term in doc, summed across fields
+// and normalized by field length.
+func (ix *Index) TFIDF(term, docID string) float64 {
+	ix.mu.RLock()
+	fp, ok := ix.postings[term][docID]
+	tf := 0.0
+	if ok {
+		for field, pos := range fp {
+			if l := ix.fieldLen[fieldKey{docID, field}]; l > 0 {
+				tf += float64(len(pos)) / float64(l)
+			}
+		}
+	}
+	ix.mu.RUnlock()
+	if tf == 0 {
+		return 0
+	}
+	return tf * ix.IDF(term)
+}
+
+// Lookup returns all postings of a stemmed term, sorted by (doc, field)
+// for determinism.
+func (ix *Index) Lookup(term string) []Posting {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	byDoc, ok := ix.postings[term]
+	if !ok {
+		return nil
+	}
+	var out []Posting
+	for doc, fp := range byDoc {
+		for field, pos := range fp {
+			cp := make([]int, len(pos))
+			copy(cp, pos)
+			out = append(out, Posting{DocID: doc, Field: field, Positions: cp})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DocID != out[j].DocID {
+			return out[i].DocID < out[j].DocID
+		}
+		return out[i].Field < out[j].Field
+	})
+	return out
+}
+
+// DocsWithAll returns the ids of documents containing every given stemmed
+// term (in any field), sorted.
+func (ix *Index) DocsWithAll(terms []string) []string {
+	if len(terms) == 0 {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	smallest := ""
+	smallestN := math.MaxInt
+	for _, t := range terms {
+		n := len(ix.postings[t])
+		if n < smallestN {
+			smallestN, smallest = n, t
+		}
+	}
+	if smallestN == 0 {
+		return nil
+	}
+	var out []string
+	for doc := range ix.postings[smallest] {
+		all := true
+		for _, t := range terms {
+			if t == smallest {
+				continue
+			}
+			if _, ok := ix.postings[t][doc]; !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, doc)
+		}
+	}
+	if out == nil {
+		return nil
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DocsWithAnyInFields returns the ids of documents containing at least
+// one of the given stemmed terms inside one of the allowed fields (nil
+// fields means any field), sorted. Search engines use this to restrict
+// a query to candidate documents before ranking.
+func (ix *Index) DocsWithAnyInFields(terms []string, fields map[string]bool) []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	set := map[string]struct{}{}
+	for _, t := range terms {
+		for doc, fp := range ix.postings[t] {
+			if fields == nil {
+				set[doc] = struct{}{}
+				continue
+			}
+			for field := range fp {
+				if fields[field] {
+					set[doc] = struct{}{}
+					break
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DocsWithAny returns the ids of documents containing at least one of the
+// given stemmed terms, sorted.
+func (ix *Index) DocsWithAny(terms []string) []string {
+	return ix.DocsWithAnyInFields(terms, nil)
+}
+
+// MinPairDistance returns the smallest token distance in doc between any
+// occurrence of term a and any occurrence of term b within the same
+// field, or -1 when they never co-occur in a field. Rankers use this as
+// the proximity feature.
+func (ix *Index) MinPairDistance(docID, a, b string) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	fpA, okA := ix.postings[a][docID]
+	fpB, okB := ix.postings[b][docID]
+	if !okA || !okB {
+		return -1
+	}
+	best := -1
+	for field, posA := range fpA {
+		posB, ok := fpB[field]
+		if !ok {
+			continue
+		}
+		d := minListDistance(posA, posB)
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// minListDistance computes the minimum absolute difference between any
+// element of two sorted int lists in O(n+m).
+func minListDistance(a, b []int) int {
+	i, j := 0, 0
+	best := math.MaxInt
+	for i < len(a) && j < len(b) {
+		d := a[i] - b[j]
+		if d < 0 {
+			d = -d
+		}
+		if d < best {
+			best = d
+		}
+		if a[i] < b[j] {
+			i++
+		} else {
+			j++
+		}
+	}
+	return best
+}
+
+// Terms returns every indexed term, sorted; used by vocabulary tooling.
+func (ix *Index) Terms() []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]string, 0, len(ix.postings))
+	for t := range ix.postings {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FieldsOf returns the fields of doc that contain term, sorted.
+func (ix *Index) FieldsOf(docID, term string) []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	fp, ok := ix.postings[term][docID]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(fp))
+	for field := range fp {
+		out = append(out, field)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,237 @@
+package index
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"covidkg/internal/textproc"
+)
+
+func buildSmall() *Index {
+	ix := New()
+	ix.Add("d1", "title", "Masks and transmission of COVID-19")
+	ix.Add("d1", "abstract", "We study masks. Masks reduce transmission.")
+	ix.Add("d2", "title", "Vaccine side effects")
+	ix.Add("d2", "abstract", "Fever after vaccination was common.")
+	ix.Add("d3", "abstract", "Masks and ventilators in intensive care.")
+	return ix
+}
+
+func TestDocCountAndDocFreq(t *testing.T) {
+	ix := buildSmall()
+	if ix.DocCount() != 3 {
+		t.Fatalf("DocCount = %d", ix.DocCount())
+	}
+	mask := textproc.Stem("masks")
+	if df := ix.DocFreq(mask); df != 2 {
+		t.Fatalf("DocFreq(mask) = %d", df)
+	}
+	vacc := textproc.Stem("vaccination")
+	if df := ix.DocFreq(vacc); df != 1 {
+		t.Fatalf("DocFreq(vaccin) = %d", df)
+	}
+	if df := ix.DocFreq("zzz"); df != 0 {
+		t.Fatalf("DocFreq(zzz) = %d", df)
+	}
+}
+
+func TestIDFOrdering(t *testing.T) {
+	ix := buildSmall()
+	rare := ix.IDF(textproc.Stem("ventilators"))
+	common := ix.IDF(textproc.Stem("masks"))
+	if rare <= common {
+		t.Fatalf("rare term should out-weigh common: %v <= %v", rare, common)
+	}
+	if unseen := ix.IDF("zzz"); unseen <= rare {
+		t.Fatalf("unseen should have max idf: %v", unseen)
+	}
+}
+
+func TestTermFreqAndTFIDF(t *testing.T) {
+	ix := buildSmall()
+	mask := textproc.Stem("masks")
+	if tf := ix.TermFreq(mask, "d1", "abstract"); tf != 2 {
+		t.Fatalf("TermFreq = %d", tf)
+	}
+	if tf := ix.TermFreq(mask, "d2", "abstract"); tf != 0 {
+		t.Fatalf("TermFreq absent = %d", tf)
+	}
+	if w := ix.TFIDF(mask, "d1"); w <= 0 {
+		t.Fatalf("TFIDF = %v", w)
+	}
+	if w := ix.TFIDF(mask, "d2"); w != 0 {
+		t.Fatalf("TFIDF for non-matching doc = %v", w)
+	}
+	// d1 mentions masks three times across fields; d3 once
+	if ix.TFIDF(mask, "d1") <= ix.TFIDF(mask, "d3") {
+		t.Fatal("more mentions should raise tf-idf")
+	}
+}
+
+func TestLookupDeterministic(t *testing.T) {
+	ix := buildSmall()
+	mask := textproc.Stem("masks")
+	p1 := ix.Lookup(mask)
+	p2 := ix.Lookup(mask)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("Lookup not deterministic")
+	}
+	if len(p1) != 3 { // d1/title, d1/abstract, d3/abstract
+		t.Fatalf("postings = %v", p1)
+	}
+	if p1[0].DocID != "d1" || p1[0].Field != "abstract" {
+		t.Fatalf("sort order: %v", p1[0])
+	}
+	if ix.Lookup("zzz") != nil {
+		t.Fatal("missing term should return nil")
+	}
+}
+
+func TestLookupReturnsCopy(t *testing.T) {
+	ix := buildSmall()
+	mask := textproc.Stem("masks")
+	p := ix.Lookup(mask)
+	p[0].Positions[0] = 999
+	q := ix.Lookup(mask)
+	if q[0].Positions[0] == 999 {
+		t.Fatal("Lookup leaked internal positions slice")
+	}
+}
+
+func TestDocsWithAllAndAny(t *testing.T) {
+	ix := buildSmall()
+	mask := textproc.Stem("masks")
+	trans := textproc.Stem("transmission")
+	vent := textproc.Stem("ventilators")
+
+	if got := ix.DocsWithAll([]string{mask, trans}); !reflect.DeepEqual(got, []string{"d1"}) {
+		t.Fatalf("DocsWithAll = %v", got)
+	}
+	if got := ix.DocsWithAll([]string{mask, "zzz"}); got != nil {
+		t.Fatalf("DocsWithAll with unseen = %v", got)
+	}
+	if got := ix.DocsWithAll(nil); got != nil {
+		t.Fatalf("DocsWithAll(nil) = %v", got)
+	}
+	got := ix.DocsWithAny([]string{vent, trans})
+	if !reflect.DeepEqual(got, []string{"d1", "d3"}) {
+		t.Fatalf("DocsWithAny = %v", got)
+	}
+}
+
+func TestMinPairDistance(t *testing.T) {
+	ix := New()
+	ix.Add("d", "body", "masks reduce viral transmission in hospitals")
+	mask := textproc.Stem("masks")
+	trans := textproc.Stem("transmission")
+	hosp := textproc.Stem("hospitals")
+	// content words: mask reduc viral transmiss hospit -> positions 0..4
+	if d := ix.MinPairDistance("d", mask, trans); d != 3 {
+		t.Fatalf("distance mask..transmission = %d", d)
+	}
+	if d := ix.MinPairDistance("d", trans, hosp); d != 1 {
+		t.Fatalf("distance transmission..hospitals = %d", d)
+	}
+	if d := ix.MinPairDistance("d", mask, "zzz"); d != -1 {
+		t.Fatalf("distance to unseen = %d", d)
+	}
+	// terms in different fields never pair
+	ix.Add("d2", "title", "masks")
+	ix.Add("d2", "abstract", "transmission")
+	if d := ix.MinPairDistance("d2", mask, trans); d != -1 {
+		t.Fatalf("cross-field distance = %d", d)
+	}
+}
+
+func TestAddAppendsPositions(t *testing.T) {
+	ix := New()
+	ix.Add("d", "body", "masks masks")
+	ix.Add("d", "body", "masks")
+	mask := textproc.Stem("masks")
+	p := ix.Lookup(mask)
+	if len(p) != 1 || !reflect.DeepEqual(p[0].Positions, []int{0, 1, 2}) {
+		t.Fatalf("positions = %v", p)
+	}
+	if tf := ix.TermFreq(mask, "d", "body"); tf != 3 {
+		t.Fatalf("tf = %d", tf)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	ix := buildSmall()
+	mask := textproc.Stem("masks")
+	ix.Remove("d1")
+	if ix.DocCount() != 2 {
+		t.Fatalf("DocCount = %d", ix.DocCount())
+	}
+	if df := ix.DocFreq(mask); df != 1 {
+		t.Fatalf("DocFreq after remove = %d", df)
+	}
+	if w := ix.TFIDF(mask, "d1"); w != 0 {
+		t.Fatalf("removed doc still scores %v", w)
+	}
+	// removing a term's last doc erases the term entirely
+	ix.Remove("d3")
+	if got := ix.Lookup(mask); got != nil {
+		t.Fatalf("postings survived: %v", got)
+	}
+	ix.Remove("never-there") // no-op must not panic
+}
+
+func TestFieldsOf(t *testing.T) {
+	ix := buildSmall()
+	mask := textproc.Stem("masks")
+	got := ix.FieldsOf("d1", mask)
+	if !reflect.DeepEqual(got, []string{"abstract", "title"}) {
+		t.Fatalf("FieldsOf = %v", got)
+	}
+	if ix.FieldsOf("d2", mask) != nil {
+		t.Fatal("no fields expected")
+	}
+}
+
+func TestTermsSorted(t *testing.T) {
+	ix := New()
+	ix.Add("d", "f", "zebra apple monkey")
+	got := ix.Terms()
+	if len(got) != 3 {
+		t.Fatalf("terms = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("not sorted: %v", got)
+		}
+	}
+}
+
+func TestConcurrentAddLookup(t *testing.T) {
+	ix := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ix.Add(fmt.Sprintf("d%d-%d", w, i), "body", "masks and vaccines for covid")
+				ix.Lookup(textproc.Stem("masks"))
+				ix.TFIDF(textproc.Stem("vaccines"), fmt.Sprintf("d%d-%d", w, i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ix.DocCount() != 400 {
+		t.Fatalf("DocCount = %d", ix.DocCount())
+	}
+}
+
+func TestStopwordsNeverIndexed(t *testing.T) {
+	ix := New()
+	ix.Add("d", "body", "the and of masks")
+	for _, sw := range []string{"the", "and", "of"} {
+		if ix.DocFreq(sw) != 0 {
+			t.Errorf("stopword %q indexed", sw)
+		}
+	}
+}

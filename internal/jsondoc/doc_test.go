@@ -1,0 +1,400 @@
+package jsondoc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromJSONRoundTrip(t *testing.T) {
+	src := `{"title":"Masks and transmission","year":2021,"authors":[{"name":"A"},{"name":"B"}],"open":true}`
+	d, err := FromJSON([]byte(src))
+	if err != nil {
+		t.Fatalf("FromJSON: %v", err)
+	}
+	d2, err := FromJSON(d.JSON())
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if !Equal(map[string]any(d), map[string]any(d2)) {
+		t.Fatalf("round trip changed doc:\n%v\n%v", d, d2)
+	}
+}
+
+func TestFromJSONError(t *testing.T) {
+	if _, err := FromJSON([]byte(`{"broken`)); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := FromJSON([]byte(`[1,2,3]`)); err == nil {
+		t.Fatal("expected error for non-object")
+	}
+}
+
+func TestGetDottedPaths(t *testing.T) {
+	d := MustFromJSON(`{"a":{"b":{"c":42}},"arr":[{"x":1},{"x":2}],"s":"hi"}`)
+	cases := []struct {
+		path string
+		want any
+		ok   bool
+	}{
+		{"a.b.c", float64(42), true},
+		{"arr.0.x", float64(1), true},
+		{"arr.1.x", float64(2), true},
+		{"arr.2.x", nil, false},
+		{"arr.-1.x", nil, false},
+		{"a.b", map[string]any{"c": float64(42)}, true},
+		{"s", "hi", true},
+		{"missing", nil, false},
+		{"a.b.c.d", nil, false},
+		{"s.x", nil, false},
+	}
+	for _, c := range cases {
+		got, ok := d.Get(c.path)
+		if ok != c.ok {
+			t.Errorf("Get(%q) ok = %v, want %v", c.path, ok, c.ok)
+			continue
+		}
+		if ok && !Equal(got, c.want) {
+			t.Errorf("Get(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestGetTypedAccessors(t *testing.T) {
+	d := MustFromJSON(`{"n":3.5,"s":"x","a":[1,2],"o":{"k":"v"}}`)
+	if n, ok := d.GetNumber("n"); !ok || n != 3.5 {
+		t.Errorf("GetNumber = %v,%v", n, ok)
+	}
+	if _, ok := d.GetNumber("s"); ok {
+		t.Error("GetNumber on string should fail")
+	}
+	if s := d.GetString("s"); s != "x" {
+		t.Errorf("GetString = %q", s)
+	}
+	if s := d.GetString("n"); s != "" {
+		t.Errorf("GetString on number = %q", s)
+	}
+	if a := d.GetArray("a"); len(a) != 2 {
+		t.Errorf("GetArray = %v", a)
+	}
+	if a := d.GetArray("missing"); a != nil {
+		t.Errorf("GetArray missing = %v", a)
+	}
+	if o := d.GetDoc("o"); o.GetString("k") != "v" {
+		t.Errorf("GetDoc = %v", o)
+	}
+	if o := d.GetDoc("n"); o != nil {
+		t.Errorf("GetDoc on number = %v", o)
+	}
+}
+
+func TestSetCreatesIntermediates(t *testing.T) {
+	d := New()
+	if err := d.Set("a.b.c", 7); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if v, ok := d.GetNumber("a.b.c"); !ok || v != 7 {
+		t.Fatalf("after Set, Get = %v,%v", v, ok)
+	}
+}
+
+func TestSetIntoArray(t *testing.T) {
+	d := MustFromJSON(`{"arr":[{"x":1},{"x":2}]}`)
+	if err := d.Set("arr.1.x", 99); err != nil {
+		t.Fatalf("Set into array: %v", err)
+	}
+	if v, _ := d.GetNumber("arr.1.x"); v != 99 {
+		t.Fatalf("got %v", v)
+	}
+	if err := d.Set("arr.9.x", 1); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestSetThroughScalarFails(t *testing.T) {
+	d := MustFromJSON(`{"s":"hello"}`)
+	if err := d.Set("s.inner", 1); err == nil {
+		t.Fatal("expected error setting through scalar")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	d := MustFromJSON(`{"a":{"b":1,"c":2}}`)
+	d.Delete("a.b")
+	if d.Has("a.b") {
+		t.Fatal("a.b should be deleted")
+	}
+	if !d.Has("a.c") {
+		t.Fatal("a.c should survive")
+	}
+	d.Delete("nope.nope") // no-op
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := MustFromJSON(`{"a":{"b":[1,2,3]}}`)
+	c := d.Clone()
+	if err := c.Set("a.b.0", 99); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if v, _ := d.GetNumber("a.b.0"); v != 1 {
+		t.Fatalf("clone mutated original: %v", v)
+	}
+	var nilDoc Doc
+	if nilDoc.Clone() != nil {
+		t.Fatal("Clone(nil) should be nil")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Normalize(map[string]any{"i": 5, "f": float32(1.5), "arr": []any{int64(2)}, "ss": []string{"a"}})
+	m := v.(map[string]any)
+	if m["i"] != float64(5) {
+		t.Errorf("int not normalized: %T", m["i"])
+	}
+	if m["f"] != float64(1.5) {
+		t.Errorf("float32 not normalized: %v", m["f"])
+	}
+	if m["arr"].([]any)[0] != float64(2) {
+		t.Errorf("nested int64 not normalized")
+	}
+	if m["ss"].([]any)[0] != "a" {
+		t.Errorf("[]string not normalized")
+	}
+}
+
+func TestCompareTypeOrder(t *testing.T) {
+	// null < number < string < object < array < bool
+	ordered := []any{nil, float64(1), "a", map[string]any{}, []any{}, false}
+	for i := 0; i < len(ordered); i++ {
+		for j := 0; j < len(ordered); j++ {
+			got := Compare(ordered[i], ordered[j])
+			want := cmpInt(i, j)
+			if got != want {
+				t.Errorf("Compare(%v,%v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestCompareWithinTypes(t *testing.T) {
+	if Compare(float64(1), float64(2)) != -1 {
+		t.Error("1 < 2")
+	}
+	if Compare("b", "a") != 1 {
+		t.Error("b > a")
+	}
+	if Compare(true, false) != 1 {
+		t.Error("true > false")
+	}
+	if Compare([]any{1.0, 2.0}, []any{1.0, 2.0, 3.0}) != -1 {
+		t.Error("shorter array sorts first on prefix match")
+	}
+	if Compare(map[string]any{"a": 1.0}, map[string]any{"a": 2.0}) != -1 {
+		t.Error("object value compare")
+	}
+	if Compare(map[string]any{"a": 1.0}, map[string]any{"b": 1.0}) != -1 {
+		t.Error("object key compare")
+	}
+	if Compare(int(3), float64(3)) != 0 {
+		t.Error("int/float64 numeric equality")
+	}
+}
+
+func TestCompareTotalOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	gen := func() any { return randomValue(rng, 3) }
+	for i := 0; i < 500; i++ {
+		a, b, c := gen(), gen(), gen()
+		// antisymmetry
+		if Compare(a, b) != -Compare(b, a) {
+			t.Fatalf("antisymmetry violated for %v, %v", a, b)
+		}
+		// reflexivity
+		if Compare(a, a) != 0 {
+			t.Fatalf("reflexivity violated for %v", a)
+		}
+		// transitivity (weak check)
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+			t.Fatalf("transitivity violated for %v, %v, %v", a, b, c)
+		}
+	}
+}
+
+func randomValue(rng *rand.Rand, depth int) any {
+	if depth == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return nil
+		case 1:
+			return rng.Float64() * 100
+		case 2:
+			return string(rune('a' + rng.Intn(26)))
+		default:
+			return rng.Intn(2) == 0
+		}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return nil
+	case 1:
+		return rng.Float64() * 100
+	case 2:
+		return string(rune('a' + rng.Intn(26)))
+	case 3:
+		return rng.Intn(2) == 0
+	case 4:
+		n := rng.Intn(3)
+		arr := make([]any, n)
+		for i := range arr {
+			arr[i] = randomValue(rng, depth-1)
+		}
+		return arr
+	default:
+		n := rng.Intn(3)
+		m := map[string]any{}
+		for i := 0; i < n; i++ {
+			m[string(rune('a'+rng.Intn(5)))] = randomValue(rng, depth-1)
+		}
+		return m
+	}
+}
+
+func TestSetGetQuickProperty(t *testing.T) {
+	// For any generated simple key and float value, Set then Get returns it.
+	f := func(key uint8, val float64) bool {
+		k := "k" + string(rune('a'+int(key)%26))
+		d := New()
+		if err := d.Set(k, val); err != nil {
+			return false
+		}
+		got, ok := d.GetNumber(k)
+		return ok && got == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFieldsSorted(t *testing.T) {
+	d := MustFromJSON(`{"z":1,"a":2,"m":3}`)
+	got := d.Fields()
+	want := []string{"a", "m", "z"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Fields = %v", got)
+	}
+}
+
+func TestCloneNestedDocType(t *testing.T) {
+	inner := Doc{"x": float64(1)}
+	d := Doc{"inner": inner}
+	c := d.Clone()
+	m, ok := c["inner"].(map[string]any)
+	if !ok {
+		t.Fatalf("nested Doc should clone to map[string]any, got %T", c["inner"])
+	}
+	m["x"] = float64(2)
+	if inner["x"] != float64(1) {
+		t.Fatal("clone shares nested Doc")
+	}
+}
+
+func TestStringAndMustFromJSON(t *testing.T) {
+	d := MustFromJSON(`{"a":1}`)
+	if d.String() != `{"a":1}` {
+		t.Fatalf("String = %q", d.String())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustFromJSON should panic on bad input")
+		}
+	}()
+	MustFromJSON(`{"broken`)
+}
+
+func TestNormalizeAllIntWidths(t *testing.T) {
+	cases := []any{
+		int8(1), int16(2), int32(3), int64(4),
+		uint(5), uint8(6), uint16(7), uint32(8), uint64(9),
+	}
+	for _, v := range cases {
+		n := Normalize(v)
+		if _, ok := n.(float64); !ok {
+			t.Errorf("Normalize(%T) = %T", v, n)
+		}
+	}
+	// []float64 passthrough
+	fs := Normalize([]float64{1.5, 2.5}).([]any)
+	if fs[0] != 1.5 {
+		t.Fatalf("[]float64: %v", fs)
+	}
+	// Doc value
+	m := Normalize(Doc{"k": 7}).(map[string]any)
+	if m["k"] != float64(7) {
+		t.Fatalf("Doc normalize: %v", m)
+	}
+	// struct fallback round-trips through JSON
+	type pt struct{ X int }
+	out := Normalize(pt{X: 3}).(map[string]any)
+	if out["X"] != float64(3) {
+		t.Fatalf("struct fallback: %v", out)
+	}
+}
+
+func TestNormalizeDoc(t *testing.T) {
+	d := NormalizeDoc(Doc{"i": 5, "nested": map[string]any{"j": int64(6)}})
+	if d["i"] != float64(5) {
+		t.Fatalf("i = %v", d["i"])
+	}
+	if d.GetDoc("nested")["j"] != float64(6) {
+		t.Fatalf("nested = %v", d["nested"])
+	}
+}
+
+func TestGetNumberIntVariants(t *testing.T) {
+	d := Doc{"a": int(3), "b": int64(4)}
+	if v, ok := d.GetNumber("a"); !ok || v != 3 {
+		t.Fatalf("int: %v %v", v, ok)
+	}
+	if v, ok := d.GetNumber("b"); !ok || v != 4 {
+		t.Fatalf("int64: %v %v", v, ok)
+	}
+	if _, ok := d.GetNumber("missing"); ok {
+		t.Fatal("missing path")
+	}
+}
+
+func TestGetDocOnDocValue(t *testing.T) {
+	inner := Doc{"x": 1.0}
+	d := Doc{"inner": inner}
+	if got := d.GetDoc("inner"); got == nil || got["x"] != 1.0 {
+		t.Fatalf("GetDoc(Doc) = %v", got)
+	}
+	if d.GetDoc("missing") != nil {
+		t.Fatal("missing GetDoc")
+	}
+}
+
+func TestSetEmptyPath(t *testing.T) {
+	d := New()
+	if err := d.Set("", 1); err == nil {
+		t.Fatal("empty path should error")
+	}
+}
+
+func TestDeleteEmptyPath(t *testing.T) {
+	d := MustFromJSON(`{"a":1}`)
+	d.Delete("") // no-op, no panic
+	if !d.Has("a") {
+		t.Fatal("delete of empty path mutated doc")
+	}
+}
+
+func TestCompareNumericMixedTypes(t *testing.T) {
+	if Compare(int64(5), float64(5)) != 0 {
+		t.Fatal("int64 vs float64")
+	}
+	if Compare(int(3), int64(4)) != -1 {
+		t.Fatal("int vs int64")
+	}
+}

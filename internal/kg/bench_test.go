@@ -1,0 +1,57 @@
+package kg
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchGraph(n int) *Graph {
+	g := SeedCOVID(nil)
+	f := NewFuser(g)
+	for i := 0; i < n; i++ {
+		f.Fuse(NewSubtree("Vaccines", fmt.Sprintf("Vaccine-%d", i)))
+		f.Fuse(NewSubtree("Symptoms", fmt.Sprintf("Symptom-%d", i)))
+	}
+	return g
+}
+
+func BenchmarkFuseTermMatch(b *testing.B) {
+	g := SeedCOVID(nil)
+	f := NewFuser(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Fuse(NewSubtree("Vaccines", fmt.Sprintf("V-%d", i)))
+	}
+}
+
+func BenchmarkGraphSearch(b *testing.B) {
+	g := benchGraph(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(g.Search("vaccine-250")) == 0 {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkPathToRoot(b *testing.B) {
+	g := benchGraph(500)
+	hits := g.Search("vaccine-499")
+	id := hits[0].Node.ID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.PathToRoot(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalJSON(b *testing.B) {
+	g := benchGraph(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.MarshalJSON(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

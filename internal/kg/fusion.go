@@ -1,0 +1,367 @@
+package kg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"covidkg/internal/mlcore"
+	"covidkg/internal/textproc"
+)
+
+// Subtree is hierarchical knowledge extracted from table metadata,
+// awaiting fusion into the KG (§4.2), e.g. Vaccine → NovoVac or
+// Side-effects → Children side-effects → Rash.
+type Subtree struct {
+	Label    string
+	Children []*Subtree
+	Papers   []string // provenance
+}
+
+// NewSubtree builds a root with leaf children — the common depth-1 shape
+// extracted from a header row plus its column of values.
+func NewSubtree(label string, leaves ...string) *Subtree {
+	t := &Subtree{Label: label}
+	for _, l := range leaves {
+		t.Children = append(t.Children, &Subtree{Label: l})
+	}
+	return t
+}
+
+// Depth returns the number of levels (a lone root has depth 1).
+func (t *Subtree) Depth() int {
+	max := 0
+	for _, c := range t.Children {
+		if d := c.Depth(); d > max {
+			max = d
+		}
+	}
+	return 1 + max
+}
+
+// Leaves returns the labels of the subtree's leaf nodes.
+func (t *Subtree) Leaves() []string {
+	if len(t.Children) == 0 {
+		return []string{t.Label}
+	}
+	var out []string
+	for _, c := range t.Children {
+		out = append(out, c.Leaves()...)
+	}
+	return out
+}
+
+// Match methods reported by fusion.
+const (
+	MethodTerm      = "term"           // normalized NLP term matching
+	MethodLearned   = "learned"        // replayed expert correction
+	MethodEmbedding = "embedding"      // root label embedding distance
+	MethodLeafEmbed = "embedding-leaf" // leaf embeddings located siblings
+	MethodNone      = "none"
+)
+
+// Fusion actions.
+const (
+	ActionFused  = "fused"  // merged unsupervised
+	ActionQueued = "queued" // waiting for expert review
+)
+
+// FusionResult describes what happened to one subtree.
+type FusionResult struct {
+	Action     string
+	Method     string
+	TargetID   string  // matched / suggested KG node
+	Confidence float64 // embedding similarity when applicable (1.0 for term)
+	ReviewID   int     // set when queued
+	NewNodes   int     // nodes added when fused
+}
+
+// ReviewStatus values.
+const (
+	ReviewPending  = "pending"
+	ReviewApproved = "approved"
+	ReviewRejected = "rejected"
+)
+
+// ReviewItem is one queued fusion awaiting the expert (№14 in Figure 1).
+type ReviewItem struct {
+	ID          int
+	Sub         *Subtree
+	SuggestedID string // fusion's best guess for the attachment point
+	Method      string
+	Confidence  float64
+	Status      string
+}
+
+// Fuser performs enrichment-time fusion of extracted subtrees into the
+// graph.
+type Fuser struct {
+	mu sync.Mutex
+	g  *Graph
+
+	// Threshold is the embedding-similarity confidence above which a
+	// depth-1 subtree root match is trusted unsupervised.
+	Threshold float64
+
+	queue   []*ReviewItem
+	nextRev int
+
+	// learned maps normalized subtree-root labels to the node id an
+	// expert attached them to — fusion mistakes corrected once become
+	// automatic (§4.2: "most of the fusion is expected to become
+	// minimally supervised").
+	learned map[string]string
+}
+
+// NewFuser creates a fuser over g with the default confidence threshold.
+func NewFuser(g *Graph) *Fuser {
+	return &Fuser{g: g, Threshold: 0.85, learned: map[string]string{}}
+}
+
+// matchRoot resolves the subtree root label against the KG: learned
+// corrections first, then normalized term matching, then embedding
+// distance over node labels.
+func (f *Fuser) matchRoot(label string) (nodeID, method string, conf float64) {
+	norm := textproc.NormalizeTerm(label)
+	if id, ok := f.learned[norm]; ok {
+		if _, err := f.g.Node(id); err == nil {
+			return id, MethodLearned, 1
+		}
+		delete(f.learned, norm)
+	}
+	if ids := f.g.FindByNorm(label); len(ids) > 0 {
+		return ids[0], MethodTerm, 1
+	}
+	return f.embedMatch(label)
+}
+
+// embedMatch finds the KG node whose label embedding is nearest to
+// label's embedding.
+func (f *Fuser) embedMatch(label string) (string, string, float64) {
+	f.g.mu.RLock()
+	embed := f.g.embed
+	f.g.mu.RUnlock()
+	if embed == nil {
+		return "", MethodNone, 0
+	}
+	vec := embed(label)
+	if vec == nil {
+		return "", MethodNone, 0
+	}
+	bestID, bestSim := "", -1.0
+	f.g.Walk(func(n Node, _ int) bool {
+		nv := embed(n.Label)
+		if nv == nil {
+			return true
+		}
+		if sim := mlcore.CosineSimilarity(vec, nv); sim > bestSim ||
+			(sim == bestSim && n.ID < bestID) {
+			bestID, bestSim = n.ID, sim
+		}
+		return true
+	})
+	if bestID == "" {
+		return "", MethodNone, 0
+	}
+	return bestID, MethodEmbedding, bestSim
+}
+
+// leafEmbedMatch finds where the subtree's leaves would live: the parent
+// of the node most similar to the leaves' mean embedding — the NovoVac
+// path of §4.2 (an unseen vaccine matches existing vaccines, so the new
+// category belongs beside them).
+func (f *Fuser) leafEmbedMatch(sub *Subtree) (string, float64) {
+	f.g.mu.RLock()
+	embed := f.g.embed
+	f.g.mu.RUnlock()
+	if embed == nil {
+		return "", 0
+	}
+	bestParent, bestSim := "", -1.0
+	for _, leaf := range sub.Leaves() {
+		lv := embed(leaf)
+		if lv == nil {
+			continue
+		}
+		f.g.Walk(func(n Node, _ int) bool {
+			if n.Parent == "" {
+				return true
+			}
+			nv := embed(n.Label)
+			if nv == nil {
+				return true
+			}
+			if sim := mlcore.CosineSimilarity(lv, nv); sim > bestSim {
+				bestParent, bestSim = n.Parent, sim
+			}
+			return true
+		})
+	}
+	return bestParent, bestSim
+}
+
+// Fuse integrates one extracted subtree per the §4.2 rules:
+//
+//   - depth-2 subtrees (root + leaves) whose root matches a KG node by
+//     term/learned matching, or by embedding with confidence above the
+//     threshold, fuse unsupervised: their leaves merge into the matched
+//     node's children;
+//   - deeper subtrees, and subtrees needing a brand-new node, queue for
+//     expert review with the fuser's best suggestion attached.
+func (f *Fuser) Fuse(sub *Subtree) FusionResult {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if sub == nil || sub.Label == "" {
+		return FusionResult{Action: ActionQueued, Method: MethodNone}
+	}
+
+	nodeID, method, conf := f.matchRoot(sub.Label)
+
+	// multi-layer subtrees always see the expert, even with a perfect
+	// root match ("Children side-effects" must stay a separate category)
+	if sub.Depth() > 2 {
+		return f.enqueue(sub, nodeID, method, conf)
+	}
+
+	trusted := method == MethodTerm || method == MethodLearned ||
+		(method == MethodEmbedding && conf >= f.Threshold)
+	if trusted && nodeID != "" {
+		return f.fuseLeaves(sub, nodeID, method, conf)
+	}
+
+	// No trustworthy root match: try locating siblings by leaf
+	// embeddings and suggest inserting the new category beside them.
+	if parentID, sim := f.leafEmbedMatch(sub); parentID != "" {
+		return f.enqueue(sub, parentID, MethodLeafEmbed, sim)
+	}
+	return f.enqueue(sub, "", MethodNone, 0)
+}
+
+// fuseLeaves merges the subtree's immediate children into target.
+func (f *Fuser) fuseLeaves(sub *Subtree, targetID, method string, conf float64) FusionResult {
+	added := 0
+	for _, c := range sub.Children {
+		papers := append(append([]string(nil), sub.Papers...), c.Papers...)
+		_, err := f.g.AddNode(targetID, c.Label, SourceFusion, papers...)
+		switch {
+		case err == nil:
+			added++
+		case errors.Is(err, ErrDuplicate):
+			// concept already present; provenance was merged
+		default:
+			// parent disappeared under us; requeue for the expert
+			return f.enqueue(sub, targetID, method, conf)
+		}
+	}
+	f.g.AddPapers(targetID, sub.Papers...)
+	return FusionResult{
+		Action: ActionFused, Method: method, TargetID: targetID,
+		Confidence: conf, NewNodes: added,
+	}
+}
+
+func (f *Fuser) enqueue(sub *Subtree, suggested, method string, conf float64) FusionResult {
+	f.nextRev++
+	item := &ReviewItem{
+		ID: f.nextRev, Sub: sub, SuggestedID: suggested,
+		Method: method, Confidence: conf, Status: ReviewPending,
+	}
+	f.queue = append(f.queue, item)
+	return FusionResult{
+		Action: ActionQueued, Method: method, TargetID: suggested,
+		Confidence: conf, ReviewID: item.ID,
+	}
+}
+
+// Pending returns copies of the items awaiting review, oldest first.
+func (f *Fuser) Pending() []ReviewItem {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []ReviewItem
+	for _, it := range f.queue {
+		if it.Status == ReviewPending {
+			out = append(out, *it)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Approve applies a queued subtree under targetID (the expert may
+// override the suggestion) and records the correction so the same root
+// label fuses automatically next time.
+func (f *Fuser) Approve(reviewID int, targetID string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	item := f.findPending(reviewID)
+	if item == nil {
+		return fmt.Errorf("kg: review %d not pending", reviewID)
+	}
+	if _, err := f.g.Node(targetID); err != nil {
+		return err
+	}
+	if err := f.applySubtree(item.Sub, targetID); err != nil {
+		return err
+	}
+	item.Status = ReviewApproved
+	// learn the correction: next time this root label appears, fusion is
+	// unsupervised
+	f.learned[textproc.NormalizeTerm(item.Sub.Label)] = targetID
+	return nil
+}
+
+// Reject discards a queued subtree.
+func (f *Fuser) Reject(reviewID int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	item := f.findPending(reviewID)
+	if item == nil {
+		return fmt.Errorf("kg: review %d not pending", reviewID)
+	}
+	item.Status = ReviewRejected
+	return nil
+}
+
+func (f *Fuser) findPending(id int) *ReviewItem {
+	for _, it := range f.queue {
+		if it.ID == id && it.Status == ReviewPending {
+			return it
+		}
+	}
+	return nil
+}
+
+// applySubtree attaches the whole subtree under target, recursively.
+// The subtree root becomes a child of target unless it names the target
+// itself or an existing child with the same normalized label (then they
+// merge instead of nesting a duplicate).
+func (f *Fuser) applySubtree(sub *Subtree, targetID string) error {
+	if tn, err := f.g.Node(targetID); err == nil &&
+		tn.Norm == textproc.NormalizeTerm(sub.Label) {
+		f.g.AddPapers(targetID, sub.Papers...)
+		for _, c := range sub.Children {
+			if err := f.applySubtree(c, targetID); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	n, err := f.g.AddNode(targetID, sub.Label, SourceExpert, sub.Papers...)
+	if err != nil && !errors.Is(err, ErrDuplicate) {
+		return err
+	}
+	for _, c := range sub.Children {
+		if err := f.applySubtree(c, n.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LearnedCount reports how many corrections the fuser has memorized.
+func (f *Fuser) LearnedCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.learned)
+}

@@ -1,0 +1,459 @@
+// Package kg implements the COVIDKG knowledge graph (§4): an expert-
+// seeded hierarchical graph of medical concepts, stored as JSON,
+// searchable with path highlighting, and enriched by fusing subtrees
+// extracted from table metadata. Fusion matches extracted roots to KG
+// nodes by normalized NLP term matching with an embedding-driven
+// fallback for unseen terms, routes multi-layer subtrees and new-node
+// insertions to a human review queue (№14 in Figure 1), and learns from
+// expert corrections so recurring fusions become unsupervised.
+package kg
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"covidkg/internal/textproc"
+)
+
+// Errors returned by graph operations.
+var (
+	ErrNodeNotFound = errors.New("kg: node not found")
+	ErrHasChildren  = errors.New("kg: node still has children")
+	ErrDuplicate    = errors.New("kg: duplicate child label")
+)
+
+// Node sources.
+const (
+	SourceSeed   = "seed"   // expert initial layout (№1 in Figure 1)
+	SourceFusion = "fusion" // unsupervised enrichment
+	SourceExpert = "expert" // approved through the review queue
+)
+
+// Node is one concept in the hierarchy.
+type Node struct {
+	ID       string   `json:"id"`
+	Label    string   `json:"label"`
+	Norm     string   `json:"norm"` // normalized label (§4.2 term matching key)
+	Parent   string   `json:"parent,omitempty"`
+	Children []string `json:"children,omitempty"`
+	Papers   []string `json:"papers,omitempty"` // provenance publication ids
+	Source   string   `json:"source"`
+}
+
+// EmbedFunc maps a label to its embedding vector (nil when unknown).
+type EmbedFunc func(label string) []float64
+
+// Graph is a thread-safe hierarchical knowledge graph.
+type Graph struct {
+	mu     sync.RWMutex
+	nodes  map[string]*Node
+	byNorm map[string][]string
+	rootID string
+	seq    int
+	embed  EmbedFunc
+}
+
+// New creates a graph with a root node of the given label. embed may be
+// nil (embedding-driven matching then reports no matches).
+func New(rootLabel string, embed EmbedFunc) *Graph {
+	g := &Graph{
+		nodes:  map[string]*Node{},
+		byNorm: map[string][]string{},
+		embed:  embed,
+	}
+	root := &Node{
+		ID:     g.nextID(),
+		Label:  rootLabel,
+		Norm:   textproc.NormalizeTerm(rootLabel),
+		Source: SourceSeed,
+	}
+	g.nodes[root.ID] = root
+	g.byNorm[root.Norm] = []string{root.ID}
+	g.rootID = root.ID
+	return g
+}
+
+// SetEmbedder installs (or replaces) the embedding function.
+func (g *Graph) SetEmbedder(embed EmbedFunc) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.embed = embed
+}
+
+func (g *Graph) nextID() string {
+	g.seq++
+	return "n" + strconv.Itoa(g.seq)
+}
+
+// Root returns a copy of the root node.
+func (g *Graph) Root() Node {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return *g.nodes[g.rootID]
+}
+
+// RootID returns the root node id.
+func (g *Graph) RootID() string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.rootID
+}
+
+// Node returns a copy of the node with the given id.
+func (g *Graph) Node(id string) (Node, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n, ok := g.nodes[id]
+	if !ok {
+		return Node{}, fmt.Errorf("%w: %s", ErrNodeNotFound, id)
+	}
+	return copyNode(n), nil
+}
+
+func copyNode(n *Node) Node {
+	out := *n
+	out.Children = append([]string(nil), n.Children...)
+	out.Papers = append([]string(nil), n.Papers...)
+	return out
+}
+
+// Size returns the node count.
+func (g *Graph) Size() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.nodes)
+}
+
+// AddNode inserts a child under parent. Inserting a child whose
+// normalized label already exists under the same parent returns the
+// existing node (labels fuse rather than duplicate) with ErrDuplicate.
+func (g *Graph) AddNode(parentID, label, source string, papers ...string) (Node, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.addNodeLocked(parentID, label, source, papers...)
+}
+
+func (g *Graph) addNodeLocked(parentID, label, source string, papers ...string) (Node, error) {
+	parent, ok := g.nodes[parentID]
+	if !ok {
+		return Node{}, fmt.Errorf("%w: parent %s", ErrNodeNotFound, parentID)
+	}
+	norm := textproc.NormalizeTerm(label)
+	for _, cid := range parent.Children {
+		if g.nodes[cid].Norm == norm {
+			// same concept already present: merge provenance
+			g.addPapersLocked(g.nodes[cid], papers)
+			return copyNode(g.nodes[cid]), ErrDuplicate
+		}
+	}
+	n := &Node{
+		ID:     g.nextID(),
+		Label:  label,
+		Norm:   norm,
+		Parent: parentID,
+		Source: source,
+	}
+	g.addPapersLocked(n, papers)
+	g.nodes[n.ID] = n
+	parent.Children = append(parent.Children, n.ID)
+	g.byNorm[norm] = append(g.byNorm[norm], n.ID)
+	return copyNode(n), nil
+}
+
+func (g *Graph) addPapersLocked(n *Node, papers []string) {
+	for _, p := range papers {
+		dup := false
+		for _, e := range n.Papers {
+			if e == p {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			n.Papers = append(n.Papers, p)
+		}
+	}
+}
+
+// AddPapers links publications to a node.
+func (g *Graph) AddPapers(id string, papers ...string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n, ok := g.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNodeNotFound, id)
+	}
+	g.addPapersLocked(n, papers)
+	return nil
+}
+
+// RemoveLeaf deletes a childless non-root node.
+func (g *Graph) RemoveLeaf(id string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n, ok := g.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNodeNotFound, id)
+	}
+	if id == g.rootID {
+		return fmt.Errorf("kg: cannot remove root")
+	}
+	if len(n.Children) > 0 {
+		return fmt.Errorf("%w: %s", ErrHasChildren, id)
+	}
+	parent := g.nodes[n.Parent]
+	for i, cid := range parent.Children {
+		if cid == id {
+			parent.Children = append(parent.Children[:i], parent.Children[i+1:]...)
+			break
+		}
+	}
+	ids := g.byNorm[n.Norm]
+	for i, nid := range ids {
+		if nid == id {
+			g.byNorm[n.Norm] = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(g.byNorm[n.Norm]) == 0 {
+		delete(g.byNorm, n.Norm)
+	}
+	delete(g.nodes, id)
+	return nil
+}
+
+// Children returns copies of a node's children in insertion order.
+func (g *Graph) Children(id string) ([]Node, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n, ok := g.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNodeNotFound, id)
+	}
+	out := make([]Node, len(n.Children))
+	for i, cid := range n.Children {
+		out[i] = copyNode(g.nodes[cid])
+	}
+	return out, nil
+}
+
+// PathToRoot returns the node chain from root down to the node (root
+// first) — the provenance path the front-end highlights.
+func (g *Graph) PathToRoot(id string) ([]Node, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n, ok := g.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNodeNotFound, id)
+	}
+	var rev []Node
+	for {
+		rev = append(rev, copyNode(n))
+		if n.Parent == "" {
+			break
+		}
+		n = g.nodes[n.Parent]
+	}
+	out := make([]Node, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out, nil
+}
+
+// FindByNorm returns ids of nodes whose normalized label equals the
+// normalized form of label.
+func (g *Graph) FindByNorm(label string) []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ids := g.byNorm[textproc.NormalizeTerm(label)]
+	return append([]string(nil), ids...)
+}
+
+// SearchHit is one KG search result: the matching node and the full
+// path from the root, for path highlighting in the UI.
+type SearchHit struct {
+	Node Node
+	Path []Node
+}
+
+// Search finds nodes whose normalized label contains every stemmed query
+// token, ordered by depth then label for determinism.
+func (g *Graph) Search(query string) []SearchHit {
+	terms := textproc.ParseQuery(query)
+	if len(terms) == 0 {
+		return nil
+	}
+	g.mu.RLock()
+	var ids []string
+	for id, n := range g.nodes {
+		match := true
+		for _, t := range terms {
+			var hit bool
+			if t.Exact {
+				hit = strings.Contains(strings.ToLower(n.Label), t.Text)
+			} else {
+				hit = containsToken(n.Norm, t.Text)
+			}
+			if !hit {
+				match = false
+				break
+			}
+		}
+		if match {
+			ids = append(ids, id)
+		}
+	}
+	g.mu.RUnlock()
+
+	var hits []SearchHit
+	for _, id := range ids {
+		path, err := g.PathToRoot(id)
+		if err != nil {
+			continue
+		}
+		hits = append(hits, SearchHit{Node: path[len(path)-1], Path: path})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if len(hits[i].Path) != len(hits[j].Path) {
+			return len(hits[i].Path) < len(hits[j].Path)
+		}
+		return hits[i].Node.Label < hits[j].Node.Label
+	})
+	return hits
+}
+
+func containsToken(norm, token string) bool {
+	for _, w := range strings.Fields(norm) {
+		if w == token || strings.HasPrefix(w, token) {
+			return true
+		}
+	}
+	return false
+}
+
+// NodesByPaper returns every node whose provenance cites the given
+// publication — the reverse of the path-to-publication navigation: from
+// a paper to everything the KG learned from it.
+func (g *Graph) NodesByPaper(pubID string) []Node {
+	var out []Node
+	g.Walk(func(n Node, _ int) bool {
+		for _, p := range n.Papers {
+			if p == pubID {
+				out = append(out, n)
+				break
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// Walk visits every node depth-first from the root, children in
+// insertion order.
+func (g *Graph) Walk(fn func(n Node, depth int) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var rec func(id string, depth int) bool
+	rec = func(id string, depth int) bool {
+		n := g.nodes[id]
+		if !fn(copyNode(n), depth) {
+			return false
+		}
+		for _, cid := range n.Children {
+			if !rec(cid, depth+1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(g.rootID, 0)
+}
+
+// graphJSON is the serialized form.
+type graphJSON struct {
+	Root  string  `json:"root"`
+	Seq   int     `json:"seq"`
+	Nodes []*Node `json:"nodes"`
+}
+
+// MarshalJSON serializes the graph (nodes sorted by id for stable
+// output).
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	snap := graphJSON{Root: g.rootID, Seq: g.seq}
+	for _, n := range g.nodes {
+		c := copyNode(n)
+		snap.Nodes = append(snap.Nodes, &c)
+	}
+	sort.Slice(snap.Nodes, func(i, j int) bool { return snap.Nodes[i].ID < snap.Nodes[j].ID })
+	return json.Marshal(snap)
+}
+
+// FromJSON reconstructs a graph; the embedder must be re-attached by the
+// caller (embeddings are model state, not graph state).
+func FromJSON(data []byte) (*Graph, error) {
+	var snap graphJSON
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("kg: parse: %w", err)
+	}
+	if snap.Root == "" || len(snap.Nodes) == 0 {
+		return nil, fmt.Errorf("kg: empty graph")
+	}
+	g := &Graph{
+		nodes:  map[string]*Node{},
+		byNorm: map[string][]string{},
+		rootID: snap.Root,
+		seq:    snap.Seq,
+	}
+	for _, n := range snap.Nodes {
+		g.nodes[n.ID] = n
+		g.byNorm[n.Norm] = append(g.byNorm[n.Norm], n.ID)
+	}
+	if _, ok := g.nodes[snap.Root]; !ok {
+		return nil, fmt.Errorf("kg: root %s missing", snap.Root)
+	}
+	return g, nil
+}
+
+// SeedCOVID builds the expert's initial structural layout (№1 in
+// Figure 1): a root plus the high-level characteristics of the virus
+// drawn from vetted viral-infection ontologies — 19 nodes, within the
+// paper's "10-20 nodes" initialization.
+func SeedCOVID(embed EmbedFunc) *Graph {
+	g := New("COVID-19", embed)
+	root := g.RootID()
+	layout := map[string][]string{
+		"Clinical presentation": {"Symptoms", "Severity"},
+		"Transmission":          {"Airborne", "Contact"},
+		"Vaccines":              {"mRNA vaccines", "Vector vaccines"},
+		"Treatment":             {"Antivirals", "Supportive care"},
+		"Diagnostics":           {"PCR testing", "Antigen testing"},
+		"Epidemiology":          {"Risk factors"},
+		"Side effects":          {},
+		"Variants":              {},
+	}
+	keys := make([]string, 0, len(layout))
+	for k := range layout {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, top := range keys {
+		tn, err := g.AddNode(root, top, SourceSeed)
+		if err != nil && !errors.Is(err, ErrDuplicate) {
+			panic(err) // static layout cannot fail
+		}
+		for _, sub := range layout[top] {
+			if _, err := g.AddNode(tn.ID, sub, SourceSeed); err != nil && !errors.Is(err, ErrDuplicate) {
+				panic(err)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,32 @@
+package metaprofile_test
+
+import (
+	"fmt"
+
+	"covidkg/internal/metaprofile"
+	"covidkg/internal/tableparse"
+)
+
+// Example demonstrates building a Figure 6 meta-profile from two papers'
+// side-effect tables and aggregating one cell across them.
+func Example() {
+	paper1 := `<table><tr><th>Vaccine</th><th>Dose</th><th>Side effect</th><th>Frequency %</th></tr>
+	<tr><td>Pfizer</td><td>1</td><td>Fever</td><td>8.0</td></tr></table>`
+	paper2 := `<table><tr><th>Vaccine</th><th>Dose</th><th>Side effect</th><th>Rate %</th></tr>
+	<tr><td>Pfizer</td><td>1</td><td>fever</td><td>12.0</td></tr></table>`
+
+	var obs []metaprofile.Observation
+	for i, src := range []string{paper1, paper2} {
+		t, err := tableparse.ParseOne(src)
+		if err != nil {
+			panic(err)
+		}
+		obs = append(obs, metaprofile.ExtractObservations(t, fmt.Sprintf("paper-%d", i+1), -1)...)
+	}
+	p := metaprofile.Build("Vaccine side-effects", obs)
+	for _, a := range p.Aggregate("Pfizer", "dose 1") {
+		fmt.Printf("%s: mean %.1f%% across %d papers\n", a.Attribute, a.Mean, a.NSources)
+	}
+	// Output:
+	// Fever: mean 10.0% across 2 papers
+}

@@ -1,0 +1,316 @@
+// Package metaprofile implements the multi-layered 3D meta-profiles of
+// Figure 6 (№7 in Figure 1): structured summaries that fuse table data
+// from several publications into one browsable profile, grouped along
+// three axes — vaccine, dosage, and source paper for the side-effect
+// model the paper demonstrates. One profile answers "what does the
+// literature jointly say about X" without reading every paper.
+package metaprofile
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"covidkg/internal/tableparse"
+	"covidkg/internal/textproc"
+)
+
+// Observation is one extracted data point: attribute (e.g. a side
+// effect) measured for a (group, layer, source) coordinate (vaccine,
+// dose, paper in the Figure 6 instantiation).
+type Observation struct {
+	Group     string  // axis 1: e.g. vaccine name
+	Layer     string  // axis 2: e.g. dose
+	Source    string  // axis 3: paper id
+	Attribute string  // e.g. side-effect name
+	Value     float64 // e.g. frequency (%)
+}
+
+// headerSynonyms maps profile axes to table-header vocabulary.
+var headerSynonyms = map[string][]string{
+	"group": {"vaccine", "brand", "product", "manufacturer"},
+	"layer": {"dose", "dosage", "shot", "injection"},
+	"attr":  {"side effect", "side-effect", "adverse event", "reaction", "symptom"},
+	"value": {"frequency", "prevalence", "incidence", "rate", "percent", "%"},
+}
+
+// findColumn locates the first header cell matching any synonym for the
+// axis; -1 when absent.
+func findColumn(header []string, axis string) int {
+	for i, cell := range header {
+		norm := strings.ToLower(cell)
+		for _, syn := range headerSynonyms[axis] {
+			if strings.Contains(norm, syn) {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// parseValue extracts the leading numeric value of a cell ("8.5", "8.5%",
+// "8.5 (1.2)").
+func parseValue(cell string) (float64, bool) {
+	cell = strings.TrimSpace(cell)
+	end := 0
+	seenDigit := false
+	for end < len(cell) {
+		c := cell[end]
+		if c >= '0' && c <= '9' {
+			seenDigit = true
+			end++
+			continue
+		}
+		if (c == '.' || c == '-') && end == strings.IndexByte(cell, c) {
+			end++
+			continue
+		}
+		break
+	}
+	if !seenDigit {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell[:end], "."), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// ExtractObservations pulls observations out of a parsed table for the
+// given source id. headerRow selects the metadata row to interpret; pass
+// a classifier's prediction, or -1 to use the table's markup hint
+// (falling back to row 0).
+func ExtractObservations(t *tableparse.Table, source string, headerRow int) []Observation {
+	if t == nil || t.NumRows() < 2 {
+		return nil
+	}
+	if headerRow < 0 {
+		if len(t.MarkupHeaderRows) > 0 {
+			headerRow = t.MarkupHeaderRows[0]
+		} else {
+			headerRow = 0
+		}
+	}
+	if headerRow >= t.NumRows() {
+		return nil
+	}
+	header := t.Rows[headerRow]
+	gc := findColumn(header, "group")
+	lc := findColumn(header, "layer")
+	ac := findColumn(header, "attr")
+	vc := findColumn(header, "value")
+	if gc < 0 || ac < 0 || vc < 0 {
+		return nil // not a profile-shaped table
+	}
+	var out []Observation
+	for i, row := range t.Rows {
+		if i == headerRow {
+			continue
+		}
+		if gc >= len(row) || ac >= len(row) || vc >= len(row) {
+			continue
+		}
+		val, ok := parseValue(row[vc])
+		if !ok {
+			continue
+		}
+		obs := Observation{
+			Group:     strings.TrimSpace(row[gc]),
+			Attribute: strings.TrimSpace(row[ac]),
+			Value:     val,
+			Source:    source,
+		}
+		if obs.Group == "" || obs.Attribute == "" {
+			continue
+		}
+		if lc >= 0 && lc < len(row) {
+			obs.Layer = normalizeDose(row[lc])
+		} else {
+			obs.Layer = "unspecified"
+		}
+		out = append(out, obs)
+	}
+	return out
+}
+
+// normalizeDose canonicalizes dose spellings ("1", "dose 1", "first").
+func normalizeDose(s string) string {
+	n := strings.ToLower(strings.TrimSpace(s))
+	switch {
+	case strings.Contains(n, "1") || strings.Contains(n, "first"):
+		return "dose 1"
+	case strings.Contains(n, "2") || strings.Contains(n, "second"):
+		return "dose 2"
+	case strings.Contains(n, "3") || strings.Contains(n, "boost"):
+		return "booster"
+	case n == "":
+		return "unspecified"
+	}
+	return n
+}
+
+// Entry is one attribute measurement inside a profile cell.
+type Entry struct {
+	Attribute string
+	Value     float64
+	Source    string
+}
+
+// Profile is the layered structure: group → layer → entries, with the
+// source axis preserved inside each entry.
+type Profile struct {
+	Name   string
+	cells  map[string]map[string][]Entry
+	groups []string
+}
+
+// Build assembles a profile from observations. Attribute labels are
+// merged case-insensitively via normalized term matching so "Fever" and
+// "fever" fuse across papers.
+func Build(name string, obs []Observation) *Profile {
+	p := &Profile{Name: name, cells: map[string]map[string][]Entry{}}
+	seen := map[string]bool{}
+	for _, o := range obs {
+		layerMap := p.cells[o.Group]
+		if layerMap == nil {
+			layerMap = map[string][]Entry{}
+			p.cells[o.Group] = layerMap
+			if !seen[o.Group] {
+				seen[o.Group] = true
+				p.groups = append(p.groups, o.Group)
+			}
+		}
+		layer := o.Layer
+		if layer == "" {
+			layer = "unspecified"
+		}
+		layerMap[layer] = append(layerMap[layer], Entry{
+			Attribute: o.Attribute, Value: o.Value, Source: o.Source,
+		})
+	}
+	sort.Strings(p.groups)
+	return p
+}
+
+// Groups returns the first-axis values (vaccines), sorted.
+func (p *Profile) Groups() []string {
+	return append([]string(nil), p.groups...)
+}
+
+// Layers returns the second-axis values for a group, sorted.
+func (p *Profile) Layers(group string) []string {
+	m := p.cells[group]
+	out := make([]string, 0, len(m))
+	for l := range m {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Entries returns the raw entries of one (group, layer) cell, sorted by
+// attribute then source.
+func (p *Profile) Entries(group, layer string) []Entry {
+	es := append([]Entry(nil), p.cells[group][layer]...)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Attribute != es[j].Attribute {
+			return es[i].Attribute < es[j].Attribute
+		}
+		return es[i].Source < es[j].Source
+	})
+	return es
+}
+
+// Sources returns every distinct source (paper) feeding the profile.
+func (p *Profile) Sources() []string {
+	set := map[string]bool{}
+	for _, layers := range p.cells {
+		for _, es := range layers {
+			for _, e := range es {
+				set[e.Source] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AggEntry is a cross-paper aggregation of one attribute in a cell.
+type AggEntry struct {
+	Attribute string
+	Mean      float64
+	Min, Max  float64
+	NSources  int
+}
+
+// Aggregate summarizes a (group, layer) cell across sources: entries
+// whose normalized attribute matches fuse into one row with mean/min/max
+// and the number of contributing papers — the "summarizes information
+// from 9 different sources in one place" view of Figure 6.
+func (p *Profile) Aggregate(group, layer string) []AggEntry {
+	type acc struct {
+		label   string
+		sum     float64
+		n       int
+		min     float64
+		max     float64
+		sources map[string]bool
+	}
+	byNorm := map[string]*acc{}
+	var order []string
+	for _, e := range p.cells[group][layer] {
+		norm := textproc.NormalizeTerm(e.Attribute)
+		a := byNorm[norm]
+		if a == nil {
+			a = &acc{label: e.Attribute, min: e.Value, max: e.Value, sources: map[string]bool{}}
+			byNorm[norm] = a
+			order = append(order, norm)
+		}
+		a.sum += e.Value
+		a.n++
+		if e.Value < a.min {
+			a.min = e.Value
+		}
+		if e.Value > a.max {
+			a.max = e.Value
+		}
+		a.sources[e.Source] = true
+	}
+	out := make([]AggEntry, 0, len(order))
+	for _, norm := range order {
+		a := byNorm[norm]
+		out = append(out, AggEntry{
+			Attribute: a.label,
+			Mean:      a.sum / float64(a.n),
+			Min:       a.min,
+			Max:       a.max,
+			NSources:  len(a.sources),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Mean > out[j].Mean })
+	return out
+}
+
+// Render prints the profile as an indented text tree (group → layer →
+// aggregated attributes), the terminal analogue of the 3D visualization.
+func (p *Profile) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Meta-profile: %s (%d sources)\n", p.Name, len(p.Sources()))
+	for _, g := range p.Groups() {
+		fmt.Fprintf(&b, "  %s\n", g)
+		for _, l := range p.Layers(g) {
+			fmt.Fprintf(&b, "    %s\n", l)
+			for _, a := range p.Aggregate(g, l) {
+				fmt.Fprintf(&b, "      %-28s mean %5.1f  range [%.1f, %.1f]  papers %d\n",
+					a.Attribute, a.Mean, a.Min, a.Max, a.NSources)
+			}
+		}
+	}
+	return b.String()
+}

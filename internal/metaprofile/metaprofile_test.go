@@ -1,0 +1,207 @@
+package metaprofile
+
+import (
+	"strings"
+	"testing"
+
+	"covidkg/internal/cord19"
+	"covidkg/internal/tableparse"
+)
+
+func sideEffectTable(t *testing.T) *tableparse.Table {
+	t.Helper()
+	src := `<table><caption>Table 1: Side effects</caption>
+	<tr><th>Vaccine</th><th>Dose</th><th>Side effect</th><th>Frequency %</th></tr>
+	<tr><td>Pfizer</td><td>1</td><td>Fever</td><td>8.5</td></tr>
+	<tr><td>Pfizer</td><td>2</td><td>Fever</td><td>15.2</td></tr>
+	<tr><td>Moderna</td><td>1</td><td>Headache</td><td>12.0</td></tr>
+	<tr><td>Moderna</td><td>1</td><td>fever</td><td>9.9</td></tr>
+	</table>`
+	tb, err := tableparse.ParseOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestExtractObservations(t *testing.T) {
+	obs := ExtractObservations(sideEffectTable(t), "paper-1", -1)
+	if len(obs) != 4 {
+		t.Fatalf("observations = %d: %+v", len(obs), obs)
+	}
+	first := obs[0]
+	if first.Group != "Pfizer" || first.Layer != "dose 1" || first.Attribute != "Fever" || first.Value != 8.5 {
+		t.Fatalf("obs[0] = %+v", first)
+	}
+	if first.Source != "paper-1" {
+		t.Fatalf("source = %q", first.Source)
+	}
+}
+
+func TestExtractSkipsNonNumeric(t *testing.T) {
+	src := `<table><tr><th>Vaccine</th><th>Side effect</th><th>Rate</th></tr>
+	<tr><td>Pfizer</td><td>Fever</td><td>n/a</td></tr>
+	<tr><td>Pfizer</td><td>Chills</td><td>3.2</td></tr></table>`
+	tb, err := tableparse.ParseOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := ExtractObservations(tb, "p", -1)
+	if len(obs) != 1 || obs[0].Attribute != "Chills" {
+		t.Fatalf("obs = %+v", obs)
+	}
+	// no dose column → unspecified layer
+	if obs[0].Layer != "unspecified" {
+		t.Fatalf("layer = %q", obs[0].Layer)
+	}
+}
+
+func TestExtractNonProfileTable(t *testing.T) {
+	src := `<table><tr><th>Region</th><th>Ventilators</th></tr><tr><td>North</td><td>120</td></tr></table>`
+	tb, _ := tableparse.ParseOne(src)
+	if obs := ExtractObservations(tb, "p", -1); obs != nil {
+		t.Fatalf("non-profile table yielded %+v", obs)
+	}
+	if ExtractObservations(nil, "p", -1) != nil {
+		t.Fatal("nil table")
+	}
+}
+
+func TestExtractExplicitHeaderRow(t *testing.T) {
+	// header not in markup; caller (a classifier) supplies the row
+	src := `<table><tr><td>Vaccine</td><td>Side effect</td><td>Rate %</td></tr>
+	<tr><td>Pfizer</td><td>Fever</td><td>5.0</td></tr></table>`
+	tb, _ := tableparse.ParseOne(src)
+	obs := ExtractObservations(tb, "p", 0)
+	if len(obs) != 1 {
+		t.Fatalf("obs = %+v", obs)
+	}
+	// out-of-range header row
+	if got := ExtractObservations(tb, "p", 9); got != nil {
+		t.Fatalf("bad header row: %+v", got)
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	cases := map[string]struct {
+		v  float64
+		ok bool
+	}{
+		"8.5":       {8.5, true},
+		"8.5%":      {8.5, true},
+		"15.2 (SD)": {15.2, true},
+		"n/a":       {0, false},
+		"":          {0, false},
+		"12":        {12, true},
+	}
+	for in, want := range cases {
+		v, ok := parseValue(in)
+		if ok != want.ok || (ok && v != want.v) {
+			t.Errorf("parseValue(%q) = %v,%v", in, v, ok)
+		}
+	}
+}
+
+func TestBuildProfileStructure(t *testing.T) {
+	obs := ExtractObservations(sideEffectTable(t), "paper-1", -1)
+	p := Build("COVID-19 Vaccine Side-effects", obs)
+	if got := p.Groups(); len(got) != 2 || got[0] != "Moderna" || got[1] != "Pfizer" {
+		t.Fatalf("groups = %v", got)
+	}
+	if got := p.Layers("Pfizer"); len(got) != 2 {
+		t.Fatalf("layers = %v", got)
+	}
+	es := p.Entries("Pfizer", "dose 1")
+	if len(es) != 1 || es[0].Value != 8.5 {
+		t.Fatalf("entries = %+v", es)
+	}
+	if es := p.Entries("Nope", "dose 9"); len(es) != 0 {
+		t.Fatalf("missing cell = %+v", es)
+	}
+}
+
+func TestAggregateAcrossPapersAndCase(t *testing.T) {
+	// Figure 6: three papers summarized in one profile; attribute labels
+	// differing in case fuse.
+	var obs []Observation
+	obs = append(obs, Observation{Group: "Pfizer", Layer: "dose 1", Source: "p1", Attribute: "Fever", Value: 8})
+	obs = append(obs, Observation{Group: "Pfizer", Layer: "dose 1", Source: "p2", Attribute: "fever", Value: 12})
+	obs = append(obs, Observation{Group: "Pfizer", Layer: "dose 1", Source: "p3", Attribute: "Fevers", Value: 10})
+	obs = append(obs, Observation{Group: "Pfizer", Layer: "dose 1", Source: "p1", Attribute: "Chills", Value: 3})
+	p := Build("se", obs)
+	aggs := p.Aggregate("Pfizer", "dose 1")
+	if len(aggs) != 2 {
+		t.Fatalf("aggs = %+v", aggs)
+	}
+	fever := aggs[0] // sorted by mean desc
+	if fever.Mean != 10 || fever.Min != 8 || fever.Max != 12 {
+		t.Fatalf("fever agg = %+v", fever)
+	}
+	if fever.NSources != 3 {
+		t.Fatalf("fever sources = %d", fever.NSources)
+	}
+	if got := p.Sources(); len(got) != 3 {
+		t.Fatalf("sources = %v", got)
+	}
+}
+
+func TestRenderContainsStructure(t *testing.T) {
+	obs := ExtractObservations(sideEffectTable(t), "paper-1", -1)
+	p := Build("COVID-19 Vaccine Side-effects", obs)
+	out := p.Render()
+	for _, want := range []string{"Meta-profile", "Pfizer", "Moderna", "dose 1", "Fever"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEndToEndFromGeneratedPapers(t *testing.T) {
+	// the Figure 6 scenario: profiles fused from three generated papers
+	g := cord19.NewGenerator(31)
+	vaccines := []string{"Pfizer-BioNTech", "Moderna", "AstraZeneca"}
+	var obs []Observation
+	for i := 0; i < 3; i++ {
+		pub := g.SideEffectPaper(vaccines)
+		for _, pt := range pub.Tables {
+			tb, err := tableparse.ParseOne(pt.HTML)
+			if err != nil {
+				t.Fatal(err)
+			}
+			obs = append(obs, ExtractObservations(tb, pub.ID, -1)...)
+		}
+	}
+	if len(obs) == 0 {
+		t.Fatal("no observations extracted")
+	}
+	p := Build("Vaccine side-effects", obs)
+	if len(p.Sources()) != 3 {
+		t.Fatalf("sources = %v", p.Sources())
+	}
+	if len(p.Groups()) != 3 {
+		t.Fatalf("groups = %v", p.Groups())
+	}
+	for _, gname := range p.Groups() {
+		for _, l := range p.Layers(gname) {
+			for _, a := range p.Aggregate(gname, l) {
+				if a.Mean < 0 || a.Mean > 100 {
+					t.Fatalf("implausible frequency: %+v", a)
+				}
+			}
+		}
+	}
+}
+
+func TestNormalizeDose(t *testing.T) {
+	cases := map[string]string{
+		"1": "dose 1", "Dose 1": "dose 1", "first": "dose 1",
+		"2": "dose 2", "second dose": "dose 2",
+		"booster": "booster", "3": "booster",
+		"": "unspecified",
+	}
+	for in, want := range cases {
+		if got := normalizeDose(in); got != want {
+			t.Errorf("normalizeDose(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

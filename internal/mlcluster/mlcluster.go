@@ -1,0 +1,121 @@
+// Package mlcluster simulates the paper's training cluster (№4 in
+// Figure 1: a 4-machine NVidia GPU cluster running Spark MLlib /
+// TensorFlow) with goroutine workers doing synchronous data-parallel
+// training: each worker trains a full model replica on its data shard,
+// and a parameter-averaging step synchronizes replicas between rounds —
+// the same topology Spark MLlib's distributed SGD uses.
+package mlcluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"covidkg/internal/mlcore"
+)
+
+// ErrBadReplicas reports mismatched replica parameter sets.
+var ErrBadReplicas = errors.New("mlcluster: replicas must share shapes")
+
+// ShardIndices splits n sample indices into `workers` contiguous,
+// nearly equal shards.
+func ShardIndices(n, workers int) [][]int {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([][]int, workers)
+	base := n / workers
+	extra := n % workers
+	idx := 0
+	for w := 0; w < workers; w++ {
+		size := base
+		if w < extra {
+			size++
+		}
+		shard := make([]int, size)
+		for i := range shard {
+			shard[i] = idx
+			idx++
+		}
+		out[w] = shard
+	}
+	return out
+}
+
+// AverageParams averages parameter values element-wise across replicas
+// and writes the average back into every replica — one synchronization
+// barrier of synchronous data-parallel training.
+func AverageParams(replicas [][]*mlcore.Param) error {
+	if len(replicas) == 0 {
+		return ErrBadReplicas
+	}
+	ref := replicas[0]
+	for _, r := range replicas[1:] {
+		if len(r) != len(ref) {
+			return ErrBadReplicas
+		}
+		for i := range r {
+			if len(r[i].W.Data) != len(ref[i].W.Data) {
+				return fmt.Errorf("%w: param %d", ErrBadReplicas, i)
+			}
+		}
+	}
+	inv := 1.0 / float64(len(replicas))
+	for pi := range ref {
+		avg := make([]float64, len(ref[pi].W.Data))
+		for _, r := range replicas {
+			for j, v := range r[pi].W.Data {
+				avg[j] += v
+			}
+		}
+		for j := range avg {
+			avg[j] *= inv
+		}
+		for _, r := range replicas {
+			copy(r[pi].W.Data, avg)
+		}
+	}
+	return nil
+}
+
+// Trainer coordinates synchronous rounds.
+type Trainer struct {
+	Workers int
+	Rounds  int
+}
+
+// RunStats reports a distributed run.
+type RunStats struct {
+	Rounds    int
+	Workers   int
+	WallClock time.Duration
+}
+
+// Run executes Rounds rounds: in each, every worker's localTrain runs
+// concurrently (worker id, round number), then replica parameters are
+// averaged. replicas[w] must be worker w's parameter set.
+func (t *Trainer) Run(replicas [][]*mlcore.Param, localTrain func(worker, round int)) (RunStats, error) {
+	if t.Workers < 1 || len(replicas) != t.Workers {
+		return RunStats{}, fmt.Errorf("%w: %d replicas for %d workers", ErrBadReplicas, len(replicas), t.Workers)
+	}
+	start := time.Now()
+	for round := 0; round < t.Rounds; round++ {
+		var wg sync.WaitGroup
+		for w := 0; w < t.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				localTrain(w, round)
+			}(w)
+		}
+		wg.Wait()
+		if err := AverageParams(replicas); err != nil {
+			return RunStats{}, err
+		}
+	}
+	return RunStats{Rounds: t.Rounds, Workers: t.Workers, WallClock: time.Since(start)}, nil
+}

@@ -1,0 +1,181 @@
+package mlcluster
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"covidkg/internal/mlcore"
+)
+
+func TestShardIndices(t *testing.T) {
+	shards := ShardIndices(10, 3)
+	if len(shards) != 3 {
+		t.Fatalf("shards = %d", len(shards))
+	}
+	seen := map[int]bool{}
+	for _, s := range shards {
+		for _, i := range s {
+			if seen[i] {
+				t.Fatalf("index %d duplicated", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("covered %d", len(seen))
+	}
+	// sizes 4,3,3
+	if len(shards[0]) != 4 || len(shards[1]) != 3 || len(shards[2]) != 3 {
+		t.Fatalf("sizes = %d,%d,%d", len(shards[0]), len(shards[1]), len(shards[2]))
+	}
+	// workers > n clamps
+	if got := ShardIndices(2, 8); len(got) != 2 {
+		t.Fatalf("clamped = %d", len(got))
+	}
+	// workers < 1 clamps to 1
+	if got := ShardIndices(5, 0); len(got) != 1 || len(got[0]) != 5 {
+		t.Fatalf("zero workers: %v", got)
+	}
+}
+
+func TestAverageParams(t *testing.T) {
+	mk := func(vals ...float64) []*mlcore.Param {
+		m := mlcore.NewMatrix(1, len(vals))
+		copy(m.Data, vals)
+		return []*mlcore.Param{mlcore.NewParam("w", m)}
+	}
+	r1 := mk(1, 2)
+	r2 := mk(3, 4)
+	if err := AverageParams([][]*mlcore.Param{r1, r2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][]*mlcore.Param{r1, r2} {
+		if r[0].W.Data[0] != 2 || r[0].W.Data[1] != 3 {
+			t.Fatalf("average = %v", r[0].W.Data)
+		}
+	}
+}
+
+func TestAverageParamsErrors(t *testing.T) {
+	if err := AverageParams(nil); !errors.Is(err, ErrBadReplicas) {
+		t.Fatal("nil replicas")
+	}
+	a := []*mlcore.Param{mlcore.NewParam("w", mlcore.NewMatrix(1, 2))}
+	b := []*mlcore.Param{mlcore.NewParam("w", mlcore.NewMatrix(1, 3))}
+	if err := AverageParams([][]*mlcore.Param{a, b}); !errors.Is(err, ErrBadReplicas) {
+		t.Fatal("shape mismatch")
+	}
+	c := []*mlcore.Param{}
+	if err := AverageParams([][]*mlcore.Param{a, c}); !errors.Is(err, ErrBadReplicas) {
+		t.Fatal("length mismatch")
+	}
+}
+
+func TestRunInvokesAllWorkersEveryRound(t *testing.T) {
+	const workers, rounds = 4, 3
+	replicas := make([][]*mlcore.Param, workers)
+	for w := range replicas {
+		replicas[w] = []*mlcore.Param{mlcore.NewParam("w", mlcore.NewMatrix(1, 1))}
+	}
+	var calls atomic.Int64
+	tr := &Trainer{Workers: workers, Rounds: rounds}
+	stats, err := tr.Run(replicas, func(worker, round int) {
+		calls.Add(1)
+		replicas[worker][0].W.Data[0] += float64(worker)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != workers*rounds {
+		t.Fatalf("calls = %d", calls.Load())
+	}
+	if stats.Rounds != rounds || stats.Workers != workers {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// after averaging, all replicas share values
+	for w := 1; w < workers; w++ {
+		if replicas[w][0].W.Data[0] != replicas[0][0].W.Data[0] {
+			t.Fatal("replicas diverged after averaging")
+		}
+	}
+}
+
+func TestRunReplicaCountMismatch(t *testing.T) {
+	tr := &Trainer{Workers: 2, Rounds: 1}
+	if _, err := tr.Run(nil, func(int, int) {}); !errors.Is(err, ErrBadReplicas) {
+		t.Fatal("expected ErrBadReplicas")
+	}
+}
+
+// TestDataParallelLogisticRegression trains a logistic model across 4
+// workers with parameter averaging and checks it converges like a
+// single-worker run — the correctness property behind experiment E10.
+func TestDataParallelLogisticRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 400
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		if x[i][0]+2*x[i][1] > 0 {
+			y[i] = 1
+		}
+	}
+
+	const workers = 4
+	shards := ShardIndices(n, workers)
+	replicas := make([][]*mlcore.Param, workers)
+	models := make([]*mlcore.Dense, workers)
+	sigs := make([]*mlcore.SigmoidLayer, workers)
+	opts := make([]*mlcore.SGD, workers)
+	seedRng := rand.New(rand.NewSource(2))
+	shared := mlcore.NewDense(2, 1, seedRng)
+	for w := 0; w < workers; w++ {
+		m := mlcore.NewDense(2, 1, rand.New(rand.NewSource(3)))
+		copy(m.W.W.Data, shared.W.W.Data)
+		copy(m.B.W.Data, shared.B.W.Data)
+		models[w] = m
+		sigs[w] = &mlcore.SigmoidLayer{}
+		opts[w] = mlcore.NewSGD(0.5, 0)
+		replicas[w] = m.Params()
+	}
+
+	tr := &Trainer{Workers: workers, Rounds: 20}
+	_, err := tr.Run(replicas, func(w, round int) {
+		m, sig, opt := models[w], sigs[w], opts[w]
+		shard := shards[w]
+		xb := mlcore.NewMatrix(len(shard), 2)
+		yb := mlcore.NewMatrix(len(shard), 1)
+		for bi, i := range shard {
+			copy(xb.Row(bi), x[i])
+			yb.Set(bi, 0, y[i])
+		}
+		pred := sig.Forward(m.Forward(xb, true), true)
+		_, grad := mlcore.BCELoss(pred, yb)
+		m.Backward(sig.Backward(grad))
+		opt.Step(m.Params())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// accuracy of the averaged model
+	correct := 0
+	m := models[0]
+	for i := range x {
+		xb := mlcore.FromSlice(1, 2, x[i])
+		p := mlcore.Sigmoid(m.Forward(xb, false).Data[0])
+		pred := 0.0
+		if p >= 0.5 {
+			pred = 1
+		}
+		if pred == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / n; acc < 0.95 {
+		t.Fatalf("distributed training accuracy = %v", acc)
+	}
+}

@@ -1,0 +1,52 @@
+package mlcore
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := RandMatrix(128, 128, 1, rng)
+	y := RandMatrix(128, 128, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkDenseForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewDense(256, 64, rng)
+	x := RandMatrix(32, 256, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y := d.Forward(x, true)
+		d.Backward(y)
+	}
+}
+
+func BenchmarkAdamStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	d := NewDense(256, 256, rng)
+	opt := NewAdam(0.001)
+	for _, p := range d.Params() {
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] = rng.Float64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Step(d.Params())
+	}
+}
+
+func BenchmarkBatchNormForward(b *testing.B) {
+	bn := NewBatchNorm(64)
+	rng := rand.New(rand.NewSource(4))
+	x := RandMatrix(32, 64, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bn.Forward(x, true)
+	}
+}

@@ -1,0 +1,355 @@
+package mlcore
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Param is one trainable tensor with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *Matrix
+	Grad *Matrix
+}
+
+// NewParam wraps a weight matrix as a parameter.
+func NewParam(name string, w *Matrix) *Param {
+	return &Param{Name: name, W: w, Grad: NewMatrix(w.Rows, w.Cols)}
+}
+
+// Layer is a differentiable module. Forward caches whatever Backward
+// needs; Backward consumes the output gradient and returns the input
+// gradient, accumulating parameter gradients along the way.
+type Layer interface {
+	Forward(x *Matrix, train bool) *Matrix
+	Backward(dout *Matrix) *Matrix
+	Params() []*Param
+}
+
+// ----------------------------------------------------------------- Dense
+
+// Dense is a fully connected layer: y = xW + b.
+type Dense struct {
+	W, B  *Param
+	lastX *Matrix
+}
+
+// NewDense creates a Glorot-initialized dense layer.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	return &Dense{
+		W: NewParam("W", GlorotMatrix(in, out, rng)),
+		B: NewParam("b", NewMatrix(1, out)),
+	}
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *Matrix, _ bool) *Matrix {
+	d.lastX = x
+	y := MatMul(x, d.W.W)
+	AddRowVec(y, d.B.W)
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(dout *Matrix) *Matrix {
+	AddInPlace(d.W.Grad, MatMulATB(d.lastX, dout))
+	for r := 0; r < dout.Rows; r++ {
+		row := dout.Row(r)
+		for c, v := range row {
+			d.B.Grad.Data[c] += v
+		}
+	}
+	return MatMulABT(dout, d.W.W)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// ------------------------------------------------------------ Activations
+
+// SigmoidLayer applies the logistic function element-wise.
+type SigmoidLayer struct{ lastY *Matrix }
+
+// Forward implements Layer.
+func (s *SigmoidLayer) Forward(x *Matrix, _ bool) *Matrix {
+	s.lastY = x.Apply(Sigmoid)
+	return s.lastY
+}
+
+// Backward implements Layer.
+func (s *SigmoidLayer) Backward(dout *Matrix) *Matrix {
+	out := NewMatrix(dout.Rows, dout.Cols)
+	for i, v := range dout.Data {
+		y := s.lastY.Data[i]
+		out.Data[i] = v * y * (1 - y)
+	}
+	return out
+}
+
+// Params implements Layer.
+func (s *SigmoidLayer) Params() []*Param { return nil }
+
+// TanhLayer applies tanh element-wise.
+type TanhLayer struct{ lastY *Matrix }
+
+// Forward implements Layer.
+func (t *TanhLayer) Forward(x *Matrix, _ bool) *Matrix {
+	t.lastY = x.Apply(math.Tanh)
+	return t.lastY
+}
+
+// Backward implements Layer.
+func (t *TanhLayer) Backward(dout *Matrix) *Matrix {
+	out := NewMatrix(dout.Rows, dout.Cols)
+	for i, v := range dout.Data {
+		y := t.lastY.Data[i]
+		out.Data[i] = v * (1 - y*y)
+	}
+	return out
+}
+
+// Params implements Layer.
+func (t *TanhLayer) Params() []*Param { return nil }
+
+// ReLULayer applies max(0, x) element-wise.
+type ReLULayer struct{ lastX *Matrix }
+
+// Forward implements Layer.
+func (r *ReLULayer) Forward(x *Matrix, _ bool) *Matrix {
+	r.lastX = x
+	return x.Apply(func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	})
+}
+
+// Backward implements Layer.
+func (r *ReLULayer) Backward(dout *Matrix) *Matrix {
+	out := NewMatrix(dout.Rows, dout.Cols)
+	for i, v := range dout.Data {
+		if r.lastX.Data[i] > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *ReLULayer) Params() []*Param { return nil }
+
+// -------------------------------------------------------------- BatchNorm
+
+// BatchNorm normalizes each feature over the batch, with learned scale
+// (gamma) and shift (beta), tracking running statistics for inference.
+type BatchNorm struct {
+	Gamma, Beta *Param
+	// running statistics used at inference
+	RunMean, RunVar []float64
+	Momentum, Eps   float64
+
+	lastXhat *Matrix
+	lastStd  []float64
+}
+
+// NewBatchNorm creates a batch-norm layer over dim features.
+func NewBatchNorm(dim int) *BatchNorm {
+	g := NewMatrix(1, dim)
+	for i := range g.Data {
+		g.Data[i] = 1
+	}
+	bn := &BatchNorm{
+		Gamma:    NewParam("gamma", g),
+		Beta:     NewParam("beta", NewMatrix(1, dim)),
+		RunMean:  make([]float64, dim),
+		RunVar:   make([]float64, dim),
+		Momentum: 0.9,
+		Eps:      1e-5,
+	}
+	for i := range bn.RunVar {
+		bn.RunVar[i] = 1
+	}
+	return bn
+}
+
+// Forward implements Layer.
+func (b *BatchNorm) Forward(x *Matrix, train bool) *Matrix {
+	dim := x.Cols
+	out := NewMatrix(x.Rows, x.Cols)
+	if !train || x.Rows == 1 {
+		// inference path (also used for single-row batches, whose batch
+		// variance is degenerate)
+		for r := 0; r < x.Rows; r++ {
+			for c := 0; c < dim; c++ {
+				xh := (x.At(r, c) - b.RunMean[c]) / math.Sqrt(b.RunVar[c]+b.Eps)
+				out.Set(r, c, xh*b.Gamma.W.Data[c]+b.Beta.W.Data[c])
+			}
+		}
+		b.lastXhat = nil
+		return out
+	}
+	mean := make([]float64, dim)
+	for r := 0; r < x.Rows; r++ {
+		for c, v := range x.Row(r) {
+			mean[c] += v
+		}
+	}
+	for c := range mean {
+		mean[c] /= float64(x.Rows)
+	}
+	variance := make([]float64, dim)
+	for r := 0; r < x.Rows; r++ {
+		for c, v := range x.Row(r) {
+			d := v - mean[c]
+			variance[c] += d * d
+		}
+	}
+	for c := range variance {
+		variance[c] /= float64(x.Rows)
+	}
+	b.lastStd = make([]float64, dim)
+	for c := range variance {
+		b.lastStd[c] = math.Sqrt(variance[c] + b.Eps)
+	}
+	b.lastXhat = NewMatrix(x.Rows, x.Cols)
+	for r := 0; r < x.Rows; r++ {
+		for c, v := range x.Row(r) {
+			xh := (v - mean[c]) / b.lastStd[c]
+			b.lastXhat.Set(r, c, xh)
+			out.Set(r, c, xh*b.Gamma.W.Data[c]+b.Beta.W.Data[c])
+		}
+	}
+	for c := range mean {
+		b.RunMean[c] = b.Momentum*b.RunMean[c] + (1-b.Momentum)*mean[c]
+		b.RunVar[c] = b.Momentum*b.RunVar[c] + (1-b.Momentum)*variance[c]
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (b *BatchNorm) Backward(dout *Matrix) *Matrix {
+	if b.lastXhat == nil {
+		// inference-mode backward: treat as a per-feature affine map
+		out := NewMatrix(dout.Rows, dout.Cols)
+		for r := 0; r < dout.Rows; r++ {
+			for c, v := range dout.Row(r) {
+				out.Set(r, c, v*b.Gamma.W.Data[c]/math.Sqrt(b.RunVar[c]+b.Eps))
+			}
+		}
+		return out
+	}
+	n := float64(dout.Rows)
+	dim := dout.Cols
+	dgamma := make([]float64, dim)
+	dbeta := make([]float64, dim)
+	for r := 0; r < dout.Rows; r++ {
+		for c, v := range dout.Row(r) {
+			dgamma[c] += v * b.lastXhat.At(r, c)
+			dbeta[c] += v
+		}
+	}
+	for c := 0; c < dim; c++ {
+		b.Gamma.Grad.Data[c] += dgamma[c]
+		b.Beta.Grad.Data[c] += dbeta[c]
+	}
+	out := NewMatrix(dout.Rows, dout.Cols)
+	for c := 0; c < dim; c++ {
+		sumD := 0.0
+		sumDX := 0.0
+		for r := 0; r < dout.Rows; r++ {
+			d := dout.At(r, c) * b.Gamma.W.Data[c]
+			sumD += d
+			sumDX += d * b.lastXhat.At(r, c)
+		}
+		for r := 0; r < dout.Rows; r++ {
+			d := dout.At(r, c) * b.Gamma.W.Data[c]
+			out.Set(r, c, (d-sumD/n-b.lastXhat.At(r, c)*sumDX/n)/b.lastStd[c])
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (b *BatchNorm) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
+
+// ---------------------------------------------------------------- Dropout
+
+// Dropout zeroes activations with probability P during training, scaling
+// survivors by 1/(1-P) (inverted dropout).
+type Dropout struct {
+	P    float64
+	rng  *rand.Rand
+	mask []float64
+}
+
+// NewDropout creates a dropout layer with drop probability p.
+func NewDropout(p float64, rng *rand.Rand) *Dropout {
+	return &Dropout{P: p, rng: rng}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *Matrix, train bool) *Matrix {
+	if !train || d.P <= 0 {
+		d.mask = nil
+		return x
+	}
+	keep := 1 - d.P
+	d.mask = make([]float64, len(x.Data))
+	out := NewMatrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if d.rng.Float64() < keep {
+			d.mask[i] = 1 / keep
+			out.Data[i] = v / keep
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(dout *Matrix) *Matrix {
+	if d.mask == nil {
+		return dout
+	}
+	out := NewMatrix(dout.Rows, dout.Cols)
+	for i, v := range dout.Data {
+		out.Data[i] = v * d.mask[i]
+	}
+	return out
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// ------------------------------------------------------------- Sequential
+
+// Sequential chains layers.
+type Sequential struct{ Layers []Layer }
+
+// NewSequential builds a layer chain.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *Matrix, train bool) *Matrix {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(dout *Matrix) *Matrix {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dout = s.Layers[i].Backward(dout)
+	}
+	return dout
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}

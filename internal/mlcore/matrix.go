@@ -1,0 +1,267 @@
+// Package mlcore is the from-scratch neural-network substrate standing in
+// for the paper's Keras/TensorFlow stack: dense row-major float64
+// matrices, the layers the Figure 3 ensemble needs (dense, batch
+// normalization, dropout, activations), binary cross-entropy loss, and
+// SGD/Adam optimizers. Everything is deterministic given a seeded
+// *rand.Rand.
+package mlcore
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mlcore: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (length rows*cols) without copying.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mlcore: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// RandMatrix fills a matrix with uniform values in [-scale, scale].
+func RandMatrix(rows, cols int, scale float64, rng *rand.Rand) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return m
+}
+
+// GlorotMatrix fills a matrix with Glorot/Xavier-uniform initialization.
+func GlorotMatrix(rows, cols int, rng *rand.Rand) *Matrix {
+	scale := math.Sqrt(6.0 / float64(rows+cols))
+	return RandMatrix(rows, cols, scale, rng)
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set writes element (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view of row r (shared backing array).
+func (m *Matrix) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets all elements to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MatMul computes a @ b.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mlcore: matmul shape %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulATB computes aᵀ @ b without materializing the transpose.
+func MatMulATB(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mlcore: matmulATB shape %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Cols, b.Cols)
+	for r := 0; r < a.Rows; r++ {
+		arow := a.Row(r)
+		brow := b.Row(r)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulABT computes a @ bᵀ without materializing the transpose.
+func MatMulABT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mlcore: matmulABT shape %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// AddInPlace adds b into a element-wise.
+func AddInPlace(a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("mlcore: add shape mismatch")
+	}
+	for i, v := range b.Data {
+		a.Data[i] += v
+	}
+}
+
+// AddRowVec adds a 1×C row vector to every row of a.
+func AddRowVec(a *Matrix, v *Matrix) {
+	if v.Rows != 1 || v.Cols != a.Cols {
+		panic("mlcore: row-vec shape mismatch")
+	}
+	for r := 0; r < a.Rows; r++ {
+		row := a.Row(r)
+		for c, b := range v.Data {
+			row[c] += b
+		}
+	}
+}
+
+// Scale multiplies every element by s.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// Apply maps f over the elements into a new matrix.
+func (m *Matrix) Apply(f func(float64) float64) *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// HStack concatenates matrices left-to-right (equal row counts).
+func HStack(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return NewMatrix(0, 0)
+	}
+	rows := ms[0].Rows
+	cols := 0
+	for _, m := range ms {
+		if m.Rows != rows {
+			panic("mlcore: hstack row mismatch")
+		}
+		cols += m.Cols
+	}
+	out := NewMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		orow := out.Row(r)
+		off := 0
+		for _, m := range ms {
+			copy(orow[off:off+m.Cols], m.Row(r))
+			off += m.Cols
+		}
+	}
+	return out
+}
+
+// HSplit splits m into column blocks of the given widths.
+func HSplit(m *Matrix, widths ...int) []*Matrix {
+	sum := 0
+	for _, w := range widths {
+		sum += w
+	}
+	if sum != m.Cols {
+		panic(fmt.Sprintf("mlcore: hsplit widths sum %d != cols %d", sum, m.Cols))
+	}
+	out := make([]*Matrix, len(widths))
+	off := 0
+	for i, w := range widths {
+		b := NewMatrix(m.Rows, w)
+		for r := 0; r < m.Rows; r++ {
+			copy(b.Row(r), m.Row(r)[off:off+w])
+		}
+		out[i] = b
+		off += w
+	}
+	return out
+}
+
+// Flatten reshapes to a single row.
+func (m *Matrix) Flatten() *Matrix {
+	out := m.Clone()
+	out.Rows, out.Cols = 1, len(out.Data)
+	return out
+}
+
+// Sigmoid is the logistic function.
+func Sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Tanh is math.Tanh (re-exported for layer code symmetry).
+func Tanh(x float64) float64 { return math.Tanh(x) }
+
+// Dot computes the inner product of equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mlcore: dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// CosineSimilarity returns cos(a, b); 0 when either vector is zero.
+func CosineSimilarity(a, b []float64) float64 {
+	na, nb := Norm2(a), Norm2(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}

@@ -1,0 +1,367 @@
+package mlcore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMul(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("matmul[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulTransposedVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandMatrix(4, 3, 1, rng)
+	b := RandMatrix(4, 5, 1, rng)
+	// aᵀ @ b via explicit transpose
+	at := NewMatrix(3, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	want := MatMul(at, b)
+	got := MatMulATB(a, b)
+	assertClose(t, got, want, 1e-12)
+
+	c := RandMatrix(6, 3, 1, rng)
+	d := RandMatrix(5, 3, 1, rng)
+	dt := NewMatrix(3, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 3; j++ {
+			dt.Set(j, i, d.At(i, j))
+		}
+	}
+	want = MatMul(c, dt)
+	got = MatMulABT(c, d)
+	assertClose(t, got, want, 1e-12)
+}
+
+func assertClose(t *testing.T, got, want *Matrix, tol float64) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("shape %dx%d vs %dx%d", got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range got.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > tol {
+			t.Fatalf("elem %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestHStackHSplitRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := RandMatrix(3, 2, 1, rng)
+	b := RandMatrix(3, 4, 1, rng)
+	s := HStack(a, b)
+	if s.Rows != 3 || s.Cols != 6 {
+		t.Fatalf("hstack shape %dx%d", s.Rows, s.Cols)
+	}
+	parts := HSplit(s, 2, 4)
+	assertClose(t, parts[0], a, 0)
+	assertClose(t, parts[1], b, 0)
+}
+
+func TestVectorHelpers(t *testing.T) {
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Fatal("dot")
+	}
+	if Norm2([]float64{3, 4}) != 5 {
+		t.Fatal("norm")
+	}
+	if s := CosineSimilarity([]float64{1, 0}, []float64{1, 0}); math.Abs(s-1) > 1e-12 {
+		t.Fatalf("cos same = %v", s)
+	}
+	if s := CosineSimilarity([]float64{1, 0}, []float64{0, 1}); math.Abs(s) > 1e-12 {
+		t.Fatalf("cos orth = %v", s)
+	}
+	if s := CosineSimilarity([]float64{0, 0}, []float64{1, 1}); s != 0 {
+		t.Fatalf("cos zero = %v", s)
+	}
+}
+
+// numGrad computes the numeric gradient of loss() w.r.t. x[i].
+func numGrad(loss func() float64, x []float64, i int) float64 {
+	const h = 1e-6
+	orig := x[i]
+	x[i] = orig + h
+	lp := loss()
+	x[i] = orig - h
+	lm := loss()
+	x[i] = orig
+	return (lp - lm) / (2 * h)
+}
+
+// checkLayerGradients verifies Backward against numeric differentiation
+// for both input and parameter gradients.
+func checkLayerGradients(t *testing.T, layer Layer, in *Matrix, tol float64) {
+	t.Helper()
+	target := RandMatrix(1, 1, 0, rand.New(rand.NewSource(9)))
+	_ = target
+
+	// scalar loss = sum of squares of outputs / 2
+	loss := func() float64 {
+		y := layer.Forward(in, true)
+		s := 0.0
+		for _, v := range y.Data {
+			s += v * v / 2
+		}
+		return s
+	}
+
+	// analytic
+	y := layer.Forward(in, true)
+	dout := y.Clone() // d(loss)/dy = y
+	for _, p := range layer.Params() {
+		p.Grad.Zero()
+	}
+	din := layer.Backward(dout)
+
+	for i := range in.Data {
+		want := numGrad(loss, in.Data, i)
+		if math.Abs(din.Data[i]-want) > tol {
+			t.Fatalf("input grad[%d] = %v, numeric %v", i, din.Data[i], want)
+		}
+	}
+	for _, p := range layer.Params() {
+		for i := range p.W.Data {
+			want := numGrad(loss, p.W.Data, i)
+			if math.Abs(p.Grad.Data[i]-want) > tol {
+				t.Fatalf("param %s grad[%d] = %v, numeric %v", p.Name, i, p.Grad.Data[i], want)
+			}
+		}
+	}
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	checkLayerGradients(t, NewDense(4, 3, rng), RandMatrix(5, 4, 1, rng), 1e-4)
+}
+
+func TestActivationGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	checkLayerGradients(t, &SigmoidLayer{}, RandMatrix(3, 4, 1, rng), 1e-5)
+	checkLayerGradients(t, &TanhLayer{}, RandMatrix(3, 4, 1, rng), 1e-5)
+	checkLayerGradients(t, &ReLULayer{}, RandMatrix(3, 4, 1, rng), 1e-5)
+}
+
+func TestBatchNormGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// BatchNorm's batch statistics make its Jacobian denser; numeric
+	// check still applies because loss() recomputes statistics.
+	checkLayerGradients(t, NewBatchNorm(3), RandMatrix(6, 3, 1, rng), 1e-4)
+}
+
+func TestSequentialGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	model := NewSequential(NewDense(4, 5, rng), &TanhLayer{}, NewDense(5, 2, rng), &SigmoidLayer{})
+	checkLayerGradients(t, model, RandMatrix(3, 4, 1, rng), 1e-4)
+}
+
+func TestBatchNormNormalizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bn := NewBatchNorm(4)
+	x := RandMatrix(64, 4, 3, rng)
+	for i := range x.Data {
+		x.Data[i] += 10 // big offset
+	}
+	y := bn.Forward(x, true)
+	for c := 0; c < 4; c++ {
+		mean, sq := 0.0, 0.0
+		for r := 0; r < y.Rows; r++ {
+			mean += y.At(r, c)
+		}
+		mean /= float64(y.Rows)
+		for r := 0; r < y.Rows; r++ {
+			d := y.At(r, c) - mean
+			sq += d * d
+		}
+		sq /= float64(y.Rows)
+		// variance sits slightly below 1 because of the eps inside the
+		// normalizing denominator
+		if math.Abs(mean) > 1e-9 || math.Abs(sq-1) > 1e-4 {
+			t.Fatalf("col %d: mean %v var %v", c, mean, sq)
+		}
+	}
+}
+
+func TestBatchNormInferenceUsesRunningStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	bn := NewBatchNorm(2)
+	for i := 0; i < 200; i++ {
+		bn.Forward(RandMatrix(16, 2, 1, rng), true)
+	}
+	x := RandMatrix(1, 2, 1, rng)
+	y1 := bn.Forward(x, false)
+	y2 := bn.Forward(x, false)
+	assertClose(t, y1, y2, 0) // deterministic at inference
+}
+
+func TestDropout(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := NewDropout(0.5, rng)
+	x := NewMatrix(1, 1000)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	y := d.Forward(x, true)
+	zeros, kept := 0, 0.0
+	for _, v := range y.Data {
+		if v == 0 {
+			zeros++
+		} else {
+			kept += v
+		}
+	}
+	if zeros < 350 || zeros > 650 {
+		t.Fatalf("dropout rate off: %d zeros", zeros)
+	}
+	// inverted dropout keeps expectation ≈ sum(x)
+	if kept < 800 || kept > 1200 {
+		t.Fatalf("scaling off: kept %v", kept)
+	}
+	// inference: identity
+	y = d.Forward(x, false)
+	for _, v := range y.Data {
+		if v != 1 {
+			t.Fatal("dropout active at inference")
+		}
+	}
+}
+
+func TestBCELoss(t *testing.T) {
+	pred := FromSlice(1, 2, []float64{0.9, 0.1})
+	target := FromSlice(1, 2, []float64{1, 0})
+	loss, grad := BCELoss(pred, target)
+	want := -(math.Log(0.9) + math.Log(0.9)) / 2
+	if math.Abs(loss-want) > 1e-9 {
+		t.Fatalf("loss = %v, want %v", loss, want)
+	}
+	// numeric gradient
+	for i := range pred.Data {
+		g := numGrad(func() float64 {
+			l, _ := BCELoss(pred, target)
+			return l
+		}, pred.Data, i)
+		if math.Abs(grad.Data[i]-g) > 1e-4 {
+			t.Fatalf("grad[%d] = %v, numeric %v", i, grad.Data[i], g)
+		}
+	}
+}
+
+func TestSGDAndAdamConverge(t *testing.T) {
+	// fit y = sigmoid(2x - 1) from samples; both optimizers must reduce loss
+	for name, opt := range map[string]Optimizer{
+		"sgd":      NewSGD(0.5, 0.9),
+		"adam":     NewAdam(0.05),
+		"plainSGD": NewSGD(0.5, 0),
+	} {
+		rng := rand.New(rand.NewSource(10))
+		model := NewSequential(NewDense(1, 4, rng), &TanhLayer{}, NewDense(4, 1, rng), &SigmoidLayer{})
+		x := NewMatrix(32, 1)
+		yt := NewMatrix(32, 1)
+		for i := 0; i < 32; i++ {
+			v := rng.Float64()*4 - 2
+			x.Set(i, 0, v)
+			if 2*v-1 > 0 {
+				yt.Set(i, 0, 1)
+			}
+		}
+		var first, last float64
+		for epoch := 0; epoch < 200; epoch++ {
+			pred := model.Forward(x, true)
+			loss, grad := BCELoss(pred, yt)
+			if epoch == 0 {
+				first = loss
+			}
+			last = loss
+			model.Backward(grad)
+			opt.Step(model.Params())
+		}
+		if last > first*0.5 {
+			t.Errorf("%s did not converge: %v -> %v", name, first, last)
+		}
+	}
+}
+
+func TestClipGradients(t *testing.T) {
+	p := NewParam("w", NewMatrix(1, 3))
+	p.Grad.Data[0], p.Grad.Data[1], p.Grad.Data[2] = 3, 4, 0 // norm 5
+	norm := ClipGradients([]*Param{p}, 1)
+	if math.Abs(norm-5) > 1e-12 {
+		t.Fatalf("pre-clip norm = %v", norm)
+	}
+	after := math.Sqrt(p.Grad.Data[0]*p.Grad.Data[0] + p.Grad.Data[1]*p.Grad.Data[1])
+	if math.Abs(after-1) > 1e-9 {
+		t.Fatalf("post-clip norm = %v", after)
+	}
+	// below threshold: untouched
+	p.Grad.Data[0], p.Grad.Data[1] = 0.3, 0.4
+	ClipGradients([]*Param{p}, 1)
+	if p.Grad.Data[0] != 0.3 {
+		t.Fatal("clip touched small gradient")
+	}
+}
+
+func TestExportImportParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m1 := NewSequential(NewDense(3, 4, rng), NewDense(4, 2, rng))
+	m2 := NewSequential(NewDense(3, 4, rng), NewDense(4, 2, rng))
+	data, err := ExportParams(m1.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ImportParams(m2.Params(), data); err != nil {
+		t.Fatal(err)
+	}
+	x := RandMatrix(2, 3, 1, rng)
+	assertClose(t, m2.Forward(x, false), m1.Forward(x, false), 1e-12)
+	// shape mismatch rejected
+	m3 := NewSequential(NewDense(3, 5, rng))
+	if err := ImportParams(m3.Params(), data); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestSigmoidRangeQuick(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		s := Sigmoid(x)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlorotScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := GlorotMatrix(100, 100, rng)
+	bound := math.Sqrt(6.0 / 200)
+	for _, v := range m.Data {
+		if v < -bound || v > bound {
+			t.Fatalf("glorot out of bound: %v", v)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package mlcore
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Optimizer updates parameters from their accumulated gradients and
+// clears the gradients.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      map[*Param][]float64
+}
+
+// NewSGD builds an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: map[*Param][]float64{}}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if o.Momentum > 0 {
+			v := o.vel[p]
+			if v == nil {
+				v = make([]float64, len(p.W.Data))
+				o.vel[p] = v
+			}
+			for i, g := range p.Grad.Data {
+				v[i] = o.Momentum*v[i] - o.LR*g
+				p.W.Data[i] += v[i]
+			}
+		} else {
+			for i, g := range p.Grad.Data {
+				p.W.Data[i] -= o.LR * g
+			}
+		}
+		p.Grad.Zero()
+	}
+}
+
+// Adam is the Adam optimizer [Kingma & Ba 2015].
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*Param][]float64
+}
+
+// NewAdam builds an Adam optimizer with standard hyperparameters.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[*Param][]float64{}, v: map[*Param][]float64{},
+	}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m := o.m[p]
+		v := o.v[p]
+		if m == nil {
+			m = make([]float64, len(p.W.Data))
+			v = make([]float64, len(p.W.Data))
+			o.m[p], o.v[p] = m, v
+		}
+		for i, g := range p.Grad.Data {
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+			p.W.Data[i] -= o.LR * (m[i] / c1) / (math.Sqrt(v[i]/c2) + o.Eps)
+		}
+		p.Grad.Zero()
+	}
+}
+
+// ClipGradients scales all gradients down so their global L2 norm does
+// not exceed maxNorm; returns the pre-clip norm. RNN training uses this
+// to stay stable.
+func ClipGradients(params []*Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		s := maxNorm / norm
+		for _, p := range params {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] *= s
+			}
+		}
+	}
+	return norm
+}
+
+// BCELoss computes mean binary cross-entropy between predictions in
+// (0,1) and targets in {0,1}, and the gradient w.r.t. predictions.
+func BCELoss(pred, target *Matrix) (float64, *Matrix) {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		panic("mlcore: bce shape mismatch")
+	}
+	const eps = 1e-12
+	n := float64(len(pred.Data))
+	loss := 0.0
+	grad := NewMatrix(pred.Rows, pred.Cols)
+	for i, p := range pred.Data {
+		t := target.Data[i]
+		pc := math.Min(math.Max(p, eps), 1-eps)
+		loss += -(t*math.Log(pc) + (1-t)*math.Log(1-pc))
+		grad.Data[i] = (pc - t) / (pc * (1 - pc)) / n
+	}
+	return loss / n, grad
+}
+
+// modelSnapshot is the JSON shape of exported weights.
+type modelSnapshot struct {
+	Params []paramSnapshot `json:"params"`
+}
+
+type paramSnapshot struct {
+	Name string    `json:"name"`
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+// ExportParams serializes parameters to JSON — the shape COVIDKG's model
+// API releases to downstream users (№11/13 in Figure 1).
+func ExportParams(params []*Param) ([]byte, error) {
+	snap := modelSnapshot{}
+	for _, p := range params {
+		snap.Params = append(snap.Params, paramSnapshot{
+			Name: p.Name, Rows: p.W.Rows, Cols: p.W.Cols, Data: p.W.Data,
+		})
+	}
+	return json.Marshal(snap)
+}
+
+// ImportParams loads serialized weights into parameters, matched by
+// position; shapes must agree.
+func ImportParams(params []*Param, data []byte) error {
+	var snap modelSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("mlcore: import: %w", err)
+	}
+	if len(snap.Params) != len(params) {
+		return fmt.Errorf("mlcore: import: have %d params, snapshot has %d", len(params), len(snap.Params))
+	}
+	for i, ps := range snap.Params {
+		p := params[i]
+		if ps.Rows != p.W.Rows || ps.Cols != p.W.Cols {
+			return fmt.Errorf("mlcore: import: param %d shape %dx%d != %dx%d",
+				i, ps.Rows, ps.Cols, p.W.Rows, p.W.Cols)
+		}
+		copy(p.W.Data, ps.Data)
+	}
+	return nil
+}

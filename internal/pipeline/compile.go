@@ -1,0 +1,369 @@
+package pipeline
+
+import (
+	"fmt"
+	"regexp"
+
+	"covidkg/internal/jsondoc"
+)
+
+// Compile translates a JSON aggregation specification — the MongoDB
+// dialect the paper's search engines are written in — into an executable
+// Pipeline. The spec is an array of single-key stage documents:
+//
+//	[
+//	  {"$match":   {"topic": "vaccines",
+//	                "title": {"$regex": "(?i)mask"},
+//	                "year":  {"$gte": 2020, "$lt": 2022}}},
+//	  {"$project": {"title": 1, "abstract": 1}},
+//	  {"$sort":    {"score": -1, "title": 1}},
+//	  {"$skip":    10},
+//	  {"$limit":   10},
+//	  {"$unwind":  "$tags"},
+//	  {"$count":   "n"},
+//	  {"$group":   {"_id": "$topic", "n": {"$sum": 1},
+//	                "avg": {"$avg": "$score"},
+//	                "total": {"$sum": "$score"},
+//	                "ids": {"$push": "$_id"}}}
+//	]
+//
+// $function stages cannot be compiled from JSON (they are Go closures
+// here, JavaScript in MongoDB); register them programmatically.
+func Compile(stages []any) (*Pipeline, error) {
+	p := New()
+	for i, raw := range stages {
+		doc, ok := asDoc(raw)
+		if !ok || len(doc) != 1 {
+			return nil, fmt.Errorf("pipeline: stage %d: %w: want a single-key object, got %T",
+				i, ErrBadStage, raw)
+		}
+		for name, spec := range doc {
+			st, err := compileStage(name, spec)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: stage %d (%s): %w", i, name, err)
+			}
+			p.Append(st)
+		}
+	}
+	return p, nil
+}
+
+func asDoc(v any) (jsondoc.Doc, bool) {
+	switch m := v.(type) {
+	case map[string]any:
+		return jsondoc.Doc(m), true
+	case jsondoc.Doc:
+		return m, true
+	}
+	return nil, false
+}
+
+func compileStage(name string, spec any) (Stage, error) {
+	switch name {
+	case "$match":
+		return compileMatch(spec)
+	case "$project":
+		return compileProject(spec)
+	case "$sort":
+		return compileSort(spec)
+	case "$limit":
+		n, ok := toInt(spec)
+		if !ok || n < 0 {
+			return nil, fmt.Errorf("%w: $limit wants a non-negative number", ErrBadStage)
+		}
+		return Limit(n), nil
+	case "$skip":
+		n, ok := toInt(spec)
+		if !ok || n < 0 {
+			return nil, fmt.Errorf("%w: $skip wants a non-negative number", ErrBadStage)
+		}
+		return Skip(n), nil
+	case "$unwind":
+		path, ok := spec.(string)
+		if !ok {
+			return nil, fmt.Errorf("%w: $unwind wants a \"$path\" string", ErrBadStage)
+		}
+		return Unwind(stripDollar(path)), nil
+	case "$count":
+		field, ok := spec.(string)
+		if !ok || field == "" {
+			return nil, fmt.Errorf("%w: $count wants a field name", ErrBadStage)
+		}
+		return Count(field), nil
+	case "$group":
+		return compileGroup(spec)
+	default:
+		return nil, fmt.Errorf("%w: unknown stage %q", ErrBadStage, name)
+	}
+}
+
+func toInt(v any) (int, bool) {
+	switch n := v.(type) {
+	case float64:
+		return int(n), true
+	case int:
+		return n, true
+	}
+	return 0, false
+}
+
+func stripDollar(s string) string {
+	if len(s) > 0 && s[0] == '$' {
+		return s[1:]
+	}
+	return s
+}
+
+// fieldPredicate compiles one field condition of a $match document.
+func fieldPredicate(path string, cond any) (func(jsondoc.Doc) bool, error) {
+	// operator object?
+	if ops, ok := asDoc(cond); ok {
+		var preds []func(jsondoc.Doc) bool
+		for op, arg := range ops {
+			p, err := operatorPredicate(path, op, arg)
+			if err != nil {
+				return nil, err
+			}
+			preds = append(preds, p)
+		}
+		return andAll(preds), nil
+	}
+	// bare value: equality
+	want := jsondoc.Normalize(cond)
+	return func(d jsondoc.Doc) bool {
+		got, ok := d.Get(path)
+		if !ok {
+			return false
+		}
+		if arr, isArr := got.([]any); isArr {
+			for _, e := range arr {
+				if jsondoc.Equal(e, want) {
+					return true
+				}
+			}
+			return false
+		}
+		return jsondoc.Equal(got, want)
+	}, nil
+}
+
+func operatorPredicate(path, op string, arg any) (func(jsondoc.Doc) bool, error) {
+	switch op {
+	case "$eq":
+		return fieldPredicate(path, jsondoc.Normalize(arg))
+	case "$ne":
+		inner, err := fieldPredicate(path, jsondoc.Normalize(arg))
+		if err != nil {
+			return nil, err
+		}
+		return func(d jsondoc.Doc) bool { return !inner(d) }, nil
+	case "$gt", "$gte", "$lt", "$lte":
+		want := jsondoc.Normalize(arg)
+		return func(d jsondoc.Doc) bool {
+			got, ok := d.Get(path)
+			if !ok {
+				return false
+			}
+			c := jsondoc.Compare(got, want)
+			switch op {
+			case "$gt":
+				return c > 0
+			case "$gte":
+				return c >= 0
+			case "$lt":
+				return c < 0
+			default:
+				return c <= 0
+			}
+		}, nil
+	case "$regex":
+		pat, ok := arg.(string)
+		if !ok {
+			return nil, fmt.Errorf("%w: $regex wants a string", ErrBadStage)
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return nil, fmt.Errorf("%w: $regex: %v", ErrBadStage, err)
+		}
+		return func(d jsondoc.Doc) bool {
+			v, ok := d.Get(path)
+			if !ok {
+				return false
+			}
+			s, ok := v.(string)
+			return ok && re.MatchString(s)
+		}, nil
+	case "$exists":
+		want, ok := arg.(bool)
+		if !ok {
+			return nil, fmt.Errorf("%w: $exists wants a bool", ErrBadStage)
+		}
+		return func(d jsondoc.Doc) bool { return d.Has(path) == want }, nil
+	case "$in":
+		arr, ok := arg.([]any)
+		if !ok {
+			return nil, fmt.Errorf("%w: $in wants an array", ErrBadStage)
+		}
+		wants := make([]any, len(arr))
+		for i, e := range arr {
+			wants[i] = jsondoc.Normalize(e)
+		}
+		return func(d jsondoc.Doc) bool {
+			got, ok := d.Get(path)
+			if !ok {
+				return false
+			}
+			for _, w := range wants {
+				if jsondoc.Equal(got, w) {
+					return true
+				}
+			}
+			return false
+		}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown operator %q", ErrBadStage, op)
+	}
+}
+
+func andAll(preds []func(jsondoc.Doc) bool) func(jsondoc.Doc) bool {
+	return func(d jsondoc.Doc) bool {
+		for _, p := range preds {
+			if !p(d) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func compileMatch(spec any) (Stage, error) {
+	doc, ok := asDoc(spec)
+	if !ok {
+		return nil, fmt.Errorf("%w: $match wants an object", ErrBadStage)
+	}
+	var preds []func(jsondoc.Doc) bool
+	for path, cond := range doc {
+		p, err := fieldPredicate(path, cond)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, p)
+	}
+	return Match(andAll(preds)), nil
+}
+
+func compileProject(spec any) (Stage, error) {
+	doc, ok := asDoc(spec)
+	if !ok {
+		return nil, fmt.Errorf("%w: $project wants an object", ErrBadStage)
+	}
+	var fields []string
+	excludeID := false
+	for path, v := range doc {
+		include := false
+		switch x := v.(type) {
+		case bool:
+			include = x
+		case float64:
+			include = x != 0
+		case int:
+			include = x != 0
+		default:
+			return nil, fmt.Errorf("%w: $project values must be 0/1/bool", ErrBadStage)
+		}
+		if path == "_id" {
+			excludeID = !include
+			continue
+		}
+		if !include {
+			return nil, fmt.Errorf("%w: $project exclusion is only supported for _id", ErrBadStage)
+		}
+		fields = append(fields, path)
+	}
+	st := Project(fields...)
+	if excludeID {
+		st = st.ExcludeID()
+	}
+	return st, nil
+}
+
+func compileSort(spec any) (Stage, error) {
+	doc, ok := asDoc(spec)
+	if !ok {
+		return nil, fmt.Errorf("%w: $sort wants an object", ErrBadStage)
+	}
+	// preserve deterministic key order: JSON objects are unordered in Go,
+	// so sort keys lexicographically (documented limitation vs MongoDB's
+	// ordered documents)
+	var keys []SortKey
+	for _, path := range doc.Fields() {
+		dir, ok := toInt(doc[path])
+		if !ok || (dir != 1 && dir != -1) {
+			return nil, fmt.Errorf("%w: $sort direction must be 1 or -1", ErrBadStage)
+		}
+		keys = append(keys, SortKey{Path: path, Desc: dir == -1})
+	}
+	return Sort(keys...), nil
+}
+
+func compileGroup(spec any) (Stage, error) {
+	doc, ok := asDoc(spec)
+	if !ok {
+		return nil, fmt.Errorf("%w: $group wants an object", ErrBadStage)
+	}
+	idExpr, ok := doc["_id"]
+	if !ok {
+		return nil, fmt.Errorf("%w: $group needs _id", ErrBadStage)
+	}
+	keyPath, _ := idExpr.(string)
+	if keyPath == "" || keyPath[0] != '$' {
+		return nil, fmt.Errorf("%w: $group _id must be a \"$field\" path", ErrBadStage)
+	}
+	var accs []Accumulator
+	for _, field := range doc.Fields() {
+		if field == "_id" {
+			continue
+		}
+		accSpec, ok := asDoc(doc[field])
+		if !ok || len(accSpec) != 1 {
+			return nil, fmt.Errorf("%w: accumulator %q must be a single-key object", ErrBadStage, field)
+		}
+		for op, arg := range accSpec {
+			acc, err := compileAccumulator(field, op, arg)
+			if err != nil {
+				return nil, err
+			}
+			accs = append(accs, acc)
+		}
+	}
+	return GroupBy(stripDollar(keyPath), accs...), nil
+}
+
+func compileAccumulator(field, op string, arg any) (Accumulator, error) {
+	path, isPath := arg.(string)
+	if isPath {
+		path = stripDollar(path)
+	}
+	switch op {
+	case "$sum":
+		if n, ok := toInt(arg); ok && n == 1 {
+			return CountAcc(field), nil
+		}
+		if !isPath {
+			return Accumulator{}, fmt.Errorf("%w: $sum wants 1 or a \"$field\"", ErrBadStage)
+		}
+		return Sum(field, path), nil
+	case "$avg":
+		if !isPath {
+			return Accumulator{}, fmt.Errorf("%w: $avg wants a \"$field\"", ErrBadStage)
+		}
+		return Avg(field, path), nil
+	case "$push":
+		if !isPath {
+			return Accumulator{}, fmt.Errorf("%w: $push wants a \"$field\"", ErrBadStage)
+		}
+		return Push(field, path), nil
+	default:
+		return Accumulator{}, fmt.Errorf("%w: unknown accumulator %q", ErrBadStage, op)
+	}
+}

@@ -1,0 +1,17 @@
+package preprocess
+
+import "testing"
+
+func BenchmarkSubstitute(b *testing.B) {
+	cell := "Patients received 5-10 mg twice, fever in 12.5% after 7 days, onset 5 January 2021, n=42, p < 0.05"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Substitute(cell)
+	}
+}
+
+func BenchmarkSubstitutePlain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Substitute("vaccine side effects by manufacturer")
+	}
+}

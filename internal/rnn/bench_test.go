@@ -1,0 +1,49 @@
+package rnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"covidkg/internal/mlcore"
+)
+
+func BenchmarkGRUForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cell := NewGRU(32, 100, rng) // the paper's 100 units
+	x := mlcore.RandMatrix(24, 32, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cell.Forward(x)
+	}
+}
+
+func BenchmarkGRUForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	cell := NewGRU(32, 100, rng)
+	x := mlcore.RandMatrix(24, 32, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := cell.Forward(x)
+		cell.Backward(h)
+	}
+}
+
+func BenchmarkLSTMForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	cell := NewLSTM(32, 100, rng)
+	x := mlcore.RandMatrix(24, 32, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cell.Forward(x)
+	}
+}
+
+func BenchmarkBiGRUForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	cell := NewBiGRU(32, 100, rng)
+	x := mlcore.RandMatrix(24, 32, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cell.Forward(x)
+	}
+}

@@ -1,0 +1,57 @@
+package rnn
+
+import (
+	"math/rand"
+
+	"covidkg/internal/mlcore"
+)
+
+// Bidirectional runs a forward cell over the sequence and a backward
+// cell over the reversed sequence, concatenating per-timestep outputs —
+// the "Bi" in the paper's BiGRU/BiLSTM layers.
+type Bidirectional struct {
+	Fwd, Bwd Recurrent
+}
+
+// NewBiGRU builds a bidirectional GRU layer of the given hidden size per
+// direction (output width is 2×hidden).
+func NewBiGRU(in, hidden int, rng *rand.Rand) *Bidirectional {
+	return &Bidirectional{Fwd: NewGRU(in, hidden, rng), Bwd: NewGRU(in, hidden, rng)}
+}
+
+// NewBiLSTM builds a bidirectional LSTM layer.
+func NewBiLSTM(in, hidden int, rng *rand.Rand) *Bidirectional {
+	return &Bidirectional{Fwd: NewLSTM(in, hidden, rng), Bwd: NewLSTM(in, hidden, rng)}
+}
+
+// HiddenSize returns the concatenated output width.
+func (b *Bidirectional) HiddenSize() int { return b.Fwd.HiddenSize() + b.Bwd.HiddenSize() }
+
+// Params returns both directions' parameters.
+func (b *Bidirectional) Params() []*mlcore.Param {
+	return append(b.Fwd.Params(), b.Bwd.Params()...)
+}
+
+func reverseRows(m *mlcore.Matrix) *mlcore.Matrix {
+	out := mlcore.NewMatrix(m.Rows, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		copy(out.Row(m.Rows-1-r), m.Row(r))
+	}
+	return out
+}
+
+// Forward implements Recurrent.
+func (b *Bidirectional) Forward(x *mlcore.Matrix) *mlcore.Matrix {
+	hf := b.Fwd.Forward(x)
+	hb := reverseRows(b.Bwd.Forward(reverseRows(x)))
+	return mlcore.HStack(hf, hb)
+}
+
+// Backward implements Recurrent.
+func (b *Bidirectional) Backward(dH *mlcore.Matrix) *mlcore.Matrix {
+	parts := mlcore.HSplit(dH, b.Fwd.HiddenSize(), b.Bwd.HiddenSize())
+	dxF := b.Fwd.Backward(parts[0])
+	dxB := reverseRows(b.Bwd.Backward(reverseRows(parts[1])))
+	mlcore.AddInPlace(dxF, dxB)
+	return dxF
+}

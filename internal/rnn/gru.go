@@ -1,0 +1,192 @@
+// Package rnn implements the recurrent cells behind the paper's tuple
+// classifiers: GRU and LSTM with full backpropagation through time, plus
+// bidirectional wrappers. §3.6 motivates bidirectional RNNs for tuple
+// representations (order-robust, context-aware) and prefers biGRU over
+// biLSTM for its faster training at a small F1 cost — both cells are
+// implemented so that trade-off is measurable (experiment E2).
+package rnn
+
+import (
+	"math/rand"
+
+	"covidkg/internal/mlcore"
+)
+
+// Recurrent maps a T×in sequence to a T×hidden sequence and supports
+// backpropagation through time.
+type Recurrent interface {
+	// Forward consumes a sequence (one row per timestep).
+	Forward(x *mlcore.Matrix) *mlcore.Matrix
+	// Backward consumes gradients for every output timestep and returns
+	// gradients for every input timestep, accumulating parameter grads.
+	Backward(dH *mlcore.Matrix) *mlcore.Matrix
+	Params() []*mlcore.Param
+	HiddenSize() int
+}
+
+// GRU is a gated recurrent unit cell (update gate z, reset gate r,
+// candidate h̃):
+//
+//	z_t = σ(x_t·Wz + h_{t-1}·Uz + bz)
+//	r_t = σ(x_t·Wr + h_{t-1}·Ur + br)
+//	h̃_t = tanh(x_t·Wh + (r_t ⊙ h_{t-1})·Uh + bh)
+//	h_t = (1-z_t) ⊙ h_{t-1} + z_t ⊙ h̃_t
+type GRU struct {
+	in, hidden int
+
+	Wz, Uz, Bz *mlcore.Param
+	Wr, Ur, Br *mlcore.Param
+	Wh, Uh, Bh *mlcore.Param
+
+	// caches for BPTT
+	xs, hs, zs, rs, cands []*mlcore.Matrix
+}
+
+// NewGRU creates a GRU with Glorot-initialized weights.
+func NewGRU(in, hidden int, rng *rand.Rand) *GRU {
+	p := func(name string, r, c int) *mlcore.Param {
+		return mlcore.NewParam(name, mlcore.GlorotMatrix(r, c, rng))
+	}
+	return &GRU{
+		in: in, hidden: hidden,
+		Wz: p("Wz", in, hidden), Uz: p("Uz", hidden, hidden), Bz: mlcore.NewParam("bz", mlcore.NewMatrix(1, hidden)),
+		Wr: p("Wr", in, hidden), Ur: p("Ur", hidden, hidden), Br: mlcore.NewParam("br", mlcore.NewMatrix(1, hidden)),
+		Wh: p("Wh", in, hidden), Uh: p("Uh", hidden, hidden), Bh: mlcore.NewParam("bh", mlcore.NewMatrix(1, hidden)),
+	}
+}
+
+// HiddenSize implements Recurrent.
+func (g *GRU) HiddenSize() int { return g.hidden }
+
+// Params implements Recurrent.
+func (g *GRU) Params() []*mlcore.Param {
+	return []*mlcore.Param{g.Wz, g.Uz, g.Bz, g.Wr, g.Ur, g.Br, g.Wh, g.Uh, g.Bh}
+}
+
+// rowMat wraps a 1×n slice copy as a matrix.
+func rowMat(v []float64) *mlcore.Matrix {
+	out := mlcore.NewMatrix(1, len(v))
+	copy(out.Data, v)
+	return out
+}
+
+// Forward implements Recurrent.
+func (g *GRU) Forward(x *mlcore.Matrix) *mlcore.Matrix {
+	T := x.Rows
+	g.xs = g.xs[:0]
+	g.hs = g.hs[:0]
+	g.zs = g.zs[:0]
+	g.rs = g.rs[:0]
+	g.cands = g.cands[:0]
+
+	h := mlcore.NewMatrix(1, g.hidden)
+	g.hs = append(g.hs, h) // h_{-1}
+	out := mlcore.NewMatrix(T, g.hidden)
+	for t := 0; t < T; t++ {
+		xt := rowMat(x.Row(t))
+		g.xs = append(g.xs, xt)
+
+		z := mlcore.MatMul(xt, g.Wz.W)
+		mlcore.AddInPlace(z, mlcore.MatMul(h, g.Uz.W))
+		mlcore.AddRowVec(z, g.Bz.W)
+		z = z.Apply(mlcore.Sigmoid)
+
+		r := mlcore.MatMul(xt, g.Wr.W)
+		mlcore.AddInPlace(r, mlcore.MatMul(h, g.Ur.W))
+		mlcore.AddRowVec(r, g.Br.W)
+		r = r.Apply(mlcore.Sigmoid)
+
+		rh := mlcore.NewMatrix(1, g.hidden)
+		for i := range rh.Data {
+			rh.Data[i] = r.Data[i] * h.Data[i]
+		}
+		cand := mlcore.MatMul(xt, g.Wh.W)
+		mlcore.AddInPlace(cand, mlcore.MatMul(rh, g.Uh.W))
+		mlcore.AddRowVec(cand, g.Bh.W)
+		cand = cand.Apply(mlcore.Tanh)
+
+		hNew := mlcore.NewMatrix(1, g.hidden)
+		for i := range hNew.Data {
+			hNew.Data[i] = (1-z.Data[i])*h.Data[i] + z.Data[i]*cand.Data[i]
+		}
+
+		g.zs = append(g.zs, z)
+		g.rs = append(g.rs, r)
+		g.cands = append(g.cands, cand)
+		g.hs = append(g.hs, hNew)
+		copy(out.Row(t), hNew.Data)
+		h = hNew
+	}
+	return out
+}
+
+// Backward implements Recurrent.
+func (g *GRU) Backward(dH *mlcore.Matrix) *mlcore.Matrix {
+	T := dH.Rows
+	dx := mlcore.NewMatrix(T, g.in)
+	dhNext := mlcore.NewMatrix(1, g.hidden)
+
+	for t := T - 1; t >= 0; t-- {
+		hPrev := g.hs[t] // h_{t-1}
+		z, r, cand := g.zs[t], g.rs[t], g.cands[t]
+		xt := g.xs[t]
+
+		dh := rowMat(dH.Row(t))
+		mlcore.AddInPlace(dh, dhNext)
+
+		dz := mlcore.NewMatrix(1, g.hidden)
+		dcand := mlcore.NewMatrix(1, g.hidden)
+		dhPrev := mlcore.NewMatrix(1, g.hidden)
+		for i := range dh.Data {
+			dz.Data[i] = dh.Data[i] * (cand.Data[i] - hPrev.Data[i])
+			dcand.Data[i] = dh.Data[i] * z.Data[i]
+			dhPrev.Data[i] = dh.Data[i] * (1 - z.Data[i])
+		}
+
+		// candidate pre-activation
+		daH := mlcore.NewMatrix(1, g.hidden)
+		for i := range daH.Data {
+			daH.Data[i] = dcand.Data[i] * (1 - cand.Data[i]*cand.Data[i])
+		}
+		mlcore.AddInPlace(g.Wh.Grad, mlcore.MatMulATB(xt, daH))
+		rh := mlcore.NewMatrix(1, g.hidden)
+		for i := range rh.Data {
+			rh.Data[i] = r.Data[i] * hPrev.Data[i]
+		}
+		mlcore.AddInPlace(g.Uh.Grad, mlcore.MatMulATB(rh, daH))
+		mlcore.AddInPlace(g.Bh.Grad, daH)
+		dxt := mlcore.MatMulABT(daH, g.Wh.W)
+		drh := mlcore.MatMulABT(daH, g.Uh.W)
+		dr := mlcore.NewMatrix(1, g.hidden)
+		for i := range drh.Data {
+			dr.Data[i] = drh.Data[i] * hPrev.Data[i]
+			dhPrev.Data[i] += drh.Data[i] * r.Data[i]
+		}
+
+		// update gate pre-activation
+		daZ := mlcore.NewMatrix(1, g.hidden)
+		for i := range daZ.Data {
+			daZ.Data[i] = dz.Data[i] * z.Data[i] * (1 - z.Data[i])
+		}
+		mlcore.AddInPlace(g.Wz.Grad, mlcore.MatMulATB(xt, daZ))
+		mlcore.AddInPlace(g.Uz.Grad, mlcore.MatMulATB(hPrev, daZ))
+		mlcore.AddInPlace(g.Bz.Grad, daZ)
+		mlcore.AddInPlace(dxt, mlcore.MatMulABT(daZ, g.Wz.W))
+		mlcore.AddInPlace(dhPrev, mlcore.MatMulABT(daZ, g.Uz.W))
+
+		// reset gate pre-activation
+		daR := mlcore.NewMatrix(1, g.hidden)
+		for i := range daR.Data {
+			daR.Data[i] = dr.Data[i] * r.Data[i] * (1 - r.Data[i])
+		}
+		mlcore.AddInPlace(g.Wr.Grad, mlcore.MatMulATB(xt, daR))
+		mlcore.AddInPlace(g.Ur.Grad, mlcore.MatMulATB(hPrev, daR))
+		mlcore.AddInPlace(g.Br.Grad, daR)
+		mlcore.AddInPlace(dxt, mlcore.MatMulABT(daR, g.Wr.W))
+		mlcore.AddInPlace(dhPrev, mlcore.MatMulABT(daR, g.Ur.W))
+
+		copy(dx.Row(t), dxt.Data)
+		dhNext = dhPrev
+	}
+	return dx
+}

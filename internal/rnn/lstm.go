@@ -1,0 +1,174 @@
+package rnn
+
+import (
+	"math/rand"
+
+	"covidkg/internal/mlcore"
+)
+
+// LSTM is a long short-term memory cell:
+//
+//	i_t = σ(x·Wi + h·Ui + bi)    input gate
+//	f_t = σ(x·Wf + h·Uf + bf)    forget gate
+//	o_t = σ(x·Wo + h·Uo + bo)    output gate
+//	g_t = tanh(x·Wg + h·Ug + bg) cell candidate
+//	c_t = f_t ⊙ c_{t-1} + i_t ⊙ g_t
+//	h_t = o_t ⊙ tanh(c_t)
+type LSTM struct {
+	in, hidden int
+
+	Wi, Ui, Bi *mlcore.Param
+	Wf, Uf, Bf *mlcore.Param
+	Wo, Uo, Bo *mlcore.Param
+	Wg, Ug, Bg *mlcore.Param
+
+	xs, hs, cs             []*mlcore.Matrix
+	is, fs, os, gs, tanhCs []*mlcore.Matrix
+}
+
+// NewLSTM creates an LSTM with Glorot-initialized weights and the usual
+// forget-gate bias of 1.
+func NewLSTM(in, hidden int, rng *rand.Rand) *LSTM {
+	p := func(name string, r, c int) *mlcore.Param {
+		return mlcore.NewParam(name, mlcore.GlorotMatrix(r, c, rng))
+	}
+	l := &LSTM{
+		in: in, hidden: hidden,
+		Wi: p("Wi", in, hidden), Ui: p("Ui", hidden, hidden), Bi: mlcore.NewParam("bi", mlcore.NewMatrix(1, hidden)),
+		Wf: p("Wf", in, hidden), Uf: p("Uf", hidden, hidden), Bf: mlcore.NewParam("bf", mlcore.NewMatrix(1, hidden)),
+		Wo: p("Wo", in, hidden), Uo: p("Uo", hidden, hidden), Bo: mlcore.NewParam("bo", mlcore.NewMatrix(1, hidden)),
+		Wg: p("Wg", in, hidden), Ug: p("Ug", hidden, hidden), Bg: mlcore.NewParam("bg", mlcore.NewMatrix(1, hidden)),
+	}
+	for i := range l.Bf.W.Data {
+		l.Bf.W.Data[i] = 1
+	}
+	return l
+}
+
+// HiddenSize implements Recurrent.
+func (l *LSTM) HiddenSize() int { return l.hidden }
+
+// Params implements Recurrent.
+func (l *LSTM) Params() []*mlcore.Param {
+	return []*mlcore.Param{
+		l.Wi, l.Ui, l.Bi, l.Wf, l.Uf, l.Bf,
+		l.Wo, l.Uo, l.Bo, l.Wg, l.Ug, l.Bg,
+	}
+}
+
+func (l *LSTM) gate(x, h *mlcore.Matrix, w, u, b *mlcore.Param, act func(float64) float64) *mlcore.Matrix {
+	g := mlcore.MatMul(x, w.W)
+	mlcore.AddInPlace(g, mlcore.MatMul(h, u.W))
+	mlcore.AddRowVec(g, b.W)
+	return g.Apply(act)
+}
+
+// Forward implements Recurrent.
+func (l *LSTM) Forward(x *mlcore.Matrix) *mlcore.Matrix {
+	T := x.Rows
+	l.xs, l.hs, l.cs = l.xs[:0], l.hs[:0], l.cs[:0]
+	l.is, l.fs, l.os, l.gs, l.tanhCs = l.is[:0], l.fs[:0], l.os[:0], l.gs[:0], l.tanhCs[:0]
+
+	h := mlcore.NewMatrix(1, l.hidden)
+	c := mlcore.NewMatrix(1, l.hidden)
+	l.hs = append(l.hs, h)
+	l.cs = append(l.cs, c)
+	out := mlcore.NewMatrix(T, l.hidden)
+	for t := 0; t < T; t++ {
+		xt := rowMat(x.Row(t))
+		l.xs = append(l.xs, xt)
+
+		i := l.gate(xt, h, l.Wi, l.Ui, l.Bi, mlcore.Sigmoid)
+		f := l.gate(xt, h, l.Wf, l.Uf, l.Bf, mlcore.Sigmoid)
+		o := l.gate(xt, h, l.Wo, l.Uo, l.Bo, mlcore.Sigmoid)
+		g := l.gate(xt, h, l.Wg, l.Ug, l.Bg, mlcore.Tanh)
+
+		cNew := mlcore.NewMatrix(1, l.hidden)
+		for k := range cNew.Data {
+			cNew.Data[k] = f.Data[k]*c.Data[k] + i.Data[k]*g.Data[k]
+		}
+		tc := cNew.Apply(mlcore.Tanh)
+		hNew := mlcore.NewMatrix(1, l.hidden)
+		for k := range hNew.Data {
+			hNew.Data[k] = o.Data[k] * tc.Data[k]
+		}
+
+		l.is = append(l.is, i)
+		l.fs = append(l.fs, f)
+		l.os = append(l.os, o)
+		l.gs = append(l.gs, g)
+		l.tanhCs = append(l.tanhCs, tc)
+		l.cs = append(l.cs, cNew)
+		l.hs = append(l.hs, hNew)
+		copy(out.Row(t), hNew.Data)
+		h, c = hNew, cNew
+	}
+	return out
+}
+
+// Backward implements Recurrent.
+func (l *LSTM) Backward(dH *mlcore.Matrix) *mlcore.Matrix {
+	T := dH.Rows
+	dx := mlcore.NewMatrix(T, l.in)
+	dhNext := mlcore.NewMatrix(1, l.hidden)
+	dcNext := mlcore.NewMatrix(1, l.hidden)
+
+	accum := func(w, u, b *mlcore.Param, xt, hPrev, da *mlcore.Matrix, dxt, dhPrev *mlcore.Matrix) {
+		mlcore.AddInPlace(w.Grad, mlcore.MatMulATB(xt, da))
+		mlcore.AddInPlace(u.Grad, mlcore.MatMulATB(hPrev, da))
+		mlcore.AddInPlace(b.Grad, da)
+		mlcore.AddInPlace(dxt, mlcore.MatMulABT(da, w.W))
+		mlcore.AddInPlace(dhPrev, mlcore.MatMulABT(da, u.W))
+	}
+
+	for t := T - 1; t >= 0; t-- {
+		xt := l.xs[t]
+		hPrev, cPrev := l.hs[t], l.cs[t]
+		i, f, o, g, tc, c := l.is[t], l.fs[t], l.os[t], l.gs[t], l.tanhCs[t], l.cs[t+1]
+		_ = c
+
+		dh := rowMat(dH.Row(t))
+		mlcore.AddInPlace(dh, dhNext)
+
+		do := mlcore.NewMatrix(1, l.hidden)
+		dc := dcNext.Clone()
+		for k := range dh.Data {
+			do.Data[k] = dh.Data[k] * tc.Data[k]
+			dc.Data[k] += dh.Data[k] * o.Data[k] * (1 - tc.Data[k]*tc.Data[k])
+		}
+
+		di := mlcore.NewMatrix(1, l.hidden)
+		df := mlcore.NewMatrix(1, l.hidden)
+		dg := mlcore.NewMatrix(1, l.hidden)
+		dcPrev := mlcore.NewMatrix(1, l.hidden)
+		for k := range dc.Data {
+			di.Data[k] = dc.Data[k] * g.Data[k]
+			df.Data[k] = dc.Data[k] * cPrev.Data[k]
+			dg.Data[k] = dc.Data[k] * i.Data[k]
+			dcPrev.Data[k] = dc.Data[k] * f.Data[k]
+		}
+
+		// gate pre-activations
+		daI := mlcore.NewMatrix(1, l.hidden)
+		daF := mlcore.NewMatrix(1, l.hidden)
+		daO := mlcore.NewMatrix(1, l.hidden)
+		daG := mlcore.NewMatrix(1, l.hidden)
+		for k := range daI.Data {
+			daI.Data[k] = di.Data[k] * i.Data[k] * (1 - i.Data[k])
+			daF.Data[k] = df.Data[k] * f.Data[k] * (1 - f.Data[k])
+			daO.Data[k] = do.Data[k] * o.Data[k] * (1 - o.Data[k])
+			daG.Data[k] = dg.Data[k] * (1 - g.Data[k]*g.Data[k])
+		}
+
+		dxt := mlcore.NewMatrix(1, l.in)
+		dhPrev := mlcore.NewMatrix(1, l.hidden)
+		accum(l.Wi, l.Ui, l.Bi, xt, hPrev, daI, dxt, dhPrev)
+		accum(l.Wf, l.Uf, l.Bf, xt, hPrev, daF, dxt, dhPrev)
+		accum(l.Wo, l.Uo, l.Bo, xt, hPrev, daO, dxt, dhPrev)
+		accum(l.Wg, l.Ug, l.Bg, xt, hPrev, daG, dxt, dhPrev)
+
+		copy(dx.Row(t), dxt.Data)
+		dhNext, dcNext = dhPrev, dcPrev
+	}
+	return dx
+}

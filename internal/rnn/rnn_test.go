@@ -1,0 +1,218 @@
+package rnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"covidkg/internal/mlcore"
+)
+
+// seqLoss is sum(h²)/2 over all timesteps, whose gradient w.r.t. the
+// outputs is simply the outputs themselves.
+func seqLoss(cell Recurrent, x *mlcore.Matrix) float64 {
+	h := cell.Forward(x)
+	s := 0.0
+	for _, v := range h.Data {
+		s += v * v / 2
+	}
+	return s
+}
+
+func numGrad(loss func() float64, x []float64, i int) float64 {
+	const h = 1e-6
+	orig := x[i]
+	x[i] = orig + h
+	lp := loss()
+	x[i] = orig - h
+	lm := loss()
+	x[i] = orig
+	return (lp - lm) / (2 * h)
+}
+
+// checkRecurrentGradients validates BPTT against numeric gradients for
+// input and every parameter.
+func checkRecurrentGradients(t *testing.T, cell Recurrent, in, T int, tol float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	x := mlcore.RandMatrix(T, in, 1, rng)
+
+	loss := func() float64 { return seqLoss(cell, x) }
+
+	h := cell.Forward(x)
+	for _, p := range cell.Params() {
+		p.Grad.Zero()
+	}
+	dx := cell.Backward(h.Clone())
+
+	for i := range x.Data {
+		want := numGrad(loss, x.Data, i)
+		if math.Abs(dx.Data[i]-want) > tol {
+			t.Fatalf("input grad[%d] = %v, numeric %v", i, dx.Data[i], want)
+		}
+	}
+	for _, p := range cell.Params() {
+		for i := range p.W.Data {
+			want := numGrad(loss, p.W.Data, i)
+			if math.Abs(p.Grad.Data[i]-want) > tol {
+				t.Fatalf("param %s grad[%d] = %v, numeric %v", p.Name, i, p.Grad.Data[i], want)
+			}
+		}
+	}
+}
+
+func TestGRUGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	checkRecurrentGradients(t, NewGRU(3, 4, rng), 3, 5, 1e-4)
+}
+
+func TestLSTMGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	checkRecurrentGradients(t, NewLSTM(3, 4, rng), 3, 5, 1e-4)
+}
+
+func TestBiGRUGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	checkRecurrentGradients(t, NewBiGRU(3, 3, rng), 3, 4, 1e-4)
+}
+
+func TestBiLSTMGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	checkRecurrentGradients(t, NewBiLSTM(3, 3, rng), 3, 4, 1e-4)
+}
+
+func TestOutputShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := mlcore.RandMatrix(7, 5, 1, rng)
+	gru := NewGRU(5, 6, rng)
+	if h := gru.Forward(x); h.Rows != 7 || h.Cols != 6 {
+		t.Fatalf("gru shape %dx%d", h.Rows, h.Cols)
+	}
+	bi := NewBiGRU(5, 6, rng)
+	if h := bi.Forward(x); h.Rows != 7 || h.Cols != 12 {
+		t.Fatalf("bigru shape %dx%d", h.Rows, h.Cols)
+	}
+	if bi.HiddenSize() != 12 {
+		t.Fatalf("HiddenSize = %d", bi.HiddenSize())
+	}
+}
+
+func TestHiddenStatesBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := mlcore.RandMatrix(50, 4, 5, rng) // long, large-magnitude inputs
+	for name, cell := range map[string]Recurrent{
+		"gru":  NewGRU(4, 8, rng),
+		"lstm": NewLSTM(4, 8, rng),
+	} {
+		h := cell.Forward(x)
+		for _, v := range h.Data {
+			if math.Abs(v) > 1 {
+				t.Fatalf("%s hidden state out of (-1,1): %v", name, v)
+			}
+			if math.IsNaN(v) {
+				t.Fatalf("%s produced NaN", name)
+			}
+		}
+	}
+}
+
+func TestBidirectionalSeesBothEnds(t *testing.T) {
+	// The first timestep's output of a bidirectional layer must depend
+	// on the LAST input; a unidirectional cell's must not.
+	rng := rand.New(rand.NewSource(7))
+	x := mlcore.RandMatrix(6, 3, 1, rng)
+
+	bi := NewBiGRU(3, 4, rng)
+	h1 := bi.Forward(x).Row(0)
+	h1c := make([]float64, len(h1))
+	copy(h1c, h1)
+	x.Set(5, 0, x.At(5, 0)+1) // perturb last timestep
+	h2 := bi.Forward(x).Row(0)
+	changed := false
+	for i := range h2 {
+		if math.Abs(h2[i]-h1c[i]) > 1e-9 {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("bidirectional first output ignores last input")
+	}
+
+	gru := NewGRU(3, 4, rng)
+	g1 := gru.Forward(x).Row(0)
+	g1c := make([]float64, len(g1))
+	copy(g1c, g1)
+	x.Set(5, 0, x.At(5, 0)+1)
+	g2 := gru.Forward(x).Row(0)
+	for i := range g2 {
+		if math.Abs(g2[i]-g1c[i]) > 1e-12 {
+			t.Fatal("unidirectional first output depends on the future")
+		}
+	}
+}
+
+func TestGRUTrainsOnToyTask(t *testing.T) {
+	// Task: classify whether the sequence contains the "signal" input
+	// pattern (x[., 0] > 0.5 at any step). A readout on the last hidden
+	// state is trained jointly with the cell.
+	rng := rand.New(rand.NewSource(8))
+	cell := NewGRU(2, 6, rng)
+	readout := mlcore.NewDense(6, 1, rng)
+	sig := &mlcore.SigmoidLayer{}
+	opt := mlcore.NewAdam(0.01)
+	params := append(cell.Params(), readout.Params()...)
+
+	makeSeq := func(positive bool) *mlcore.Matrix {
+		x := mlcore.RandMatrix(6, 2, 0.3, rng)
+		if positive {
+			x.Set(rng.Intn(6), 0, 1.0)
+		}
+		return x
+	}
+
+	var first, last float64
+	for epoch := 0; epoch < 150; epoch++ {
+		totalLoss := 0.0
+		for n := 0; n < 10; n++ {
+			positive := n%2 == 0
+			x := makeSeq(positive)
+			h := cell.Forward(x)
+			lastH := mlcore.FromSlice(1, 6, h.Row(h.Rows-1))
+			pred := sig.Forward(readout.Forward(lastH, true), true)
+			target := mlcore.NewMatrix(1, 1)
+			if positive {
+				target.Data[0] = 1
+			}
+			loss, grad := mlcore.BCELoss(pred, target)
+			totalLoss += loss
+			dl := readout.Backward(sig.Backward(grad))
+			dH := mlcore.NewMatrix(h.Rows, h.Cols)
+			copy(dH.Row(h.Rows-1), dl.Data)
+			cell.Backward(dH)
+		}
+		mlcore.ClipGradients(params, 5)
+		opt.Step(params)
+		if epoch == 0 {
+			first = totalLoss
+		}
+		last = totalLoss
+	}
+	if last > first*0.5 {
+		t.Fatalf("GRU failed to learn: loss %v -> %v", first, last)
+	}
+}
+
+func TestForwardResetsState(t *testing.T) {
+	// consecutive Forward calls must not leak state between sequences
+	rng := rand.New(rand.NewSource(9))
+	cell := NewGRU(2, 3, rng)
+	x := mlcore.RandMatrix(4, 2, 1, rng)
+	h1 := cell.Forward(x).Clone()
+	cell.Forward(mlcore.RandMatrix(4, 2, 1, rng)) // other sequence
+	h2 := cell.Forward(x)
+	for i := range h1.Data {
+		if h1.Data[i] != h2.Data[i] {
+			t.Fatal("state leaked between sequences")
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Package search implements COVIDKG's three advanced search engines
+// (§2.1): search over title/abstract/caption, search over all
+// publication fields, and search over paper tables. All three share one
+// evaluation process — an aggregation pipeline whose first stage is a
+// $match over stemmed-term regexes, followed by $project and custom
+// $function ranking stages — and differ only in which fields they match
+// and how results are formatted, exactly as the paper describes.
+package search
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"covidkg/internal/docstore"
+	"covidkg/internal/index"
+	"covidkg/internal/jsondoc"
+	"covidkg/internal/textproc"
+)
+
+// Field names used for indexing and ranking.
+const (
+	FieldTitle         = "title"
+	FieldAbstract      = "abstract"
+	FieldBody          = "body"
+	FieldTableCaption  = "table_caption"
+	FieldTableCell     = "table_cell"
+	FieldFigureCaption = "figure_caption"
+)
+
+// PerPage is the pagination unit: "the results are paginated as a list
+// of ten per page" (§2.1).
+const PerPage = 10
+
+// Engine ties a publication collection to its inverted index and hosts
+// the three search entry points.
+type Engine struct {
+	coll     *docstore.Collection
+	idx      *index.Index
+	rankOpts RankOptions
+}
+
+// NewEngine builds a search engine over the given publication collection
+// and indexes every document already present.
+func NewEngine(coll *docstore.Collection) *Engine {
+	e := &Engine{coll: coll, idx: index.New()}
+	coll.Scan(func(d jsondoc.Doc) bool {
+		e.indexDoc(d)
+		return true
+	})
+	return e
+}
+
+// Index returns the engine's inverted index (read-mostly; exposed for
+// ranking diagnostics and experiments).
+func (e *Engine) Index() *index.Index { return e.idx }
+
+// AddDocument inserts a publication document into the collection and the
+// index. The document must follow the corpus shape (title, abstract,
+// body_text, tables, figure_captions).
+func (e *Engine) AddDocument(d jsondoc.Doc) (string, error) {
+	id, err := e.coll.Insert(d)
+	if err != nil {
+		return "", err
+	}
+	stored, err := e.coll.Get(id)
+	if err != nil {
+		return "", err
+	}
+	e.indexDoc(stored)
+	return id, nil
+}
+
+// RemoveDocument deletes a publication from collection and index.
+func (e *Engine) RemoveDocument(id string) error {
+	if err := e.coll.Delete(id); err != nil {
+		return err
+	}
+	e.idx.Remove(id)
+	return nil
+}
+
+func (e *Engine) indexDoc(d jsondoc.Doc) {
+	id, _ := d["_id"].(string)
+	if id == "" {
+		return
+	}
+	e.idx.Add(id, FieldTitle, d.GetString("title"))
+	e.idx.Add(id, FieldAbstract, d.GetString("abstract"))
+	e.idx.Add(id, FieldBody, d.GetString("body_text"))
+	for _, tv := range d.GetArray("tables") {
+		tm, _ := tv.(map[string]any)
+		if tm == nil {
+			continue
+		}
+		td := jsondoc.Doc(tm)
+		e.idx.Add(id, FieldTableCaption, td.GetString("caption"))
+		for _, rv := range td.GetArray("rows") {
+			ra, _ := rv.([]any)
+			for _, cv := range ra {
+				if s, ok := cv.(string); ok {
+					e.idx.Add(id, FieldTableCell, s)
+				}
+			}
+		}
+	}
+	for _, fv := range d.GetArray("figure_captions") {
+		if s, ok := fv.(string); ok {
+			e.idx.Add(id, FieldFigureCaption, s)
+		}
+	}
+}
+
+// fieldTexts extracts the raw text of each logical field of a stored
+// publication, used for matching and snippets. Table captions and cells
+// are concatenated per table.
+func fieldTexts(d jsondoc.Doc) map[string][]string {
+	out := map[string][]string{
+		FieldTitle:    {d.GetString("title")},
+		FieldAbstract: {d.GetString("abstract")},
+		FieldBody:     {d.GetString("body_text")},
+	}
+	for _, tv := range d.GetArray("tables") {
+		tm, _ := tv.(map[string]any)
+		if tm == nil {
+			continue
+		}
+		td := jsondoc.Doc(tm)
+		out[FieldTableCaption] = append(out[FieldTableCaption], td.GetString("caption"))
+		var cells []string
+		for _, rv := range td.GetArray("rows") {
+			ra, _ := rv.([]any)
+			for _, cv := range ra {
+				if s, ok := cv.(string); ok && s != "" {
+					cells = append(cells, s)
+				}
+			}
+		}
+		out[FieldTableCell] = append(out[FieldTableCell], strings.Join(cells, " | "))
+	}
+	for _, fv := range d.GetArray("figure_captions") {
+		if s, ok := fv.(string); ok {
+			out[FieldFigureCaption] = append(out[FieldFigureCaption], s)
+		}
+	}
+	return out
+}
+
+// termMatches reports whether a query term occurs in text: quoted terms
+// match as case-insensitive substrings ("exact match of the query if
+// wrapped in quotes"), bare terms match any token whose stem equals, or
+// which extends, the stemmed query term ("stemming match capability on a
+// tokenized query").
+func termMatches(term textproc.QueryTerm, text string) bool {
+	if term.Exact {
+		return strings.Contains(strings.ToLower(text), term.Text)
+	}
+	for _, tok := range textproc.Tokenize(text) {
+		if tokenMatchesStem(tok.Text, term.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+// tokenMatchesStem implements the stemmed-regex matching rule.
+func tokenMatchesStem(token, stem string) bool {
+	return textproc.Stem(token) == stem || strings.HasPrefix(token, stem)
+}
+
+// Result is one ranked search hit.
+type Result struct {
+	DocID    string
+	Score    float64
+	Title    string
+	Authors  []string
+	Journal  string
+	Snippets []Snippet
+}
+
+// Snippet is an excerpt of one field with highlight spans (byte offsets
+// into Text) for the matched terms — the front-end paints these red.
+type Snippet struct {
+	Field      string
+	Text       string
+	Highlights [][2]int
+}
+
+// Page is one page of results plus pagination bookkeeping.
+type Page struct {
+	Results  []Result
+	Total    int // total matching documents across all pages
+	PageNum  int // 1-based
+	PerPage  int
+	NumPages int
+}
+
+func paginate(all []Result, pageNum int) Page {
+	if pageNum < 1 {
+		pageNum = 1
+	}
+	total := len(all)
+	numPages := (total + PerPage - 1) / PerPage
+	start := (pageNum - 1) * PerPage
+	var res []Result
+	if start < total {
+		end := start + PerPage
+		if end > total {
+			end = total
+		}
+		res = all[start:end]
+	}
+	return Page{Results: res, Total: total, PageNum: pageNum, PerPage: PerPage, NumPages: numPages}
+}
+
+// resultFromDoc builds the result skeleton (identity fields) from a
+// stored publication.
+func resultFromDoc(d jsondoc.Doc, score float64) Result {
+	var authors []string
+	for _, a := range d.GetArray("authors") {
+		if s, ok := a.(string); ok {
+			authors = append(authors, s)
+		}
+	}
+	return Result{
+		DocID:   d.GetString("_id"),
+		Score:   score,
+		Title:   d.GetString("title"),
+		Authors: authors,
+		Journal: d.GetString("journal"),
+	}
+}
+
+// sortResults orders by descending score with doc id as the
+// deterministic tiebreak.
+func sortResults(rs []Result) {
+	sort.SliceStable(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
+		}
+		return rs[i].DocID < rs[j].DocID
+	})
+}
+
+// queryOrError parses the query and rejects empty ones.
+func queryOrError(q string) ([]textproc.QueryTerm, error) {
+	terms := textproc.ParseQuery(q)
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("search: query %q has no searchable terms", q)
+	}
+	return terms, nil
+}

@@ -1,0 +1,442 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+
+	"covidkg/internal/jsondoc"
+	"covidkg/internal/pipeline"
+	"covidkg/internal/textproc"
+)
+
+// collSource adapts the engine's collection to the pipeline Source.
+type collSource struct{ e *Engine }
+
+func (s collSource) Scan(fn func(jsondoc.Doc) bool) { s.e.coll.Scan(fn) }
+
+// expandSynonyms widens a stemmed term list with the synonym table so a
+// query for "vaccine" also retrieves "immunization" documents (§5: the
+// ranking function recognizes synonymy).
+func expandSynonyms(stems []string) []string {
+	out := append([]string(nil), stems...)
+	seen := map[string]bool{}
+	for _, s := range stems {
+		seen[s] = true
+	}
+	for _, s := range stems {
+		for _, syn := range textproc.SynonymStems(s) {
+			if !seen[syn] {
+				seen[syn] = true
+				out = append(out, syn)
+			}
+		}
+	}
+	return out
+}
+
+// candidateSource resolves candidate document ids into a pipeline source.
+type candidateSource struct {
+	e   *Engine
+	ids []string
+}
+
+func (s candidateSource) Scan(fn func(jsondoc.Doc) bool) {
+	for _, id := range s.ids {
+		d, err := s.e.coll.Get(id)
+		if err != nil {
+			continue
+		}
+		if !fn(d) {
+			return
+		}
+	}
+}
+
+// phraseCandidates resolves a quoted phrase to the documents containing
+// every content word of the phrase (a superset of the true phrase
+// matches, which still need substring verification). ok is false when
+// the phrase has no indexable words and only a full scan can answer it.
+func (e *Engine) phraseCandidates(phrase string, fields map[string]bool) ([]string, bool) {
+	words := textproc.ContentWords(phrase)
+	if len(words) == 0 {
+		return nil, false
+	}
+	// intersect per-word field-restricted doc sets
+	var out []string
+	for i, w := range words {
+		ids := e.idx.DocsWithAnyInFields([]string{w}, fields)
+		if i == 0 {
+			out = ids
+		} else {
+			out = intersectSorted(out, ids)
+		}
+		if len(out) == 0 {
+			return []string{}, true
+		}
+	}
+	return out, true
+}
+
+// queryCandidates resolves the full query (bare terms by index lookup,
+// quoted phrases by all-words intersection) into a candidate id list.
+// verify reports whether the candidates still need the match predicate
+// (true when any phrase term participated). ok is false when the index
+// cannot answer and a full scan is required.
+func (e *Engine) queryCandidates(terms []textproc.QueryTerm, fields map[string]bool) (ids []string, verify, ok bool) {
+	set := map[string]struct{}{}
+	for _, t := range terms {
+		if t.Exact {
+			pc, pok := e.phraseCandidates(t.Text, fields)
+			if !pok {
+				return nil, false, false
+			}
+			verify = true
+			for _, id := range pc {
+				set[id] = struct{}{}
+			}
+			continue
+		}
+		for _, id := range e.idx.DocsWithAnyInFields(expandSynonyms([]string{t.Text}), fields) {
+			set[id] = struct{}{}
+		}
+	}
+	ids = make([]string, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, verify, true
+}
+
+// runSearch executes the shared §2.1 evaluation process: a $match stage
+// filters the corpus to candidate documents (streamed, so it runs first
+// and cheaply), a $project keeps only fields later stages need, and a
+// custom $function stage computes the ranking score. Sorting and
+// pagination conclude the pipeline.
+//
+// When candidates is non-nil the inverted index already resolved a
+// candidate set and the pipeline starts from those documents;
+// verifyCandidates keeps the match predicate active over them (needed
+// when quoted phrases require substring confirmation). A nil candidates
+// list falls back to a full $match scan.
+func (e *Engine) runSearch(
+	matchPred func(jsondoc.Doc) bool,
+	candidates []string,
+	verifyCandidates bool,
+	terms []textproc.QueryTerm,
+	rankFields map[string]bool,
+	snippetFields []string,
+	pageNum int,
+) (Page, error) {
+	var src pipeline.Source = collSource{e}
+	if candidates != nil {
+		src = candidateSource{e, candidates}
+		if !verifyCandidates {
+			matchPred = func(jsondoc.Doc) bool { return true }
+		}
+	}
+	p := pipeline.New(
+		pipeline.Match(matchPred),
+		// $project: only the fields needed "for carrying out calculations
+		// and printing to the screen" travel further down the pipeline.
+		pipeline.Project("title", "abstract", "body_text", "authors",
+			"journal", "publish_date", "tables", "figure_captions"),
+		pipeline.Function("rank", func(d jsondoc.Doc) (jsondoc.Doc, error) {
+			ex := e.scoreDoc(d, terms, rankFields)
+			if err := d.Set("score", ex.Total); err != nil {
+				return nil, err
+			}
+			return d, nil
+		}),
+		pipeline.SortByDesc("score"),
+	)
+	docs, err := p.Run(src)
+	if err != nil {
+		return Page{}, err
+	}
+
+	results := make([]Result, 0, len(docs))
+	byID := make(map[string]jsondoc.Doc, len(docs))
+	for _, d := range docs {
+		score, _ := d.GetNumber("score")
+		r := resultFromDoc(d, score)
+		byID[r.DocID] = d
+		results = append(results, r)
+	}
+	sortResults(results)
+	page := paginate(results, pageNum)
+	// snippets are expensive (tokenization over full texts); compute them
+	// only for the page actually returned
+	for i := range page.Results {
+		d := byID[page.Results[i].DocID]
+		texts := fieldTexts(d)
+		for _, f := range snippetFields {
+			for _, txt := range texts[f] {
+				if sn, ok := makeSnippet(f, txt, terms); ok {
+					page.Results[i].Snippets = append(page.Results[i].Snippets, sn)
+				}
+			}
+		}
+	}
+	return page, nil
+}
+
+// intersectSorted intersects two sorted string slices.
+func intersectSorted(a, b []string) []string {
+	var out []string
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// anyTermInFields reports whether at least one query term matches any of
+// the named fields of the document.
+func anyTermInFields(d jsondoc.Doc, terms []textproc.QueryTerm, fields ...string) bool {
+	texts := fieldTexts(d)
+	for _, f := range fields {
+		for _, txt := range texts[f] {
+			for _, t := range terms {
+				if termMatches(t, txt) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// FieldQuery is the input of the title/abstract/caption engine: any
+// subset of the three fields may carry a query.
+type FieldQuery struct {
+	Title    string
+	Abstract string
+	Caption  string
+}
+
+// SearchFields is engine §2.1.1 — search over paper title, abstract, and
+// table captions. "The search fields are inclusive": every non-empty
+// field must match at least one of its terms in that field, or the
+// document is dropped regardless of other fields.
+func (e *Engine) SearchFields(q FieldQuery, pageNum int) (Page, error) {
+	type fieldTerm struct {
+		field string
+		terms []textproc.QueryTerm
+	}
+	var conds []fieldTerm
+	var allTerms []textproc.QueryTerm
+	add := func(field, query string) error {
+		if query == "" {
+			return nil
+		}
+		terms, err := queryOrError(query)
+		if err != nil {
+			return err
+		}
+		conds = append(conds, fieldTerm{field, terms})
+		allTerms = append(allTerms, terms...)
+		return nil
+	}
+	if err := add(FieldTitle, q.Title); err != nil {
+		return Page{}, err
+	}
+	if err := add(FieldAbstract, q.Abstract); err != nil {
+		return Page{}, err
+	}
+	if err := add(FieldTableCaption, q.Caption); err != nil {
+		return Page{}, err
+	}
+	if len(conds) == 0 {
+		return Page{}, fmt.Errorf("search: all query fields empty")
+	}
+
+	rankFields := map[string]bool{FieldTitle: true, FieldAbstract: true, FieldTableCaption: true}
+	match := func(d jsondoc.Doc) bool {
+		for _, c := range conds {
+			if !anyTermInFields(d, c.terms, c.field) {
+				return false
+			}
+		}
+		return true
+	}
+	// Inclusive semantics via the index: intersect per-field candidate
+	// sets; quoted phrases keep the verification predicate active.
+	var candidates []string
+	verify := false
+	resolvable := true
+	for i, c := range conds {
+		ids, v, ok := e.queryCandidates(c.terms, map[string]bool{c.field: true})
+		if !ok {
+			resolvable = false
+			break
+		}
+		verify = verify || v
+		if i == 0 {
+			candidates = ids
+		} else {
+			candidates = intersectSorted(candidates, ids)
+		}
+		if len(candidates) == 0 {
+			candidates = []string{}
+			break
+		}
+	}
+	if !resolvable {
+		candidates, verify = nil, false
+	} else if verify && candidates == nil {
+		candidates = []string{}
+	}
+	// Results format: "table captions first, the title and authors and
+	// the full abstract" — snippet order encodes that.
+	return e.runSearch(match, candidates, verify, allTerms, rankFields,
+		[]string{FieldTableCaption, FieldTitle, FieldAbstract}, pageNum)
+}
+
+// SearchAll is engine §2.1.2 — search over all publication fields, for
+// when "where the term is referenced is unimportant". Results carry
+// excerpts from every matching field: abstract, body text, table
+// captions, tables, and figure captions.
+func (e *Engine) SearchAll(query string, pageNum int) (Page, error) {
+	terms, err := queryOrError(query)
+	if err != nil {
+		return Page{}, err
+	}
+	allFields := []string{FieldTitle, FieldAbstract, FieldBody,
+		FieldTableCaption, FieldTableCell, FieldFigureCaption}
+	match := func(d jsondoc.Doc) bool {
+		return anyTermInFields(d, terms, allFields...)
+	}
+	candidates, verify, ok := e.queryCandidates(terms, nil)
+	if !ok {
+		candidates, verify = nil, false
+	}
+	return e.runSearch(match, candidates, verify, terms, nil,
+		[]string{FieldAbstract, FieldBody, FieldTableCaption, FieldTableCell, FieldFigureCaption},
+		pageNum)
+}
+
+// SearchTables is engine §2.1.3 — search over paper tables only: "a
+// product of regular expression search over table captions and all of
+// the table's data". Ranked with the same weighted-feature function,
+// restricted to table fields.
+func (e *Engine) SearchTables(query string, pageNum int) (Page, error) {
+	terms, err := queryOrError(query)
+	if err != nil {
+		return Page{}, err
+	}
+	tableFields := map[string]bool{FieldTableCaption: true, FieldTableCell: true}
+	match := func(d jsondoc.Doc) bool {
+		return anyTermInFields(d, terms, FieldTableCaption, FieldTableCell)
+	}
+	candidates, verify, ok := e.queryCandidates(terms, tableFields)
+	if !ok {
+		candidates, verify = nil, false
+	}
+	// The table engine also shows where the terms land in the abstract
+	// for context (Figure 4 shows an abstract match below the table).
+	return e.runSearch(match, candidates, verify, terms, tableFields,
+		[]string{FieldTableCaption, FieldTableCell, FieldAbstract}, pageNum)
+}
+
+// CellMatch pinpoints where a query landed inside one stored table — the
+// coordinates the Figure 4 interface paints red.
+type CellMatch struct {
+	TableIndex     int      // position within the publication's tables
+	Caption        string   // the table's caption
+	CaptionMatched bool     // the caption itself matched
+	Cells          [][2]int // (row, col) of every matched cell
+}
+
+// TableCellMatches locates every matched caption and cell of a stored
+// publication for the query, table by table.
+func (e *Engine) TableCellMatches(docID, query string) ([]CellMatch, error) {
+	terms, err := queryOrError(query)
+	if err != nil {
+		return nil, err
+	}
+	d, err := e.coll.Get(docID)
+	if err != nil {
+		return nil, err
+	}
+	var out []CellMatch
+	for ti, tv := range d.GetArray("tables") {
+		tm, _ := tv.(map[string]any)
+		if tm == nil {
+			continue
+		}
+		td := jsondoc.Doc(tm)
+		cm := CellMatch{TableIndex: ti, Caption: td.GetString("caption")}
+		for _, t := range terms {
+			if termMatches(t, cm.Caption) {
+				cm.CaptionMatched = true
+				break
+			}
+		}
+		for ri, rv := range td.GetArray("rows") {
+			ra, _ := rv.([]any)
+			for ci, cv := range ra {
+				s, ok := cv.(string)
+				if !ok || s == "" {
+					continue
+				}
+				for _, t := range terms {
+					if termMatches(t, s) {
+						cm.Cells = append(cm.Cells, [2]int{ri, ci})
+						break
+					}
+				}
+			}
+		}
+		if cm.CaptionMatched || len(cm.Cells) > 0 {
+			out = append(out, cm)
+		}
+	}
+	return out, nil
+}
+
+// MatchingTables returns, for one result document, the parsed tables that
+// match the query — the expandable per-table view of Figure 4.
+func (e *Engine) MatchingTables(docID, query string) ([]jsondoc.Doc, error) {
+	terms, err := queryOrError(query)
+	if err != nil {
+		return nil, err
+	}
+	d, err := e.coll.Get(docID)
+	if err != nil {
+		return nil, err
+	}
+	var out []jsondoc.Doc
+	for _, tv := range d.GetArray("tables") {
+		tm, _ := tv.(map[string]any)
+		if tm == nil {
+			continue
+		}
+		td := jsondoc.Doc(tm)
+		text := td.GetString("caption")
+		for _, rv := range td.GetArray("rows") {
+			ra, _ := rv.([]any)
+			for _, cv := range ra {
+				if s, ok := cv.(string); ok {
+					text += " " + s
+				}
+			}
+		}
+		for _, t := range terms {
+			if termMatches(t, text) {
+				out = append(out, td)
+				break
+			}
+		}
+	}
+	return out, nil
+}

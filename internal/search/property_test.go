@@ -1,0 +1,126 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"covidkg/internal/docstore"
+	"covidkg/internal/jsondoc"
+)
+
+// TestPaginationPartitionProperty: walking all pages of a query yields
+// every matching document exactly once, in non-increasing score order.
+func TestPaginationPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := docstore.Open(docstore.WithShards(3))
+	c := s.Collection("pubs")
+	words := []string{"masks", "vaccines", "fever", "aerosol", "dose"}
+	nDocs := 120
+	expectMatch := 0
+	for i := 0; i < nDocs; i++ {
+		hasMask := rng.Intn(2) == 0
+		text := words[1+rng.Intn(len(words)-1)]
+		if hasMask {
+			text += " masks"
+			expectMatch++
+		}
+		c.Insert(jsondoc.Doc{
+			"_id": fmt.Sprintf("d%03d", i), "title": text,
+			"abstract": "study " + text, "body_text": "",
+		})
+	}
+	e := NewEngine(c)
+
+	seen := map[string]bool{}
+	prevScore := -1.0
+	total := -1
+	for page := 1; ; page++ {
+		pg, err := e.SearchAll("masks", page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total == -1 {
+			total = pg.Total
+		} else if pg.Total != total {
+			t.Fatalf("Total changed across pages: %d vs %d", pg.Total, total)
+		}
+		if len(pg.Results) == 0 {
+			break
+		}
+		for _, r := range pg.Results {
+			if seen[r.DocID] {
+				t.Fatalf("doc %s on two pages", r.DocID)
+			}
+			seen[r.DocID] = true
+			if prevScore >= 0 && r.Score > prevScore+1e-9 {
+				t.Fatalf("score rose across pages: %v after %v", r.Score, prevScore)
+			}
+			prevScore = r.Score
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("pages covered %d of %d results", len(seen), total)
+	}
+	if total != expectMatch {
+		t.Fatalf("matched %d, expected %d", total, expectMatch)
+	}
+}
+
+// TestEnginesAgreeOnTableOnlyTerms: any document found by the table
+// engine must also be found by the all-fields engine (tables ⊆ all).
+func TestEnginesAgreeOnTableOnlyTerms(t *testing.T) {
+	e := testEngine(t)
+	tp, err := e.SearchTables("ventilators", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := e.SearchAll("ventilators", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allSet := map[string]bool{}
+	for _, r := range all.Results {
+		allSet[r.DocID] = true
+	}
+	for _, r := range tp.Results {
+		if !allSet[r.DocID] {
+			t.Fatalf("table hit %s missing from all-fields results", r.DocID)
+		}
+	}
+}
+
+// TestIndexConsistencyAfterChurn: add/remove cycles keep search results
+// equal to a freshly built engine.
+func TestIndexConsistencyAfterChurn(t *testing.T) {
+	s := docstore.Open()
+	c := s.Collection("pubs")
+	e := NewEngine(c)
+	var kept []string
+	for i := 0; i < 30; i++ {
+		id, err := e.AddDocument(pub("", fmt.Sprintf("masks study %d", i), "about masks", ""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			if err := e.RemoveDocument(id); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			kept = append(kept, id)
+		}
+	}
+	page, err := e.SearchAll("masks", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Total != len(kept) {
+		t.Fatalf("after churn: %d hits, want %d", page.Total, len(kept))
+	}
+	// fresh engine over the same collection agrees
+	fresh := NewEngine(c)
+	fp, _ := fresh.SearchAll("masks", 1)
+	if fp.Total != page.Total {
+		t.Fatalf("fresh engine disagrees: %d vs %d", fp.Total, page.Total)
+	}
+}

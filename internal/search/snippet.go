@@ -1,0 +1,137 @@
+package search
+
+import (
+	"strings"
+
+	"covidkg/internal/textproc"
+)
+
+// snippetRadius is how many bytes of context a snippet keeps on each
+// side of the first highlighted match.
+const snippetRadius = 80
+
+// makeSnippet excerpts text around the first query-term match and
+// records every highlight span inside the excerpt. Returns ok=false when
+// no term matches.
+func makeSnippet(field, text string, terms []textproc.QueryTerm) (Snippet, bool) {
+	spans := matchSpans(text, terms)
+	if len(spans) == 0 {
+		return Snippet{}, false
+	}
+
+	// window around the first match
+	start := spans[0][0] - snippetRadius
+	if start < 0 {
+		start = 0
+	}
+	end := spans[0][1] + snippetRadius
+	if end > len(text) {
+		end = len(text)
+	}
+	// align to rune boundaries
+	for start > 0 && !isBoundary(text[start]) {
+		start--
+	}
+	for end < len(text) && !isBoundary(text[end-1]) {
+		end++
+	}
+
+	excerpt := text[start:end]
+	var hl [][2]int
+	for _, sp := range spans {
+		if sp[0] >= start && sp[1] <= end {
+			hl = append(hl, [2]int{sp[0] - start, sp[1] - start})
+		}
+	}
+	if start > 0 {
+		excerpt = "…" + excerpt
+		off := len("…")
+		for i := range hl {
+			hl[i][0] += off
+			hl[i][1] += off
+		}
+	}
+	if end < len(text) {
+		excerpt += "…"
+	}
+	return Snippet{Field: field, Text: excerpt, Highlights: hl}, true
+}
+
+func isBoundary(b byte) bool { return b < 0x80 }
+
+// matchSpans returns sorted, de-overlapped byte spans of every query-term
+// match in text.
+func matchSpans(text string, terms []textproc.QueryTerm) [][2]int {
+	var spans [][2]int
+	lower := strings.ToLower(text)
+	for _, t := range terms {
+		if t.Exact {
+			for from := 0; ; {
+				i := strings.Index(lower[from:], t.Text)
+				if i < 0 {
+					break
+				}
+				s := from + i
+				spans = append(spans, [2]int{s, s + len(t.Text)})
+				from = s + len(t.Text)
+			}
+		} else {
+			for _, tok := range textproc.Tokenize(text) {
+				if tokenMatchesStem(tok.Text, t.Text) {
+					spans = append(spans, [2]int{tok.Start, tok.End})
+				}
+			}
+		}
+	}
+	if len(spans) == 0 {
+		return nil
+	}
+	sortSpans(spans)
+	return dedupeSpans(spans)
+}
+
+func sortSpans(spans [][2]int) {
+	for i := 1; i < len(spans); i++ {
+		for j := i; j > 0 && spans[j][0] < spans[j-1][0]; j-- {
+			spans[j], spans[j-1] = spans[j-1], spans[j]
+		}
+	}
+}
+
+func dedupeSpans(spans [][2]int) [][2]int {
+	out := spans[:1]
+	for _, sp := range spans[1:] {
+		last := &out[len(out)-1]
+		if sp[0] < last[1] {
+			if sp[1] > last[1] {
+				last[1] = sp[1]
+			}
+			continue
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// HighlightMarked renders a snippet's text with [[ ]] markers around
+// highlights — the plain-text analogue of the UI's red highlighting,
+// useful for terminals and tests.
+func (s Snippet) HighlightMarked() string {
+	if len(s.Highlights) == 0 {
+		return s.Text
+	}
+	var b strings.Builder
+	prev := 0
+	for _, h := range s.Highlights {
+		if h[0] < prev || h[1] > len(s.Text) {
+			continue
+		}
+		b.WriteString(s.Text[prev:h[0]])
+		b.WriteString("[[")
+		b.WriteString(s.Text[h[0]:h[1]])
+		b.WriteString("]]")
+		prev = h[1]
+	}
+	b.WriteString(s.Text[prev:])
+	return b.String()
+}

@@ -1,0 +1,225 @@
+// Package svm implements support vector machine classifiers from
+// scratch: a linear SVM trained with the Pegasos stochastic sub-gradient
+// method, and a kernelized variant supporting RBF and sigmoid kernels
+// (the paper's SVM reference [Lin & Lin 2003] studies sigmoid kernels).
+// The metadata classifier of §3.5 feeds these the 7 positional features.
+package svm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// ErrBadTrainingSet reports empty or inconsistent training data.
+var ErrBadTrainingSet = errors.New("svm: bad training set")
+
+// Config controls training.
+type Config struct {
+	Lambda float64 // regularization strength
+	Epochs int     // passes over the data
+	Seed   int64
+}
+
+// DefaultConfig returns reasonable defaults for small feature spaces.
+func DefaultConfig() Config {
+	return Config{Lambda: 0.001, Epochs: 30, Seed: 1}
+}
+
+// Linear is a linear SVM: sign(w·x + b).
+type Linear struct {
+	W []float64
+	B float64
+}
+
+// validate checks shapes and converts labels to ±1.
+func validate(x [][]float64, y []int) ([]float64, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, ErrBadTrainingSet
+	}
+	dim := len(x[0])
+	labels := make([]float64, len(y))
+	for i, xi := range x {
+		if len(xi) != dim {
+			return nil, ErrBadTrainingSet
+		}
+		switch y[i] {
+		case 1:
+			labels[i] = 1
+		case 0, -1:
+			labels[i] = -1
+		default:
+			return nil, ErrBadTrainingSet
+		}
+	}
+	return labels, nil
+}
+
+// TrainLinear fits a linear SVM with Pegasos [Shalev-Shwartz et al.].
+// Labels may be {0,1} or {-1,+1}. The bias is learned as an augmented
+// constant feature so it shares the regularized, stable update rule —
+// an explicit unregularized bias blows up under Pegasos's large early
+// learning rates.
+func TrainLinear(x [][]float64, y []int, cfg Config) (*Linear, error) {
+	labels, err := validate(x, y)
+	if err != nil {
+		return nil, err
+	}
+	dim := len(x[0])
+	aug := make([][]float64, len(x))
+	for i, xi := range x {
+		ai := make([]float64, dim+1)
+		copy(ai, xi)
+		ai[dim] = 1
+		aug[i] = ai
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := make([]float64, dim+1)
+	t := 0
+	order := rng.Perm(len(aug))
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// reshuffle each epoch for SGD
+		for i := len(order) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		for _, i := range order {
+			t++
+			eta := 1 / (cfg.Lambda * float64(t))
+			margin := labels[i] * dot(w, aug[i])
+			// w <- (1 - eta*lambda) w  [+ eta*y*x if margin violated]
+			scale := 1 - eta*cfg.Lambda
+			if scale < 0 {
+				scale = 0
+			}
+			for d := range w {
+				w[d] *= scale
+			}
+			if margin < 1 {
+				for d := range w {
+					w[d] += eta * labels[i] * aug[i][d]
+				}
+			}
+		}
+	}
+	return &Linear{W: w[:dim], B: w[dim]}, nil
+}
+
+// Decision returns w·x + b.
+func (m *Linear) Decision(x []float64) float64 { return dot(m.W, x) + m.B }
+
+// Predict returns 1 for the positive class, 0 otherwise.
+func (m *Linear) Predict(x []float64) int {
+	if m.Decision(x) >= 0 {
+		return 1
+	}
+	return 0
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// ------------------------------------------------------------------ kernels
+
+// Kernel computes k(a, b).
+type Kernel func(a, b []float64) float64
+
+// LinearKernel is the inner product.
+func LinearKernel(a, b []float64) float64 { return dot(a, b) }
+
+// RBFKernel returns exp(-gamma·‖a−b‖²).
+func RBFKernel(gamma float64) Kernel {
+	return func(a, b []float64) float64 {
+		s := 0.0
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return math.Exp(-gamma * s)
+	}
+}
+
+// SigmoidKernel returns tanh(gamma·a·b + c), the kernel studied by the
+// paper's SVM reference.
+func SigmoidKernel(gamma, c float64) Kernel {
+	return func(a, b []float64) float64 {
+		return math.Tanh(gamma*dot(a, b) + c)
+	}
+}
+
+// KernelSVM is a kernelized SVM trained with kernelized Pegasos: the
+// model is a set of support coefficients over the training points.
+type KernelSVM struct {
+	kernel Kernel
+	x      [][]float64
+	alpha  []float64 // signed coefficients α_i·y_i aggregated
+	lambda float64
+	rounds int
+}
+
+// TrainKernel fits a kernelized SVM. Labels may be {0,1} or {-1,+1}.
+func TrainKernel(x [][]float64, y []int, kernel Kernel, cfg Config) (*KernelSVM, error) {
+	labels, err := validate(x, y)
+	if err != nil {
+		return nil, err
+	}
+	n := len(x)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	counts := make([]float64, n) // number of margin violations per point
+	rounds := cfg.Epochs * n
+	for t := 1; t <= rounds; t++ {
+		i := rng.Intn(n)
+		// decision value at x_i with current implicit weights
+		s := 0.0
+		for j := 0; j < n; j++ {
+			if counts[j] != 0 {
+				s += counts[j] * labels[j] * kernel(x[j], x[i])
+			}
+		}
+		s /= cfg.Lambda * float64(t)
+		if labels[i]*s < 1 {
+			counts[i]++
+		}
+	}
+	alpha := make([]float64, n)
+	for j := 0; j < n; j++ {
+		alpha[j] = counts[j] * labels[j]
+	}
+	return &KernelSVM{kernel: kernel, x: x, alpha: alpha, lambda: cfg.Lambda, rounds: rounds}, nil
+}
+
+// Decision returns the (unnormalized) decision value.
+func (m *KernelSVM) Decision(x []float64) float64 {
+	s := 0.0
+	for j := range m.x {
+		if m.alpha[j] != 0 {
+			s += m.alpha[j] * m.kernel(m.x[j], x)
+		}
+	}
+	return s / (m.lambda * float64(m.rounds))
+}
+
+// Predict returns 1 for the positive class, 0 otherwise.
+func (m *KernelSVM) Predict(x []float64) int {
+	if m.Decision(x) >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// NumSupport reports how many training points carry non-zero
+// coefficients.
+func (m *KernelSVM) NumSupport() int {
+	n := 0
+	for _, a := range m.alpha {
+		if a != 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,192 @@
+package svm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// linearlySeparable builds two Gaussian blobs on either side of a plane.
+func linearlySeparable(rng *rand.Rand, n int) ([][]float64, []int) {
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		if i%2 == 0 {
+			x[i] = []float64{2 + rng.NormFloat64()*0.5, 2 + rng.NormFloat64()*0.5}
+			y[i] = 1
+		} else {
+			x[i] = []float64{-2 + rng.NormFloat64()*0.5, -2 + rng.NormFloat64()*0.5}
+			y[i] = 0
+		}
+	}
+	return x, y
+}
+
+// xorSet is not linearly separable; a kernel SVM must handle it.
+func xorSet(rng *rand.Rand, n int) ([][]float64, []int) {
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		a := float64(rng.Intn(2))*2 - 1 // ±1
+		b := float64(rng.Intn(2))*2 - 1
+		x[i] = []float64{a + rng.NormFloat64()*0.2, b + rng.NormFloat64()*0.2}
+		if a*b > 0 {
+			y[i] = 1
+		}
+	}
+	return x, y
+}
+
+func accuracyLinear(m *Linear, x [][]float64, y []int) float64 {
+	ok := 0
+	for i := range x {
+		if m.Predict(x[i]) == y[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(x))
+}
+
+func accuracyKernel(m *KernelSVM, x [][]float64, y []int) float64 {
+	ok := 0
+	for i := range x {
+		if m.Predict(x[i]) == y[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(x))
+}
+
+func TestLinearSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := linearlySeparable(rng, 200)
+	m, err := TrainLinear(x, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := linearlySeparable(rng, 100)
+	if acc := accuracyLinear(m, xt, yt); acc < 0.97 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+}
+
+func TestLinearLabelsPlusMinus(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := linearlySeparable(rng, 100)
+	for i := range y {
+		if y[i] == 0 {
+			y[i] = -1
+		}
+	}
+	m, err := TrainLinear(x, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predict returns 0/1
+	if got := m.Predict([]float64{3, 3}); got != 1 {
+		t.Fatalf("positive point predicted %d", got)
+	}
+	if got := m.Predict([]float64{-3, -3}); got != 0 {
+		t.Fatalf("negative point predicted %d", got)
+	}
+}
+
+func TestLinearDecisionMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := linearlySeparable(rng, 200)
+	m, _ := TrainLinear(x, y, DefaultConfig())
+	// points deeper in the positive region get larger decision values
+	if m.Decision([]float64{4, 4}) <= m.Decision([]float64{0.5, 0.5}) {
+		t.Fatal("decision not monotone along the separating direction")
+	}
+}
+
+func TestTrainLinearErrors(t *testing.T) {
+	cases := []struct {
+		x [][]float64
+		y []int
+	}{
+		{nil, nil},
+		{[][]float64{{1}}, []int{1, 0}},
+		{[][]float64{{1}, {1, 2}}, []int{1, 0}},
+		{[][]float64{{1}}, []int{7}},
+	}
+	for i, c := range cases {
+		if _, err := TrainLinear(c.x, c.y, DefaultConfig()); !errors.Is(err, ErrBadTrainingSet) {
+			t.Errorf("case %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestKernelRBFSolvesXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := xorSet(rng, 200)
+	cfg := DefaultConfig()
+	cfg.Epochs = 15
+	m, err := TrainKernel(x, y, RBFKernel(1.0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := xorSet(rng, 100)
+	if acc := accuracyKernel(m, xt, yt); acc < 0.9 {
+		t.Fatalf("rbf xor accuracy = %v", acc)
+	}
+	if m.NumSupport() == 0 {
+		t.Fatal("no support vectors")
+	}
+}
+
+func TestLinearCannotSolveXOR(t *testing.T) {
+	// sanity check that XOR actually requires a kernel
+	rng := rand.New(rand.NewSource(5))
+	x, y := xorSet(rng, 200)
+	m, _ := TrainLinear(x, y, DefaultConfig())
+	xt, yt := xorSet(rng, 200)
+	if acc := accuracyLinear(m, xt, yt); acc > 0.75 {
+		t.Fatalf("linear model suspiciously good on XOR: %v", acc)
+	}
+}
+
+func TestKernelSigmoid(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x, y := linearlySeparable(rng, 150)
+	cfg := DefaultConfig()
+	cfg.Epochs = 10
+	m, err := TrainKernel(x, y, SigmoidKernel(0.5, 0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := linearlySeparable(rng, 100)
+	if acc := accuracyKernel(m, xt, yt); acc < 0.9 {
+		t.Fatalf("sigmoid kernel accuracy = %v", acc)
+	}
+}
+
+func TestKernelFunctions(t *testing.T) {
+	a := []float64{1, 0}
+	b := []float64{0, 1}
+	if LinearKernel(a, a) != 1 {
+		t.Fatal("linear kernel")
+	}
+	if got := RBFKernel(1)(a, a); got != 1 {
+		t.Fatalf("rbf self = %v", got)
+	}
+	if got := RBFKernel(1)(a, b); got >= 1 {
+		t.Fatalf("rbf cross = %v", got)
+	}
+	if got := SigmoidKernel(1, 0)(a, b); got != 0 {
+		t.Fatalf("sigmoid orthogonal = %v", got)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x, y := linearlySeparable(rng, 100)
+	m1, _ := TrainLinear(x, y, DefaultConfig())
+	m2, _ := TrainLinear(x, y, DefaultConfig())
+	for i := range m1.W {
+		if m1.W[i] != m2.W[i] {
+			t.Fatal("training not deterministic")
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package tableparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchHTML() string {
+	var b strings.Builder
+	b.WriteString("<table><caption>Table 1: Outcomes by cohort</caption>")
+	b.WriteString("<tr><th>Group</th><th>N</th><th>Mortality %</th><th>ICU %</th></tr>")
+	for i := 0; i < 40; i++ {
+		b.WriteString("<tr><td>Cohort A</td><td>412</td><td>3.5</td><td>12.1</td></tr>")
+	}
+	b.WriteString("</table>")
+	return b.String()
+}
+
+func BenchmarkParseTables(b *testing.B) {
+	src := benchHTML()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseTables(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeEntities(b *testing.B) {
+	s := "5&nbsp;&plusmn;&nbsp;2 mg &lt;0.05 &amp; 95% CI &#8212; x"
+	for i := 0; i < b.N; i++ {
+		DecodeEntities(s)
+	}
+}

@@ -1,0 +1,245 @@
+package tableparse
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseSimpleTable(t *testing.T) {
+	src := `<table>
+	<caption>Table 1: Vaccine side-effects</caption>
+	<tr><th>Vaccine</th><th>Dose</th><th>Fever %</th></tr>
+	<tr><td>Pfizer</td><td>1</td><td>8.5</td></tr>
+	<tr><td>Moderna</td><td>2</td><td>15.2</td></tr>
+	</table>`
+	tb, err := ParseOne(src)
+	if err != nil {
+		t.Fatalf("ParseOne: %v", err)
+	}
+	if tb.Caption != "Table 1: Vaccine side-effects" {
+		t.Errorf("caption = %q", tb.Caption)
+	}
+	if tb.NumRows() != 3 || tb.NumCols() != 3 {
+		t.Fatalf("shape = %dx%d", tb.NumRows(), tb.NumCols())
+	}
+	if !reflect.DeepEqual(tb.Rows[0], []string{"Vaccine", "Dose", "Fever %"}) {
+		t.Errorf("header row = %v", tb.Rows[0])
+	}
+	if !reflect.DeepEqual(tb.Rows[2], []string{"Moderna", "2", "15.2"}) {
+		t.Errorf("data row = %v", tb.Rows[2])
+	}
+	if !reflect.DeepEqual(tb.MarkupHeaderRows, []int{0}) {
+		t.Errorf("MarkupHeaderRows = %v", tb.MarkupHeaderRows)
+	}
+}
+
+func TestParseTheadTbody(t *testing.T) {
+	src := `<table><thead><tr><td>A</td><td>B</td></tr></thead>
+	<tbody><tr><td>1</td><td>2</td></tr></tbody></table>`
+	tb, err := ParseOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tb.IsMarkupHeader(0) || tb.IsMarkupHeader(1) {
+		t.Fatalf("thead detection wrong: %v", tb.MarkupHeaderRows)
+	}
+}
+
+func TestParseColspan(t *testing.T) {
+	src := `<table>
+	<tr><th colspan="2">Side effects</th><th>N</th></tr>
+	<tr><td>Fever</td><td>Mild</td><td>12</td></tr>
+	</table>`
+	tb, err := ParseOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Side effects", "Side effects", "N"}
+	if !reflect.DeepEqual(tb.Rows[0], want) {
+		t.Fatalf("colspan row = %v, want %v", tb.Rows[0], want)
+	}
+}
+
+func TestParseRowspan(t *testing.T) {
+	src := `<table>
+	<tr><td rowspan="2">Pfizer</td><td>Dose 1</td></tr>
+	<tr><td>Dose 2</td></tr>
+	</table>`
+	tb, err := ParseOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows[1][0] != "Pfizer" {
+		t.Fatalf("rowspan not carried: %v", tb.Rows)
+	}
+	if tb.Rows[1][1] != "Dose 2" {
+		t.Fatalf("row 1 = %v", tb.Rows[1])
+	}
+}
+
+func TestParseUnclosedTagsTolerated(t *testing.T) {
+	// CORD-19-style sloppy markup: no </td>, no </tr>, unclosed table
+	src := `<table><tr><td>A<td>B<tr><td>C<td>D`
+	tb, err := ParseOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+	if !reflect.DeepEqual(tb.Rows[0], []string{"A", "B"}) {
+		t.Fatalf("row0 = %v", tb.Rows[0])
+	}
+	if !reflect.DeepEqual(tb.Rows[1], []string{"C", "D"}) {
+		t.Fatalf("row1 = %v", tb.Rows[1])
+	}
+}
+
+func TestParseEntitiesAndNestedMarkup(t *testing.T) {
+	src := `<table><tr><td><b>5&nbsp;&plusmn;&nbsp;2</b> mg</td><td>&lt;0.05</td></tr></table>`
+	tb, err := ParseOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows[0][0] != "5 ± 2 mg" {
+		t.Errorf("cell 0 = %q", tb.Rows[0][0])
+	}
+	if tb.Rows[0][1] != "<0.05" {
+		t.Errorf("cell 1 = %q", tb.Rows[0][1])
+	}
+}
+
+func TestDecodeEntities(t *testing.T) {
+	cases := map[string]string{
+		"a &amp; b":       "a & b",
+		"&lt;tag&gt;":     "<tag>",
+		"&#65;&#x42;":     "AB",
+		"no entities":     "no entities",
+		"&unknown; stays": "&unknown; stays",
+		"dangling &amp":   "dangling &amp",
+		"&quot;q&quot;":   `"q"`,
+		"5&deg;C":         "5°C",
+	}
+	for in, want := range cases {
+		if got := DecodeEntities(in); got != want {
+			t.Errorf("DecodeEntities(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseMultipleTables(t *testing.T) {
+	src := `<p>text</p><table><tr><td>1</td></tr></table>
+	<div><table><caption>Second</caption><tr><td>2</td></tr></table></div>`
+	ts, err := ParseTables(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("tables = %d", len(ts))
+	}
+	if ts[1].Caption != "Second" {
+		t.Errorf("caption = %q", ts[1].Caption)
+	}
+}
+
+func TestParseCommentsSkipped(t *testing.T) {
+	src := `<table><!-- hidden --><tr><td>A</td></tr></table>`
+	tb, err := ParseOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows[0][0] != "A" {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+}
+
+func TestParseRaggedRowsPadded(t *testing.T) {
+	src := `<table><tr><td>A</td><td>B</td><td>C</td></tr><tr><td>D</td></tr></table>`
+	tb, err := ParseOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows[1]) != 3 {
+		t.Fatalf("row not padded: %v", tb.Rows[1])
+	}
+	if tb.Rows[1][1] != "" || tb.Rows[1][2] != "" {
+		t.Fatalf("padding cells not empty: %v", tb.Rows[1])
+	}
+}
+
+func TestParseNoTable(t *testing.T) {
+	if _, err := ParseOne(`<p>just text</p>`); err == nil {
+		t.Fatal("expected error for table-free fragment")
+	}
+	ts, err := ParseTables(``)
+	if err != nil || len(ts) != 0 {
+		t.Fatalf("empty fragment: %v %v", ts, err)
+	}
+}
+
+func TestParseEmptyTableDropped(t *testing.T) {
+	ts, err := ParseTables(`<table></table><table><tr><td>x</td></tr></table>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 {
+		t.Fatalf("empty table should be dropped: %d", len(ts))
+	}
+}
+
+func TestDocRoundTrip(t *testing.T) {
+	src := `<table><caption>C</caption><tr><th>H1</th><th>H2</th></tr><tr><td>a</td><td>b</td></tr></table>`
+	tb, err := ParseOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tb.Doc()
+	tb2 := TableFromDoc(d)
+	if tb2.Caption != tb.Caption {
+		t.Errorf("caption round trip: %q", tb2.Caption)
+	}
+	if !reflect.DeepEqual(tb2.Rows, tb.Rows) {
+		t.Errorf("rows round trip: %v vs %v", tb2.Rows, tb.Rows)
+	}
+	if !reflect.DeepEqual(tb2.MarkupHeaderRows, tb.MarkupHeaderRows) {
+		t.Errorf("headers round trip: %v vs %v", tb2.MarkupHeaderRows, tb.MarkupHeaderRows)
+	}
+	if n, _ := d.GetNumber("n_rows"); n != 2 {
+		t.Errorf("n_rows = %v", n)
+	}
+}
+
+func TestParseMalformedAttrs(t *testing.T) {
+	src := `<table><tr><td colspan=abc rowspan="-3" class='x>A</td><td>B</td></tr></table>`
+	tb, err := ParseOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bad spans default to 1; parse must not panic
+	if tb.NumRows() != 1 {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+}
+
+func TestParseDanglingLt(t *testing.T) {
+	src := `<table><tr><td>x < y</td></tr></table>`
+	tb, err := ParseOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.Rows[0][0], "x") {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+}
+
+func TestParseLargeColspanClamped(t *testing.T) {
+	src := `<table><tr><td colspan="99999">A</td></tr></table>`
+	tb, err := ParseOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumCols() > 64 {
+		t.Fatalf("colspan not clamped: %d", tb.NumCols())
+	}
+}

@@ -1,0 +1,35 @@
+package textproc
+
+import "testing"
+
+const benchSentence = "Vaccination significantly reduced hospitalization rates among elderly patients presenting respiratory symptoms during the pandemic."
+
+func BenchmarkTokenize(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Tokenize(benchSentence)
+	}
+}
+
+func BenchmarkStem(b *testing.B) {
+	words := Words(benchSentence)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, w := range words {
+			Stem(w)
+		}
+	}
+}
+
+func BenchmarkContentWords(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ContentWords(benchSentence)
+	}
+}
+
+func BenchmarkParseQuery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ParseQuery(`masks "mRNA vaccine" ventilators`)
+	}
+}

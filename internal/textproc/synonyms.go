@@ -1,0 +1,51 @@
+package textproc
+
+// synonymGroups are sets of interchangeable medical terms. The paper's
+// ranking function "recognizes synonymy" (§5) and the KG must treat
+// "COVID-19" and "coronavirus disease 2019" as the same concept (§4.2).
+// Groups are stored unstemmed and compiled to stemmed form at init.
+var synonymGroups = [][]string{
+	{"covid-19", "sars-cov-2", "coronavirus", "ncov"},
+	{"vaccine", "vaccination", "immunization", "inoculation"},
+	{"ventilator", "respirator"},
+	{"transmission", "spread", "contagion"},
+	{"fever", "pyrexia"},
+	{"fatigue", "tiredness", "exhaustion"},
+	{"doctor", "physician", "clinician"},
+	{"drug", "medication", "medicine"},
+	{"symptom", "manifestation"},
+	{"antibody", "immunoglobulin"},
+	{"child", "pediatric", "paediatric"},
+	{"elderly", "geriatric"},
+}
+
+// synonymIndex maps a stemmed term to the stemmed members of its group
+// (excluding itself).
+var synonymIndex = map[string][]string{}
+
+func init() {
+	for _, group := range synonymGroups {
+		stems := make([]string, 0, len(group))
+		seen := map[string]bool{}
+		for _, w := range group {
+			s := Stem(w)
+			if !seen[s] {
+				seen[s] = true
+				stems = append(stems, s)
+			}
+		}
+		for _, s := range stems {
+			for _, other := range stems {
+				if other != s {
+					synonymIndex[s] = append(synonymIndex[s], other)
+				}
+			}
+		}
+	}
+}
+
+// SynonymStems returns the stemmed synonyms of an already-stemmed term,
+// or nil when the term has no synonym group.
+func SynonymStems(stem string) []string {
+	return synonymIndex[stem]
+}

@@ -1,0 +1,281 @@
+package textproc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	toks := Tokenize("COVID-19 masks, and Ventilators!")
+	got := make([]string, len(toks))
+	for i, tk := range toks {
+		got[i] = tk.Text
+	}
+	want := []string{"covid-19", "masks", "and", "ventilators"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeOffsets(t *testing.T) {
+	text := "masks & ventilators"
+	toks := Tokenize(text)
+	if len(toks) != 2 {
+		t.Fatalf("want 2 tokens, got %v", toks)
+	}
+	for _, tk := range toks {
+		if strings.ToLower(text[tk.Start:tk.End]) != tk.Text {
+			t.Errorf("offsets of %q wrong: %q", tk.Text, text[tk.Start:tk.End])
+		}
+	}
+}
+
+func TestTokenizeEdgeCases(t *testing.T) {
+	if got := Tokenize(""); len(got) != 0 {
+		t.Errorf("empty: %v", got)
+	}
+	if got := Tokenize("   \t\n"); len(got) != 0 {
+		t.Errorf("whitespace: %v", got)
+	}
+	if got := Words("don't"); !reflect.DeepEqual(got, []string{"don't"}) {
+		t.Errorf("apostrophe: %v", got)
+	}
+	// leading/trailing hyphens trimmed
+	if got := Words("-abc-"); !reflect.DeepEqual(got, []string{"abc"}) {
+		t.Errorf("hyphen trim: %v", got)
+	}
+	// a lone hyphen yields nothing
+	if got := Words(" - "); len(got) != 0 {
+		t.Errorf("lone hyphen: %v", got)
+	}
+	// unicode letters survive
+	if got := Words("naïve café"); !reflect.DeepEqual(got, []string{"naïve", "café"}) {
+		t.Errorf("unicode: %v", got)
+	}
+}
+
+// Porter reference pairs from the original paper and its standard test
+// vocabulary.
+func TestPorterStemReference(t *testing.T) {
+	cases := map[string]string{
+		"caresses":       "caress",
+		"ponies":         "poni",
+		"ties":           "ti",
+		"caress":         "caress",
+		"cats":           "cat",
+		"feed":           "feed",
+		"agreed":         "agre",
+		"plastered":      "plaster",
+		"bled":           "bled",
+		"motoring":       "motor",
+		"sing":           "sing",
+		"conflated":      "conflat",
+		"troubled":       "troubl",
+		"sized":          "size",
+		"hopping":        "hop",
+		"tanned":         "tan",
+		"falling":        "fall",
+		"hissing":        "hiss",
+		"fizzed":         "fizz",
+		"failing":        "fail",
+		"filing":         "file",
+		"happy":          "happi",
+		"sky":            "sky",
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		"triplicate":     "triplic",
+		"formative":      "form",
+		"formalize":      "formal",
+		"electriciti":    "electr",
+		"electrical":     "electr",
+		"hopeful":        "hope",
+		"goodness":       "good",
+		"revival":        "reviv",
+		"allowance":      "allow",
+		"inference":      "infer",
+		"airliner":       "airlin",
+		"gyroscopic":     "gyroscop",
+		"adjustable":     "adjust",
+		"defensible":     "defens",
+		"irritant":       "irrit",
+		"replacement":    "replac",
+		"adjustment":     "adjust",
+		"dependent":      "depend",
+		"adoption":       "adopt",
+		"homologou":      "homolog",
+		"communism":      "commun",
+		"activate":       "activ",
+		"angulariti":     "angular",
+		"homologous":     "homolog",
+		"effective":      "effect",
+		"bowdlerize":     "bowdler",
+		"probate":        "probat",
+		"rate":           "rate",
+		"cease":          "ceas",
+		"controll":       "control",
+		"roll":           "roll",
+		"vaccination":    "vaccin",
+		"vaccines":       "vaccin",
+		"symptoms":       "symptom",
+		"masks":          "mask",
+		"ventilators":    "ventil",
+		"infections":     "infect",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemLeavesShortAndNonAlpha(t *testing.T) {
+	for _, w := range []string{"a", "is", "covid-19", "b117", "5mg", ""} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemIdempotentProperty(t *testing.T) {
+	words := []string{
+		"vaccination", "relational", "hopping", "ponies", "troubled",
+		"effective", "symptoms", "transmission", "respiratory", "clinical",
+		"hospitalization", "immunization", "serological", "antibodies",
+	}
+	for _, w := range words {
+		once := Stem(w)
+		twice := Stem(once)
+		if once != twice {
+			t.Errorf("Stem not idempotent on %q: %q -> %q", w, once, twice)
+		}
+	}
+}
+
+func TestStemNeverGrowsQuick(t *testing.T) {
+	f := func(s string) bool {
+		s = strings.ToLower(s)
+		return len(Stem(s)) <= len(s)+1 // step1b can append 'e'
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	for _, w := range []string{"the", "The", "and", "of", "is"} {
+		if !IsStopword(w) {
+			t.Errorf("%q should be a stopword", w)
+		}
+	}
+	for _, w := range []string{"mask", "covid-19", "vaccine"} {
+		if IsStopword(w) {
+			t.Errorf("%q should not be a stopword", w)
+		}
+	}
+}
+
+func TestContentWords(t *testing.T) {
+	got := ContentWords("The vaccines and the masks")
+	want := []string{"vaccin", "mask"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ContentWords = %v, want %v", got, want)
+	}
+}
+
+func TestParseQueryPlain(t *testing.T) {
+	got := ParseQuery("vaccination side effects")
+	want := []QueryTerm{{Text: "vaccin"}, {Text: "side"}, {Text: "effect"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseQuery = %v, want %v", got, want)
+	}
+}
+
+func TestParseQueryQuoted(t *testing.T) {
+	got := ParseQuery(`masks "mRNA vaccine" fever`)
+	want := []QueryTerm{
+		{Text: "mask"},
+		{Text: "mrna vaccine", Exact: true},
+		{Text: "fever"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseQuery = %v, want %v", got, want)
+	}
+}
+
+func TestParseQueryUnbalancedQuote(t *testing.T) {
+	got := ParseQuery(`masks "unclosed`)
+	// the dangling quote is ignored; remaining words are stemmed.
+	if len(got) == 0 || got[0].Text != "mask" {
+		t.Fatalf("ParseQuery = %v", got)
+	}
+	for _, qt := range got {
+		if qt.Exact {
+			t.Fatalf("no exact terms expected: %v", got)
+		}
+	}
+}
+
+func TestParseQueryOnlyStopwords(t *testing.T) {
+	if got := ParseQuery("the of and"); len(got) != 0 {
+		t.Fatalf("ParseQuery = %v, want empty", got)
+	}
+}
+
+func TestParseQueryEmptyPhrase(t *testing.T) {
+	if got := ParseQuery(`""`); len(got) != 0 {
+		t.Fatalf("ParseQuery = %v, want empty", got)
+	}
+}
+
+func TestNormalizeTerm(t *testing.T) {
+	cases := map[string]string{
+		"Vaccines":              "vaccin",
+		"Vaccine(s)":            "vaccin",
+		"  Side-Effects  ":      "side-effects",
+		"Clinical Presentation": "clinic present",
+		"The And":               "the and", // all stopwords: fall back to raw
+		"":                      "",
+	}
+	for in, want := range cases {
+		if got := NormalizeTerm(in); got != want {
+			t.Errorf("NormalizeTerm(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNormalizeTermMatchesVariants(t *testing.T) {
+	// §4.2: "Vaccine" must match "Vaccine(s)"
+	if NormalizeTerm("Vaccine") != NormalizeTerm("Vaccine(s)") {
+		t.Fatal("Vaccine and Vaccine(s) should normalize identically")
+	}
+	if NormalizeTerm("Symptoms") != NormalizeTerm("symptom") {
+		t.Fatal("Symptoms and symptom should normalize identically")
+	}
+}
+
+func TestStemPhrase(t *testing.T) {
+	if got := StemPhrase("Vaccination Symptoms"); got != "vaccin symptom" {
+		t.Fatalf("StemPhrase = %q", got)
+	}
+}
