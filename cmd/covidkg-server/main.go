@@ -6,22 +6,27 @@
 //
 //	covidkg-server [-addr :8080] [-pubs 300] [-seed 42] [-data DIR]
 //
-// With -data, the store is loaded from DIR when present and saved there
-// after ingestion otherwise, so restarts are warm.
+// With -data, the newest complete checkpoint in DIR is restored when
+// present and a fresh one is committed after ingestion otherwise, so
+// restarts are warm. On SIGINT/SIGTERM the server drains in-flight
+// requests and checkpoints the store + knowledge graph before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
-	"path/filepath"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"covidkg/internal/api"
 	"covidkg/internal/cord19"
 	"covidkg/internal/core"
-	"covidkg/internal/jsondoc"
+	"covidkg/internal/retry"
 )
 
 func main() {
@@ -39,15 +44,19 @@ func main() {
 
 	loaded := false
 	if *dataDir != "" {
-		if _, err := os.Stat(filepath.Join(*dataDir, core.PubsCollection+".jsonl")); err == nil {
-			log.Printf("loading store from %s", *dataDir)
-			if err := sys.Store.Load(*dataDir); err != nil {
-				log.Fatalf("load: %v", err)
-			}
-			// re-index loaded documents
-			sys.Search = nil // the engine below re-scans
-			sys = rebuildSystem(cfg, sys)
+		report, err := sys.Restore(*dataDir)
+		switch {
+		case err == nil && sys.Pubs.Count() > 0:
+			// Restore re-indexed the search engine and restored the
+			// persisted graph, so the system is immediately servable
+			log.Printf("store restored from %s: %s", *dataDir, report)
 			loaded = true
+		case err == nil:
+			log.Printf("data dir %s holds no publications; generating", *dataDir)
+		case errors.Is(err, os.ErrNotExist):
+			log.Printf("data dir %s not found; generating", *dataDir)
+		default:
+			log.Fatalf("restore: %v", err)
 		}
 	}
 	if !loaded {
@@ -59,7 +68,10 @@ func main() {
 			log.Fatalf("ingest: %v", err)
 		}
 		if *dataDir != "" {
-			if err := sys.Store.Save(*dataDir); err != nil {
+			// plain store save: checkpointing here would persist the
+			// still-seed-only graph and make the restore branch below
+			// skip building the real one
+			if err := saveStore(sys, *dataDir); err != nil {
 				log.Fatalf("save: %v", err)
 			}
 			log.Printf("store saved to %s", *dataDir)
@@ -85,50 +97,67 @@ func main() {
 		log.Printf("kg built: tables=%d subtrees=%d fused=%d queued=%d nodes+%d",
 			bs.Tables, bs.Subtrees, bs.Fused, bs.Queued, bs.NodesAdded)
 		if *dataDir != "" {
-			if err := sys.PersistGraph(); err != nil {
-				log.Fatalf("persist graph: %v", err)
+			if err := checkpoint(sys, *dataDir); err != nil {
+				log.Fatalf("checkpoint: %v", err)
 			}
-			if err := sys.Store.Save(*dataDir); err != nil {
-				log.Fatalf("save: %v", err)
-			}
-			log.Printf("store + graph saved to %s", *dataDir)
+			log.Printf("store + graph checkpointed to %s", *dataDir)
 		}
 	}
 
-	srv := api.NewServer(sys)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api.NewServer(sys),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("covidkg listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
-		log.Fatalf("serve: %v", err)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	case sig := <-sigCh:
+		log.Printf("received %s: draining connections", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		if *dataDir != "" {
+			if err := checkpoint(sys, *dataDir); err != nil {
+				log.Printf("final checkpoint failed: %v", err)
+				os.Exit(1)
+			}
+			log.Printf("final checkpoint committed to %s", *dataDir)
+		}
 	}
 }
 
-// rebuildSystem recreates the system over an already-populated store so
-// the search engine re-indexes loaded documents. Non-publication
-// collections (the persisted knowledge graph) carry over verbatim.
-func rebuildSystem(cfg core.Config, old *core.System) *core.System {
-	fresh := core.NewSystem(cfg)
-	count := 0
-	old.Pubs.Scan(func(d jsondoc.Doc) bool {
-		if _, err := fresh.Search.AddDocument(d); err != nil {
-			log.Printf("reindex: %v", err)
-		}
-		count++
-		return true
+// checkpoint commits the full system state, retrying transient I/O
+// errors with capped exponential backoff.
+func checkpoint(sys *core.System, dir string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return retry.Do(ctx, retry.DefaultConfig(), func() error {
+		return sys.Checkpoint(dir)
 	})
-	for _, name := range old.Store.CollectionNames() {
-		if name == core.PubsCollection {
-			continue
-		}
-		dst := fresh.Store.Collection(name)
-		old.Store.Collection(name).Scan(func(d jsondoc.Doc) bool {
-			if _, err := dst.Insert(d); err != nil {
-				log.Printf("copy %s: %v", name, err)
-			}
-			return true
-		})
-	}
-	fmt.Printf("reindexed %d publications\n", count)
-	return fresh
+}
+
+// saveStore persists only the collections (no graph), with the same
+// retry discipline.
+func saveStore(sys *core.System, dir string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return retry.Do(ctx, retry.DefaultConfig(), func() error {
+		return sys.Store.Save(dir)
+	})
 }
 
 func sideEffectPapers(g *cord19.Generator) []*cord19.Publication {

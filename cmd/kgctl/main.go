@@ -25,6 +25,8 @@ import (
 	"covidkg/internal/cord19"
 	"covidkg/internal/core"
 	"covidkg/internal/docstore"
+	"covidkg/internal/durable"
+	"covidkg/internal/faultfs"
 	"covidkg/internal/jsondoc"
 	"covidkg/internal/kg"
 	"covidkg/internal/pipeline"
@@ -216,7 +218,10 @@ func cmdKG(args []string) {
 
 	var sys *core.System
 	if *graphFile != "" {
-		if blob, err := os.ReadFile(*graphFile); err == nil {
+		// checksummed envelope; pre-durability raw dumps load too
+		blob, err := durable.ReadChecksummed(faultfs.OS{}, *graphFile)
+		switch {
+		case err == nil:
 			g, err := kg.FromJSON(blob)
 			if err != nil {
 				log.Fatalf("graph file: %v", err)
@@ -227,6 +232,10 @@ func cmdKG(args []string) {
 			fmt.Printf("knowledge graph loaded from %s: %d nodes\n\n", *graphFile, g.Size())
 			queryAndDump(sys, *q, *dump)
 			return
+		case !os.IsNotExist(err):
+			// an existing-but-unreadable dump deserves a warning before
+			// it gets rebuilt and overwritten below
+			log.Printf("warning: graph file %s unusable, rebuilding: %v", *graphFile, err)
 		}
 	}
 	sys = loadSystem(*data, true)
@@ -238,7 +247,7 @@ func cmdKG(args []string) {
 		if err != nil {
 			log.Fatalf("serialize graph: %v", err)
 		}
-		if err := os.WriteFile(*graphFile, blob, 0o644); err != nil {
+		if err := durable.WriteChecksummed(faultfs.OS{}, *graphFile, blob); err != nil {
 			log.Fatalf("save graph: %v", err)
 		}
 		fmt.Printf("graph saved to %s\n", *graphFile)

@@ -22,8 +22,9 @@ import (
 
 // Server wraps a core system with HTTP handlers.
 type Server struct {
-	sys *core.System
-	mux *http.ServeMux
+	sys     *core.System
+	mux     *http.ServeMux
+	handler http.Handler
 }
 
 // NewServer builds the handler tree over a (typically trained) system.
@@ -48,12 +49,13 @@ func NewServer(sys *core.System) *Server {
 	s.mux.HandleFunc("GET /api/models", s.handleModels)
 	s.mux.HandleFunc("GET /api/models/{name}", s.handleModel)
 	s.mux.HandleFunc("GET /", s.handleIndex)
+	s.handler = recoverMiddleware(s.mux)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

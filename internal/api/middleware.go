@@ -1,0 +1,29 @@
+package api
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+)
+
+// recoverMiddleware converts a handler panic into a 500 JSON error and
+// a logged stack trace, so one bad request cannot kill the whole
+// service. If the handler already started writing the response, the
+// status line is gone; the panic is still logged and the connection
+// dropped rather than the process.
+func recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec) // net/http's own abort signal; let it through
+				}
+				log.Printf("api: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				writeErr(w, http.StatusInternalServerError,
+					fmt.Errorf("internal error: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}

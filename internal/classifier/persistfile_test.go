@@ -1,0 +1,87 @@
+package classifier
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"covidkg/internal/faultfs"
+)
+
+func tinyEnsemble(t *testing.T) (*Ensemble, []TupleSample) {
+	t.Helper()
+	samples, termW2V, cellW2V := buildSamples(t, 12, 9)
+	cfg := DefaultEnsembleConfig()
+	cfg.Units = 4
+	cfg.Epochs = 2
+	m, err := NewEnsemble(termW2V, cellW2V, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Train(samples)
+	return m, samples
+}
+
+// TestSaveLoadEnsembleFile: the checksummed file round-trips and the
+// loaded model predicts identically.
+func TestSaveLoadEnsembleFile(t *testing.T) {
+	m, samples := tinyEnsemble(t)
+	path := filepath.Join(t.TempDir(), "ensemble.model")
+	if err := SaveEnsembleFile(faultfs.OS{}, path, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadEnsembleFile(faultfs.OS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples[:10] {
+		a, b := m.PredictProb(s), m2.PredictProb(s)
+		if diff := a - b; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("prediction drift: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestSaveEnsembleFileCrashKeepsOldModel: a crash anywhere in the save
+// leaves the previous model file intact and loadable.
+func TestSaveEnsembleFileCrashKeepsOldModel(t *testing.T) {
+	m, _ := tinyEnsemble(t)
+	path := filepath.Join(t.TempDir(), "ensemble.model")
+	if err := SaveEnsembleFile(faultfs.OS{}, path, m); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for failAt := 1; failAt <= 5; failAt++ {
+		policy := &faultfs.CrashPolicy{FailAt: failAt}
+		err := SaveEnsembleFile(faultfs.NewFaulty(faultfs.OS{}, policy), path, m)
+		after, rerr := os.ReadFile(path)
+		if rerr != nil {
+			t.Fatalf("failAt=%d: model file destroyed: %v", failAt, rerr)
+		}
+		if err != nil && string(after) != string(before) {
+			t.Fatalf("failAt=%d: failed save mutated the model file", failAt)
+		}
+		if _, lerr := LoadEnsembleFile(faultfs.OS{}, path); lerr != nil {
+			t.Fatalf("failAt=%d: model unloadable after crash: %v", failAt, lerr)
+		}
+	}
+}
+
+// TestLoadEnsembleFileDetectsCorruption: bit rot fails the checksum
+// instead of silently mispredicting.
+func TestLoadEnsembleFileDetectsCorruption(t *testing.T) {
+	m, _ := tinyEnsemble(t)
+	path := filepath.Join(t.TempDir(), "ensemble.model")
+	if err := SaveEnsembleFile(faultfs.OS{}, path, m); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)/2] ^= 0xff
+	os.WriteFile(path, raw, 0o644)
+	if _, err := LoadEnsembleFile(faultfs.OS{}, path); err == nil {
+		t.Fatal("corrupted model loaded silently")
+	}
+}

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -17,7 +18,9 @@ import (
 	"covidkg/internal/cluster"
 	"covidkg/internal/cord19"
 	"covidkg/internal/docstore"
+	"covidkg/internal/durable"
 	"covidkg/internal/embeddings"
+	"covidkg/internal/faultfs"
 	"covidkg/internal/features"
 	"covidkg/internal/jsondoc"
 	"covidkg/internal/kg"
@@ -41,6 +44,10 @@ type Config struct {
 	// UseEnsemble selects the BiGRU ensemble for row classification in
 	// BuildKG; false uses the (much faster) SVM.
 	UseEnsemble bool
+
+	// FS overrides the filesystem used for persistence — fault-injection
+	// tests crash checkpoints through it. Nil means the real filesystem.
+	FS faultfs.FS
 
 	W2V      embeddings.Config
 	Ensemble classifier.EnsembleConfig
@@ -88,7 +95,11 @@ type System struct {
 
 // NewSystem creates an empty system with the expert-seeded KG.
 func NewSystem(cfg Config) *System {
-	store := docstore.Open(docstore.WithShards(cfg.Shards))
+	storeOpts := []docstore.Option{docstore.WithShards(cfg.Shards)}
+	if cfg.FS != nil {
+		storeOpts = append(storeOpts, docstore.WithFS(cfg.FS))
+	}
+	store := docstore.Open(storeOpts...)
 	s := &System{
 		cfg:       cfg,
 		Store:     store,
@@ -501,6 +512,86 @@ func (s *System) RestoreGraph() (bool, error) {
 	s.Graph = g
 	s.Fuser = kg.NewFuser(g)
 	return true, nil
+}
+
+// EnsembleFile is the logical snapshot file name holding the trained
+// BiGRU ensemble inside a system checkpoint.
+const EnsembleFile = "ensemble.model"
+
+// Checkpoint atomically persists the whole system state — every store
+// collection, the knowledge graph, and the trained ensemble when
+// present — into one durable snapshot generation in dir. The commit is
+// all-or-nothing: a crash at any point leaves the previous checkpoint
+// fully loadable.
+func (s *System) Checkpoint(dir string) error {
+	if err := s.PersistGraph(); err != nil {
+		return err
+	}
+	snap := durable.NewSnapshotter(dir, durable.WithFS(s.Store.FS()))
+	tx, err := snap.Begin()
+	if err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if err := s.Store.SaveTxn(tx); err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if s.Ensemble != nil {
+		blob, err := s.Ensemble.Export()
+		if err != nil {
+			return fmt.Errorf("core: checkpoint: %w", err)
+		}
+		if err := tx.WriteFile(EnsembleFile, blob); err != nil {
+			return fmt.Errorf("core: checkpoint: %w", err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Restore loads the newest complete checkpoint from dir: collections
+// into the store, the persisted knowledge graph (when present), and the
+// trained ensemble (when present). The returned report says which
+// generation was recovered and which torn or corrupt generations were
+// discarded. Legacy bare-*.jsonl directories load too.
+func (s *System) Restore(dir string) (*durable.Report, error) {
+	snap := durable.NewSnapshotter(dir, durable.WithFS(s.Store.FS()))
+	sn, report, err := snap.Load()
+	if err != nil {
+		if errors.Is(err, durable.ErrNoSnapshot) {
+			// pre-durability layout: collections only
+			report, err = s.Store.LoadReport(dir)
+			if err != nil {
+				return report, err
+			}
+		} else {
+			return report, fmt.Errorf("core: restore: %w", err)
+		}
+	} else {
+		if err := s.Store.LoadSnapshot(sn); err != nil {
+			return report, fmt.Errorf("core: restore: %w", err)
+		}
+		if sn.Has(EnsembleFile) {
+			blob, err := sn.ReadFile(EnsembleFile)
+			if err != nil {
+				return report, fmt.Errorf("core: restore: %w", err)
+			}
+			ens, err := classifier.ImportEnsemble(blob)
+			if err != nil {
+				return report, fmt.Errorf("core: restore ensemble: %w", err)
+			}
+			s.Ensemble = ens
+		}
+	}
+	// loading replaced the collection objects: rebind the publications
+	// handle and rebuild the search engine, which re-indexes on scan
+	s.Pubs = s.Store.Collection(PubsCollection)
+	s.Search = search.NewEngine(s.Pubs)
+	if _, err := s.RestoreGraph(); err != nil {
+		return report, err
+	}
+	return report, nil
 }
 
 // AuditBias interrogates the stored corpus for bias (the title's

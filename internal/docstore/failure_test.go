@@ -1,12 +1,16 @@
 package docstore
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
 
+	"covidkg/internal/durable"
+	"covidkg/internal/faultfs"
 	"covidkg/internal/jsondoc"
 )
 
@@ -68,7 +72,8 @@ func TestSaveToUnwritableDir(t *testing.T) {
 	}
 }
 
-// TestSaveDeterministic: two saves of the same store are byte-identical.
+// TestSaveDeterministic: two saves of the same store are byte-identical
+// (compared through the snapshot manifest, which also verifies CRCs).
 func TestSaveDeterministic(t *testing.T) {
 	s := Open(WithShards(3))
 	c := s.Collection("pubs")
@@ -82,13 +87,222 @@ func TestSaveDeterministic(t *testing.T) {
 	if err := s.Save(d2); err != nil {
 		t.Fatal(err)
 	}
-	b1, _ := os.ReadFile(filepath.Join(d1, "pubs.jsonl"))
-	b2, _ := os.ReadFile(filepath.Join(d2, "pubs.jsonl"))
+	read := func(dir string) []byte {
+		sn, _, err := durable.NewSnapshotter(dir).Load()
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		b, err := sn.ReadFile("pubs.jsonl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	b1, b2 := read(d1), read(d2)
 	if string(b1) != string(b2) {
 		t.Fatal("saves differ")
 	}
 	if len(b1) == 0 {
 		t.Fatal("empty save")
+	}
+}
+
+// ---------------------------------------------------------------------
+// fault-injected crash recovery
+
+// testStore builds a deterministic store whose every document carries
+// tag, so two generations are easy to tell apart.
+func testStore(fs faultfs.FS, docs int, tag string) *Store {
+	s := Open(WithShards(3), WithFS(fs))
+	c := s.Collection("pubs")
+	for i := 0; i < docs; i++ {
+		c.Insert(jsondoc.Doc{"_id": fmt.Sprintf("p%03d", i), "v": tag, "i": i})
+	}
+	s.Collection("topics").Insert(jsondoc.Doc{"_id": "t0", "v": tag})
+	return s
+}
+
+// dump renders every collection's full contents in an order independent
+// of the shard count, so stores loaded with different shard layouts
+// compare equal when their documents do.
+func dump(s *Store) string {
+	var b strings.Builder
+	for _, name := range s.CollectionNames() {
+		b.WriteString("== " + name + "\n")
+		var lines []string
+		s.Collection(name).Scan(func(d jsondoc.Doc) bool {
+			lines = append(lines, string(d.JSON()))
+			return true
+		})
+		sort.Strings(lines)
+		b.WriteString(strings.Join(lines, "\n"))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestCrashMatrix is the acceptance check for the durability layer: for
+// EVERY mutating-I/O crash point of a second-generation save — plain
+// failures and torn writes — a subsequent load must recover either the
+// complete old snapshot or the complete new one, never a mix, never an
+// error, and the report must name the recovered generation.
+func TestCrashMatrix(t *testing.T) {
+	// count the crash surface of a gen-2 save once
+	probeDir := t.TempDir()
+	if err := testStore(faultfs.OS{}, 12, "old").Save(probeDir); err != nil {
+		t.Fatal(err)
+	}
+	counter := &faultfs.CrashPolicy{}
+	if err := testStore(faultfs.NewFaulty(faultfs.OS{}, counter), 13, "new").Save(probeDir); err != nil {
+		t.Fatal(err)
+	}
+	nOps := counter.Ops()
+	if nOps < 10 {
+		t.Fatalf("suspiciously few crash points: %d", nOps)
+	}
+
+	oldWant := dump(testStore(faultfs.OS{}, 12, "old"))
+	newWant := dump(testStore(faultfs.OS{}, 13, "new"))
+
+	for _, torn := range []bool{false, true} {
+		for failAt := 1; failAt <= nOps; failAt++ {
+			name := fmt.Sprintf("torn=%v/failAt=%d", torn, failAt)
+			dir := t.TempDir()
+			if err := testStore(faultfs.OS{}, 12, "old").Save(dir); err != nil {
+				t.Fatal(err)
+			}
+			policy := &faultfs.CrashPolicy{FailAt: failAt, Torn: torn}
+			crashed := testStore(faultfs.NewFaulty(faultfs.OS{}, policy), 13, "new")
+			saveErr := crashed.Save(dir)
+
+			recovered := Open()
+			report, err := recovered.LoadReport(dir)
+			if err != nil {
+				t.Fatalf("%s: load after crash: %v", name, err)
+			}
+			got := dump(recovered)
+			switch got {
+			case oldWant:
+				if saveErr == nil {
+					t.Fatalf("%s: save reported success but new data is gone", name)
+				}
+				if report.Generation != 1 {
+					t.Fatalf("%s: old data but report says gen %d", name, report.Generation)
+				}
+			case newWant:
+				// a save that failed only in post-commit GC still counts as
+				// committed; generation must be the new one either way
+				if report.Generation != 2 {
+					t.Fatalf("%s: new data but report says gen %d", name, report.Generation)
+				}
+			default:
+				t.Fatalf("%s: recovered a MIX of generations:\n%s", name, got)
+			}
+		}
+	}
+}
+
+// TestSaveFailOnRename: a rename failure during save must leave the
+// previous generation loadable and be reported to the caller.
+func TestSaveFailOnRename(t *testing.T) {
+	dir := t.TempDir()
+	if err := testStore(faultfs.OS{}, 8, "old").Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	for call := 1; call <= 4; call++ {
+		policy := &faultfs.OpFailPolicy{Op: faultfs.OpRename, OnCall: call}
+		s := testStore(faultfs.NewFaulty(faultfs.OS{}, policy), 8, "new")
+		if err := s.Save(dir); err == nil {
+			t.Fatalf("rename #%d: save swallowed the failure", call)
+		} else if !strings.Contains(err.Error(), "injected") {
+			t.Fatalf("rename #%d: unexpected error: %v", call, err)
+		}
+		recovered := Open()
+		report, err := recovered.LoadReport(dir)
+		if err != nil {
+			t.Fatalf("rename #%d: load: %v", call, err)
+		}
+		if got := dump(recovered); got != dump(testStore(faultfs.OS{}, 8, "old")) {
+			t.Fatalf("rename #%d: old generation not recovered byte-identically", call)
+		}
+		if report.Generation != 1 {
+			t.Fatalf("rename #%d: report generation = %d", call, report.Generation)
+		}
+	}
+}
+
+// TestSaveFailOnSync: same for fsync failures.
+func TestSaveFailOnSync(t *testing.T) {
+	dir := t.TempDir()
+	if err := testStore(faultfs.OS{}, 8, "old").Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	policy := &faultfs.OpFailPolicy{Op: faultfs.OpSync, OnCall: 1}
+	if err := testStore(faultfs.NewFaulty(faultfs.OS{}, policy), 8, "new").Save(dir); err == nil {
+		t.Fatal("sync failure swallowed")
+	}
+	recovered := Open()
+	report, err := recovered.LoadReport(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Generation != 1 {
+		t.Fatalf("report generation = %d, want 1", report.Generation)
+	}
+}
+
+// TestTornDataFileFallsBack: corrupting a committed generation's data
+// file after the fact (bit rot, torn final line) must make Load fall
+// back to the previous generation and report the discard.
+func TestTornDataFileFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	if err := testStore(faultfs.OS{}, 8, "old").Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := testStore(faultfs.OS{}, 9, "new").Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// tear the newest generation's pubs file: drop the final line and half
+	// of the one before it
+	path := filepath.Join(dir, "g000002-pubs.jsonl")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recovered := Open()
+	report, err := recovered.LoadReport(dir)
+	if err != nil {
+		t.Fatalf("load with torn gen-2 file: %v", err)
+	}
+	if report.Generation != 1 {
+		t.Fatalf("recovered gen %d, want fallback to 1", report.Generation)
+	}
+	if len(report.Discarded) == 0 {
+		t.Fatal("report does not mention the discarded generation")
+	}
+	if got, want := dump(recovered), dump(testStore(faultfs.OS{}, 8, "old")); got != want {
+		t.Fatal("fallback generation differs from the original bytes")
+	}
+}
+
+// TestLoadReportLegacy: pre-durability directories load with a report
+// marking the legacy source.
+func TestLoadReportLegacy(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "pubs.jsonl"), []byte(`{"_id":"a","x":1}`+"\n"), 0o644)
+	s := Open()
+	report, err := s.LoadReport(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Source != "legacy" {
+		t.Fatalf("source = %q, want legacy", report.Source)
+	}
+	if s.Collection("pubs").Count() != 1 {
+		t.Fatal("legacy data not loaded")
 	}
 }
 

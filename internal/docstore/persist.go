@@ -2,68 +2,135 @@ package docstore
 
 import (
 	"bufio"
+	"bytes"
+	"errors"
 	"fmt"
-	"os"
+	"io"
 	"path/filepath"
 	"strings"
 
+	"covidkg/internal/durable"
 	"covidkg/internal/jsondoc"
 )
 
 // Save writes every collection to dir as one JSON-lines file per
-// collection (<name>.jsonl). The directory is created if needed. The
-// on-disk order is the deterministic scan order, so saves of equal
-// stores are byte-identical.
+// collection (<name>.jsonl) inside a new durable snapshot generation:
+// each file goes to a temp name, is fsynced, renamed, and the
+// checksummed MANIFEST + CURRENT pointer are committed last. A crash at
+// any point leaves the previous generation fully loadable. The on-disk
+// order is the deterministic scan order, so saves of equal stores are
+// byte-identical.
 func (s *Store) Save(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	snap := durable.NewSnapshotter(dir, durable.WithFS(s.fs))
+	tx, err := snap.Begin()
+	if err != nil {
 		return fmt.Errorf("docstore: save: %w", err)
 	}
+	if err := s.SaveTxn(tx); err != nil {
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return fmt.Errorf("docstore: save: %w", err)
+	}
+	return nil
+}
+
+// SaveTxn writes every collection into an already-open snapshot
+// transaction, so callers (core.System.Checkpoint) can commit the store
+// atomically together with other artifacts — graph, models — under one
+// manifest.
+func (s *Store) SaveTxn(tx *durable.Txn) error {
 	for _, name := range s.CollectionNames() {
 		c := s.Collection(name)
-		if err := c.saveFile(filepath.Join(dir, name+".jsonl")); err != nil {
+		w, err := tx.Create(name + ".jsonl")
+		if err != nil {
+			return fmt.Errorf("docstore: save %s: %w", name, err)
+		}
+		if err := c.writeTo(w); err != nil {
+			w.Close()
+			return fmt.Errorf("docstore: save %s: %w", name, err)
+		}
+		if err := w.Close(); err != nil {
+			return fmt.Errorf("docstore: save %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// writeTo streams the collection as JSON lines in deterministic order.
+func (c *Collection) writeTo(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var werr error
+	c.Scan(func(d jsondoc.Doc) bool {
+		if _, err := bw.Write(d.JSON()); err != nil {
+			werr = err
+			return false
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// Load reads the newest complete snapshot in dir into same-named
+// collections, replacing existing ones. Directories written before the
+// durability layer (bare *.jsonl files, no MANIFEST) still load.
+func (s *Store) Load(dir string) error {
+	_, err := s.LoadReport(dir)
+	return err
+}
+
+// LoadReport is Load plus the recovery report: which generation was
+// recovered, via which path, and which torn or corrupt generations were
+// discarded along the way.
+func (s *Store) LoadReport(dir string) (*durable.Report, error) {
+	snap := durable.NewSnapshotter(dir, durable.WithFS(s.fs))
+	sn, report, err := snap.Load()
+	if err != nil {
+		if errors.Is(err, durable.ErrNoSnapshot) {
+			return s.loadLegacy(dir)
+		}
+		return report, fmt.Errorf("docstore: load: %w", err)
+	}
+	if err := s.LoadSnapshot(sn); err != nil {
+		return report, err
+	}
+	return report, nil
+}
+
+// LoadSnapshot fills the store from a verified snapshot's *.jsonl
+// files. Non-collection files (e.g. a checkpointed graph) are ignored.
+func (s *Store) LoadSnapshot(sn *durable.Snapshot) error {
+	for _, fname := range sn.Names() {
+		if !strings.HasSuffix(fname, ".jsonl") {
+			continue
+		}
+		name := strings.TrimSuffix(fname, ".jsonl")
+		data, err := sn.ReadFile(fname)
+		if err != nil {
+			return fmt.Errorf("docstore: load %s: %w", name, err)
+		}
+		s.DropCollection(name)
+		if err := s.Collection(name).loadReader(bytes.NewReader(data)); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (c *Collection) saveFile(path string) error {
-	f, err := os.Create(path)
+// loadLegacy reads a pre-durability directory of bare *.jsonl files.
+func (s *Store) loadLegacy(dir string) (*durable.Report, error) {
+	entries, err := s.fs.ReadDir(dir)
 	if err != nil {
-		return fmt.Errorf("docstore: save %s: %w", c.name, err)
+		return nil, fmt.Errorf("docstore: load: %w", err)
 	}
-	w := bufio.NewWriter(f)
-	var werr error
-	c.Scan(func(d jsondoc.Doc) bool {
-		if _, err := w.Write(d.JSON()); err != nil {
-			werr = err
-			return false
-		}
-		if err := w.WriteByte('\n'); err != nil {
-			werr = err
-			return false
-		}
-		return true
-	})
-	if werr == nil {
-		werr = w.Flush()
-	}
-	if cerr := f.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		return fmt.Errorf("docstore: save %s: %w", c.name, werr)
-	}
-	return nil
-}
-
-// Load reads every *.jsonl file in dir into same-named collections.
-// Existing collections are replaced.
-func (s *Store) Load(dir string) error {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return fmt.Errorf("docstore: load: %w", err)
-	}
+	report := &durable.Report{Source: "legacy"}
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".jsonl") {
 			continue
@@ -72,19 +139,25 @@ func (s *Store) Load(dir string) error {
 		s.DropCollection(name)
 		c := s.Collection(name)
 		if err := c.loadFile(filepath.Join(dir, e.Name())); err != nil {
-			return err
+			return report, err
 		}
+		report.Recovered = append(report.Recovered, e.Name())
 	}
-	return nil
+	return report, nil
 }
 
 func (c *Collection) loadFile(path string) error {
-	f, err := os.Open(path)
+	f, err := c.store.fs.Open(path)
 	if err != nil {
 		return fmt.Errorf("docstore: load %s: %w", c.name, err)
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
+	return c.loadReader(f)
+}
+
+// loadReader inserts one JSON document per non-blank line.
+func (c *Collection) loadReader(r io.Reader) error {
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	line := 0
 	for sc.Scan() {

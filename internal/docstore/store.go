@@ -15,6 +15,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"covidkg/internal/faultfs"
 	"covidkg/internal/jsondoc"
 )
 
@@ -31,6 +32,7 @@ var (
 // Store is a sharded multi-collection document store.
 type Store struct {
 	numShards int
+	fs        faultfs.FS // filesystem for persistence; tests inject faults
 
 	mu          sync.RWMutex
 	collections map[string]*Collection
@@ -50,9 +52,19 @@ func WithShards(n int) Option {
 	}
 }
 
+// WithFS substitutes the filesystem used by Save/Load. Tests pass a
+// faultfs.Faulty to simulate crashes mid-save.
+func WithFS(fs faultfs.FS) Option {
+	return func(s *Store) {
+		if fs != nil {
+			s.fs = fs
+		}
+	}
+}
+
 // Open creates an empty in-memory store.
 func Open(opts ...Option) *Store {
-	s := &Store{numShards: 4, collections: map[string]*Collection{}}
+	s := &Store{numShards: 4, fs: faultfs.OS{}, collections: map[string]*Collection{}}
 	for _, o := range opts {
 		o(s)
 	}
@@ -61,6 +73,10 @@ func Open(opts ...Option) *Store {
 
 // NumShards returns the configured shard count.
 func (s *Store) NumShards() int { return s.numShards }
+
+// FS returns the filesystem used for persistence, so higher layers
+// (core.System checkpoints) share the store's fault-injection surface.
+func (s *Store) FS() faultfs.FS { return s.fs }
 
 // Collection returns the named collection, creating it on first use.
 func (s *Store) Collection(name string) *Collection {

@@ -1,0 +1,299 @@
+// Package faultfs is a minimal filesystem abstraction with
+// deterministic fault injection. The durability layer (internal/durable)
+// does all I/O through the FS interface, so tests can simulate a crash
+// at any point of a snapshot commit — fail the Nth write, tear a write
+// in half, error on sync or rename — and then prove that recovery still
+// finds a complete snapshot. Production code uses OS, which passes
+// straight through to package os.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// ErrInjected is the error returned by every faulted operation. After a
+// crash-policy trips, all later mutating operations fail with it too,
+// modelling a process that died and never ran the rest of the commit.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Op identifies a filesystem operation for fault policies.
+type Op int
+
+// Operations a policy can intercept. Mutating ops are the crash
+// surface; reads are left alone so a later recovery (a "new process")
+// can inspect what survived.
+const (
+	OpCreate Op = iota
+	OpWrite
+	OpSync
+	OpClose
+	OpRename
+	OpRemove
+	OpMkdir
+	OpOpen
+	OpRead
+)
+
+var opNames = [...]string{"create", "write", "sync", "close", "rename", "remove", "mkdir", "open", "read"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// IsMutating reports whether the operation changes on-disk state.
+func (o Op) IsMutating() bool {
+	switch o {
+	case OpCreate, OpWrite, OpSync, OpClose, OpRename, OpRemove, OpMkdir:
+		return true
+	}
+	return false
+}
+
+// File is the subset of *os.File the durability layer needs.
+type File interface {
+	io.Reader
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the filesystem operations used for snapshots.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	Create(path string) (File, error)
+	Open(path string) (File, error)
+	ReadFile(path string) ([]byte, error)
+	ReadDir(path string) ([]os.DirEntry, error)
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+}
+
+// OS is the pass-through production filesystem.
+type OS struct{}
+
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (OS) Create(path string) (File, error)             { return os.Create(path) }
+func (OS) Open(path string) (File, error)               { return os.Open(path) }
+func (OS) ReadFile(path string) ([]byte, error)         { return os.ReadFile(path) }
+func (OS) ReadDir(path string) ([]os.DirEntry, error)   { return os.ReadDir(path) }
+func (OS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OS) Remove(path string) error                     { return os.Remove(path) }
+
+// Fault is a policy's verdict for one operation.
+type Fault int
+
+const (
+	// FaultNone lets the operation through.
+	FaultNone Fault = iota
+	// FaultError fails the operation with ErrInjected, no side effect.
+	FaultError
+	// FaultTorn applies only to writes: half the buffer reaches the
+	// inner file, then the write fails — a torn write.
+	FaultTorn
+)
+
+// Policy decides, before each operation, whether to inject a fault.
+// Implementations must be safe for concurrent use.
+type Policy interface {
+	Before(op Op, path string) Fault
+}
+
+// CrashPolicy fails the FailAt-th mutating operation (1-based) and
+// every mutating operation after it, simulating a process crash at a
+// precise point. FailAt <= 0 never trips, which makes the zero policy a
+// pure operation counter: run the workload once, read Ops(), and you
+// know how many distinct crash points exist.
+type CrashPolicy struct {
+	FailAt int
+	// Torn makes the tripping operation, when it is a write, persist
+	// half its buffer before failing.
+	Torn bool
+
+	mu  sync.Mutex
+	ops int
+}
+
+// Before implements Policy.
+func (p *CrashPolicy) Before(op Op, _ string) Fault {
+	if !op.IsMutating() {
+		return FaultNone
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ops++
+	if p.FailAt <= 0 {
+		return FaultNone
+	}
+	if p.ops > p.FailAt {
+		return FaultError // process already dead
+	}
+	if p.ops == p.FailAt {
+		if p.Torn && op == OpWrite {
+			return FaultTorn
+		}
+		return FaultError
+	}
+	return FaultNone
+}
+
+// Ops returns the number of mutating operations observed so far.
+func (p *CrashPolicy) Ops() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ops
+}
+
+// OpFailPolicy fails the Nth occurrence (1-based) of one specific
+// operation — e.g. "the second rename" or "the first sync" — leaving
+// everything else untouched. Unlike CrashPolicy it does not keep
+// failing afterwards, so it models a transient error rather than a
+// crash.
+type OpFailPolicy struct {
+	Op     Op
+	OnCall int
+	Torn   bool
+
+	mu   sync.Mutex
+	seen int
+}
+
+// Before implements Policy.
+func (p *OpFailPolicy) Before(op Op, _ string) Fault {
+	if op != p.Op {
+		return FaultNone
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seen++
+	n := p.OnCall
+	if n <= 0 {
+		n = 1
+	}
+	if p.seen != n {
+		return FaultNone
+	}
+	if p.Torn && op == OpWrite {
+		return FaultTorn
+	}
+	return FaultError
+}
+
+// Faulty wraps an inner FS with a fault policy.
+type Faulty struct {
+	inner  FS
+	policy Policy
+}
+
+// NewFaulty builds a fault-injecting filesystem over inner (usually OS
+// on a temp dir) driven by policy.
+func NewFaulty(inner FS, policy Policy) *Faulty {
+	return &Faulty{inner: inner, policy: policy}
+}
+
+func (f *Faulty) check(op Op, path string) error {
+	if f.policy.Before(op, path) == FaultError {
+		return fmt.Errorf("%w: %s %s", ErrInjected, op, path)
+	}
+	return nil
+}
+
+func (f *Faulty) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.check(OpMkdir, path); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *Faulty) Create(path string) (File, error) {
+	if err := f.check(OpCreate, path); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{inner: inner, fs: f, path: path}, nil
+}
+
+func (f *Faulty) Open(path string) (File, error) {
+	if err := f.check(OpOpen, path); err != nil {
+		return nil, err
+	}
+	return f.inner.Open(path)
+}
+
+func (f *Faulty) ReadFile(path string) ([]byte, error) {
+	if err := f.check(OpRead, path); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(path)
+}
+
+func (f *Faulty) ReadDir(path string) ([]os.DirEntry, error) {
+	if err := f.check(OpRead, path); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(path)
+}
+
+func (f *Faulty) Rename(oldpath, newpath string) error {
+	if err := f.check(OpRename, oldpath); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *Faulty) Remove(path string) error {
+	if err := f.check(OpRemove, path); err != nil {
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+// faultyFile routes write/sync/close through the policy. Reads pass
+// through untouched.
+type faultyFile struct {
+	inner File
+	fs    *Faulty
+	path  string
+}
+
+func (f *faultyFile) Read(p []byte) (int, error) { return f.inner.Read(p) }
+
+func (f *faultyFile) Write(p []byte) (int, error) {
+	switch f.fs.policy.Before(OpWrite, f.path) {
+	case FaultError:
+		return 0, fmt.Errorf("%w: write %s", ErrInjected, f.path)
+	case FaultTorn:
+		n, err := f.inner.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("%w: torn write %s", ErrInjected, f.path)
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultyFile) Sync() error {
+	if err := f.fs.check(OpSync, f.path); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultyFile) Close() error {
+	if f.fs.policy.Before(OpClose, f.path) == FaultError {
+		// the underlying descriptor still closes — a crashed process's
+		// fds are closed by the kernel — but buffered data is gone.
+		f.inner.Close()
+		return fmt.Errorf("%w: close %s", ErrInjected, f.path)
+	}
+	return f.inner.Close()
+}

@@ -1,0 +1,122 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOSPassThrough(t *testing.T) {
+	dir := t.TempDir()
+	fs := OS{}
+	if err := fs.MkdirAll(filepath.Join(dir, "a/b"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create(filepath.Join(dir, "a/b/x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(filepath.Join(dir, "a/b/x"), filepath.Join(dir, "a/b/y")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.ReadFile(filepath.Join(dir, "a/b/y"))
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("read back %q, %v", b, err)
+	}
+}
+
+// TestCrashPolicyCounts: FailAt=0 counts mutating ops without failing.
+func TestCrashPolicyCounts(t *testing.T) {
+	dir := t.TempDir()
+	policy := &CrashPolicy{}
+	fs := NewFaulty(OS{}, policy)
+	f, err := fs.Create(filepath.Join(dir, "x")) // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("a")) // op 2
+	f.Sync()             // op 3
+	f.Close()            // op 4
+	fs.ReadFile(filepath.Join(dir, "x"))
+	fs.ReadDir(dir)
+	if got := policy.Ops(); got != 4 {
+		t.Fatalf("ops = %d, want 4 (reads must not count)", got)
+	}
+}
+
+// TestCrashPolicyStaysDown: after tripping, every mutating op fails,
+// reads keep working.
+func TestCrashPolicyStaysDown(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "pre"), []byte("x"), 0o644)
+	policy := &CrashPolicy{FailAt: 1}
+	fs := NewFaulty(OS{}, policy)
+	if _, err := fs.Create(filepath.Join(dir, "a")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first op: %v", err)
+	}
+	if err := fs.Rename(filepath.Join(dir, "pre"), filepath.Join(dir, "post")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash rename: %v", err)
+	}
+	if err := fs.MkdirAll(filepath.Join(dir, "d"), 0o755); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash mkdir: %v", err)
+	}
+	if _, err := fs.ReadFile(filepath.Join(dir, "pre")); err != nil {
+		t.Fatalf("read after crash must succeed: %v", err)
+	}
+}
+
+// TestTornWrite: the tripping write persists half the buffer.
+func TestTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	policy := &CrashPolicy{FailAt: 2, Torn: true} // op1 create, op2 write
+	fs := NewFaulty(OS{}, policy)
+	f, err := fs.Create(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("half write = %d bytes, want 5", n)
+	}
+	b, _ := os.ReadFile(filepath.Join(dir, "x"))
+	if string(b) != "01234" {
+		t.Fatalf("on disk: %q", b)
+	}
+}
+
+// TestOpFailPolicy targets one occurrence of one op and is transient.
+func TestOpFailPolicy(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "a"), []byte("x"), 0o644)
+	os.WriteFile(filepath.Join(dir, "b"), []byte("y"), 0o644)
+	policy := &OpFailPolicy{Op: OpRename, OnCall: 2}
+	fs := NewFaulty(OS{}, policy)
+	if err := fs.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "a2")); err != nil {
+		t.Fatalf("rename #1 should pass: %v", err)
+	}
+	if err := fs.Rename(filepath.Join(dir, "b"), filepath.Join(dir, "b2")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename #2 should fail: %v", err)
+	}
+	if err := fs.Rename(filepath.Join(dir, "b"), filepath.Join(dir, "b2")); err != nil {
+		t.Fatalf("rename #3 should pass again (transient): %v", err)
+	}
+	// creates untouched throughout
+	f, err := fs.Create(filepath.Join(dir, "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}

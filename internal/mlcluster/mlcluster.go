@@ -98,6 +98,11 @@ type RunStats struct {
 // Run executes Rounds rounds: in each, every worker's localTrain runs
 // concurrently (worker id, round number), then replica parameters are
 // averaged. replicas[w] must be worker w's parameter set.
+//
+// A panicking worker is recovered inside its goroutine — so the
+// WaitGroup still reaches zero and the round barrier never deadlocks —
+// and the run aborts with an error naming every failed worker, before
+// the poisoned replicas could be averaged into the healthy ones.
 func (t *Trainer) Run(replicas [][]*mlcore.Param, localTrain func(worker, round int)) (RunStats, error) {
 	if t.Workers < 1 || len(replicas) != t.Workers {
 		return RunStats{}, fmt.Errorf("%w: %d replicas for %d workers", ErrBadReplicas, len(replicas), t.Workers)
@@ -105,14 +110,23 @@ func (t *Trainer) Run(replicas [][]*mlcore.Param, localTrain func(worker, round 
 	start := time.Now()
 	for round := 0; round < t.Rounds; round++ {
 		var wg sync.WaitGroup
+		failures := make([]error, t.Workers)
 		for w := 0; w < t.Workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						failures[w] = fmt.Errorf("mlcluster: worker %d panicked in round %d: %v", w, round, r)
+					}
+				}()
 				localTrain(w, round)
 			}(w)
 		}
 		wg.Wait()
+		if err := errors.Join(failures...); err != nil {
+			return RunStats{Rounds: round, Workers: t.Workers, WallClock: time.Since(start)}, err
+		}
 		if err := AverageParams(replicas); err != nil {
 			return RunStats{}, err
 		}

@@ -3,8 +3,11 @@ package mlcluster
 import (
 	"errors"
 	"math/rand"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"covidkg/internal/mlcore"
 )
@@ -98,6 +101,70 @@ func TestRunInvokesAllWorkersEveryRound(t *testing.T) {
 	for w := 1; w < workers; w++ {
 		if replicas[w][0].W.Data[0] != replicas[0][0].W.Data[0] {
 			t.Fatal("replicas diverged after averaging")
+		}
+	}
+}
+
+// TestRunWorkerPanic: a panicking worker must not deadlock the round
+// barrier — Run returns an error naming the worker, and healthy
+// workers' replicas are not averaged with the poisoned one.
+func TestRunWorkerPanic(t *testing.T) {
+	const workers = 4
+	replicas := make([][]*mlcore.Param, workers)
+	for w := range replicas {
+		replicas[w] = []*mlcore.Param{mlcore.NewParam("w", mlcore.NewMatrix(1, 1))}
+		replicas[w][0].W.Data[0] = float64(w)
+	}
+	done := make(chan struct{})
+	var stats RunStats
+	var err error
+	go func() {
+		defer close(done)
+		tr := &Trainer{Workers: workers, Rounds: 3}
+		stats, err = tr.Run(replicas, func(worker, round int) {
+			if worker == 2 && round == 1 {
+				panic("shard corrupted")
+			}
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run deadlocked on a panicking worker")
+	}
+	if err == nil {
+		t.Fatal("worker panic swallowed")
+	}
+	if !strings.Contains(err.Error(), "worker 2") || !strings.Contains(err.Error(), "round 1") {
+		t.Fatalf("error lacks worker/round: %v", err)
+	}
+	if stats.Rounds != 1 {
+		t.Fatalf("completed rounds = %d, want 1", stats.Rounds)
+	}
+	// round 1's average must NOT have run: replica values are whatever
+	// round 0's averaging left (all equal), not re-averaged after panic
+	for w := 1; w < workers; w++ {
+		if replicas[w][0].W.Data[0] != replicas[0][0].W.Data[0] {
+			t.Fatal("replicas diverged")
+		}
+	}
+}
+
+// TestRunAllWorkersPanic joins every worker's failure.
+func TestRunAllWorkersPanic(t *testing.T) {
+	const workers = 3
+	replicas := make([][]*mlcore.Param, workers)
+	for w := range replicas {
+		replicas[w] = []*mlcore.Param{mlcore.NewParam("w", mlcore.NewMatrix(1, 1))}
+	}
+	tr := &Trainer{Workers: workers, Rounds: 1}
+	_, err := tr.Run(replicas, func(worker, round int) { panic(worker) })
+	if err == nil {
+		t.Fatal("panics swallowed")
+	}
+	for w := 0; w < workers; w++ {
+		if !strings.Contains(err.Error(), "worker "+strconv.Itoa(w)) {
+			t.Fatalf("worker %d missing from joined error: %v", w, err)
 		}
 	}
 }

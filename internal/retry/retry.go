@@ -1,0 +1,113 @@
+// Package retry implements capped exponential backoff with jitter for
+// transient I/O — the discipline the paper's ingest pipeline needs when
+// a shard, disk, or upstream briefly misbehaves: retry with growing
+// pauses instead of failing the whole batch, and stop the moment the
+// caller's context is done.
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Config shapes the backoff schedule.
+type Config struct {
+	// Attempts is the maximum number of tries (min 1).
+	Attempts int
+	// BaseDelay is the pause after the first failure.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth.
+	MaxDelay time.Duration
+	// Jitter, in [0,1], randomizes each pause by ±Jitter/2 of its
+	// value so synchronized retries don't stampede.
+	Jitter float64
+	// Retryable decides whether an error is worth retrying; nil means
+	// every error is.
+	Retryable func(error) bool
+}
+
+// DefaultConfig retries 4 times over roughly a second.
+func DefaultConfig() Config {
+	return Config{
+		Attempts:  4,
+		BaseDelay: 50 * time.Millisecond,
+		MaxDelay:  500 * time.Millisecond,
+		Jitter:    0.2,
+	}
+}
+
+// Permanent wraps an error so Do stops retrying immediately and
+// returns it.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err}
+}
+
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Do runs fn until it succeeds, exhausts cfg.Attempts, hits a
+// Permanent error, or ctx is done. The last error is returned,
+// wrapped with the context error when the context ended the loop.
+func Do(ctx context.Context, cfg Config, fn func() error) error {
+	if cfg.Attempts < 1 {
+		cfg.Attempts = 1
+	}
+	if cfg.BaseDelay <= 0 {
+		cfg.BaseDelay = 50 * time.Millisecond
+	}
+	if cfg.MaxDelay < cfg.BaseDelay {
+		cfg.MaxDelay = cfg.BaseDelay
+	}
+	var err error
+	delay := cfg.BaseDelay
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err != nil {
+				return errors.Join(cerr, err)
+			}
+			return cerr
+		}
+		err = fn()
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		if cfg.Retryable != nil && !cfg.Retryable(err) {
+			return err
+		}
+		if attempt >= cfg.Attempts {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return errors.Join(ctx.Err(), err)
+		case <-time.After(jittered(delay, cfg.Jitter)):
+		}
+		delay *= 2
+		if delay > cfg.MaxDelay {
+			delay = cfg.MaxDelay
+		}
+	}
+}
+
+// jittered spreads d by ±frac/2 of its value.
+func jittered(d time.Duration, frac float64) time.Duration {
+	if frac <= 0 {
+		return d
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	spread := float64(d) * frac
+	return time.Duration(float64(d) - spread/2 + rand.Float64()*spread)
+}

@@ -1,0 +1,106 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func fastConfig() Config {
+	return Config{Attempts: 4, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond, Jitter: 0.2}
+}
+
+func TestSucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), fastConfig(), func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestExhaustsAttempts(t *testing.T) {
+	calls := 0
+	sentinel := errors.New("still broken")
+	err := Do(context.Background(), fastConfig(), func() error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) || calls != 4 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestPermanentStopsImmediately(t *testing.T) {
+	calls := 0
+	sentinel := errors.New("fatal")
+	err := Do(context.Background(), fastConfig(), func() error {
+		calls++
+		return Permanent(sentinel)
+	})
+	if !errors.Is(err, sentinel) || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryablePredicate(t *testing.T) {
+	cfg := fastConfig()
+	sentinel := errors.New("nope")
+	cfg.Retryable = func(err error) bool { return !errors.Is(err, sentinel) }
+	calls := 0
+	err := Do(context.Background(), cfg, func() error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestContextCancelStopsRetrying(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Do(ctx, Config{Attempts: 100, BaseDelay: 10 * time.Millisecond}, func() error {
+		calls++
+		cancel()
+		return errors.New("transient")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls=%d", calls)
+	}
+}
+
+func TestAlreadyCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	err := Do(ctx, fastConfig(), func() error {
+		called = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) || called {
+		t.Fatalf("err=%v called=%v", err, called)
+	}
+}
+
+func TestJitteredBounds(t *testing.T) {
+	d := 100 * time.Millisecond
+	for i := 0; i < 100; i++ {
+		j := jittered(d, 0.5)
+		if j < 75*time.Millisecond || j > 125*time.Millisecond {
+			t.Fatalf("jittered out of bounds: %v", j)
+		}
+	}
+	if jittered(d, 0) != d {
+		t.Fatal("zero jitter must be identity")
+	}
+}
