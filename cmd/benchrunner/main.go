@@ -7,12 +7,17 @@
 //	benchrunner               # run everything at full size
 //	benchrunner -quick        # reduced sizes (~seconds per experiment)
 //	benchrunner -exp e1,e3    # selected experiments
+//	benchrunner -searchbench BENCH_search.json
+//	                          # search throughput/cache benchmark only,
+//	                          # JSON result written to the given file
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -22,7 +27,25 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run reduced-size experiments")
 	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e10) or 'all'")
+	searchBench := flag.String("searchbench", "", "run the search concurrency/cache benchmark and write JSON to this file")
 	flag.Parse()
+
+	if *searchBench != "" {
+		res := experiments.RunSearchBench(*quick)
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*searchBench, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("search bench over %d docs (%d cores, %d workers):\n", res.Docs, res.Cores, res.Workers)
+		fmt.Printf("  serial %.1f qps, parallel %.1f qps (%.2fx)\n", res.SerialQPS, res.ParallelQPS, res.Speedup)
+		fmt.Printf("  page-1 cold %.0fµs, warm %.0fµs (%.0fx)\n", res.ColdPage1Us, res.WarmPage1Us, res.CacheGain)
+		fmt.Printf("written to %s\n", *searchBench)
+		return
+	}
 
 	ids := experiments.IDs()
 	if *exp != "all" {

@@ -16,6 +16,7 @@ import (
 	"covidkg/internal/docstore"
 	"covidkg/internal/jsondoc"
 	"covidkg/internal/kg"
+	"covidkg/internal/metrics"
 	"covidkg/internal/pipeline"
 	"covidkg/internal/search"
 )
@@ -32,6 +33,7 @@ func NewServer(sys *core.System) *Server {
 	s := &Server{sys: sys, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /api/search", s.handleSearch)
 	s.mux.HandleFunc("GET /api/publications/{id}", s.handlePublication)
 	s.mux.HandleFunc("GET /api/publications/{id}/tables", s.handleTableMatches)
@@ -49,7 +51,8 @@ func NewServer(sys *core.System) *Server {
 	s.mux.HandleFunc("GET /api/models", s.handleModels)
 	s.mux.HandleFunc("GET /api/models/{name}", s.handleModel)
 	s.mux.HandleFunc("GET /", s.handleIndex)
-	s.handler = recoverMiddleware(s.mux)
+	// metrics wraps recover so recovered panics still record their 500
+	s.handler = metricsMiddleware(recoverMiddleware(s.mux))
 	return s
 }
 
@@ -114,10 +117,26 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		// bad input (empty/unsearchable query) is the caller's fault;
+		// anything else is ours
+		status := http.StatusInternalServerError
+		if errors.Is(err, search.ErrBadQuery) {
+			status = http.StatusBadRequest
+		}
+		writeErr(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// handleMetrics exposes the process-wide counters and latency histograms
+// plus the query-cache statistics — the observability surface behind the
+// BENCH_* numbers.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := metrics.Default().Snapshot()
+	snap["search_cache"] = s.sys.Search.CacheStats()
+	snap["search_workers"] = s.sys.Search.Workers()
+	writeJSON(w, http.StatusOK, snap)
 }
 
 func (s *Server) handlePublication(w http.ResponseWriter, r *http.Request) {

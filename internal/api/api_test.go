@@ -411,3 +411,75 @@ func TestPubNodesEndpoint(t *testing.T) {
 		t.Fatalf("missing pub = %d", rec.Code)
 	}
 }
+
+// TestSearchZeroHitsStillOnePage: a valid query with no matches is a
+// 200 with one empty page, never NumPages = 0 (UIs divide by it).
+func TestSearchZeroHitsStillOnePage(t *testing.T) {
+	s, _ := testServer(t)
+	rec, body := get(t, s, "/api/search?q=xylophone")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("zero-hit search = %d: %v", rec.Code, body)
+	}
+	if body["Total"].(float64) != 0 {
+		t.Fatalf("Total = %v", body["Total"])
+	}
+	if body["NumPages"].(float64) < 1 {
+		t.Fatalf("NumPages = %v, want >= 1", body["NumPages"])
+	}
+}
+
+// TestSearchErrorStatusClasses: bad input is the caller's 400; only
+// internal failures may 500.
+func TestSearchErrorStatusClasses(t *testing.T) {
+	s, _ := testServer(t)
+	for _, path := range []string{
+		"/api/search?q=",              // empty query
+		"/api/search?q=the+of+and",    // stopwords only
+		"/api/search?engine=fields",   // all fields empty
+		"/api/search?engine=warp&q=x", // unknown engine
+	} {
+		rec, body := get(t, s, path)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s = %d (%v), want 400", path, rec.Code, body)
+		}
+	}
+	// good input never maps to 4xx
+	if rec, body := get(t, s, "/api/search?q=vaccine"); rec.Code != http.StatusOK {
+		t.Fatalf("valid query = %d: %v", rec.Code, body)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	// generate some traffic so counters and histograms are populated
+	get(t, s, "/api/search?q=vaccine")
+	get(t, s, "/api/search?q=vaccine")
+	rec, body := get(t, s, "/api/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics = %d", rec.Code)
+	}
+	counters, _ := body["counters"].(map[string]any)
+	if counters == nil {
+		t.Fatalf("no counters in %v", body)
+	}
+	if counters["http.requests"].(float64) < 2 {
+		t.Fatalf("http.requests = %v", counters["http.requests"])
+	}
+	if counters["search.queries"].(float64) < 2 {
+		t.Fatalf("search.queries = %v", counters["search.queries"])
+	}
+	hists, _ := body["histograms"].(map[string]any)
+	if hists == nil || hists["http.latency"] == nil {
+		t.Fatalf("missing http.latency histogram: %v", body["histograms"])
+	}
+	if hists["search.stage.score"] == nil {
+		t.Fatalf("missing per-stage timing: %v", body["histograms"])
+	}
+	cache, _ := body["search_cache"].(map[string]any)
+	if cache == nil {
+		t.Fatalf("missing search_cache stats: %v", body)
+	}
+	if cache["hits"].(float64) < 1 {
+		t.Fatalf("repeat query did not register a cache hit: %v", cache)
+	}
+}

@@ -5,6 +5,10 @@ import (
 	"log"
 	"net/http"
 	"runtime/debug"
+	"strconv"
+	"time"
+
+	"covidkg/internal/metrics"
 )
 
 // recoverMiddleware converts a handler panic into a 500 JSON error and
@@ -25,5 +29,45 @@ func recoverMiddleware(next http.Handler) http.Handler {
 			}
 		}()
 		next.ServeHTTP(w, r)
+	})
+}
+
+// statusWriter records the status code a handler wrote (200 if it never
+// called WriteHeader explicitly).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// metricsMiddleware records request counts, status-class counts, and a
+// whole-request latency histogram into the default registry. It wraps
+// the recover middleware so even recovered panics show up as 500s.
+func metricsMiddleware(next http.Handler) http.Handler {
+	reg := metrics.Default()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		reg.Counter("http.requests").Inc()
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		reg.Counter("http.status." + strconv.Itoa(status/100) + "xx").Inc()
+		reg.Histogram("http.latency").Observe(time.Since(start))
 	})
 }

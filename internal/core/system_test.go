@@ -6,6 +6,7 @@ import (
 
 	"covidkg/internal/cluster"
 	"covidkg/internal/cord19"
+	"covidkg/internal/jsondoc"
 	"covidkg/internal/kg"
 	"covidkg/internal/tableparse"
 )
@@ -349,6 +350,39 @@ func TestRefreshProcessesOnlyNewTables(t *testing.T) {
 	}
 	if again.Tables != 0 {
 		t.Fatalf("re-refresh reprocessed %d tables", again.Tables)
+	}
+}
+
+// TestRefreshDocsInvalidatesSearchCache: a query answered from the
+// cache must see documents that arrive later through RefreshDocs — the
+// system-level ingest path — not a stale cached page.
+func TestRefreshDocsInvalidatesSearchCache(t *testing.T) {
+	s := smallSystem(t, 30)
+	// warm the cache with a repeat query
+	before, err := s.Search.SearchAll("vaccine", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Search.SearchAll("vaccine", 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Search.CacheStats().Hits < 1 {
+		t.Fatalf("repeat query missed cache: %+v", s.Search.CacheStats())
+	}
+	doc := jsondoc.Doc{
+		"title":     "A novel vaccine candidate",
+		"abstract":  "This vaccine vaccine vaccine study reports efficacy.",
+		"body_text": "vaccine trial details",
+	}
+	if _, err := s.RefreshDocs([]jsondoc.Doc{doc}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.Search.SearchAll("vaccine", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Total != before.Total+1 {
+		t.Fatalf("stale page after RefreshDocs: total %d, want %d", after.Total, before.Total+1)
 	}
 }
 

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"covidkg/internal/cord19"
+	"covidkg/internal/docstore"
+	"covidkg/internal/search"
+)
+
+// SearchBenchResult is the machine-readable output of RunSearchBench,
+// serialized into BENCH_search.json by cmd/benchrunner. It records the
+// serial-vs-parallel throughput of the all-fields engine and the
+// cold-vs-warm latency of the query cache over a generated corpus.
+type SearchBenchResult struct {
+	Docs    int `json:"docs"`
+	Cores   int `json:"cores"`   // runtime.NumCPU of the benchmarking host
+	Workers int `json:"workers"` // fan-out width of the parallel run
+
+	Queries []string `json:"queries"`
+
+	SerialQPS   float64 `json:"serial_qps"`
+	ParallelQPS float64 `json:"parallel_qps"`
+	Speedup     float64 `json:"speedup"` // parallel_qps / serial_qps
+
+	ColdPage1Us float64 `json:"cold_page1_us"` // mean first-hit page-1 latency
+	WarmPage1Us float64 `json:"warm_page1_us"` // mean cached page-1 latency
+	CacheGain   float64 `json:"cache_gain"`    // cold / warm
+
+	CacheStats search.CacheStats `json:"cache_stats"`
+}
+
+// benchQueries is the throughput query mix: bare terms, multi-term, and
+// a quoted phrase so both the index path and phrase verification are in
+// the loop.
+var benchQueries = []string{
+	"masks", "vaccine", "ventilators", "fever dose",
+	"vaccine treatment outcomes", `"intensive care"`,
+}
+
+// RunSearchBench measures the concurrent query-execution work: QPS of
+// SearchAll with one worker vs the full pool (caching disabled so every
+// query pays the pipeline), then cold-vs-warm page-1 latency with the
+// cache enabled. Note the speedup is bounded by the host's core count —
+// on a single-core runner serial and parallel are expected to tie.
+func RunSearchBench(quick bool) SearchBenchResult {
+	nDocs := 5000
+	rounds := 3
+	if quick {
+		nDocs = 800
+		rounds = 2
+	}
+	store := docstore.Open(docstore.WithShards(8))
+	coll := store.Collection("pubs")
+	g := cord19.NewGenerator(63)
+	for _, p := range g.Corpus(nDocs) {
+		if _, err := coll.Insert(p.Doc()); err != nil {
+			panic(err)
+		}
+	}
+	eng := search.NewEngine(coll)
+
+	res := SearchBenchResult{
+		Docs:    nDocs,
+		Cores:   runtime.NumCPU(),
+		Workers: eng.Workers(),
+		Queries: benchQueries,
+	}
+
+	throughput := func(workers int) float64 {
+		eng.SetWorkers(workers)
+		eng.SetCacheLimits(0, 0) // every query recomputes
+		// one warm-up pass absorbs first-touch costs
+		for _, q := range benchQueries {
+			if _, err := eng.SearchAll(q, 1); err != nil {
+				panic(err)
+			}
+		}
+		n := 0
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			for _, q := range benchQueries {
+				if _, err := eng.SearchAll(q, 1); err != nil {
+					panic(err)
+				}
+				n++
+			}
+		}
+		return float64(n) / time.Since(start).Seconds()
+	}
+	res.SerialQPS = throughput(1)
+	res.ParallelQPS = throughput(res.Workers)
+	if res.SerialQPS > 0 {
+		res.Speedup = res.ParallelQPS / res.SerialQPS
+	}
+
+	// cold vs warm: re-enable the cache, time the first and second hit of
+	// each query's page 1
+	eng.SetCacheLimits(1024, 64<<20)
+	var cold, warm time.Duration
+	for _, q := range benchQueries {
+		start := time.Now()
+		if _, err := eng.SearchAll(q, 1); err != nil {
+			panic(err)
+		}
+		cold += time.Since(start)
+		start = time.Now()
+		if _, err := eng.SearchAll(q, 1); err != nil {
+			panic(err)
+		}
+		warm += time.Since(start)
+	}
+	nq := float64(len(benchQueries))
+	res.ColdPage1Us = float64(cold.Microseconds()) / nq
+	res.WarmPage1Us = float64(warm.Microseconds()) / nq
+	if warm > 0 {
+		res.CacheGain = float64(cold) / float64(warm)
+	}
+	res.CacheStats = eng.CacheStats()
+	return res
+}

@@ -1,0 +1,151 @@
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"covidkg/internal/jsondoc"
+)
+
+// DefaultWorkers is the worker count parallel stages use when none is
+// set: one per schedulable CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ParallelChunks partitions [0, n) into at most workers contiguous
+// chunks and runs fn(lo, hi) for each chunk on its own goroutine,
+// returning when all chunks are done. workers ≤ 1 (or n small) degrades
+// to a single synchronous call, so serial and parallel execution follow
+// the same code path.
+func ParallelChunks(n, workers int, fn func(lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ---------------------------------------------------------- $match (par)
+
+// ParallelMatchStage evaluates a predicate over the buffered stream in
+// parallel, preserving input order — the scaled-out form of $match for
+// full-corpus scans where candidate generation cannot help. The
+// predicate must be safe for concurrent calls and must not mutate the
+// document.
+type ParallelMatchStage struct {
+	pred    func(jsondoc.Doc) bool
+	workers int
+}
+
+// ParallelMatch builds an order-preserving parallel $match stage using
+// DefaultWorkers.
+func ParallelMatch(pred func(jsondoc.Doc) bool) *ParallelMatchStage {
+	return &ParallelMatchStage{pred: pred, workers: DefaultWorkers()}
+}
+
+// Workers overrides the worker count (≤1 means serial) and returns the
+// stage for chaining.
+func (m *ParallelMatchStage) Workers(n int) *ParallelMatchStage {
+	m.workers = n
+	return m
+}
+
+// Name implements Stage.
+func (m *ParallelMatchStage) Name() string { return "$match(parallel)" }
+
+// Run implements Stage. The output order is identical to a serial
+// MatchStage over the same input: keep-decisions are computed in
+// parallel, the compaction is sequential.
+func (m *ParallelMatchStage) Run(in []jsondoc.Doc) ([]jsondoc.Doc, error) {
+	keep := make([]bool, len(in))
+	ParallelChunks(len(in), m.workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			keep[i] = m.pred(in[i])
+		}
+	})
+	out := in[:0]
+	for i, d := range in {
+		if keep[i] {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// ------------------------------------------------------- $function (par)
+
+// ParallelFunctionStage applies a per-document transformation in
+// parallel, preserving input order — the scaled-out $function used by
+// the ranking stage. fn must be safe for concurrent calls; it may mutate
+// its own document (documents are partitioned across workers) but must
+// not touch shared state without synchronization. Returning a nil
+// document drops it from the stream; the first error (by input position)
+// aborts the stage deterministically.
+type ParallelFunctionStage struct {
+	name    string
+	fn      func(jsondoc.Doc) (jsondoc.Doc, error)
+	workers int
+}
+
+// ParallelFunction builds an order-preserving parallel $function stage
+// using DefaultWorkers.
+func ParallelFunction(name string, fn func(jsondoc.Doc) (jsondoc.Doc, error)) *ParallelFunctionStage {
+	return &ParallelFunctionStage{name: name, fn: fn, workers: DefaultWorkers()}
+}
+
+// Workers overrides the worker count (≤1 means serial) and returns the
+// stage for chaining.
+func (f *ParallelFunctionStage) Workers(n int) *ParallelFunctionStage {
+	f.workers = n
+	return f
+}
+
+// Name implements Stage.
+func (f *ParallelFunctionStage) Name() string { return "$function(" + f.name + ",parallel)" }
+
+// Run implements Stage.
+func (f *ParallelFunctionStage) Run(in []jsondoc.Doc) ([]jsondoc.Doc, error) {
+	mapped := make([]jsondoc.Doc, len(in))
+	errAt := make([]error, len(in))
+	ParallelChunks(len(in), f.workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			nd, err := f.fn(in[i])
+			if err != nil {
+				errAt[i] = err
+				return // abandon this chunk; first error wins below
+			}
+			mapped[i] = nd
+		}
+	})
+	for i, err := range errAt {
+		if err != nil {
+			return nil, fmt.Errorf("doc %d: %w", i, err)
+		}
+	}
+	out := in[:0]
+	for _, d := range mapped {
+		if d != nil {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}

@@ -18,6 +18,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 
 	"covidkg/internal/jsondoc"
 )
@@ -39,13 +40,26 @@ type Source interface {
 	Scan(fn func(jsondoc.Doc) bool)
 }
 
+// StageObserver receives per-stage execution telemetry: the stage name,
+// its wall-clock duration, and the stream sizes in and out. The leading
+// streamed $match phase is reported under the name "$source+$match".
+type StageObserver func(stage string, d time.Duration, in, out int)
+
 // Pipeline is an ordered list of stages applied to a source.
 type Pipeline struct {
 	stages []Stage
+	obs    StageObserver
 }
 
 // New builds a pipeline from stages.
 func New(stages ...Stage) *Pipeline { return &Pipeline{stages: stages} }
+
+// Observe installs a per-stage telemetry callback and returns the
+// pipeline for chaining. A nil observer disables telemetry.
+func (p *Pipeline) Observe(obs StageObserver) *Pipeline {
+	p.obs = obs
+	return p
+}
 
 // Append adds stages and returns the pipeline for chaining.
 func (p *Pipeline) Append(stages ...Stage) *Pipeline {
@@ -82,7 +96,10 @@ func (p *Pipeline) Run(src Source) ([]jsondoc.Doc, error) {
 	}
 
 	var buf []jsondoc.Doc
+	scanned := 0
+	start := time.Now()
 	src.Scan(func(d jsondoc.Doc) bool {
+		scanned++
 		for _, m := range streamMatches {
 			if !m.pred(d) {
 				return true
@@ -91,12 +108,20 @@ func (p *Pipeline) Run(src Source) ([]jsondoc.Doc, error) {
 		buf = append(buf, d)
 		return true
 	})
+	if p.obs != nil {
+		p.obs("$source+$match", time.Since(start), scanned, len(buf))
+	}
 
 	var err error
 	for _, st := range rest {
+		in := len(buf)
+		start = time.Now()
 		buf, err = st.Run(buf)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: stage %s: %w", st.Name(), err)
+		}
+		if p.obs != nil {
+			p.obs(st.Name(), time.Since(start), in, len(buf))
 		}
 	}
 	return buf, nil

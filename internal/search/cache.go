@@ -1,0 +1,169 @@
+package search
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Default query-cache bounds: page-1 queries repeat heavily in an
+// interactive corpus browser, so a modest LRU absorbs most of the read
+// load without risking memory blow-up on pathological result pages.
+const (
+	defaultCacheEntries = 1024
+	defaultCacheBytes   = 64 << 20
+)
+
+// CacheStats is a point-in-time view of the query cache.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+}
+
+// cacheKey identifies one cached page: which engine answered, the
+// canonicalized query (parsed terms, so "Masks  study" and "masks study"
+// share an entry), and the page number.
+type cacheKey struct {
+	engine string
+	query  string
+	page   int
+}
+
+// cacheEntry is one LRU slot. gen is the engine generation the page was
+// computed under; a mismatch with the current generation means an ingest
+// or option change happened since and the entry is stale.
+type cacheEntry struct {
+	key   cacheKey
+	page  Page
+	gen   uint64
+	bytes int64
+}
+
+// queryCache is a doubly-bounded (entries and bytes) LRU of computed
+// result pages. Invalidation is generation-based: entries carry the
+// engine generation they were computed under and are discarded on
+// lookup when it no longer matches, so a single atomic counter bump
+// invalidates the whole cache without sweeping it.
+type queryCache struct {
+	mu       sync.Mutex
+	maxItems int
+	maxBytes int64
+	curBytes int64
+	ll       *list.List // front = most recent; values are *cacheEntry
+	items    map[cacheKey]*list.Element
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// newQueryCache builds a cache; maxItems ≤ 0 or maxBytes ≤ 0 disables
+// caching entirely.
+func newQueryCache(maxItems int, maxBytes int64) *queryCache {
+	return &queryCache{
+		maxItems: maxItems,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    map[cacheKey]*list.Element{},
+	}
+}
+
+func (c *queryCache) enabled() bool { return c.maxItems > 0 && c.maxBytes > 0 }
+
+// get returns the cached page for key if present and computed under the
+// current generation. Stale entries are removed on sight.
+func (c *queryCache) get(key cacheKey, gen uint64) (Page, bool) {
+	if !c.enabled() {
+		return Page{}, false
+	}
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return Page{}, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.gen != gen {
+		c.removeLocked(el)
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return Page{}, false
+	}
+	c.ll.MoveToFront(el)
+	pg := ent.page
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return pg, true
+}
+
+// put stores a computed page under the generation it was computed under
+// (captured before the computation started, so a concurrent ingest
+// invalidates it). Returns the number of entries evicted to make room.
+// Pages larger than the whole byte budget are not cached.
+func (c *queryCache) put(key cacheKey, pg Page, gen uint64) int64 {
+	if !c.enabled() {
+		return 0
+	}
+	size := pageBytes(pg)
+	if size > c.maxBytes {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.removeLocked(el)
+	}
+	ent := &cacheEntry{key: key, page: pg, gen: gen, bytes: size}
+	c.items[key] = c.ll.PushFront(ent)
+	c.curBytes += size
+	var evicted int64
+	for (len(c.items) > c.maxItems || c.curBytes > c.maxBytes) && c.ll.Len() > 1 {
+		c.removeLocked(c.ll.Back())
+		evicted++
+	}
+	c.evictions.Add(evicted)
+	return evicted
+}
+
+// removeLocked unlinks one entry; callers hold c.mu.
+func (c *queryCache) removeLocked(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, ent.key)
+	c.curBytes -= ent.bytes
+}
+
+// stats snapshots the counters.
+func (c *queryCache) stats() CacheStats {
+	c.mu.Lock()
+	entries, bytes := len(c.items), c.curBytes
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   entries,
+		Bytes:     bytes,
+	}
+}
+
+// pageBytes estimates the retained size of a cached page: string bytes
+// plus struct overhead. An estimate is enough — the bound exists to
+// prevent runaway growth, not to account exactly.
+func pageBytes(pg Page) int64 {
+	size := int64(64)
+	for _, r := range pg.Results {
+		size += 96 + int64(len(r.DocID)+len(r.Title)+len(r.Journal))
+		for _, a := range r.Authors {
+			size += int64(len(a)) + 16
+		}
+		for _, sn := range r.Snippets {
+			size += 48 + int64(len(sn.Field)+len(sn.Text)) + int64(16*len(sn.Highlights))
+		}
+	}
+	return size
+}

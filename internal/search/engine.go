@@ -8,15 +8,24 @@
 package search
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"covidkg/internal/docstore"
 	"covidkg/internal/index"
 	"covidkg/internal/jsondoc"
+	"covidkg/internal/metrics"
+	"covidkg/internal/pipeline"
 	"covidkg/internal/textproc"
 )
+
+// ErrBadQuery marks user-input errors (empty or unsearchable queries).
+// API layers use it to distinguish 400-class mistakes from internal
+// failures.
+var ErrBadQuery = errors.New("bad query")
 
 // Field names used for indexing and ranking.
 const (
@@ -33,17 +42,34 @@ const (
 const PerPage = 10
 
 // Engine ties a publication collection to its inverted index and hosts
-// the three search entry points.
+// the three search entry points. Queries run concurrently: candidate
+// scoring fans out over a bounded worker pool, and computed pages are
+// held in a generation-versioned LRU so repeated queries skip the
+// pipeline entirely. All methods are safe for concurrent use.
 type Engine struct {
-	coll     *docstore.Collection
-	idx      *index.Index
-	rankOpts RankOptions
+	coll *docstore.Collection
+	idx  *index.Index
+
+	// rankOpts is copy-on-set so concurrent queries never observe a
+	// torn options struct.
+	rankOpts atomic.Pointer[RankOptions]
+	// workers bounds the scoring/matching fan-out (default GOMAXPROCS).
+	workers atomic.Int32
+	// gen is bumped by every mutation (ingest, removal, option change);
+	// cache entries are versioned against it, so one atomic add
+	// invalidates every cached page.
+	gen   atomic.Uint64
+	cache atomic.Pointer[queryCache]
+	met   *metrics.Registry
 }
 
 // NewEngine builds a search engine over the given publication collection
 // and indexes every document already present.
 func NewEngine(coll *docstore.Collection) *Engine {
-	e := &Engine{coll: coll, idx: index.New()}
+	e := &Engine{coll: coll, idx: index.New(), met: metrics.Default()}
+	e.rankOpts.Store(&RankOptions{})
+	e.workers.Store(int32(pipeline.DefaultWorkers()))
+	e.cache.Store(newQueryCache(defaultCacheEntries, defaultCacheBytes))
 	coll.Scan(func(d jsondoc.Doc) bool {
 		e.indexDoc(d)
 		return true
@@ -54,6 +80,36 @@ func NewEngine(coll *docstore.Collection) *Engine {
 // Index returns the engine's inverted index (read-mostly; exposed for
 // ranking diagnostics and experiments).
 func (e *Engine) Index() *index.Index { return e.idx }
+
+// Workers returns the current scoring fan-out width.
+func (e *Engine) Workers() int { return int(e.workers.Load()) }
+
+// SetWorkers bounds the per-query worker pool; n ≤ 1 forces fully
+// serial execution (useful for benchmarking the speedup).
+func (e *Engine) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.workers.Store(int32(n))
+}
+
+// SetCacheLimits replaces the query cache with one bounded by maxItems
+// entries and maxBytes of retained results. Non-positive limits disable
+// caching. The previous cache's contents are discarded.
+func (e *Engine) SetCacheLimits(maxItems int, maxBytes int64) {
+	e.cache.Store(newQueryCache(maxItems, maxBytes))
+}
+
+// CacheStats reports query-cache hit/miss/eviction counters and current
+// occupancy.
+func (e *Engine) CacheStats() CacheStats { return e.cache.Load().stats() }
+
+// Generation returns the current mutation generation; it increases on
+// every document ingest/removal and every option change.
+func (e *Engine) Generation() uint64 { return e.gen.Load() }
+
+// invalidate bumps the generation, atomically staling every cached page.
+func (e *Engine) invalidate() { e.gen.Add(1) }
 
 // AddDocument inserts a publication document into the collection and the
 // index. The document must follow the corpus shape (title, abstract,
@@ -68,6 +124,7 @@ func (e *Engine) AddDocument(d jsondoc.Doc) (string, error) {
 		return "", err
 	}
 	e.indexDoc(stored)
+	e.invalidate()
 	return id, nil
 }
 
@@ -77,6 +134,7 @@ func (e *Engine) RemoveDocument(id string) error {
 		return err
 	}
 	e.idx.Remove(id)
+	e.invalidate()
 	return nil
 }
 
@@ -168,6 +226,30 @@ func tokenMatchesStem(token, stem string) bool {
 	return textproc.Stem(token) == stem || strings.HasPrefix(token, stem)
 }
 
+// termMatchesSyn is termMatches extended through the synonym table for
+// bare terms (quoted phrases stay literal): a document matching
+// "immunization" is a verified hit for the term "vaccine" unless
+// NoSynonyms is set. Candidate generation admits synonym-only documents
+// (expandSynonyms), so the verify predicate must recognize them too or
+// phrase+term queries silently lose synonym recall.
+func (e *Engine) termMatchesSyn(term textproc.QueryTerm, text string) bool {
+	if term.Exact {
+		return strings.Contains(strings.ToLower(text), term.Text)
+	}
+	stems := []string{term.Text}
+	if !e.RankOptions().NoSynonyms {
+		stems = append(stems, textproc.SynonymStems(term.Text)...)
+	}
+	for _, tok := range textproc.Tokenize(text) {
+		for _, s := range stems {
+			if tokenMatchesStem(tok.Text, s) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Result is one ranked search hit.
 type Result struct {
 	DocID    string
@@ -200,7 +282,12 @@ func paginate(all []Result, pageNum int) Page {
 		pageNum = 1
 	}
 	total := len(all)
+	// an empty result set still has one (empty) page, so NumPages ≥ 1
+	// and PageNum ≤ NumPages always holds for page 1
 	numPages := (total + PerPage - 1) / PerPage
+	if numPages < 1 {
+		numPages = 1
+	}
 	start := (pageNum - 1) * PerPage
 	var res []Result
 	if start < total {
@@ -246,7 +333,7 @@ func sortResults(rs []Result) {
 func queryOrError(q string) ([]textproc.QueryTerm, error) {
 	terms := textproc.ParseQuery(q)
 	if len(terms) == 0 {
-		return nil, fmt.Errorf("search: query %q has no searchable terms", q)
+		return nil, fmt.Errorf("search: %w: query %q has no searchable terms", ErrBadQuery, q)
 	}
 	return terms, nil
 }

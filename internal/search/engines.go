@@ -3,16 +3,13 @@ package search
 import (
 	"fmt"
 	"sort"
+	"strings"
+	"time"
 
 	"covidkg/internal/jsondoc"
 	"covidkg/internal/pipeline"
 	"covidkg/internal/textproc"
 )
-
-// collSource adapts the engine's collection to the pipeline Source.
-type collSource struct{ e *Engine }
-
-func (s collSource) Scan(fn func(jsondoc.Doc) bool) { s.e.coll.Scan(fn) }
 
 // expandSynonyms widens a stemmed term list with the synonym table so a
 // query for "vaccine" also retrieves "immunization" documents (§5: the
@@ -34,22 +31,27 @@ func expandSynonyms(stems []string) []string {
 	return out
 }
 
-// candidateSource resolves candidate document ids into a pipeline source.
-type candidateSource struct {
-	e   *Engine
-	ids []string
-}
-
-func (s candidateSource) Scan(fn func(jsondoc.Doc) bool) {
-	for _, id := range s.ids {
-		d, err := s.e.coll.Get(id)
-		if err != nil {
-			continue
+// resolveCandidates fetches candidate documents by id with the fetches
+// partitioned across the worker pool — Collection.Get deep-copies every
+// document, which dominates candidate materialization on large result
+// sets. Ids that vanished under a concurrent delete are skipped; input
+// order is preserved.
+func (e *Engine) resolveCandidates(ids []string, workers int) []jsondoc.Doc {
+	docs := make([]jsondoc.Doc, len(ids))
+	pipeline.ParallelChunks(len(ids), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if d, err := e.coll.Get(ids[i]); err == nil {
+				docs[i] = d
+			}
 		}
-		if !fn(d) {
-			return
+	})
+	out := docs[:0]
+	for _, d := range docs {
+		if d != nil {
+			out = append(out, d)
 		}
 	}
+	return out
 }
 
 // phraseCandidates resolves a quoted phrase to the documents containing
@@ -108,17 +110,20 @@ func (e *Engine) queryCandidates(terms []textproc.QueryTerm, fields map[string]b
 	return ids, verify, true
 }
 
-// runSearch executes the shared §2.1 evaluation process: a $match stage
-// filters the corpus to candidate documents (streamed, so it runs first
-// and cheaply), a $project keeps only fields later stages need, and a
-// custom $function stage computes the ranking score. Sorting and
-// pagination conclude the pipeline.
+// runSearch executes the shared §2.1 evaluation process, scaled out over
+// the engine's worker pool: a parallel $match stage filters candidates
+// (order-preserving, so results match serial execution exactly), a
+// $project keeps only fields later stages need, and a parallel custom
+// $function stage computes the ranking score over partitioned documents.
+// Sorting and pagination conclude the pipeline. Every stage's latency is
+// recorded in the metrics registry.
 //
 // When candidates is non-nil the inverted index already resolved a
-// candidate set and the pipeline starts from those documents;
-// verifyCandidates keeps the match predicate active over them (needed
-// when quoted phrases require substring confirmation). A nil candidates
-// list falls back to a full $match scan.
+// candidate set and the pipeline starts from those documents (fetched in
+// parallel partitions); verifyCandidates keeps the match predicate
+// active over them (needed when quoted phrases require substring
+// confirmation). A nil candidates list falls back to a full scan, which
+// the parallel $match also partitions across workers.
 func (e *Engine) runSearch(
 	matchPred func(jsondoc.Doc) bool,
 	candidates []string,
@@ -128,29 +133,44 @@ func (e *Engine) runSearch(
 	snippetFields []string,
 	pageNum int,
 ) (Page, error) {
-	var src pipeline.Source = collSource{e}
+	workers := e.Workers()
+
+	// materialize the input stream: candidate partitions resolve in
+	// parallel; the fallback buffers the whole collection for the
+	// parallel $match to partition
+	start := time.Now()
+	var buf []jsondoc.Doc
 	if candidates != nil {
-		src = candidateSource{e, candidates}
+		buf = e.resolveCandidates(candidates, workers)
 		if !verifyCandidates {
 			matchPred = func(jsondoc.Doc) bool { return true }
 		}
+	} else {
+		e.coll.Scan(func(d jsondoc.Doc) bool {
+			buf = append(buf, d)
+			return true
+		})
 	}
+	e.observeStage("fetch", time.Since(start))
+
 	p := pipeline.New(
-		pipeline.Match(matchPred),
+		pipeline.ParallelMatch(matchPred).Workers(workers),
 		// $project: only the fields needed "for carrying out calculations
 		// and printing to the screen" travel further down the pipeline.
 		pipeline.Project("title", "abstract", "body_text", "authors",
 			"journal", "publish_date", "tables", "figure_captions"),
-		pipeline.Function("rank", func(d jsondoc.Doc) (jsondoc.Doc, error) {
+		pipeline.ParallelFunction("rank", func(d jsondoc.Doc) (jsondoc.Doc, error) {
 			ex := e.scoreDoc(d, terms, rankFields)
 			if err := d.Set("score", ex.Total); err != nil {
 				return nil, err
 			}
 			return d, nil
-		}),
+		}).Workers(workers),
 		pipeline.SortByDesc("score"),
-	)
-	docs, err := p.Run(src)
+	).Observe(func(stage string, d time.Duration, in, out int) {
+		e.observeStage(stageMetricName(stage), d)
+	})
+	docs, err := p.Run(pipeline.SliceSource(buf))
 	if err != nil {
 		return Page{}, err
 	}
@@ -167,6 +187,7 @@ func (e *Engine) runSearch(
 	page := paginate(results, pageNum)
 	// snippets are expensive (tokenization over full texts); compute them
 	// only for the page actually returned
+	start = time.Now()
 	for i := range page.Results {
 		d := byID[page.Results[i].DocID]
 		texts := fieldTexts(d)
@@ -178,7 +199,85 @@ func (e *Engine) runSearch(
 			}
 		}
 	}
+	e.observeStage("snippet", time.Since(start))
 	return page, nil
+}
+
+// observeStage records one named stage latency.
+func (e *Engine) observeStage(stage string, d time.Duration) {
+	e.met.Histogram("search.stage." + stage).Observe(d)
+}
+
+// stageMetricName maps pipeline stage names to stable metric suffixes.
+func stageMetricName(stage string) string {
+	switch {
+	case strings.HasPrefix(stage, "$match"), stage == "$source+$match":
+		return "match"
+	case strings.HasPrefix(stage, "$function"):
+		return "score"
+	case stage == "$sort":
+		return "sort"
+	case stage == "$project":
+		return "project"
+	default:
+		return strings.TrimPrefix(stage, "$")
+	}
+}
+
+// clampPage normalizes a requested page number before it reaches the
+// cache key or paginate, so page 0 and page 1 share one cache entry.
+func clampPage(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// canonicalTerms renders parsed query terms into a stable cache-key
+// fragment, so queries differing only in whitespace, case, or stopwords
+// share a cache entry.
+func canonicalTerms(terms []textproc.QueryTerm) string {
+	var b strings.Builder
+	for i, t := range terms {
+		if i > 0 {
+			b.WriteByte(0x1f)
+		}
+		if t.Exact {
+			b.WriteString("e:")
+		} else {
+			b.WriteString("s:")
+		}
+		b.WriteString(t.Text)
+	}
+	return b.String()
+}
+
+// cachedSearch funnels one engine's query through the query cache: a hit
+// returns the cached page; a miss computes, then stores the page under
+// the generation captured *before* computing, so a concurrent ingest
+// atomically invalidates it. Total latency per engine and cache
+// hit/miss/eviction counts are recorded in the metrics registry.
+func (e *Engine) cachedSearch(engine, canon string, pageNum int, compute func() (Page, error)) (Page, error) {
+	start := time.Now()
+	e.met.Counter("search.queries").Inc()
+	cache := e.cache.Load()
+	key := cacheKey{engine: engine, query: canon, page: pageNum}
+	gen := e.gen.Load()
+	if pg, ok := cache.get(key, gen); ok {
+		e.met.Counter("search.cache.hits").Inc()
+		e.met.Histogram("search.latency." + engine).Observe(time.Since(start))
+		return pg, nil
+	}
+	e.met.Counter("search.cache.misses").Inc()
+	pg, err := compute()
+	if err != nil {
+		return Page{}, err
+	}
+	if ev := cache.put(key, pg, gen); ev > 0 {
+		e.met.Counter("search.cache.evictions").Add(ev)
+	}
+	e.met.Histogram("search.latency." + engine).Observe(time.Since(start))
+	return pg, nil
 }
 
 // intersectSorted intersects two sorted string slices.
@@ -201,13 +300,16 @@ func intersectSorted(a, b []string) []string {
 }
 
 // anyTermInFields reports whether at least one query term matches any of
-// the named fields of the document.
-func anyTermInFields(d jsondoc.Doc, terms []textproc.QueryTerm, fields ...string) bool {
+// the named fields of the document. Bare terms match through the synonym
+// table (termMatchesSyn), keeping this predicate consistent with
+// candidate generation: a document admitted for "vaccine" via
+// "immunization" stays a hit when a quoted phrase forces re-verification.
+func (e *Engine) anyTermInFields(d jsondoc.Doc, terms []textproc.QueryTerm, fields ...string) bool {
 	texts := fieldTexts(d)
 	for _, f := range fields {
 		for _, txt := range texts[f] {
 			for _, t := range terms {
-				if termMatches(t, txt) {
+				if e.termMatchesSyn(t, txt) {
 					return true
 				}
 			}
@@ -257,49 +359,61 @@ func (e *Engine) SearchFields(q FieldQuery, pageNum int) (Page, error) {
 		return Page{}, err
 	}
 	if len(conds) == 0 {
-		return Page{}, fmt.Errorf("search: all query fields empty")
+		return Page{}, fmt.Errorf("search: %w: all query fields empty", ErrBadQuery)
 	}
+	pageNum = clampPage(pageNum)
 
-	rankFields := map[string]bool{FieldTitle: true, FieldAbstract: true, FieldTableCaption: true}
-	match := func(d jsondoc.Doc) bool {
-		for _, c := range conds {
-			if !anyTermInFields(d, c.terms, c.field) {
-				return false
+	var canon strings.Builder
+	for i, c := range conds {
+		if i > 0 {
+			canon.WriteByte(0x1e)
+		}
+		canon.WriteString(c.field + "=" + canonicalTerms(c.terms))
+	}
+	return e.cachedSearch("fields", canon.String(), pageNum, func() (Page, error) {
+		rankFields := map[string]bool{FieldTitle: true, FieldAbstract: true, FieldTableCaption: true}
+		match := func(d jsondoc.Doc) bool {
+			for _, c := range conds {
+				if !e.anyTermInFields(d, c.terms, c.field) {
+					return false
+				}
+			}
+			return true
+		}
+		// Inclusive semantics via the index: intersect per-field candidate
+		// sets; quoted phrases keep the verification predicate active.
+		start := time.Now()
+		var candidates []string
+		verify := false
+		resolvable := true
+		for i, c := range conds {
+			ids, v, ok := e.queryCandidates(c.terms, map[string]bool{c.field: true})
+			if !ok {
+				resolvable = false
+				break
+			}
+			verify = verify || v
+			if i == 0 {
+				candidates = ids
+			} else {
+				candidates = intersectSorted(candidates, ids)
+			}
+			if len(candidates) == 0 {
+				candidates = []string{}
+				break
 			}
 		}
-		return true
-	}
-	// Inclusive semantics via the index: intersect per-field candidate
-	// sets; quoted phrases keep the verification predicate active.
-	var candidates []string
-	verify := false
-	resolvable := true
-	for i, c := range conds {
-		ids, v, ok := e.queryCandidates(c.terms, map[string]bool{c.field: true})
-		if !ok {
-			resolvable = false
-			break
-		}
-		verify = verify || v
-		if i == 0 {
-			candidates = ids
-		} else {
-			candidates = intersectSorted(candidates, ids)
-		}
-		if len(candidates) == 0 {
+		if !resolvable {
+			candidates, verify = nil, false
+		} else if verify && candidates == nil {
 			candidates = []string{}
-			break
 		}
-	}
-	if !resolvable {
-		candidates, verify = nil, false
-	} else if verify && candidates == nil {
-		candidates = []string{}
-	}
-	// Results format: "table captions first, the title and authors and
-	// the full abstract" — snippet order encodes that.
-	return e.runSearch(match, candidates, verify, allTerms, rankFields,
-		[]string{FieldTableCaption, FieldTitle, FieldAbstract}, pageNum)
+		e.observeStage("candidates", time.Since(start))
+		// Results format: "table captions first, the title and authors and
+		// the full abstract" — snippet order encodes that.
+		return e.runSearch(match, candidates, verify, allTerms, rankFields,
+			[]string{FieldTableCaption, FieldTitle, FieldAbstract}, pageNum)
+	})
 }
 
 // SearchAll is engine §2.1.2 — search over all publication fields, for
@@ -311,18 +425,23 @@ func (e *Engine) SearchAll(query string, pageNum int) (Page, error) {
 	if err != nil {
 		return Page{}, err
 	}
-	allFields := []string{FieldTitle, FieldAbstract, FieldBody,
-		FieldTableCaption, FieldTableCell, FieldFigureCaption}
-	match := func(d jsondoc.Doc) bool {
-		return anyTermInFields(d, terms, allFields...)
-	}
-	candidates, verify, ok := e.queryCandidates(terms, nil)
-	if !ok {
-		candidates, verify = nil, false
-	}
-	return e.runSearch(match, candidates, verify, terms, nil,
-		[]string{FieldAbstract, FieldBody, FieldTableCaption, FieldTableCell, FieldFigureCaption},
-		pageNum)
+	pageNum = clampPage(pageNum)
+	return e.cachedSearch("all", canonicalTerms(terms), pageNum, func() (Page, error) {
+		allFields := []string{FieldTitle, FieldAbstract, FieldBody,
+			FieldTableCaption, FieldTableCell, FieldFigureCaption}
+		match := func(d jsondoc.Doc) bool {
+			return e.anyTermInFields(d, terms, allFields...)
+		}
+		start := time.Now()
+		candidates, verify, ok := e.queryCandidates(terms, nil)
+		e.observeStage("candidates", time.Since(start))
+		if !ok {
+			candidates, verify = nil, false
+		}
+		return e.runSearch(match, candidates, verify, terms, nil,
+			[]string{FieldAbstract, FieldBody, FieldTableCaption, FieldTableCell, FieldFigureCaption},
+			pageNum)
+	})
 }
 
 // SearchTables is engine §2.1.3 — search over paper tables only: "a
@@ -334,18 +453,23 @@ func (e *Engine) SearchTables(query string, pageNum int) (Page, error) {
 	if err != nil {
 		return Page{}, err
 	}
-	tableFields := map[string]bool{FieldTableCaption: true, FieldTableCell: true}
-	match := func(d jsondoc.Doc) bool {
-		return anyTermInFields(d, terms, FieldTableCaption, FieldTableCell)
-	}
-	candidates, verify, ok := e.queryCandidates(terms, tableFields)
-	if !ok {
-		candidates, verify = nil, false
-	}
-	// The table engine also shows where the terms land in the abstract
-	// for context (Figure 4 shows an abstract match below the table).
-	return e.runSearch(match, candidates, verify, terms, tableFields,
-		[]string{FieldTableCaption, FieldTableCell, FieldAbstract}, pageNum)
+	pageNum = clampPage(pageNum)
+	return e.cachedSearch("tables", canonicalTerms(terms), pageNum, func() (Page, error) {
+		tableFields := map[string]bool{FieldTableCaption: true, FieldTableCell: true}
+		match := func(d jsondoc.Doc) bool {
+			return e.anyTermInFields(d, terms, FieldTableCaption, FieldTableCell)
+		}
+		start := time.Now()
+		candidates, verify, ok := e.queryCandidates(terms, tableFields)
+		e.observeStage("candidates", time.Since(start))
+		if !ok {
+			candidates, verify = nil, false
+		}
+		// The table engine also shows where the terms land in the abstract
+		// for context (Figure 4 shows an abstract match below the table).
+		return e.runSearch(match, candidates, verify, terms, tableFields,
+			[]string{FieldTableCaption, FieldTableCell, FieldAbstract}, pageNum)
+	})
 }
 
 // CellMatch pinpoints where a query landed inside one stored table — the

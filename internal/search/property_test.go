@@ -3,8 +3,10 @@ package search
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 
+	"covidkg/internal/cord19"
 	"covidkg/internal/docstore"
 	"covidkg/internal/jsondoc"
 )
@@ -86,6 +88,48 @@ func TestEnginesAgreeOnTableOnlyTerms(t *testing.T) {
 	for _, r := range tp.Results {
 		if !allSet[r.DocID] {
 			t.Fatalf("table hit %s missing from all-fields results", r.DocID)
+		}
+	}
+}
+
+// TestParallelSerialIdentical: for every engine and worker count, the
+// parallel execution path returns byte-identical pages to fully serial
+// execution — ordering, scores, snippets, pagination, everything.
+func TestParallelSerialIdentical(t *testing.T) {
+	s := docstore.Open(docstore.WithShards(4))
+	c := s.Collection("pubs")
+	g := cord19.NewGenerator(17)
+	for _, p := range g.Corpus(250) {
+		if _, err := c.Insert(p.Doc()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serial := NewEngine(c)
+	serial.SetWorkers(1)
+	serial.SetCacheLimits(0, 0) // force recomputation each call
+
+	queries := []string{"masks", "vaccine treatment", `"viral load"`, `fever "intensive care"`, "ventilators dose"}
+	for _, workers := range []int{2, 8} {
+		par := NewEngine(c)
+		par.SetWorkers(workers)
+		par.SetCacheLimits(0, 0)
+		for _, q := range queries {
+			for page := 1; page <= 3; page++ {
+				want, err1 := serial.SearchAll(q, page)
+				got, err2 := par.SearchAll(q, page)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("q=%q page=%d: err %v vs %v", q, page, err1, err2)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("q=%q page=%d workers=%d: parallel diverged from serial\nserial: %+v\nparallel: %+v",
+						q, page, workers, want, got)
+				}
+			}
+			wt, _ := serial.SearchTables(q, 1)
+			gt, _ := par.SearchTables(q, 1)
+			if !reflect.DeepEqual(wt, gt) {
+				t.Fatalf("tables q=%q workers=%d diverged", q, workers)
+			}
 		}
 	}
 }

@@ -43,9 +43,17 @@ type RankOptions struct {
 	NoSynonyms  bool // ignore the synonym table
 }
 
-// SetRankOptions configures feature ablation. Not safe to call
-// concurrently with queries; set once before serving.
-func (e *Engine) SetRankOptions(o RankOptions) { e.rankOpts = o }
+// SetRankOptions configures feature ablation. Safe to call concurrently
+// with queries: options are copy-on-set behind an atomic pointer, and
+// setting them bumps the engine generation so cached pages computed
+// under the old options are invalidated.
+func (e *Engine) SetRankOptions(o RankOptions) {
+	e.rankOpts.Store(&o)
+	e.invalidate()
+}
+
+// RankOptions returns the current ablation options (a copy).
+func (e *Engine) RankOptions() RankOptions { return *e.rankOpts.Load() }
 
 // RankExplain carries the per-feature breakdown of one document's score,
 // so experiments (and curious users) can see why a result ranked where
@@ -64,7 +72,7 @@ type RankExplain struct {
 func (e *Engine) scoreDoc(d jsondoc.Doc, terms []textproc.QueryTerm, fields map[string]bool) RankExplain {
 	docID := d.GetString("_id")
 	var ex RankExplain
-	opts := e.rankOpts
+	opts := *e.rankOpts.Load()
 	fieldWeight := func(f string) float64 {
 		if opts.FlatFields {
 			return 1

@@ -3,6 +3,7 @@ package search
 import (
 	"strings"
 	"testing"
+	"unicode/utf8"
 
 	"covidkg/internal/cord19"
 	"covidkg/internal/docstore"
@@ -456,6 +457,118 @@ func TestSynonymVaccineImmunization(t *testing.T) {
 	}
 	if page.Total != 1 {
 		t.Fatalf("vaccine→immunization synonym failed: %+v", page)
+	}
+}
+
+// TestPhraseTermSynonymRecall is the regression test for the verify
+// predicate: when a quoted phrase forces candidate re-verification, a
+// document that matches a bare term only through the synonym table
+// (vaccine → immunization) must stay in the result set.
+func TestPhraseTermSynonymRecall(t *testing.T) {
+	s := docstore.Open()
+	c := s.Collection("pubs")
+	c.Insert(pub("syn",
+		"Immunization outcomes",
+		"Mass immunization programmes and the spike protein response.", ""))
+	c.Insert(pub("lit",
+		"Vaccine efficacy",
+		"The vaccine targets the spike protein.", ""))
+	e := NewEngine(c)
+
+	page, err := e.SearchAll(`vaccine "spike protein"`, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Total != 2 {
+		t.Fatalf("phrase+term dropped synonym match: %d hits (%+v)", page.Total, page.Results)
+	}
+
+	// the field engine applies the predicate per field: a synonym-only
+	// title must satisfy its condition when the abstract carries a phrase
+	page, err = e.SearchFields(FieldQuery{Title: "vaccine", Abstract: `"spike protein"`}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, r := range page.Results {
+		found[r.DocID] = true
+	}
+	if !found["syn"] || !found["lit"] {
+		t.Fatalf("field engine lost synonym recall: %+v", page.Results)
+	}
+
+	// NoSynonyms restores literal-only verification
+	e.SetRankOptions(RankOptions{NoSynonyms: true})
+	page, err = e.SearchFields(FieldQuery{Title: "vaccine", Abstract: `"spike protein"`}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Total != 1 || page.Results[0].DocID != "lit" {
+		t.Fatalf("NoSynonyms not honored by verify predicate: %+v", page.Results)
+	}
+}
+
+// TestSnippetUTF8 pins the rune-boundary alignment of snippet windows:
+// when the context radius lands mid-rune inside Greek or CJK text, the
+// excerpt must stay valid UTF-8 and close to the configured radius (the
+// old ASCII-only boundary check walked past entire non-Latin runs).
+func TestSnippetUTF8(t *testing.T) {
+	terms := textproc.ParseQuery("masks")
+	text := strings.Repeat("α", 100) + " masks " + strings.Repeat("汉", 50)
+	sn, ok := makeSnippet(FieldAbstract, text, terms)
+	if !ok {
+		t.Fatal("no snippet")
+	}
+	if !utf8.ValidString(sn.Text) {
+		t.Fatalf("snippet is not valid UTF-8: %q", sn.Text)
+	}
+	// window stays near 2·radius — a few bytes of slack for rune alignment
+	// and the ellipses, not hundreds for a run of non-ASCII text
+	if max := 2*snippetRadius + len("masks") + 16; len(sn.Text) > max {
+		t.Fatalf("snippet ballooned to %d bytes (max %d): %q", len(sn.Text), max, sn.Text)
+	}
+	if len(sn.Highlights) == 0 {
+		t.Fatal("no highlights")
+	}
+	for _, h := range sn.Highlights {
+		if got := sn.Text[h[0]:h[1]]; got != "masks" {
+			t.Fatalf("highlight = %q", got)
+		}
+	}
+
+	// match at the very start of CJK-only text: both edges must align
+	text2 := "masks " + strings.Repeat("病", 80)
+	sn2, ok := makeSnippet(FieldAbstract, text2, terms)
+	if !ok {
+		t.Fatal("no snippet for cjk text")
+	}
+	if !utf8.ValidString(sn2.Text) {
+		t.Fatalf("cjk snippet invalid: %q", sn2.Text)
+	}
+}
+
+// TestPaginateNumPagesAtLeastOne: an empty result set is one empty page,
+// never zero pages — UIs divide by NumPages.
+func TestPaginateNumPagesAtLeastOne(t *testing.T) {
+	pg := paginate(nil, 1)
+	if pg.NumPages != 1 || pg.Total != 0 || pg.PageNum != 1 {
+		t.Fatalf("empty paginate = %+v", pg)
+	}
+	e := testEngine(t)
+	page, err := e.SearchAll("xylophone", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Total != 0 || page.NumPages != 1 {
+		t.Fatalf("zero-hit page = %+v", page)
+	}
+	// page 0 and page 1 are the same request (and the same cache entry)
+	p0, err := e.SearchAll("masks", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0.PageNum != 1 {
+		t.Fatalf("page 0 not clamped: %+v", p0)
 	}
 }
 

@@ -2,6 +2,7 @@ package search
 
 import (
 	"strings"
+	"unicode/utf8"
 
 	"covidkg/internal/textproc"
 )
@@ -28,11 +29,13 @@ func makeSnippet(field, text string, terms []textproc.QueryTerm) (Snippet, bool)
 	if end > len(text) {
 		end = len(text)
 	}
-	// align to rune boundaries
-	for start > 0 && !isBoundary(text[start]) {
+	// align to rune boundaries: a window edge that lands mid-rune slides
+	// outward to the nearest lead byte so the excerpt is always valid
+	// UTF-8 (the old ASCII-only check walked past entire non-Latin runs)
+	for start > 0 && !utf8.RuneStart(text[start]) {
 		start--
 	}
-	for end < len(text) && !isBoundary(text[end-1]) {
+	for end < len(text) && !utf8.RuneStart(text[end]) {
 		end++
 	}
 
@@ -56,8 +59,6 @@ func makeSnippet(field, text string, terms []textproc.QueryTerm) (Snippet, bool)
 	}
 	return Snippet{Field: field, Text: excerpt, Highlights: hl}, true
 }
-
-func isBoundary(b byte) bool { return b < 0x80 }
 
 // matchSpans returns sorted, de-overlapped byte spans of every query-term
 // match in text.
