@@ -10,6 +10,9 @@
 //	benchrunner -searchbench BENCH_search.json
 //	                          # search throughput/cache benchmark only,
 //	                          # JSON result written to the given file
+//	benchrunner -loadbench BENCH_load.json
+//	                          # request-lifecycle overload benchmark:
+//	                          # shed/cancel/deadline counts under load
 package main
 
 import (
@@ -28,18 +31,25 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced-size experiments")
 	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e10) or 'all'")
 	searchBench := flag.String("searchbench", "", "run the search concurrency/cache benchmark and write JSON to this file")
+	loadBench := flag.String("loadbench", "", "run the request-lifecycle overload benchmark and write JSON to this file")
 	flag.Parse()
+
+	if *loadBench != "" {
+		res := experiments.RunLoadBench(*quick)
+		writeJSONFile(*loadBench, res)
+		fmt.Printf("load bench over %d docs (%d clients, in-flight cap %d):\n",
+			res.Docs, res.Concurrency, res.InflightCap)
+		fmt.Printf("  %d requests: %d ok, %d shed (429), %d deadline (504), %d client aborts\n",
+			res.Requests, res.OK, res.Shed, res.DeadlineClient, res.CancelledClient)
+		fmt.Printf("  server counters: requests_shed=%d requests_cancelled=%d deadline_exceeded=%d\n",
+			res.RequestsShed, res.RequestsCancelled, res.DeadlineExceeded)
+		fmt.Printf("written to %s\n", *loadBench)
+		return
+	}
 
 	if *searchBench != "" {
 		res := experiments.RunSearchBench(*quick)
-		data, err := json.MarshalIndent(res, "", "  ")
-		if err != nil {
-			log.Fatal(err)
-		}
-		data = append(data, '\n')
-		if err := os.WriteFile(*searchBench, data, 0o644); err != nil {
-			log.Fatal(err)
-		}
+		writeJSONFile(*searchBench, res)
 		fmt.Printf("search bench over %d docs (%d cores, %d workers):\n", res.Docs, res.Cores, res.Workers)
 		fmt.Printf("  serial %.1f qps, parallel %.1f qps (%.2fx)\n", res.SerialQPS, res.ParallelQPS, res.Speedup)
 		fmt.Printf("  page-1 cold %.0fµs, warm %.0fµs (%.0fx)\n", res.ColdPage1Us, res.WarmPage1Us, res.CacheGain)
@@ -67,4 +77,17 @@ func main() {
 		fmt.Printf("[%s completed in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
 	}
 	fmt.Printf("all experiments done in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+// writeJSONFile marshals v with an indent and writes it, fatally on any
+// error — benchmark output is the whole point of the run.
+func writeJSONFile(path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -35,6 +35,10 @@ func main() {
 	seed := flag.Int64("seed", 42, "corpus generator seed")
 	dataDir := flag.String("data", "", "optional directory for store persistence")
 	shards := flag.Int("shards", 4, "document store shards")
+	searchTimeout := flag.Duration("search-timeout", 0, "per-request deadline for search routes (0 = default 5s, negative = none)")
+	aggTimeout := flag.Duration("aggregate-timeout", 0, "per-request deadline for aggregate/export routes (0 = default 10s, negative = none)")
+	inflightSearch := flag.Int("inflight-search", 0, "max concurrent search requests before shedding (0 = default 64, negative = unbounded)")
+	inflightHeavy := flag.Int("inflight-heavy", 0, "max concurrent aggregate/ingest/export requests before shedding (0 = default 8, negative = unbounded)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -104,9 +108,15 @@ func main() {
 		}
 	}
 
+	apiCfg := api.Config{
+		SearchTimeout:     *searchTimeout,
+		AggregateTimeout:  *aggTimeout,
+		MaxInflightSearch: *inflightSearch,
+		MaxInflightHeavy:  *inflightHeavy,
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           api.NewServer(sys),
+		Handler:           api.NewServerWith(sys, apiCfg),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      30 * time.Second,

@@ -21,6 +21,8 @@
 package covidkg
 
 import (
+	"context"
+
 	"covidkg/internal/bias"
 	"covidkg/internal/cluster"
 	"covidkg/internal/cord19"
@@ -139,9 +141,20 @@ func (s *System) SearchAll(query string, page int) (Page, error) {
 	return s.inner.Search.SearchAll(query, page)
 }
 
+// SearchAllContext is SearchAll under a request context: cancellation or
+// deadline expiry abandons the query mid-pipeline.
+func (s *System) SearchAllContext(ctx context.Context, query string, page int) (Page, error) {
+	return s.inner.Search.SearchAllContext(ctx, query, page)
+}
+
 // SearchFields queries title/abstract/caption inclusively (§2.1.1).
 func (s *System) SearchFields(q FieldQuery, page int) (Page, error) {
 	return s.inner.Search.SearchFields(q, page)
+}
+
+// SearchFieldsContext is SearchFields under a request context.
+func (s *System) SearchFieldsContext(ctx context.Context, q FieldQuery, page int) (Page, error) {
+	return s.inner.Search.SearchFieldsContext(ctx, q, page)
 }
 
 // SearchTables queries table captions and data (§2.1.3).
@@ -149,10 +162,20 @@ func (s *System) SearchTables(query string, page int) (Page, error) {
 	return s.inner.Search.SearchTables(query, page)
 }
 
+// SearchTablesContext is SearchTables under a request context.
+func (s *System) SearchTablesContext(ctx context.Context, query string, page int) (Page, error) {
+	return s.inner.Search.SearchTablesContext(ctx, query, page)
+}
+
 // GraphSearch finds KG nodes matching the query, each with its full
 // path from the root for highlighting.
 func (s *System) GraphSearch(query string) []GraphHit {
 	return s.inner.Graph.Search(query)
+}
+
+// GraphSearchContext is GraphSearch under a request context.
+func (s *System) GraphSearchContext(ctx context.Context, query string) ([]GraphHit, error) {
+	return s.inner.Graph.SearchContext(ctx, query)
 }
 
 // GraphRoot returns the KG root node.

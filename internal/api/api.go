@@ -2,6 +2,12 @@
 // knowledge-graph browse/search surface the paper's front-end uses
 // (№9/10 in Figure 1) and the programmatic API releasing search,
 // publications, and pre-trained models to downstream users (№11/13).
+//
+// The versioned surface lives under /api/v1/; the original unversioned
+// /api/ paths remain as deprecated aliases (Deprecation: true). Every
+// route runs inside a request lifecycle — per-route-class deadline,
+// bounded in-flight admission control, and a request id that flows
+// through the context into error envelopes and metrics.
 package api
 
 import (
@@ -11,6 +17,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"covidkg/internal/core"
 	"covidkg/internal/docstore"
@@ -23,37 +30,84 @@ import (
 
 // Server wraps a core system with HTTP handlers.
 type Server struct {
-	sys     *core.System
-	mux     *http.ServeMux
-	handler http.Handler
+	sys      *core.System
+	cfg      Config
+	met      *metrics.Registry
+	mux      *http.ServeMux
+	handler  http.Handler
+	idPrefix string
+	sems     [numClasses]chan struct{}
 }
 
-// NewServer builds the handler tree over a (typically trained) system.
+// NewServer builds the handler tree over a (typically trained) system
+// with the default lifecycle configuration.
 func NewServer(sys *core.System) *Server {
-	s := &Server{sys: sys, mux: http.NewServeMux()}
+	return NewServerWith(sys, DefaultConfig())
+}
+
+// NewServerWith builds the handler tree with an explicit lifecycle
+// configuration; zero Config fields take their defaults.
+func NewServerWith(sys *core.System, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		sys:      sys,
+		cfg:      cfg,
+		met:      cfg.Metrics,
+		mux:      http.NewServeMux(),
+		idPrefix: newRequestIDPrefix(),
+	}
+	for class, max := range map[routeClass]int{
+		classLight:  cfg.MaxInflightLight,
+		classSearch: cfg.MaxInflightSearch,
+		classHeavy:  cfg.MaxInflightHeavy,
+	} {
+		if max > 0 {
+			s.sems[class] = make(chan struct{}, max)
+		}
+	}
+
+	// healthz is exempt from versioning and admission control: load
+	// balancers must be able to probe a saturated server.
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /api/stats", s.handleStats)
-	s.mux.HandleFunc("GET /api/metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /api/search", s.handleSearch)
-	s.mux.HandleFunc("GET /api/publications/{id}", s.handlePublication)
-	s.mux.HandleFunc("GET /api/publications/{id}/tables", s.handleTableMatches)
-	s.mux.HandleFunc("GET /api/publications/{id}/nodes", s.handlePubNodes)
-	s.mux.HandleFunc("GET /api/kg", s.handleGraph)
-	s.mux.HandleFunc("GET /api/kg/search", s.handleGraphSearch)
-	s.mux.HandleFunc("GET /api/kg/node/{id}", s.handleNode)
-	s.mux.HandleFunc("GET /api/kg/node/{id}/children", s.handleChildren)
-	s.mux.HandleFunc("GET /api/reviews", s.handleReviews)
-	s.mux.HandleFunc("POST /api/reviews/{id}/approve", s.handleApprove)
-	s.mux.HandleFunc("POST /api/reviews/{id}/reject", s.handleReject)
-	s.mux.HandleFunc("POST /api/aggregate", s.handleAggregate)
-	s.mux.HandleFunc("POST /api/publications", s.handleIngest)
-	s.mux.HandleFunc("GET /api/bias", s.handleBias)
-	s.mux.HandleFunc("GET /api/models", s.handleModels)
-	s.mux.HandleFunc("GET /api/models/{name}", s.handleModel)
+
+	s.route("GET", "/stats", classLight, cfg.LightTimeout, s.handleStats)
+	s.route("GET", "/metrics", classLight, cfg.LightTimeout, s.handleMetrics)
+	s.route("GET", "/search", classSearch, cfg.SearchTimeout, s.handleSearch)
+	s.route("GET", "/publications/{id}", classLight, cfg.LightTimeout, s.handlePublication)
+	s.route("GET", "/publications/{id}/tables", classSearch, cfg.SearchTimeout, s.handleTableMatches)
+	s.route("GET", "/publications/{id}/nodes", classLight, cfg.LightTimeout, s.handlePubNodes)
+	s.route("GET", "/kg", classHeavy, cfg.AggregateTimeout, s.handleGraph)
+	s.route("GET", "/kg/search", classSearch, cfg.SearchTimeout, s.handleGraphSearch)
+	s.route("GET", "/kg/node/{id}", classLight, cfg.LightTimeout, s.handleNode)
+	s.route("GET", "/kg/node/{id}/children", classLight, cfg.LightTimeout, s.handleChildren)
+	s.route("GET", "/reviews", classLight, cfg.LightTimeout, s.handleReviews)
+	s.route("POST", "/reviews/{id}/approve", classLight, cfg.LightTimeout, s.handleApprove)
+	s.route("POST", "/reviews/{id}/reject", classLight, cfg.LightTimeout, s.handleReject)
+	s.route("POST", "/aggregate", classHeavy, cfg.AggregateTimeout, s.handleAggregate)
+	s.route("POST", "/publications", classHeavy, cfg.IngestTimeout, s.handleIngest)
+	s.route("GET", "/bias", classHeavy, cfg.AggregateTimeout, s.handleBias)
+	s.route("GET", "/models", classLight, cfg.LightTimeout, s.handleModels)
+	s.route("GET", "/models/{name}", classHeavy, cfg.AggregateTimeout, s.handleModel)
 	s.mux.HandleFunc("GET /", s.handleIndex)
+
+	// request ids outermost so metrics and recovered panics carry them;
 	// metrics wraps recover so recovered panics still record their 500
-	s.handler = metricsMiddleware(recoverMiddleware(s.mux))
+	s.handler = s.requestIDMiddleware(metricsMiddleware(s.met, recoverMiddleware(s.mux)))
 	return s
+}
+
+// route mounts a lifecycle-wrapped handler at its canonical
+// /api/v1<path> and at the deprecated legacy /api<path> alias, which
+// answers identically but with a Deprecation header pointing clients at
+// the successor.
+func (s *Server) route(method, path string, class routeClass, timeout time.Duration, h http.HandlerFunc) {
+	wrapped := s.lifecycle(class, timeout, h)
+	s.mux.HandleFunc(method+" /api/v1"+path, wrapped)
+	s.mux.HandleFunc(method+" /api"+path, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "</api/v1"+path+">; rel=\"successor-version\"")
+		wrapped(w, r)
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -67,8 +121,38 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// errCode maps a status onto the envelope's machine-readable code.
+func errCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_query"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusTooManyRequests:
+		return "overloaded"
+	case StatusClientClosedRequest:
+		return "cancelled"
+	case http.StatusGatewayTimeout:
+		return "deadline_exceeded"
+	default:
+		return "internal"
+	}
+}
+
+// writeErr emits the uniform error envelope:
+//
+//	{"error": "...", "code": "bad_query", "request_id": "..."}
+func writeErr(w http.ResponseWriter, r *http.Request, status int, err error) {
+	env := map[string]string{
+		"error": err.Error(),
+		"code":  errCode(status),
+	}
+	if r != nil {
+		if id := RequestIDFromContext(r.Context()); id != "" {
+			env["request_id"] = id
+		}
+	}
+	writeJSON(w, status, env)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -86,7 +170,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// handleSearch dispatches to the three engines via ?engine=.
+// handleSearch dispatches to the three engines via ?engine=. The request
+// context — deadline, client cancellation — rides through the whole
+// pipeline: a cancelled query stops scanning within one check interval
+// and is never cached.
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	page, _ := strconv.Atoi(q.Get("page"))
@@ -97,43 +184,45 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if engine == "" {
 		engine = "all"
 	}
+	ctx := r.Context()
 	var (
 		res any
 		err error
 	)
 	switch engine {
 	case "all":
-		res, err = s.sys.Search.SearchAll(q.Get("q"), page)
+		res, err = s.sys.Search.SearchAllContext(ctx, q.Get("q"), page)
 	case "tables":
-		res, err = s.sys.Search.SearchTables(q.Get("q"), page)
+		res, err = s.sys.Search.SearchTablesContext(ctx, q.Get("q"), page)
 	case "fields":
-		res, err = s.sys.Search.SearchFields(search.FieldQuery{
+		res, err = s.sys.Search.SearchFieldsContext(ctx, search.FieldQuery{
 			Title:    q.Get("title"),
 			Abstract: q.Get("abstract"),
 			Caption:  q.Get("caption"),
 		}, page)
 	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown engine %q", engine))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("unknown engine %q", engine))
 		return
 	}
 	if err != nil {
-		// bad input (empty/unsearchable query) is the caller's fault;
-		// anything else is ours
+		// bad input (empty/unsearchable query) is the caller's fault; a
+		// dead context gets its own statuses; anything else is ours
 		status := http.StatusInternalServerError
 		if errors.Is(err, search.ErrBadQuery) {
 			status = http.StatusBadRequest
 		}
-		writeErr(w, status, err)
+		writeErr(w, r, failStatus(err, status), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
 }
 
-// handleMetrics exposes the process-wide counters and latency histograms
-// plus the query-cache statistics — the observability surface behind the
-// BENCH_* numbers.
+// handleMetrics exposes the process-wide counters, gauges, and latency
+// histograms plus the query-cache statistics — the observability surface
+// behind the BENCH_* numbers and the lifecycle counters (requests_shed,
+// requests_cancelled, deadline_exceeded, inflight_*).
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	snap := metrics.Default().Snapshot()
+	snap := s.met.Snapshot()
 	snap["search_cache"] = s.sys.Search.CacheStats()
 	snap["search_workers"] = s.sys.Search.Workers()
 	writeJSON(w, http.StatusOK, snap)
@@ -146,7 +235,7 @@ func (s *Server) handlePublication(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, docstore.ErrNotFound) {
 			status = http.StatusNotFound
 		}
-		writeErr(w, status, err)
+		writeErr(w, r, status, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, d)
@@ -157,13 +246,13 @@ func (s *Server) handlePublication(w http.ResponseWriter, r *http.Request) {
 // highlighting.
 func (s *Server) handleTableMatches(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
-	ms, err := s.sys.Search.TableCellMatches(r.PathValue("id"), q)
+	ms, err := s.sys.Search.TableCellMatchesContext(r.Context(), r.PathValue("id"), q)
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, docstore.ErrNotFound) {
 			status = http.StatusNotFound
 		}
-		writeErr(w, status, err)
+		writeErr(w, r, failStatus(err, status), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"tables": ms})
@@ -174,16 +263,16 @@ func (s *Server) handleTableMatches(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePubNodes(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, err := s.sys.Pubs.Get(id); err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeErr(w, r, http.StatusNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"nodes": s.sys.Graph.NodesByPaper(id)})
 }
 
-func (s *Server) handleGraph(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	data, err := s.sys.Graph.MarshalJSON()
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -193,16 +282,21 @@ func (s *Server) handleGraph(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleGraphSearch(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if strings.TrimSpace(q) == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.sys.Graph.Search(q))
+	hits, err := s.sys.Graph.SearchContext(r.Context(), q)
+	if err != nil {
+		writeErr(w, r, failStatus(err, http.StatusInternalServerError), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, hits)
 }
 
 func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 	n, err := s.sys.Graph.Node(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeErr(w, r, http.StatusNotFound, err)
 		return
 	}
 	path, _ := s.sys.Graph.PathToRoot(n.ID)
@@ -212,7 +306,7 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleChildren(w http.ResponseWriter, r *http.Request) {
 	kids, err := s.sys.Graph.Children(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeErr(w, r, http.StatusNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, kids)
@@ -229,12 +323,12 @@ func (s *Server) reviewID(r *http.Request) (int, error) {
 func (s *Server) handleApprove(w http.ResponseWriter, r *http.Request) {
 	id, err := s.reviewID(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	target := r.URL.Query().Get("target")
 	if target == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing target node id"))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("missing target node id"))
 		return
 	}
 	if err := s.sys.Fuser.Approve(id, target); err != nil {
@@ -242,7 +336,7 @@ func (s *Server) handleApprove(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, kg.ErrNodeNotFound) {
 			status = http.StatusNotFound
 		}
-		writeErr(w, status, err)
+		writeErr(w, r, status, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "approved"})
@@ -251,11 +345,11 @@ func (s *Server) handleApprove(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReject(w http.ResponseWriter, r *http.Request) {
 	id, err := s.reviewID(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if err := s.sys.Fuser.Reject(id); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "rejected"})
@@ -267,16 +361,16 @@ func (s *Server) handleReject(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var docs []jsondoc.Doc
 	if err := json.NewDecoder(r.Body).Decode(&docs); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body (want a JSON array of publications): %w", err))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("bad request body (want a JSON array of publications): %w", err))
 		return
 	}
 	if len(docs) == 0 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("no publications in request"))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("no publications in request"))
 		return
 	}
 	st, err := s.sys.RefreshDocs(docs)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -289,7 +383,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// aggregateRequest is the POST /api/aggregate body: a collection name
+// aggregateRequest is the POST /api/v1/aggregate body: a collection name
 // and a MongoDB-dialect JSON pipeline (see pipeline.Compile).
 type aggregateRequest struct {
 	Collection string `json:"collection"`
@@ -300,23 +394,24 @@ type aggregateRequest struct {
 // handleAggregate runs a compiled aggregation pipeline over a
 // collection — the paper's "API users that might want to query the
 // Knowledge Graph" surface (№11/13), speaking the same $-stage dialect
-// the internal search engines use.
+// the internal search engines use. The request context rides through
+// pipeline execution, so a deadline or disconnect stops the scan.
 func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	var req aggregateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	if req.Collection == "" {
 		req.Collection = core.PubsCollection
 	}
 	if !s.sys.Store.HasCollection(req.Collection) {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("collection %q does not exist", req.Collection))
+		writeErr(w, r, http.StatusNotFound, fmt.Errorf("collection %q does not exist", req.Collection))
 		return
 	}
 	p, err := pipeline.Compile(req.Pipeline)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	limit := req.Limit
@@ -325,9 +420,9 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	}
 	p.Append(pipeline.Limit(limit))
 	coll := s.sys.Store.Collection(req.Collection)
-	out, err := p.Run(collScanner{coll})
+	out, err := p.RunContext(r.Context(), collScanner{coll})
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, failStatus(err, http.StatusBadRequest), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"results": out, "n": len(out)})
@@ -343,32 +438,28 @@ func (s *Server) handleBias(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
-	models, err := s.sys.ExportModels()
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
-		return
-	}
-	names := make([]string, len(models))
-	for i, m := range models {
-		names[i] = m.Name
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"models": names})
+	writeJSON(w, http.StatusOK, map[string]any{"models": s.sys.ModelNames()})
 }
 
+// handleModel serves one exported model artifact. Only the requested
+// model is serialized (core.ExportModel), and the download filename is
+// sanitized so a hostile path segment cannot inject header syntax.
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	models, err := s.sys.ExportModels()
+	m, err := s.sys.ExportModel(name)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
-		return
-	}
-	for _, m := range models {
-		if m.Name == name {
-			w.Header().Set("Content-Type", "application/json")
-			w.Header().Set("Content-Disposition", `attachment; filename="`+name+`.json"`)
-			w.Write(m.Data)
+		if errors.Is(err, core.ErrModelNotFound) {
+			writeErr(w, r, http.StatusNotFound, err)
 			return
 		}
+		writeErr(w, r, http.StatusInternalServerError, err)
+		return
 	}
-	writeErr(w, http.StatusNotFound, fmt.Errorf("model %q not found", name))
+	fname := sanitizeID(name)
+	if fname == "" {
+		fname = "model"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="`+fname+`.json"`)
+	w.Write(m.Data)
 }

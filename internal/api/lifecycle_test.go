@@ -1,0 +1,286 @@
+package api
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"covidkg/internal/cord19"
+	"covidkg/internal/core"
+	"covidkg/internal/metrics"
+)
+
+// liteServer builds a server over an untrained 30-doc system — search
+// and aggregate work straight off the ingest index, which is all the
+// lifecycle tests need — with an isolated metrics registry.
+func liteServer(t *testing.T, cfg Config) (*Server, *metrics.Registry) {
+	t.Helper()
+	sys := core.NewSystem(core.DefaultConfig())
+	if err := sys.IngestPublications(cord19.NewGenerator(9).Corpus(30)); err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	cfg.Metrics = reg
+	return NewServerWith(sys, cfg), reg
+}
+
+func TestV1RoutesAndDeprecatedAliases(t *testing.T) {
+	s, _ := testServer(t)
+	pairs := [][2]string{
+		{"/api/v1/stats", "/api/stats"},
+		{"/api/v1/search?q=vaccine", "/api/search?q=vaccine"},
+		{"/api/v1/kg", "/api/kg"},
+		{"/api/v1/kg/search?q=vaccines", "/api/kg/search?q=vaccines"},
+		{"/api/v1/metrics", "/api/metrics"},
+		{"/api/v1/bias", "/api/bias"},
+		{"/api/v1/models", "/api/models"},
+		{"/api/v1/reviews", "/api/reviews"},
+	}
+	for _, p := range pairs {
+		v1, legacy := p[0], p[1]
+		rec, _ := get(t, s, v1)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s = %d", v1, rec.Code)
+		}
+		if rec.Header().Get("Deprecation") != "" {
+			t.Fatalf("%s marked deprecated", v1)
+		}
+		lrec, _ := get(t, s, legacy)
+		if lrec.Code != http.StatusOK {
+			t.Fatalf("%s = %d", legacy, lrec.Code)
+		}
+		if lrec.Header().Get("Deprecation") != "true" {
+			t.Fatalf("%s missing Deprecation header", legacy)
+		}
+		if link := lrec.Header().Get("Link"); !strings.Contains(link, "/api/v1/") ||
+			!strings.Contains(link, "successor-version") {
+			t.Fatalf("%s Link = %q", legacy, link)
+		}
+		// both surfaces serve the same payload (skip routes whose body
+		// legitimately varies between calls: metrics mutate with each
+		// request, bias-report maps serialize in nondeterministic order)
+		deterministic := !strings.HasPrefix(v1, "/api/v1/metrics") &&
+			!strings.HasPrefix(v1, "/api/v1/bias")
+		if deterministic && rec.Body.String() != lrec.Body.String() {
+			t.Fatalf("%s and %s diverge", v1, legacy)
+		}
+	}
+}
+
+func TestErrorEnvelope(t *testing.T) {
+	s, _ := testServer(t)
+	cases := []struct {
+		method, path, body string
+		status             int
+		code               string
+	}{
+		{"GET", "/api/v1/search?q=", "", http.StatusBadRequest, "bad_query"},
+		{"GET", "/api/v1/search?engine=warp&q=x", "", http.StatusBadRequest, "bad_query"},
+		{"GET", "/api/v1/publications/nope", "", http.StatusNotFound, "not_found"},
+		{"GET", "/api/v1/kg/node/bogus", "", http.StatusNotFound, "not_found"},
+		{"GET", "/api/v1/models/none", "", http.StatusNotFound, "not_found"},
+		{"POST", "/api/v1/aggregate", `{"pipeline": [{"$warp": 1}]}`, http.StatusBadRequest, "bad_query"},
+		{"POST", "/api/v1/aggregate", `{"collection": "nope", "pipeline": []}`, http.StatusNotFound, "not_found"},
+		{"POST", "/api/v1/publications", `[]`, http.StatusBadRequest, "bad_query"},
+		{"POST", "/api/v1/reviews/abc/reject", "", http.StatusBadRequest, "bad_query"},
+		// legacy aliases speak the same envelope
+		{"GET", "/api/search?q=", "", http.StatusBadRequest, "bad_query"},
+		{"GET", "/api/publications/nope", "", http.StatusNotFound, "not_found"},
+	}
+	for _, c := range cases {
+		var rec *httptest.ResponseRecorder
+		var body map[string]any
+		if c.method == "GET" {
+			rec, body = get(t, s, c.path)
+		} else {
+			rec, body = postJSON(t, s, c.path, c.body)
+		}
+		if rec.Code != c.status {
+			t.Fatalf("%s %s = %d, want %d", c.method, c.path, rec.Code, c.status)
+		}
+		if body["error"] == nil || body["error"] == "" {
+			t.Fatalf("%s %s: envelope missing error: %v", c.method, c.path, body)
+		}
+		if body["code"] != c.code {
+			t.Fatalf("%s %s: code = %v, want %q", c.method, c.path, body["code"], c.code)
+		}
+		id, _ := body["request_id"].(string)
+		if id == "" {
+			t.Fatalf("%s %s: envelope missing request_id: %v", c.method, c.path, body)
+		}
+		if hdr := rec.Header().Get("X-Request-ID"); hdr != id {
+			t.Fatalf("%s %s: header id %q != envelope id %q", c.method, c.path, hdr, id)
+		}
+	}
+}
+
+func TestRequestIDPropagation(t *testing.T) {
+	s, _ := testServer(t)
+	// server-generated ids are unique per request
+	rec1, _ := get(t, s, "/api/v1/stats")
+	rec2, _ := get(t, s, "/api/v1/stats")
+	id1, id2 := rec1.Header().Get("X-Request-ID"), rec2.Header().Get("X-Request-ID")
+	if id1 == "" || id2 == "" || id1 == id2 {
+		t.Fatalf("ids = %q, %q: want distinct non-empty", id1, id2)
+	}
+
+	// client-supplied ids are honored...
+	req := httptest.NewRequest(http.MethodGet, "/api/v1/publications/nope", nil)
+	req.Header.Set("X-Request-ID", "trace-42.a_b")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-ID"); got != "trace-42.a_b" {
+		t.Fatalf("echoed id = %q", got)
+	}
+	if !strings.Contains(rec.Body.String(), `"request_id":"trace-42.a_b"`) {
+		t.Fatalf("envelope missing client id: %s", rec.Body.String())
+	}
+
+	// ...but sanitized: header/JSON metacharacters are stripped
+	req = httptest.NewRequest(http.MethodGet, "/api/v1/stats", nil)
+	req.Header.Set("X-Request-ID", `ev il"id<>`+"\t{}")
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-ID"); got != "evilid" {
+		t.Fatalf("sanitized id = %q, want %q", got, "evilid")
+	}
+}
+
+func TestAdmissionControlSheds(t *testing.T) {
+	s, reg := liteServer(t, Config{MaxInflightSearch: 1, RetryAfter: 3 * time.Second})
+
+	// saturate the search class from the outside
+	s.sems[classSearch] <- struct{}{}
+	rec, body := get(t, s, "/api/v1/search?q=vaccine")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated search = %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\"", ra)
+	}
+	if body["code"] != "overloaded" {
+		t.Fatalf("code = %v, want overloaded", body["code"])
+	}
+	if got := reg.Counter("requests_shed").Value(); got != 1 {
+		t.Fatalf("requests_shed = %d, want 1", got)
+	}
+
+	// other classes are unaffected by search saturation
+	if rec, _ := get(t, s, "/api/v1/stats"); rec.Code != http.StatusOK {
+		t.Fatalf("light route shed alongside search = %d", rec.Code)
+	}
+
+	// freeing the slot restores service
+	<-s.sems[classSearch]
+	if rec, _ := get(t, s, "/api/v1/search?q=vaccine"); rec.Code != http.StatusOK {
+		t.Fatalf("post-drain search = %d", rec.Code)
+	}
+
+	// the shed counter is visible on the metrics surface
+	_, snap := get(t, s, "/api/v1/metrics")
+	counters, _ := snap["counters"].(map[string]any)
+	if counters["requests_shed"].(float64) != 1 {
+		t.Fatalf("metrics requests_shed = %v", counters["requests_shed"])
+	}
+	gauges, _ := snap["gauges"].(map[string]any)
+	if _, ok := gauges["inflight_search"]; !ok {
+		t.Fatalf("metrics missing inflight_search gauge: %v", snap["gauges"])
+	}
+}
+
+func TestDeadlineExceededEnvelope(t *testing.T) {
+	s, reg := liteServer(t, Config{
+		SearchTimeout:    time.Nanosecond,
+		AggregateTimeout: time.Nanosecond,
+	})
+	rec, body := get(t, s, "/api/v1/search?q=vaccine")
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("expired search = %d (%v), want 504", rec.Code, body)
+	}
+	if body["code"] != "deadline_exceeded" {
+		t.Fatalf("code = %v", body["code"])
+	}
+	rec, body = postJSON(t, s, "/api/v1/aggregate",
+		`{"pipeline": [{"$match": {"title": {"$regex": "covid"}}}]}`)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("expired aggregate = %d (%v), want 504", rec.Code, body)
+	}
+	if body["code"] != "deadline_exceeded" {
+		t.Fatalf("aggregate code = %v", body["code"])
+	}
+	if got := reg.Counter("deadline_exceeded").Value(); got < 2 {
+		t.Fatalf("deadline_exceeded = %d, want >= 2", got)
+	}
+	// expired queries must not poison the query cache
+	if st := s.sys.Search.CacheStats(); st.Entries != 0 {
+		t.Fatalf("expired query cached %d entries", st.Entries)
+	}
+}
+
+func TestCancelledClientEnvelope(t *testing.T) {
+	s, reg := liteServer(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client hung up before the handler ran
+	req := httptest.NewRequest(http.MethodGet, "/api/v1/search?q=vaccine", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != StatusClientClosedRequest {
+		t.Fatalf("cancelled search = %d, want %d", rec.Code, StatusClientClosedRequest)
+	}
+	if !strings.Contains(rec.Body.String(), `"code":"cancelled"`) {
+		t.Fatalf("envelope = %s", rec.Body.String())
+	}
+	if got := reg.Counter("requests_cancelled").Value(); got != 1 {
+		t.Fatalf("requests_cancelled = %d, want 1", got)
+	}
+	if st := s.sys.Search.CacheStats(); st.Entries != 0 {
+		t.Fatalf("cancelled query cached %d entries", st.Entries)
+	}
+}
+
+// TestLifecycleConcurrencySmoke hammers the admission-controlled search
+// route from many goroutines; under -race this exercises the semaphore,
+// gauge, and counter plumbing for data races. Every response must be
+// either a success or a well-formed shed.
+func TestLifecycleConcurrencySmoke(t *testing.T) {
+	s, reg := liteServer(t, Config{MaxInflightSearch: 2})
+	var wg sync.WaitGroup
+	var bad atomic32
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				req := httptest.NewRequest(http.MethodGet, "/api/v1/search?q=vaccine", nil)
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK && rec.Code != http.StatusTooManyRequests {
+					bad.inc()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := bad.load(); n != 0 {
+		t.Fatalf("%d responses were neither 200 nor 429", n)
+	}
+	if g := reg.Gauge("inflight_search").Value(); g != 0 {
+		t.Fatalf("inflight_search = %d after drain, want 0", g)
+	}
+}
+
+type atomic32 struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (a *atomic32) inc() { a.mu.Lock(); a.n++; a.mu.Unlock() }
+func (a *atomic32) load() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.n
+}

@@ -24,7 +24,7 @@ func recoverMiddleware(next http.Handler) http.Handler {
 					panic(rec) // net/http's own abort signal; let it through
 				}
 				log.Printf("api: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
-				writeErr(w, http.StatusInternalServerError,
+				writeErr(w, r, http.StatusInternalServerError,
 					fmt.Errorf("internal error: %v", rec))
 			}
 		}()
@@ -54,10 +54,9 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 }
 
 // metricsMiddleware records request counts, status-class counts, and a
-// whole-request latency histogram into the default registry. It wraps
+// whole-request latency histogram into the server's registry. It wraps
 // the recover middleware so even recovered panics show up as 500s.
-func metricsMiddleware(next http.Handler) http.Handler {
-	reg := metrics.Default()
+func metricsMiddleware(reg *metrics.Registry, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()

@@ -613,37 +613,80 @@ type ExportedModel struct {
 	Data []byte
 }
 
+// ErrModelNotFound reports an ExportModel lookup for a name that is
+// unknown or whose model has not been trained.
+var ErrModelNotFound = errors.New("core: model not found")
+
+// modelParams maps each released-model name to its serializable
+// parameters; nil params mean the model is not trained in this system.
+func (s *System) modelParams() []struct {
+	name   string
+	params []*mlcore.Param
+} {
+	var out []struct {
+		name   string
+		params []*mlcore.Param
+	}
+	add := func(name string, params []*mlcore.Param) {
+		out = append(out, struct {
+			name   string
+			params []*mlcore.Param
+		}{name, params})
+	}
+	if s.TermW2V != nil {
+		add("embeddings-term", []*mlcore.Param{mlcore.NewParam("in", s.TermW2V.In)})
+	}
+	if s.CellW2V != nil {
+		add("embeddings-cell", []*mlcore.Param{mlcore.NewParam("in", s.CellW2V.In)})
+	}
+	if s.TextW2V != nil {
+		add("embeddings-text", []*mlcore.Param{mlcore.NewParam("in", s.TextW2V.In)})
+	}
+	if s.Ensemble != nil {
+		add("bigru-ensemble", s.Ensemble.Params())
+	}
+	return out
+}
+
+// ModelNames lists the released-model names available for export, in a
+// stable order — the cheap listing the GET /api/v1/models endpoint
+// serves without serializing anything.
+func (s *System) ModelNames() []string {
+	ms := s.modelParams()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.name
+	}
+	return names
+}
+
+// ExportModel serializes one released model by name, so serving a single
+// download does not pay for exporting every artifact. Returns
+// ErrModelNotFound for unknown (or untrained) names.
+func (s *System) ExportModel(name string) (ExportedModel, error) {
+	for _, m := range s.modelParams() {
+		if m.name != name {
+			continue
+		}
+		data, err := mlcore.ExportParams(m.params)
+		if err != nil {
+			return ExportedModel{}, err
+		}
+		return ExportedModel{Name: name, Data: data}, nil
+	}
+	return ExportedModel{}, fmt.Errorf("%w: %q", ErrModelNotFound, name)
+}
+
 // ExportModels serializes the trained models and embeddings for the
 // public model API.
 func (s *System) ExportModels() ([]ExportedModel, error) {
 	var out []ExportedModel
-	add := func(name string, params []*mlcore.Param) error {
-		data, err := mlcore.ExportParams(params)
+	for _, m := range s.modelParams() {
+		data, err := mlcore.ExportParams(m.params)
 		if err != nil {
-			return err
-		}
-		out = append(out, ExportedModel{Name: name, Data: data})
-		return nil
-	}
-	if s.TermW2V != nil {
-		if err := add("embeddings-term", []*mlcore.Param{mlcore.NewParam("in", s.TermW2V.In)}); err != nil {
 			return nil, err
 		}
-	}
-	if s.CellW2V != nil {
-		if err := add("embeddings-cell", []*mlcore.Param{mlcore.NewParam("in", s.CellW2V.In)}); err != nil {
-			return nil, err
-		}
-	}
-	if s.TextW2V != nil {
-		if err := add("embeddings-text", []*mlcore.Param{mlcore.NewParam("in", s.TextW2V.In)}); err != nil {
-			return nil, err
-		}
-	}
-	if s.Ensemble != nil {
-		if err := add("bigru-ensemble", s.Ensemble.Params()); err != nil {
-			return nil, err
-		}
+		out = append(out, ExportedModel{Name: m.name, Data: data})
 	}
 	return out, nil
 }

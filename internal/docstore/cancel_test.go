@@ -1,0 +1,64 @@
+package docstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"covidkg/internal/jsondoc"
+)
+
+func cancelStore(t *testing.T, n int) *Collection {
+	t.Helper()
+	c := Open(WithShards(4)).Collection("pubs")
+	for i := 0; i < n; i++ {
+		if _, err := c.Insert(jsondoc.Doc{IDField: fmt.Sprintf("p%04d", i), "n": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestScanContextCancelled(t *testing.T) {
+	c := cancelStore(t, 8*ScanCheckInterval)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	seen := 0
+	err := c.ScanContext(ctx, func(jsondoc.Doc) bool { seen++; return true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// cancellation is cooperative: at most one check interval of work
+	// may leak through before the scan notices
+	if seen > ScanCheckInterval {
+		t.Fatalf("callback saw %d docs after cancellation, want <= %d", seen, ScanCheckInterval)
+	}
+}
+
+func TestScanContextLiveSeesEverything(t *testing.T) {
+	const n = 3 * ScanCheckInterval
+	c := cancelStore(t, n)
+	seen := 0
+	if err := c.ScanContext(context.Background(), func(jsondoc.Doc) bool { seen++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if seen != n {
+		t.Fatalf("saw %d docs, want %d", seen, n)
+	}
+}
+
+func TestScanContextEarlyStopIsNotAnError(t *testing.T) {
+	c := cancelStore(t, 2*ScanCheckInterval)
+	seen := 0
+	err := c.ScanContext(context.Background(), func(jsondoc.Doc) bool {
+		seen++
+		return seen < 5 // caller-initiated stop, not cancellation
+	})
+	if err != nil {
+		t.Fatalf("early stop returned %v, want nil", err)
+	}
+	if seen != 5 {
+		t.Fatalf("seen = %d, want 5", seen)
+	}
+}

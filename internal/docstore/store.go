@@ -7,6 +7,7 @@
 package docstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -319,24 +320,50 @@ func (c *Collection) Count() int {
 // visited in order, ids within a shard in sorted order, so scans are
 // deterministic.
 func (c *Collection) Scan(fn func(jsondoc.Doc) bool) {
+	_ = c.ScanContext(context.Background(), fn)
+}
+
+// ScanCheckInterval is how many documents ScanContext processes between
+// context checks; it bounds how long a cancelled scan keeps cloning.
+const ScanCheckInterval = 64
+
+// ScanContext is Scan under a request context: the snapshot-clone loop
+// and the callback loop both check ctx every ScanCheckInterval
+// documents, so a client that hung up stops costing CPU (and shard
+// read-locks) within one interval. Returns ctx.Err() when the scan was
+// abandoned, nil when it ran to completion or fn stopped it.
+func (c *Collection) ScanContext(ctx context.Context, fn func(jsondoc.Doc) bool) error {
+	n := 0
 	for _, sh := range c.shards {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
 		sh.mu.RLock()
 		ids := make([]string, 0, len(sh.docs))
 		for id := range sh.docs {
 			ids = append(ids, id)
 		}
 		sort.Strings(ids)
-		docs := make([]jsondoc.Doc, len(ids))
+		docs := make([]jsondoc.Doc, 0, len(ids))
 		for i, id := range ids {
-			docs[i] = sh.docs[id].Clone()
+			if i%ScanCheckInterval == ScanCheckInterval-1 && ctx.Err() != nil {
+				sh.mu.RUnlock()
+				return ctx.Err()
+			}
+			docs = append(docs, sh.docs[id].Clone())
 		}
 		sh.mu.RUnlock()
 		for _, d := range docs {
+			n++
+			if n%ScanCheckInterval == 0 && ctx.Err() != nil {
+				return ctx.Err()
+			}
 			if !fn(d) {
-				return
+				return nil
 			}
 		}
 	}
+	return nil
 }
 
 // All returns a snapshot of every document, deterministic order.

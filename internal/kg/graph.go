@@ -9,6 +9,7 @@
 package kg
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -285,13 +286,32 @@ type SearchHit struct {
 // Search finds nodes whose normalized label contains every stemmed query
 // token, ordered by depth then label for determinism.
 func (g *Graph) Search(query string) []SearchHit {
+	hits, _ := g.SearchContext(context.Background(), query)
+	return hits
+}
+
+// searchCheckInterval is how many nodes SearchContext examines between
+// context checks.
+const searchCheckInterval = 64
+
+// SearchContext is Search under a request context: the label-match loop
+// and the path-resolution loop check ctx every searchCheckInterval nodes
+// and return ctx.Err() when the caller is gone, so a KG search over a
+// large graph cannot outlive its request.
+func (g *Graph) SearchContext(ctx context.Context, query string) ([]SearchHit, error) {
 	terms := textproc.ParseQuery(query)
 	if len(terms) == 0 {
-		return nil
+		return nil, nil
 	}
 	g.mu.RLock()
 	var ids []string
+	scanned := 0
 	for id, n := range g.nodes {
+		scanned++
+		if scanned%searchCheckInterval == 0 && ctx.Err() != nil {
+			g.mu.RUnlock()
+			return nil, ctx.Err()
+		}
 		match := true
 		for _, t := range terms {
 			var hit bool
@@ -312,12 +332,18 @@ func (g *Graph) Search(query string) []SearchHit {
 	g.mu.RUnlock()
 
 	var hits []SearchHit
-	for _, id := range ids {
+	for i, id := range ids {
+		if i%searchCheckInterval == searchCheckInterval-1 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		path, err := g.PathToRoot(id)
 		if err != nil {
 			continue
 		}
 		hits = append(hits, SearchHit{Node: path[len(path)-1], Path: path})
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	sort.Slice(hits, func(i, j int) bool {
 		if len(hits[i].Path) != len(hits[j].Path) {
@@ -325,7 +351,7 @@ func (g *Graph) Search(query string) []SearchHit {
 		}
 		return hits[i].Node.Label < hits[j].Node.Label
 	})
-	return hits
+	return hits, nil
 }
 
 func containsToken(norm, token string) bool {

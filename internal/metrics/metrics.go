@@ -34,6 +34,27 @@ func (c *Counter) Add(n int64) {
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// Gauge is an atomic instantaneous value — unlike a Counter it moves in
+// both directions, tracking levels such as in-flight requests.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set stores an absolute value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
 // numBuckets covers 1µs up to ~8.4s in doubling steps; slower
 // observations land in the overflow bucket.
 const numBuckets = 24
@@ -151,6 +172,7 @@ func bucketBounds(i int) (lo, hi float64) {
 type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
@@ -158,6 +180,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
 	}
 }
@@ -180,6 +203,24 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
 // Histogram returns the named histogram, creating it on first use.
 func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.RLock()
@@ -199,8 +240,8 @@ func (r *Registry) Histogram(name string) *Histogram {
 }
 
 // Snapshot renders every metric into a JSON-ready map: counter values
-// under "counters", histogram snapshots under "histograms", names sorted
-// for stable output.
+// under "counters", gauge levels under "gauges", histogram snapshots
+// under "histograms", names sorted for stable output.
 func (r *Registry) Snapshot() map[string]any {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -208,20 +249,27 @@ func (r *Registry) Snapshot() map[string]any {
 	for name, c := range r.counters {
 		counters[name] = c.Value()
 	}
+	gauges := map[string]int64{}
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
 	hists := map[string]HistogramSnapshot{}
 	for name, h := range r.hists {
 		hists[name] = h.Snapshot()
 	}
-	return map[string]any{"counters": counters, "histograms": hists}
+	return map[string]any{"counters": counters, "gauges": gauges, "histograms": hists}
 }
 
-// Names returns every registered metric name, sorted (counters then
-// histograms), for diagnostics.
+// Names returns every registered metric name, sorted (counters, gauges,
+// then histograms), for diagnostics.
 func (r *Registry) Names() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.counters)+len(r.hists))
+	out := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
 	for n := range r.counters {
+		out = append(out, n)
+	}
+	for n := range r.gauges {
 		out = append(out, n)
 	}
 	for n := range r.hists {

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -76,12 +77,26 @@ func (m *ParallelMatchStage) Name() string { return "$match(parallel)" }
 // MatchStage over the same input: keep-decisions are computed in
 // parallel, the compaction is sequential.
 func (m *ParallelMatchStage) Run(in []jsondoc.Doc) ([]jsondoc.Doc, error) {
+	return m.RunContext(context.Background(), in)
+}
+
+// RunContext implements ContextStage: every worker checks the context
+// every CancelCheckInterval documents and stops working on its chunk
+// when the request is gone, so cancellation frees the whole pool within
+// one check interval.
+func (m *ParallelMatchStage) RunContext(ctx context.Context, in []jsondoc.Doc) ([]jsondoc.Doc, error) {
 	keep := make([]bool, len(in))
 	ParallelChunks(len(in), m.workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
+			if (i-lo)%CancelCheckInterval == CancelCheckInterval-1 && ctx.Err() != nil {
+				return
+			}
 			keep[i] = m.pred(in[i])
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := in[:0]
 	for i, d := range in {
 		if keep[i] {
@@ -124,10 +139,20 @@ func (f *ParallelFunctionStage) Name() string { return "$function(" + f.name + "
 
 // Run implements Stage.
 func (f *ParallelFunctionStage) Run(in []jsondoc.Doc) ([]jsondoc.Doc, error) {
+	return f.RunContext(context.Background(), in)
+}
+
+// RunContext implements ContextStage: workers stop dequeuing from their
+// chunk within CancelCheckInterval documents of cancellation, and the
+// stage returns ctx.Err() instead of a partial mapping.
+func (f *ParallelFunctionStage) RunContext(ctx context.Context, in []jsondoc.Doc) ([]jsondoc.Doc, error) {
 	mapped := make([]jsondoc.Doc, len(in))
 	errAt := make([]error, len(in))
 	ParallelChunks(len(in), f.workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
+			if (i-lo)%CancelCheckInterval == CancelCheckInterval-1 && ctx.Err() != nil {
+				return // abandon the chunk; the ctx.Err() check below reports it
+			}
 			nd, err := f.fn(in[i])
 			if err != nil {
 				errAt[i] = err
@@ -136,6 +161,9 @@ func (f *ParallelFunctionStage) Run(in []jsondoc.Doc) ([]jsondoc.Doc, error) {
 			mapped[i] = nd
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, err := range errAt {
 		if err != nil {
 			return nil, fmt.Errorf("doc %d: %w", i, err)

@@ -13,6 +13,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"regexp"
@@ -33,6 +34,28 @@ type Stage interface {
 	Run(in []jsondoc.Doc) ([]jsondoc.Doc, error)
 	// Name returns the stage's $name for diagnostics.
 	Name() string
+}
+
+// ContextStage is implemented by stages that can abandon work early when
+// the request driving the pipeline is cancelled or its deadline expires.
+// RunContext must behave exactly like Run when ctx is never cancelled.
+type ContextStage interface {
+	Stage
+	RunContext(ctx context.Context, in []jsondoc.Doc) ([]jsondoc.Doc, error)
+}
+
+// CancelCheckInterval is how many documents a cooperative loop (source
+// scans, serial and parallel stage bodies) processes between context
+// checks. It bounds how long a cancelled request keeps burning CPU: one
+// interval at most.
+const CancelCheckInterval = 64
+
+// runStage dispatches one stage, preferring its context-aware path.
+func runStage(ctx context.Context, st Stage, in []jsondoc.Doc) ([]jsondoc.Doc, error) {
+	if cs, ok := st.(ContextStage); ok {
+		return cs.RunContext(ctx, in)
+	}
+	return st.Run(in)
 }
 
 // Source yields the initial document stream.
@@ -76,14 +99,24 @@ func (p *Pipeline) Stages() []string {
 	return out
 }
 
-// Run executes the pipeline over the source.
+// Run executes the pipeline over the source with no deadline; it is
+// RunContext under context.Background().
+func (p *Pipeline) Run(src Source) ([]jsondoc.Doc, error) {
+	return p.RunContext(context.Background(), src)
+}
+
+// RunContext executes the pipeline over the source, abandoning work as
+// soon as ctx is cancelled or its deadline expires: the streaming scan
+// checks the context every CancelCheckInterval documents, context-aware
+// stages stop mid-stream, and remaining stages are skipped. A cancelled
+// run returns ctx.Err() (wrapped), never a partial result.
 //
 // The first contiguous run of $match stages is evaluated while streaming
 // from the source so non-matching documents are dropped before any
 // buffering — this is the "$match first to minimize the amount of data
 // passed through all the latter stages" optimization the paper calls out.
 // Every later stage then processes the (already much smaller) buffer.
-func (p *Pipeline) Run(src Source) ([]jsondoc.Doc, error) {
+func (p *Pipeline) RunContext(ctx context.Context, src Source) ([]jsondoc.Doc, error) {
 	var streamMatches []*MatchStage
 	rest := p.stages
 	for len(rest) > 0 {
@@ -97,9 +130,14 @@ func (p *Pipeline) Run(src Source) ([]jsondoc.Doc, error) {
 
 	var buf []jsondoc.Doc
 	scanned := 0
+	cancelled := false
 	start := time.Now()
 	src.Scan(func(d jsondoc.Doc) bool {
 		scanned++
+		if scanned%CancelCheckInterval == 0 && ctx.Err() != nil {
+			cancelled = true
+			return false
+		}
 		for _, m := range streamMatches {
 			if !m.pred(d) {
 				return true
@@ -108,15 +146,21 @@ func (p *Pipeline) Run(src Source) ([]jsondoc.Doc, error) {
 		buf = append(buf, d)
 		return true
 	})
+	if cancelled || ctx.Err() != nil {
+		return nil, fmt.Errorf("pipeline: scan: %w", ctx.Err())
+	}
 	if p.obs != nil {
 		p.obs("$source+$match", time.Since(start), scanned, len(buf))
 	}
 
 	var err error
 	for _, st := range rest {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("pipeline: stage %s: %w", st.Name(), ctx.Err())
+		}
 		in := len(buf)
 		start = time.Now()
-		buf, err = st.Run(buf)
+		buf, err = runStage(ctx, st, buf)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: stage %s: %w", st.Name(), err)
 		}
@@ -193,8 +237,17 @@ func (m *MatchStage) Name() string { return m.desc }
 
 // Run implements Stage.
 func (m *MatchStage) Run(in []jsondoc.Doc) ([]jsondoc.Doc, error) {
+	return m.RunContext(context.Background(), in)
+}
+
+// RunContext implements ContextStage: the predicate loop checks the
+// context every CancelCheckInterval documents.
+func (m *MatchStage) RunContext(ctx context.Context, in []jsondoc.Doc) ([]jsondoc.Doc, error) {
 	out := in[:0]
-	for _, d := range in {
+	for i, d := range in {
+		if i%CancelCheckInterval == CancelCheckInterval-1 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		if m.pred(d) {
 			out = append(out, d)
 		}
@@ -267,8 +320,18 @@ func (f *FunctionStage) Name() string { return "$function(" + f.name + ")" }
 
 // Run implements Stage.
 func (f *FunctionStage) Run(in []jsondoc.Doc) ([]jsondoc.Doc, error) {
+	return f.RunContext(context.Background(), in)
+}
+
+// RunContext implements ContextStage: the per-document loop checks the
+// context every CancelCheckInterval documents, so a slow custom function
+// cannot pin a worker past cancellation.
+func (f *FunctionStage) RunContext(ctx context.Context, in []jsondoc.Doc) ([]jsondoc.Doc, error) {
 	out := in[:0]
-	for _, d := range in {
+	for i, d := range in {
+		if i%CancelCheckInterval == CancelCheckInterval-1 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		nd, err := f.fn(d)
 		if err != nil {
 			return nil, err

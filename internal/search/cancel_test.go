@@ -1,0 +1,125 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"covidkg/internal/docstore"
+	"covidkg/internal/jsondoc"
+)
+
+// countdownCtx reports itself cancelled after a fixed number of Err
+// calls — deterministic "deadline expired mid-scan" without wall-clock
+// races. Atomic because parallel pipeline stages poll concurrently.
+type countdownCtx struct {
+	context.Context
+	n atomic.Int64
+}
+
+func newCountdownCtx(calls int64) *countdownCtx {
+	c := &countdownCtx{Context: context.Background()}
+	c.n.Store(calls)
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	if c.n.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// cancelEngine builds an engine over enough vaccine docs that every
+// search crosses multiple cancellation check intervals.
+func cancelEngine(t *testing.T, nDocs int) *Engine {
+	t.Helper()
+	c := docstore.Open(docstore.WithShards(4)).Collection("pubs")
+	for i := 0; i < nDocs; i++ {
+		d := pub(fmt.Sprintf("p%04d", i),
+			fmt.Sprintf("Vaccine efficacy study %d", i),
+			"Vaccine outcomes and side effects in a large cohort.",
+			"Body text about vaccine trials and immunization.")
+		if _, err := c.Insert(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewEngine(c)
+}
+
+func TestSearchAllContextCancelledNotCached(t *testing.T) {
+	e := cancelEngine(t, 400)
+
+	_, err := e.SearchAllContext(newCountdownCtx(1), "vaccine", 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := e.CacheStats(); st.Entries != 0 {
+		t.Fatalf("cancelled query left %d cache entries (cache poisoned)", st.Entries)
+	}
+
+	// the same query under a live context computes fresh and succeeds
+	pg, err := e.SearchAllContext(context.Background(), "vaccine", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.Total != 400 {
+		t.Fatalf("post-cancel search Total = %d, want 400", pg.Total)
+	}
+	if st := e.CacheStats(); st.Entries != 1 {
+		t.Fatalf("successful query cached %d entries, want 1", st.Entries)
+	}
+}
+
+func TestSearchTablesContextCancelled(t *testing.T) {
+	e := cancelEngine(t, 300)
+	if _, err := e.SearchTablesContext(newCountdownCtx(1), "vaccine", 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("tables err = %v, want context.Canceled", err)
+	}
+	if _, err := e.SearchFieldsContext(newCountdownCtx(1), FieldQuery{Title: "vaccine"}, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("fields err = %v, want context.Canceled", err)
+	}
+	if st := e.CacheStats(); st.Entries != 0 {
+		t.Fatalf("cancelled queries left %d cache entries", st.Entries)
+	}
+}
+
+func TestSearchContextDeadlineExceeded(t *testing.T) {
+	e := cancelEngine(t, 300)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.SearchAllContext(ctx, "vaccine", 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// a real already-expired deadline surfaces as DeadlineExceeded
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer dcancel()
+	if _, err := e.SearchAllContext(dctx, "vaccine", 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if st := e.CacheStats(); st.Entries != 0 {
+		t.Fatalf("dead-context queries left %d cache entries", st.Entries)
+	}
+}
+
+func TestTableCellMatchesContextCancelled(t *testing.T) {
+	c := docstore.Open().Collection("pubs")
+	d := pub("pt1", "Vaccine doses", "abstract", "body",
+		jsondoc.Doc{"caption": "Table 1: doses", "rows": []any{
+			[]any{"Vaccine", "Dose"},
+			[]any{"Pfizer-BioNTech", "2"},
+		}})
+	if _, err := c.Insert(d); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(c)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.TableCellMatchesContext(ctx, "pt1", "vaccine"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -35,23 +36,31 @@ func expandSynonyms(stems []string) []string {
 // partitioned across the worker pool — Collection.Get deep-copies every
 // document, which dominates candidate materialization on large result
 // sets. Ids that vanished under a concurrent delete are skipped; input
-// order is preserved.
-func (e *Engine) resolveCandidates(ids []string, workers int) []jsondoc.Doc {
+// order is preserved. Workers check the context every
+// pipeline.CancelCheckInterval fetches and stop early when the request
+// is gone, in which case ctx.Err() is returned.
+func (e *Engine) resolveCandidates(ctx context.Context, ids []string, workers int) ([]jsondoc.Doc, error) {
 	docs := make([]jsondoc.Doc, len(ids))
 	pipeline.ParallelChunks(len(ids), workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
+			if (i-lo)%pipeline.CancelCheckInterval == pipeline.CancelCheckInterval-1 && ctx.Err() != nil {
+				return
+			}
 			if d, err := e.coll.Get(ids[i]); err == nil {
 				docs[i] = d
 			}
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := docs[:0]
 	for _, d := range docs {
 		if d != nil {
 			out = append(out, d)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // phraseCandidates resolves a quoted phrase to the documents containing
@@ -125,6 +134,7 @@ func (e *Engine) queryCandidates(terms []textproc.QueryTerm, fields map[string]b
 // confirmation). A nil candidates list falls back to a full scan, which
 // the parallel $match also partitions across workers.
 func (e *Engine) runSearch(
+	ctx context.Context,
 	matchPred func(jsondoc.Doc) bool,
 	candidates []string,
 	verifyCandidates bool,
@@ -137,19 +147,26 @@ func (e *Engine) runSearch(
 
 	// materialize the input stream: candidate partitions resolve in
 	// parallel; the fallback buffers the whole collection for the
-	// parallel $match to partition
+	// parallel $match to partition. Both paths abandon work when the
+	// request context dies.
 	start := time.Now()
 	var buf []jsondoc.Doc
 	if candidates != nil {
-		buf = e.resolveCandidates(candidates, workers)
+		var err error
+		buf, err = e.resolveCandidates(ctx, candidates, workers)
+		if err != nil {
+			return Page{}, fmt.Errorf("search: fetch: %w", err)
+		}
 		if !verifyCandidates {
 			matchPred = func(jsondoc.Doc) bool { return true }
 		}
 	} else {
-		e.coll.Scan(func(d jsondoc.Doc) bool {
+		if err := e.coll.ScanContext(ctx, func(d jsondoc.Doc) bool {
 			buf = append(buf, d)
 			return true
-		})
+		}); err != nil {
+			return Page{}, fmt.Errorf("search: scan: %w", err)
+		}
 	}
 	e.observeStage("fetch", time.Since(start))
 
@@ -170,7 +187,7 @@ func (e *Engine) runSearch(
 	).Observe(func(stage string, d time.Duration, in, out int) {
 		e.observeStage(stageMetricName(stage), d)
 	})
-	docs, err := p.Run(pipeline.SliceSource(buf))
+	docs, err := p.RunContext(ctx, pipeline.SliceSource(buf))
 	if err != nil {
 		return Page{}, err
 	}
@@ -189,6 +206,9 @@ func (e *Engine) runSearch(
 	// only for the page actually returned
 	start = time.Now()
 	for i := range page.Results {
+		if ctx.Err() != nil {
+			return Page{}, fmt.Errorf("search: snippets: %w", ctx.Err())
+		}
 		d := byID[page.Results[i].DocID]
 		texts := fieldTexts(d)
 		for _, f := range snippetFields {
@@ -257,7 +277,11 @@ func canonicalTerms(terms []textproc.QueryTerm) string {
 // the generation captured *before* computing, so a concurrent ingest
 // atomically invalidates it. Total latency per engine and cache
 // hit/miss/eviction counts are recorded in the metrics registry.
-func (e *Engine) cachedSearch(engine, canon string, pageNum int, compute func() (Page, error)) (Page, error) {
+//
+// A compute abandoned by cancellation (or failed for any other reason)
+// returns its error WITHOUT touching the cache — partial results from a
+// dead request must never be served to a live one.
+func (e *Engine) cachedSearch(ctx context.Context, engine, canon string, pageNum int, compute func(context.Context) (Page, error)) (Page, error) {
 	start := time.Now()
 	e.met.Counter("search.queries").Inc()
 	cache := e.cache.Load()
@@ -269,12 +293,16 @@ func (e *Engine) cachedSearch(engine, canon string, pageNum int, compute func() 
 		return pg, nil
 	}
 	e.met.Counter("search.cache.misses").Inc()
-	pg, err := compute()
+	pg, err := compute(ctx)
 	if err != nil {
 		return Page{}, err
 	}
-	if ev := cache.put(key, pg, gen); ev > 0 {
-		e.met.Counter("search.cache.evictions").Add(ev)
+	// belt and braces: even if a compute path missed a cancellation, a
+	// page produced under a dead context is not stored
+	if ctx.Err() == nil {
+		if ev := cache.put(key, pg, gen); ev > 0 {
+			e.met.Counter("search.cache.evictions").Add(ev)
+		}
 	}
 	e.met.Histogram("search.latency." + engine).Observe(time.Since(start))
 	return pg, nil
@@ -326,11 +354,17 @@ type FieldQuery struct {
 	Caption  string
 }
 
-// SearchFields is engine §2.1.1 — search over paper title, abstract, and
-// table captions. "The search fields are inclusive": every non-empty
-// field must match at least one of its terms in that field, or the
-// document is dropped regardless of other fields.
+// SearchFields is engine §2.1.1 over a background context.
 func (e *Engine) SearchFields(q FieldQuery, pageNum int) (Page, error) {
+	return e.SearchFieldsContext(context.Background(), q, pageNum)
+}
+
+// SearchFieldsContext is engine §2.1.1 — search over paper title,
+// abstract, and table captions. "The search fields are inclusive": every
+// non-empty field must match at least one of its terms in that field, or
+// the document is dropped regardless of other fields. Cancelling ctx
+// abandons the query mid-pipeline; abandoned pages are never cached.
+func (e *Engine) SearchFieldsContext(ctx context.Context, q FieldQuery, pageNum int) (Page, error) {
 	type fieldTerm struct {
 		field string
 		terms []textproc.QueryTerm
@@ -370,7 +404,7 @@ func (e *Engine) SearchFields(q FieldQuery, pageNum int) (Page, error) {
 		}
 		canon.WriteString(c.field + "=" + canonicalTerms(c.terms))
 	}
-	return e.cachedSearch("fields", canon.String(), pageNum, func() (Page, error) {
+	return e.cachedSearch(ctx, "fields", canon.String(), pageNum, func(ctx context.Context) (Page, error) {
 		rankFields := map[string]bool{FieldTitle: true, FieldAbstract: true, FieldTableCaption: true}
 		match := func(d jsondoc.Doc) bool {
 			for _, c := range conds {
@@ -411,22 +445,28 @@ func (e *Engine) SearchFields(q FieldQuery, pageNum int) (Page, error) {
 		e.observeStage("candidates", time.Since(start))
 		// Results format: "table captions first, the title and authors and
 		// the full abstract" — snippet order encodes that.
-		return e.runSearch(match, candidates, verify, allTerms, rankFields,
+		return e.runSearch(ctx, match, candidates, verify, allTerms, rankFields,
 			[]string{FieldTableCaption, FieldTitle, FieldAbstract}, pageNum)
 	})
 }
 
-// SearchAll is engine §2.1.2 — search over all publication fields, for
-// when "where the term is referenced is unimportant". Results carry
-// excerpts from every matching field: abstract, body text, table
-// captions, tables, and figure captions.
+// SearchAll is engine §2.1.2 over a background context.
 func (e *Engine) SearchAll(query string, pageNum int) (Page, error) {
+	return e.SearchAllContext(context.Background(), query, pageNum)
+}
+
+// SearchAllContext is engine §2.1.2 — search over all publication
+// fields, for when "where the term is referenced is unimportant".
+// Results carry excerpts from every matching field: abstract, body text,
+// table captions, tables, and figure captions. Cancelling ctx abandons
+// the query mid-pipeline; abandoned pages are never cached.
+func (e *Engine) SearchAllContext(ctx context.Context, query string, pageNum int) (Page, error) {
 	terms, err := queryOrError(query)
 	if err != nil {
 		return Page{}, err
 	}
 	pageNum = clampPage(pageNum)
-	return e.cachedSearch("all", canonicalTerms(terms), pageNum, func() (Page, error) {
+	return e.cachedSearch(ctx, "all", canonicalTerms(terms), pageNum, func(ctx context.Context) (Page, error) {
 		allFields := []string{FieldTitle, FieldAbstract, FieldBody,
 			FieldTableCaption, FieldTableCell, FieldFigureCaption}
 		match := func(d jsondoc.Doc) bool {
@@ -438,23 +478,29 @@ func (e *Engine) SearchAll(query string, pageNum int) (Page, error) {
 		if !ok {
 			candidates, verify = nil, false
 		}
-		return e.runSearch(match, candidates, verify, terms, nil,
+		return e.runSearch(ctx, match, candidates, verify, terms, nil,
 			[]string{FieldAbstract, FieldBody, FieldTableCaption, FieldTableCell, FieldFigureCaption},
 			pageNum)
 	})
 }
 
-// SearchTables is engine §2.1.3 — search over paper tables only: "a
-// product of regular expression search over table captions and all of
-// the table's data". Ranked with the same weighted-feature function,
-// restricted to table fields.
+// SearchTables is engine §2.1.3 over a background context.
 func (e *Engine) SearchTables(query string, pageNum int) (Page, error) {
+	return e.SearchTablesContext(context.Background(), query, pageNum)
+}
+
+// SearchTablesContext is engine §2.1.3 — search over paper tables only:
+// "a product of regular expression search over table captions and all of
+// the table's data". Ranked with the same weighted-feature function,
+// restricted to table fields. Cancelling ctx abandons the query
+// mid-pipeline; abandoned pages are never cached.
+func (e *Engine) SearchTablesContext(ctx context.Context, query string, pageNum int) (Page, error) {
 	terms, err := queryOrError(query)
 	if err != nil {
 		return Page{}, err
 	}
 	pageNum = clampPage(pageNum)
-	return e.cachedSearch("tables", canonicalTerms(terms), pageNum, func() (Page, error) {
+	return e.cachedSearch(ctx, "tables", canonicalTerms(terms), pageNum, func(ctx context.Context) (Page, error) {
 		tableFields := map[string]bool{FieldTableCaption: true, FieldTableCell: true}
 		match := func(d jsondoc.Doc) bool {
 			return e.anyTermInFields(d, terms, FieldTableCaption, FieldTableCell)
@@ -467,7 +513,7 @@ func (e *Engine) SearchTables(query string, pageNum int) (Page, error) {
 		}
 		// The table engine also shows where the terms land in the abstract
 		// for context (Figure 4 shows an abstract match below the table).
-		return e.runSearch(match, candidates, verify, terms, tableFields,
+		return e.runSearch(ctx, match, candidates, verify, terms, tableFields,
 			[]string{FieldTableCaption, FieldTableCell, FieldAbstract}, pageNum)
 	})
 }
@@ -482,8 +528,16 @@ type CellMatch struct {
 }
 
 // TableCellMatches locates every matched caption and cell of a stored
-// publication for the query, table by table.
+// publication for the query, table by table, over a background context.
 func (e *Engine) TableCellMatches(docID, query string) ([]CellMatch, error) {
+	return e.TableCellMatchesContext(context.Background(), docID, query)
+}
+
+// TableCellMatchesContext is TableCellMatches under a request context:
+// the per-table matching loop checks ctx between tables (a table is the
+// unit of work — cell loops are short) and returns ctx.Err() when the
+// caller is gone.
+func (e *Engine) TableCellMatchesContext(ctx context.Context, docID, query string) ([]CellMatch, error) {
 	terms, err := queryOrError(query)
 	if err != nil {
 		return nil, err
@@ -494,6 +548,9 @@ func (e *Engine) TableCellMatches(docID, query string) ([]CellMatch, error) {
 	}
 	var out []CellMatch
 	for ti, tv := range d.GetArray("tables") {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("search: table matches: %w", ctx.Err())
+		}
 		tm, _ := tv.(map[string]any)
 		if tm == nil {
 			continue
