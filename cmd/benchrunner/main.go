@@ -13,6 +13,9 @@
 //	benchrunner -loadbench BENCH_load.json
 //	                          # request-lifecycle overload benchmark:
 //	                          # shed/cancel/deadline counts under load
+//	benchrunner -chaosbench BENCH_chaos.json
+//	                          # shard kill/recover schedule: availability,
+//	                          # outage p99, resync time, lost-write audit
 package main
 
 import (
@@ -32,7 +35,28 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e10) or 'all'")
 	searchBench := flag.String("searchbench", "", "run the search concurrency/cache benchmark and write JSON to this file")
 	loadBench := flag.String("loadbench", "", "run the request-lifecycle overload benchmark and write JSON to this file")
+	chaosBench := flag.String("chaosbench", "", "run the shard kill/recover chaos benchmark and write JSON to this file")
 	flag.Parse()
+
+	if *chaosBench != "" {
+		res := experiments.RunChaosBench(*quick)
+		writeJSONFile(*chaosBench, res)
+		fmt.Printf("chaos bench over %d docs (%d shards × %d replicas, seed %d):\n",
+			res.Docs, res.Shards, res.Replicas, res.Seed)
+		fmt.Printf("  %d queries: %d ok, %d failed → %.2f%% availability (%d partial during outage)\n",
+			res.Queries, res.OK, res.Failed, res.AvailabilityPct, res.PartialResponses)
+		fmt.Printf("  p99 healthy %.0fµs, p99 one-shard-dark %.0fµs\n", res.P99HealthyUs, res.P99OutageUs)
+		fmt.Printf("  writes: %d attempted, %d acked, %d rejected, %d lost, %d resurrected\n",
+			res.WritesAttempted, res.WritesAcked, res.WritesRejected, res.LostWrites, res.GhostWrites)
+		fmt.Printf("  resync %.1fms, checksums identical: %v (breaker_open=%d hedged=%d resyncs=%d)\n",
+			res.ResyncMs, res.ChecksumsIdentical, res.BreakerOpened, res.HedgedRequests, res.ReplicaResyncs)
+		if res.LostWrites > 0 || res.GhostWrites > 0 || !res.ChecksumsIdentical {
+			log.Fatalf("chaos invariant violated: lost=%d ghosts=%d identical=%v",
+				res.LostWrites, res.GhostWrites, res.ChecksumsIdentical)
+		}
+		fmt.Printf("written to %s\n", *chaosBench)
+		return
+	}
 
 	if *loadBench != "" {
 		res := experiments.RunLoadBench(*quick)

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"covidkg/internal/api"
+	"covidkg/internal/breaker"
 	"covidkg/internal/cord19"
 	"covidkg/internal/core"
 	"covidkg/internal/retry"
@@ -35,6 +36,11 @@ func main() {
 	seed := flag.Int64("seed", 42, "corpus generator seed")
 	dataDir := flag.String("data", "", "optional directory for store persistence")
 	shards := flag.Int("shards", 4, "document store shards")
+	replicas := flag.Int("replicas", 3, "replicas per shard (quorum = replicas/2+1)")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "latency budget before a shard read is hedged onto another replica (0 = adaptive 2×p95)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "circuit-breaker open→half-open cooldown (0 = default 1s)")
+	breakerFailures := flag.Int("breaker-failures", 0, "consecutive replica failures before the breaker opens (0 = default 3)")
+	resyncInterval := flag.Duration("resync-interval", 30*time.Second, "background replica resync period (0 = disabled)")
 	searchTimeout := flag.Duration("search-timeout", 0, "per-request deadline for search routes (0 = default 5s, negative = none)")
 	aggTimeout := flag.Duration("aggregate-timeout", 0, "per-request deadline for aggregate/export routes (0 = default 10s, negative = none)")
 	inflightSearch := flag.Int("inflight-search", 0, "max concurrent search requests before shedding (0 = default 64, negative = unbounded)")
@@ -43,8 +49,15 @@ func main() {
 
 	cfg := core.DefaultConfig()
 	cfg.Shards = *shards
+	cfg.Replicas = *replicas
 	cfg.Seed = *seed
+	cfg.HedgeDelay = *hedgeDelay
+	cfg.Breaker = breaker.Config{Threshold: *breakerFailures, Cooldown: *breakerCooldown}
 	sys := core.NewSystem(cfg)
+	if *resyncInterval > 0 {
+		stopResync := sys.Store.StartAutoResync(*resyncInterval)
+		defer stopResync()
+	}
 
 	loaded := false
 	if *dataDir != "" {

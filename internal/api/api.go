@@ -66,9 +66,11 @@ func NewServerWith(sys *core.System, cfg Config) *Server {
 		}
 	}
 
-	// healthz is exempt from versioning and admission control: load
-	// balancers must be able to probe a saturated server.
+	// healthz (liveness) and readyz (readiness) are exempt from
+	// versioning and admission control: load balancers must be able to
+	// probe a saturated server.
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 
 	s.route("GET", "/stats", classLight, cfg.LightTimeout, s.handleStats)
 	s.route("GET", "/metrics", classLight, cfg.LightTimeout, s.handleMetrics)
@@ -130,6 +132,8 @@ func errCode(status int) string {
 		return "not_found"
 	case http.StatusTooManyRequests:
 		return "overloaded"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
 	case StatusClientClosedRequest:
 		return "cancelled"
 	case http.StatusGatewayTimeout:
@@ -155,8 +159,31 @@ func writeErr(w http.ResponseWriter, r *http.Request, status int, err error) {
 	writeJSON(w, status, env)
 }
 
+// handleHealth is the liveness probe: the process is up and serving.
+// It says nothing about shard health — that is readyz's job — so
+// orchestrators never restart a process that is merely degraded.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady is the readiness probe: 200 when every shard has at least
+// one healthy up-to-date replica, 503 otherwise. Either way the body
+// carries the per-shard replica states (breaker state, staleness) so an
+// operator can see exactly which failure domain is dark.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	shards := s.sys.Health()
+	ready := true
+	for _, sh := range shards {
+		if !sh.Ready {
+			ready = false
+			break
+		}
+	}
+	status, state := http.StatusOK, "ready"
+	if !ready {
+		status, state = http.StatusServiceUnavailable, "degraded"
+	}
+	writeJSON(w, status, map[string]any{"status": state, "shards": shards})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -186,7 +213,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx := r.Context()
 	var (
-		res any
+		res search.Page
 		err error
 	)
 	switch engine {
@@ -214,6 +241,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, failStatus(err, status), err)
 		return
 	}
+	// a dark shard degrades, never fails: the body carries
+	// "partial": true + missing_shards, and the header lets callers
+	// detect degradation without parsing the body
+	if res.Partial {
+		w.Header().Set("X-Partial-Results", "true")
+	}
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -231,9 +264,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handlePublication(w http.ResponseWriter, r *http.Request) {
 	d, err := s.sys.Pubs.Get(r.PathValue("id"))
 	if err != nil {
+		// a point lookup cannot degrade to a partial result: when the
+		// owning shard's every replica is dark the honest answer is 503,
+		// distinct from 404 (the document is not gone, just unreachable)
 		status := http.StatusInternalServerError
-		if errors.Is(err, docstore.ErrNotFound) {
+		switch {
+		case errors.Is(err, docstore.ErrNotFound):
 			status = http.StatusNotFound
+		case errors.Is(err, docstore.ErrShardUnavailable):
+			status = http.StatusServiceUnavailable
 		}
 		writeErr(w, r, status, err)
 		return

@@ -220,7 +220,7 @@ func (s *Server) lifecycle(class routeClass, timeout time.Duration, h http.Handl
 		if !s.acquire(class) {
 			s.met.Counter("requests_shed").Inc()
 			s.met.Counter("requests_shed." + class.String()).Inc()
-			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Round(time.Second)/time.Second)))
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
 			writeErr(w, r, http.StatusTooManyRequests,
 				errors.New("server overloaded; try again shortly"))
 			return
@@ -244,6 +244,18 @@ func (s *Server) lifecycle(class routeClass, timeout time.Duration, h http.Handl
 			s.met.Counter("requests_cancelled").Inc()
 		}
 	}
+}
+
+// retryAfterSeconds renders the shed-response back-off hint in whole
+// seconds, clamped to a minimum of 1: a sub-second configuration must
+// not emit "Retry-After: 0", which clients read as "retry immediately"
+// and turn into a tight retry storm against an overloaded server.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(d.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // failStatus maps an error from context-aware work onto the right

@@ -1,0 +1,132 @@
+package breaker
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for cooldown tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClock() *fakeClock                   { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func TestTripsAfterThreshold(t *testing.T) {
+	clk := newClock()
+	b := New(Config{Threshold: 3, Cooldown: time.Second, Now: clk.now})
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected request %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != Closed {
+		t.Fatalf("state after 2 failures = %v, want closed", b.State())
+	}
+	b.Allow()
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state after 3 failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request before cooldown")
+	}
+}
+
+func TestSuccessResetsStreak(t *testing.T) {
+	b := New(Config{Threshold: 2})
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+}
+
+func TestHalfOpenProbeRecovers(t *testing.T) {
+	clk := newClock()
+	var transitions []string
+	b := New(Config{Threshold: 1, Cooldown: time.Second, Now: clk.now,
+		OnStateChange: func(from, to State) {
+			transitions = append(transitions, from.String()+">"+to.String())
+		}})
+	b.Allow()
+	b.Failure() // trips immediately
+	clk.advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("probe admitted before cooldown elapsed")
+	}
+	clk.advance(time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe rejected after cooldown")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", b.State())
+	}
+	// only one probe at a time
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	want := []string{"closed>open", "open>half-open", "half-open>closed"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+}
+
+func TestFailedProbeReopens(t *testing.T) {
+	clk := newClock()
+	b := New(Config{Threshold: 1, Cooldown: time.Second, Now: clk.now})
+	b.Allow()
+	b.Failure()
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe rejected after cooldown")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	// the cooldown restarts from the failed probe
+	clk.advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("probe admitted before restarted cooldown elapsed")
+	}
+	clk.advance(time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe rejected after restarted cooldown")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}
+
+func TestDo(t *testing.T) {
+	clk := newClock()
+	b := New(Config{Threshold: 1, Cooldown: time.Second, Now: clk.now})
+	boom := errors.New("boom")
+	if err := b.Do(func() error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Do = %v, want boom", err)
+	}
+	if err := b.Do(func() error { return nil }); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Do on open breaker = %v, want ErrOpen", err)
+	}
+	clk.advance(time.Second)
+	if err := b.Do(func() error { return nil }); err != nil {
+		t.Fatalf("probe Do = %v", err)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}

@@ -12,19 +12,23 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"covidkg/internal/bias"
+	"covidkg/internal/breaker"
 	"covidkg/internal/classifier"
 	"covidkg/internal/cluster"
 	"covidkg/internal/cord19"
 	"covidkg/internal/docstore"
 	"covidkg/internal/durable"
 	"covidkg/internal/embeddings"
+	"covidkg/internal/failpoint"
 	"covidkg/internal/faultfs"
 	"covidkg/internal/features"
 	"covidkg/internal/jsondoc"
 	"covidkg/internal/kg"
 	"covidkg/internal/metaprofile"
+	"covidkg/internal/metrics"
 	"covidkg/internal/mlcore"
 	"covidkg/internal/search"
 	"covidkg/internal/svm"
@@ -37,9 +41,28 @@ const PubsCollection = "publications"
 // Config assembles a System.
 type Config struct {
 	Shards      int // document-store shards
+	Replicas    int // per-shard replica-group size (quorum = R/2+1)
 	VocabSize   int // §3.2 feature-space size (paper: 100,000)
 	TrainTables int // labeled tables generated for classifier training
 	Seed        int64
+
+	// Failpoints optionally injects runtime faults (latency, errors,
+	// outages) into the store's replicas — the chaos-testing hook. Nil
+	// disables injection entirely.
+	Failpoints *failpoint.Registry
+
+	// Breaker tunes the per-replica circuit breakers (failure threshold,
+	// half-open cooldown). The zero value uses the breaker defaults.
+	Breaker breaker.Config
+
+	// HedgeDelay fixes the budget after which a shard snapshot read is
+	// hedged onto another replica; zero adapts to the observed p95.
+	HedgeDelay time.Duration
+
+	// Metrics directs robustness counters (breaker_open, hedged_requests,
+	// replica_resyncs, partial_responses) to a specific registry; nil
+	// uses the process default.
+	Metrics *metrics.Registry
 
 	// UseEnsemble selects the BiGRU ensemble for row classification in
 	// BuildKG; false uses the (much faster) SVM.
@@ -61,6 +84,7 @@ func DefaultConfig() Config {
 	w2v.MinCount = 1
 	return Config{
 		Shards:      4,
+		Replicas:    3,
 		VocabSize:   5000,
 		TrainTables: 150,
 		Seed:        1,
@@ -95,9 +119,20 @@ type System struct {
 
 // NewSystem creates an empty system with the expert-seeded KG.
 func NewSystem(cfg Config) *System {
-	storeOpts := []docstore.Option{docstore.WithShards(cfg.Shards)}
+	storeOpts := []docstore.Option{
+		docstore.WithShards(cfg.Shards),
+		docstore.WithReplicas(cfg.Replicas),
+		docstore.WithBreaker(cfg.Breaker),
+		docstore.WithHedgeDelay(cfg.HedgeDelay),
+	}
 	if cfg.FS != nil {
 		storeOpts = append(storeOpts, docstore.WithFS(cfg.FS))
+	}
+	if cfg.Failpoints != nil {
+		storeOpts = append(storeOpts, docstore.WithFailpoints(cfg.Failpoints))
+	}
+	if cfg.Metrics != nil {
+		storeOpts = append(storeOpts, docstore.WithMetrics(cfg.Metrics))
 	}
 	store := docstore.Open(storeOpts...)
 	s := &System{
@@ -107,10 +142,20 @@ func NewSystem(cfg Config) *System {
 		processed: map[string]bool{},
 	}
 	s.Search = search.NewEngine(s.Pubs)
+	s.Search.SetMetrics(cfg.Metrics)
 	s.Graph = kg.SeedCOVID(nil)
 	s.Fuser = kg.NewFuser(s.Graph)
 	return s
 }
+
+// Health reports per-shard readiness: replica breaker states and which
+// replicas are up to date — the payload behind GET /readyz.
+func (s *System) Health() []docstore.ShardHealth { return s.Store.Health() }
+
+// Resync repairs stale replicas across every collection (see
+// docstore.Store.Resync). Exposed so operators and the auto-resync loop
+// share one entry point.
+func (s *System) Resync() docstore.ResyncReport { return s.Store.Resync() }
 
 // IngestPublications parses and stores generated publications.
 func (s *System) IngestPublications(pubs []*cord19.Publication) error {
@@ -588,6 +633,7 @@ func (s *System) Restore(dir string) (*durable.Report, error) {
 	// handle and rebuild the search engine, which re-indexes on scan
 	s.Pubs = s.Store.Collection(PubsCollection)
 	s.Search = search.NewEngine(s.Pubs)
+	s.Search.SetMetrics(s.cfg.Metrics)
 	if _, err := s.RestoreGraph(); err != nil {
 		return report, err
 	}

@@ -3,6 +3,7 @@ package docstore
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -58,10 +59,12 @@ func (s *Store) SaveTxn(tx *durable.Txn) error {
 }
 
 // writeTo streams the collection as JSON lines in deterministic order.
+// A dark shard fails the save (ShardError) instead of silently writing
+// a snapshot with a missing partition.
 func (c *Collection) writeTo(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	var werr error
-	c.Scan(func(d jsondoc.Doc) bool {
+	scanErr := c.ScanContext(context.Background(), func(d jsondoc.Doc) bool {
 		if _, err := bw.Write(d.JSON()); err != nil {
 			werr = err
 			return false
@@ -74,6 +77,9 @@ func (c *Collection) writeTo(w io.Writer) error {
 	})
 	if werr != nil {
 		return werr
+	}
+	if scanErr != nil {
+		return scanErr
 	}
 	return bw.Flush()
 }

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sort"
+	"time"
+
+	"covidkg/internal/api"
+	"covidkg/internal/breaker"
+	"covidkg/internal/cord19"
+	"covidkg/internal/core"
+	"covidkg/internal/docstore"
+	"covidkg/internal/failpoint"
+	"covidkg/internal/jsondoc"
+	"covidkg/internal/metrics"
+)
+
+// ChaosBenchResult is the machine-readable output of RunChaosBench,
+// serialized into BENCH_chaos.json by cmd/benchrunner. It records how
+// the replicated store and degraded search behave through a scripted
+// kill/recover schedule: availability while a shard is dark, tail
+// latency healthy vs during the outage, write-acknowledgement
+// accounting (no acknowledged write may ever be lost), and how long
+// resync took to make a recovered replica byte-identical again.
+type ChaosBenchResult struct {
+	Seed     int64 `json:"seed"`
+	Docs     int   `json:"docs"`
+	Shards   int   `json:"shards"`
+	Replicas int   `json:"replicas"`
+
+	// Query-side availability across all phases.
+	Queries          int     `json:"queries"`
+	OK               int     `json:"ok"`
+	Failed           int     `json:"failed"`
+	AvailabilityPct  float64 `json:"availability_pct"`
+	PartialResponses int     `json:"partial_responses"` // degraded 200s during the outage
+
+	// Tail latency, healthy baseline vs one-shard-dark.
+	P99HealthyUs float64 `json:"p99_healthy_us"`
+	P99OutageUs  float64 `json:"p99_outage_us"`
+
+	// Write accounting: every acknowledged write must survive the whole
+	// schedule; writes rejected for lack of quorum must NOT reappear.
+	WritesAttempted int `json:"writes_attempted"`
+	WritesAcked     int `json:"writes_acked"`
+	WritesRejected  int `json:"writes_rejected"`
+	LostWrites      int `json:"lost_writes"`
+	GhostWrites     int `json:"ghost_writes"` // rejected writes that resurrected
+
+	// Recovery.
+	ResyncMs           float64 `json:"resync_ms"`
+	ChecksumsIdentical bool    `json:"checksums_identical"`
+
+	// Robustness counters from the injected registry.
+	BreakerOpened  int64 `json:"breaker_open"`
+	HedgedRequests int64 `json:"hedged_requests"`
+	ReplicaResyncs int64 `json:"replica_resyncs"`
+}
+
+// RunChaosBench drives a real HTTP server through a deterministic
+// kill/recover schedule: a healthy baseline, a whole-shard blackout
+// (queries must degrade to partial 200s, dark-shard writes must be
+// rejected atomically), a single-replica kill under continued writes
+// (quorum holds, one replica goes stale), then recovery — breaker
+// probes restore serving, resync repairs the stale replica, and the
+// final audit verifies zero lost writes and CRC-identical replicas.
+func RunChaosBench(quick bool) ChaosBenchResult {
+	nDocs := 1200
+	queriesPerPhase := 120
+	writesPerPhase := 60
+	if quick {
+		nDocs = 240
+		queriesPerPhase = 40
+		writesPerPhase = 20
+	}
+	const seed = 42
+
+	fp := failpoint.New(seed)
+	reg := metrics.NewRegistry()
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Failpoints = fp
+	cfg.Metrics = reg
+	cfg.Breaker = breaker.Config{Threshold: 2, Cooldown: 25 * time.Millisecond}
+	cfg.HedgeDelay = 2 * time.Millisecond
+	sys := core.NewSystem(cfg)
+	if err := sys.IngestPublications(cord19.NewGenerator(seed).Corpus(nDocs)); err != nil {
+		panic(err)
+	}
+	// no caching: during the outage a warm cache would mask the degraded
+	// path this benchmark exists to measure
+	sys.Search.SetCacheLimits(0, 0)
+
+	res := ChaosBenchResult{
+		Seed:               seed,
+		Docs:               nDocs,
+		Shards:             cfg.Shards,
+		Replicas:           cfg.Replicas,
+		ChecksumsIdentical: true,
+	}
+
+	srv := httptest.NewServer(api.NewServerWith(sys, api.Config{
+		SearchTimeout: 30 * time.Second,
+		Metrics:       reg,
+	}))
+	defer srv.Close()
+
+	queries := []string{"vaccine", "masks", "fever", "treatment", "covid", "dose"}
+	runQueries := func(n int) []time.Duration {
+		lats := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			q := queries[i%len(queries)]
+			t0 := time.Now()
+			resp, err := http.Get(srv.URL + "/api/v1/search?q=" + url.QueryEscape(q) +
+				fmt.Sprintf("&page=%d", 1+i%3))
+			if err != nil {
+				res.Queries++
+				res.Failed++
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lat := time.Since(t0)
+			res.Queries++
+			if resp.StatusCode == http.StatusOK {
+				res.OK++
+				lats = append(lats, lat)
+				if resp.Header.Get("X-Partial-Results") == "true" {
+					res.PartialResponses++
+				}
+			} else {
+				res.Failed++
+			}
+		}
+		return lats
+	}
+
+	var acked, rejected []string
+	runWrites := func(phase string, n int) {
+		for i := 0; i < n; i++ {
+			id := fmt.Sprintf("w-%s-%d", phase, i)
+			res.WritesAttempted++
+			err := sys.IngestDocs([]jsondoc.Doc{{
+				"_id": id, "title": "chaos write " + id,
+				"abstract": "synthetic write issued during the " + phase + " phase",
+			}})
+			if err != nil {
+				res.WritesRejected++
+				rejected = append(rejected, id)
+			} else {
+				res.WritesAcked++
+				acked = append(acked, id)
+			}
+		}
+	}
+
+	// ---- phase 1: healthy baseline ----------------------------------
+	healthyLats := runQueries(queriesPerPhase)
+	runWrites("healthy", writesPerPhase)
+
+	// ---- phase 2: one of four shards goes fully dark ----------------
+	darkShard := sys.Pubs.ShardOfID("w-healthy-0")
+	fp.Set(fmt.Sprintf("shard%d/*", darkShard), failpoint.Rule{Down: true})
+	outageLats := runQueries(queriesPerPhase)
+	runWrites("outage", writesPerPhase) // dark-shard writes are rejected
+
+	// ---- phase 3: recover, then kill a single replica ---------------
+	fp.ClearAll()
+	time.Sleep(2 * cfg.Breaker.Cooldown)
+	// half-open probes re-admit the recovered replicas
+	for i := 0; i < 4*cfg.Replicas; i++ {
+		resp, err := http.Get(srv.URL + "/api/v1/publications/w-healthy-0")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	fp.Set(docstore.ReplicaTarget(darkShard, 1), failpoint.Rule{Down: true})
+	runWrites("degraded", writesPerPhase) // quorum holds, replica 1 goes stale
+	fp.ClearAll()
+
+	// ---- hedging: a slow replica must not slow shard snapshots ------
+	fp.Set(docstore.ReplicaTarget(darkShard, 0),
+		failpoint.Rule{Latency: 25 * cfg.HedgeDelay})
+	for i := 0; i < 4*cfg.Replicas; i++ {
+		sys.Pubs.SnapshotShardContext(context.Background(), darkShard)
+	}
+	fp.ClearAll()
+
+	// ---- phase 4: resync + audit ------------------------------------
+	t0 := time.Now()
+	rep := sys.Resync()
+	res.ResyncMs = float64(time.Since(t0).Microseconds()) / 1000
+	res.ChecksumsIdentical = rep.Identical && sys.Store.ReplicasIdentical()
+
+	for _, id := range acked {
+		if _, err := sys.Pubs.Get(id); err != nil {
+			res.LostWrites++
+		}
+	}
+	for _, id := range rejected {
+		if _, err := sys.Pubs.Get(id); err == nil {
+			res.GhostWrites++
+		}
+	}
+
+	if res.Queries > 0 {
+		res.AvailabilityPct = 100 * float64(res.OK) / float64(res.Queries)
+	}
+	res.P99HealthyUs = p99Us(healthyLats)
+	res.P99OutageUs = p99Us(outageLats)
+	res.BreakerOpened = reg.Counter("breaker_open").Value()
+	res.HedgedRequests = reg.Counter("hedged_requests").Value()
+	res.ReplicaResyncs = reg.Counter("replica_resyncs").Value()
+	return res
+}
+
+// p99Us returns the 99th-percentile latency in microseconds.
+func p99Us(lats []time.Duration) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	idx := (99 * len(lats)) / 100
+	if idx >= len(lats) {
+		idx = len(lats) - 1
+	}
+	return float64(lats[idx].Nanoseconds()) / 1000
+}

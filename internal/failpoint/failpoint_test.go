@@ -1,0 +1,102 @@
+package failpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryPasses(t *testing.T) {
+	var r *Registry
+	if err := r.Check("anything"); err != nil {
+		t.Fatalf("nil registry injected: %v", err)
+	}
+	r.Set("x", Rule{Down: true}) // must not panic
+	r.Clear("x")
+	r.ClearAll()
+	if r.Injected("x") != 0 || r.Checks("x") != 0 {
+		t.Fatal("nil registry reported counts")
+	}
+}
+
+func TestDownAndClear(t *testing.T) {
+	r := New(1)
+	r.Set("shard0/replica1", Rule{Down: true})
+	if err := r.Check("shard0/replica1"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if err := r.Check("shard0/replica0"); err != nil {
+		t.Fatalf("unruled target failed: %v", err)
+	}
+	r.Clear("shard0/replica1")
+	if err := r.Check("shard0/replica1"); err != nil {
+		t.Fatalf("cleared target still failing: %v", err)
+	}
+	if got := r.Injected("shard0/replica1"); got != 1 {
+		t.Fatalf("Injected = %d, want 1", got)
+	}
+}
+
+func TestPrefixRuleDarkensShard(t *testing.T) {
+	r := New(1)
+	r.Set("shard2/*", Rule{Down: true})
+	for _, tgt := range []string{"shard2/replica0", "shard2/replica1"} {
+		if err := r.Check(tgt); !errors.Is(err, ErrInjected) {
+			t.Fatalf("%s: want ErrInjected, got %v", tgt, err)
+		}
+	}
+	if err := r.Check("shard1/replica0"); err != nil {
+		t.Fatalf("other shard failed: %v", err)
+	}
+	// exact rule overrides the prefix rule
+	r.Set("shard2/replica1", Rule{})
+	if err := r.Check("shard2/replica1"); err != nil {
+		t.Fatalf("exact healthy rule did not override prefix: %v", err)
+	}
+}
+
+func TestErrRateDeterministic(t *testing.T) {
+	run := func() []bool {
+		r := New(42)
+		r.Set("t", Rule{ErrRate: 0.5})
+		out := make([]bool, 100)
+		for i := range out {
+			out[i] = r.Check("t") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at op %d", i)
+		}
+		if a[i] {
+			fails++
+		}
+	}
+	if fails < 30 || fails > 70 {
+		t.Fatalf("ErrRate 0.5 produced %d/100 failures", fails)
+	}
+}
+
+func TestLatencyUsesSleeper(t *testing.T) {
+	r := New(1)
+	var slept []time.Duration
+	r.SetSleeper(func(d time.Duration) { slept = append(slept, d) })
+	r.Set("slow", Rule{Latency: 25 * time.Millisecond})
+	if err := r.Check("slow"); err != nil {
+		t.Fatalf("latency-only rule failed: %v", err)
+	}
+	// latency applies even when the op then fails
+	r.Set("slow", Rule{Latency: 10 * time.Millisecond, Down: true})
+	if err := r.Check("slow"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if len(slept) != 2 || slept[0] != 25*time.Millisecond || slept[1] != 10*time.Millisecond {
+		t.Fatalf("slept = %v", slept)
+	}
+	if got := r.Checks("slow"); got != 2 {
+		t.Fatalf("Checks = %d, want 2", got)
+	}
+}

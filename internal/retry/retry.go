@@ -26,6 +26,11 @@ type Config struct {
 	// Retryable decides whether an error is worth retrying; nil means
 	// every error is.
 	Retryable func(error) bool
+	// Rand supplies the jitter randomness; nil uses the shared global
+	// source. Tests pass a seeded *rand.Rand to make the backoff
+	// schedule deterministic. The source is only ever used from the
+	// goroutine running Do, so an unsynchronized rand.New source is fine.
+	Rand *rand.Rand
 }
 
 // DefaultConfig retries 4 times over roughly a second.
@@ -91,7 +96,7 @@ func Do(ctx context.Context, cfg Config, fn func() error) error {
 		select {
 		case <-ctx.Done():
 			return errors.Join(ctx.Err(), err)
-		case <-time.After(jittered(delay, cfg.Jitter)):
+		case <-time.After(jittered(delay, cfg.Jitter, cfg.Rand)):
 		}
 		delay *= 2
 		if delay > cfg.MaxDelay {
@@ -100,14 +105,19 @@ func Do(ctx context.Context, cfg Config, fn func() error) error {
 	}
 }
 
-// jittered spreads d by ±frac/2 of its value.
-func jittered(d time.Duration, frac float64) time.Duration {
+// jittered spreads d by ±frac/2 of its value, drawing from rng when
+// provided and from the global source otherwise.
+func jittered(d time.Duration, frac float64, rng *rand.Rand) time.Duration {
 	if frac <= 0 {
 		return d
 	}
 	if frac > 1 {
 		frac = 1
 	}
+	roll := rand.Float64
+	if rng != nil {
+		roll = rng.Float64
+	}
 	spread := float64(d) * frac
-	return time.Duration(float64(d) - spread/2 + rand.Float64()*spread)
+	return time.Duration(float64(d) - spread/2 + roll()*spread)
 }

@@ -81,6 +81,16 @@ func NewEngine(coll *docstore.Collection) *Engine {
 // ranking diagnostics and experiments).
 func (e *Engine) Index() *index.Index { return e.idx }
 
+// SetMetrics redirects the engine's counters and histograms to reg
+// instead of the process-default registry. Call it right after
+// NewEngine, before the engine serves queries — the registry pointer is
+// not synchronized against in-flight requests.
+func (e *Engine) SetMetrics(reg *metrics.Registry) {
+	if reg != nil {
+		e.met = reg
+	}
+}
+
 // Workers returns the current scoring fan-out width.
 func (e *Engine) Workers() int { return int(e.workers.Load()) }
 
@@ -268,13 +278,20 @@ type Snippet struct {
 	Highlights [][2]int
 }
 
-// Page is one page of results plus pagination bookkeeping.
+// Page is one page of results plus pagination bookkeeping. Partial
+// marks a degraded response: one or more shards were unavailable, so
+// Results covers only the surviving shards and Total undercounts.
+// MissingShards lists the dark shards so clients (and the API's
+// X-Partial-Results header) can surface what is missing. Partial pages
+// are never cached.
 type Page struct {
-	Results  []Result
-	Total    int // total matching documents across all pages
-	PageNum  int // 1-based
-	PerPage  int
-	NumPages int
+	Results       []Result
+	Total         int // total matching documents across all pages
+	PageNum       int // 1-based
+	PerPage       int
+	NumPages      int
+	Partial       bool  `json:"partial"`
+	MissingShards []int `json:"missing_shards,omitempty"`
 }
 
 func paginate(all []Result, pageNum int) Page {

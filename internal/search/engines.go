@@ -2,11 +2,13 @@ package search
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
 
+	"covidkg/internal/docstore"
 	"covidkg/internal/jsondoc"
 	"covidkg/internal/pipeline"
 	"covidkg/internal/textproc"
@@ -36,23 +38,41 @@ func expandSynonyms(stems []string) []string {
 // partitioned across the worker pool — Collection.Get deep-copies every
 // document, which dominates candidate materialization on large result
 // sets. Ids that vanished under a concurrent delete are skipped; input
-// order is preserved. Workers check the context every
-// pipeline.CancelCheckInterval fetches and stop early when the request
-// is gone, in which case ctx.Err() is returned.
-func (e *Engine) resolveCandidates(ctx context.Context, ids []string, workers int) ([]jsondoc.Doc, error) {
+// order is preserved. A fetch failing because its whole shard is dark
+// does not fail the query: the shard lands in the missing list and the
+// query degrades to a partial result over the surviving shards (the
+// shard's breakers make the remaining fetches fail fast). Workers check
+// the context every pipeline.CancelCheckInterval fetches and stop early
+// when the request is gone, in which case ctx.Err() is returned.
+func (e *Engine) resolveCandidates(ctx context.Context, ids []string, workers int) ([]jsondoc.Doc, []int, error) {
 	docs := make([]jsondoc.Doc, len(ids))
+	miss := make([]int, len(ids)) // per-index dark shard, -1 = served
+	for i := range miss {
+		miss[i] = -1
+	}
 	pipeline.ParallelChunks(len(ids), workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if (i-lo)%pipeline.CancelCheckInterval == pipeline.CancelCheckInterval-1 && ctx.Err() != nil {
 				return
 			}
-			if d, err := e.coll.Get(ids[i]); err == nil {
+			d, err := e.coll.Get(ids[i])
+			if err == nil {
 				docs[i] = d
+			} else if si, ok := docstore.ShardOfError(err); ok && errors.Is(err, docstore.ErrShardUnavailable) {
+				miss[i] = si
 			}
 		}
 	})
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	seen := map[int]bool{}
+	var missing []int
+	for _, si := range miss {
+		if si >= 0 && !seen[si] {
+			seen[si] = true
+			missing = append(missing, si)
+		}
 	}
 	out := docs[:0]
 	for _, d := range docs {
@@ -60,7 +80,40 @@ func (e *Engine) resolveCandidates(ctx context.Context, ids []string, workers in
 			out = append(out, d)
 		}
 	}
-	return out, nil
+	return out, missing, nil
+}
+
+// scatterScan materializes the whole collection shard by shard, the
+// shards raced in parallel through hedged replica snapshots. A shard
+// whose every replica is unavailable is skipped and reported in missing
+// rather than failing the scan — the degraded-read counterpart of
+// Collection.ScanContext, which fails loudly. Context errors still
+// abort the whole scan.
+func (e *Engine) scatterScan(ctx context.Context, workers int) ([]jsondoc.Doc, []int, error) {
+	n := e.coll.NumShards()
+	snaps := make([][]jsondoc.Doc, n)
+	errs := make([]error, n)
+	pipeline.ParallelChunks(n, workers, func(lo, hi int) {
+		for si := lo; si < hi; si++ {
+			snaps[si], errs[si] = e.coll.SnapshotShardContext(ctx, si)
+		}
+	})
+	var buf []jsondoc.Doc
+	var missing []int
+	for si := 0; si < n; si++ {
+		switch err := errs[si]; {
+		case err == nil:
+			buf = append(buf, snaps[si]...)
+		case errors.Is(err, docstore.ErrShardUnavailable):
+			missing = append(missing, si)
+		default:
+			return nil, nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return buf, missing, nil
 }
 
 // phraseCandidates resolves a quoted phrase to the documents containing
@@ -151,9 +204,10 @@ func (e *Engine) runSearch(
 	// request context dies.
 	start := time.Now()
 	var buf []jsondoc.Doc
+	var missing []int
 	if candidates != nil {
 		var err error
-		buf, err = e.resolveCandidates(ctx, candidates, workers)
+		buf, missing, err = e.resolveCandidates(ctx, candidates, workers)
 		if err != nil {
 			return Page{}, fmt.Errorf("search: fetch: %w", err)
 		}
@@ -161,10 +215,9 @@ func (e *Engine) runSearch(
 			matchPred = func(jsondoc.Doc) bool { return true }
 		}
 	} else {
-		if err := e.coll.ScanContext(ctx, func(d jsondoc.Doc) bool {
-			buf = append(buf, d)
-			return true
-		}); err != nil {
+		var err error
+		buf, missing, err = e.scatterScan(ctx, workers)
+		if err != nil {
 			return Page{}, fmt.Errorf("search: scan: %w", err)
 		}
 	}
@@ -202,6 +255,11 @@ func (e *Engine) runSearch(
 	}
 	sortResults(results)
 	page := paginate(results, pageNum)
+	if len(missing) > 0 {
+		sort.Ints(missing)
+		page.Partial = true
+		page.MissingShards = missing
+	}
 	// snippets are expensive (tokenization over full texts); compute them
 	// only for the page actually returned
 	start = time.Now()
@@ -280,7 +338,10 @@ func canonicalTerms(terms []textproc.QueryTerm) string {
 //
 // A compute abandoned by cancellation (or failed for any other reason)
 // returns its error WITHOUT touching the cache — partial results from a
-// dead request must never be served to a live one.
+// dead request must never be served to a live one. Likewise a page
+// degraded by a dark shard (Partial) is returned but never cached: the
+// shard may recover the next instant, and a cached partial page would
+// keep serving the hole until the next ingest bumped the generation.
 func (e *Engine) cachedSearch(ctx context.Context, engine, canon string, pageNum int, compute func(context.Context) (Page, error)) (Page, error) {
 	start := time.Now()
 	e.met.Counter("search.queries").Inc()
@@ -299,7 +360,9 @@ func (e *Engine) cachedSearch(ctx context.Context, engine, canon string, pageNum
 	}
 	// belt and braces: even if a compute path missed a cancellation, a
 	// page produced under a dead context is not stored
-	if ctx.Err() == nil {
+	if pg.Partial {
+		e.met.Counter("partial_responses").Inc()
+	} else if ctx.Err() == nil {
 		if ev := cache.put(key, pg, gen); ev > 0 {
 			e.met.Counter("search.cache.evictions").Add(ev)
 		}
