@@ -77,6 +77,20 @@ func main() {
 		fmt.Printf("search bench over %d docs (%d cores, %d workers):\n", res.Docs, res.Cores, res.Workers)
 		fmt.Printf("  serial %.1f qps, parallel %.1f qps (%.2fx)\n", res.SerialQPS, res.ParallelQPS, res.Speedup)
 		fmt.Printf("  page-1 cold %.0fµs, warm %.0fµs (%.0fx)\n", res.ColdPage1Us, res.WarmPage1Us, res.CacheGain)
+		for _, sh := range res.ColdByShape {
+			fmt.Printf("  cold %-11s p50 %.0fµs  p95 %.0fµs  (%d queries, %d samples)\n",
+				sh.Shape, sh.P50Us, sh.P95Us, sh.Queries, sh.Samples)
+		}
+		fmt.Printf("  topk %.0fµs vs fullsort %.0fµs (%.1fx), pages identical: %v\n",
+			res.TopK.TopKColdUs, res.TopK.FullSortColdUs, res.TopK.Speedup, res.TopK.PagesIdentical)
+		fmt.Printf("  index_path=%d fallback_path=%d pruned_docs=%d\n",
+			res.TopK.IndexPathQueries, res.TopK.FallbackPathQueries, res.TopK.PrunedDocs)
+		if res.TopK.IndexPathQueries == 0 {
+			log.Fatal("search bench: index-native path served 0 queries (dispatch gate broken?)")
+		}
+		if !res.TopK.PagesIdentical {
+			log.Fatal("search bench: topk and fullsort pages diverged (parity violated)")
+		}
 		fmt.Printf("written to %s\n", *searchBench)
 		return
 	}

@@ -258,6 +258,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap := s.met.Snapshot()
 	snap["search_cache"] = s.sys.Search.CacheStats()
 	snap["search_workers"] = s.sys.Search.Workers()
+	// which scoring path served queries (read from the engine's own
+	// registry, which may differ from the server's)
+	idx, fb, pruned := s.sys.Search.ScoringStats()
+	snap["search_scoring"] = map[string]int64{
+		"index_path_queries":    idx,
+		"fallback_path_queries": fb,
+		"topk_pruned_docs":      pruned,
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 

@@ -472,7 +472,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	if hists == nil || hists["http.latency"] == nil {
 		t.Fatalf("missing http.latency histogram: %v", body["histograms"])
 	}
-	if hists["search.stage.score"] == nil {
+	if hists["search.stage.topk"] == nil && hists["search.stage.score"] == nil {
 		t.Fatalf("missing per-stage timing: %v", body["histograms"])
 	}
 	cache, _ := body["search_cache"].(map[string]any)

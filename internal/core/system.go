@@ -384,13 +384,14 @@ func (s *System) enrichFrom(include func(pubID string) bool) BuildStats {
 		}
 	})
 	// mark every included publication processed (including table-less
-	// ones, which need no re-visit either)
-	s.Pubs.Scan(func(d jsondoc.Doc) bool {
-		if id := d.GetString("_id"); id != "" && include(id) {
+	// ones, which need no re-visit either) — an id-only scan: cloning
+	// every stored document just to read its _id is the kind of
+	// whole-collection materialization the search path also dropped
+	for _, id := range s.Pubs.IDs() {
+		if include(id) {
 			s.processed[id] = true
 		}
-		return true
-	})
+	}
 	st.NodesAdded = s.Graph.Size() - before
 	return st
 }

@@ -213,21 +213,60 @@ func (c *Collection) snapshotReplica(ctx context.Context, si, ri int) ([]jsondoc
 	return docs, nil
 }
 
-// snapResult carries one replica snapshot attempt.
-type snapResult struct {
-	docs []jsondoc.Doc
-	err  error
+// replicaIDs lists one specific replica's document ids (sorted) without
+// cloning any document — the id-only counterpart of snapshotReplica,
+// used by scans that only need ids downstream. Latency is recorded in
+// its own histogram so fast id scans don't drag down the full-snapshot
+// p95 the hedge budget is calibrated from.
+func (c *Collection) replicaIDs(ctx context.Context, si, ri int) ([]string, error) {
+	s := c.store
+	sg := c.shards[si]
+	b := s.brk[si][ri]
+	if !b.Allow() {
+		return nil, errReplicaOpen
+	}
+	start := time.Now()
+	if err := s.fp.Check(ReplicaTarget(si, ri)); err != nil {
+		b.Failure()
+		return nil, err
+	}
+	b.Success()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	sg.mu.RLock()
+	r := sg.replicas[ri]
+	if r.version != sg.version {
+		sg.mu.RUnlock()
+		return nil, errReplicaStale
+	}
+	ids := make([]string, 0, len(r.docs))
+	for id := range r.docs {
+		ids = append(ids, id)
+	}
+	sg.mu.RUnlock()
+	sort.Strings(ids)
+	s.met.Histogram("docstore.replica_idscan").Observe(time.Since(start))
+	return ids, nil
 }
 
-// SnapshotShardContext returns a consistent deep-copied snapshot of one
-// shard (ids sorted), served by any healthy up-to-date replica. The
-// read is hedged: if the first replica has not answered within the
+// hedgeResult carries one replica read attempt.
+type hedgeResult[T any] struct {
+	val T
+	err error
+}
+
+// hedgedShardRead races one replica-read function across a shard's
+// replica group: if the first replica has not answered within the
 // store's hedge budget (a multiple of the observed p95 replica-read
-// latency, or the WithHedgeDelay override), the same snapshot is raced
-// on the next replica and the first success wins — a slow replica costs
-// one budget, not its full injected latency. When every replica fails,
-// the error is a ShardError wrapping ErrShardUnavailable.
-func (c *Collection) SnapshotShardContext(ctx context.Context, si int) ([]jsondoc.Doc, error) {
+// latency, or the WithHedgeDelay override), the same read is raced on
+// the next replica and the first success wins — a slow replica costs
+// one budget, not its full injected latency. A failed attempt
+// immediately tries the next replica. When every replica fails, the
+// error is a ShardError wrapping ErrShardUnavailable.
+func hedgedShardRead[T any](ctx context.Context, c *Collection, si int, read func(ctx context.Context, si, ri int) (T, error)) (T, error) {
+	var zero T
 	s := c.store
 	n := s.numReplicas
 	start := int(s.readSeq.Add(1)) % n
@@ -236,10 +275,10 @@ func (c *Collection) SnapshotShardContext(ctx context.Context, si int) ([]jsondo
 		order[k] = (start + k) % n
 	}
 
-	results := make(chan snapResult, n)
+	results := make(chan hedgeResult[T], n)
 	attempt := func(ri int) {
-		docs, err := c.snapshotReplica(ctx, si, ri)
-		results <- snapResult{docs, err}
+		v, err := read(ctx, si, ri)
+		results <- hedgeResult[T]{v, err}
 	}
 
 	tried, pending := 1, 1
@@ -253,11 +292,11 @@ func (c *Collection) SnapshotShardContext(ctx context.Context, si int) ([]jsondo
 		case res := <-results:
 			pending--
 			if res.err == nil {
-				return res.docs, nil
+				return res.val, nil
 			}
 			lastErr = res.err
 			if errors.Is(res.err, context.Canceled) || errors.Is(res.err, context.DeadlineExceeded) {
-				return nil, res.err
+				return zero, res.err
 			}
 			// a failed attempt immediately tries the next replica —
 			// no point waiting out the hedge budget on a known failure
@@ -266,7 +305,7 @@ func (c *Collection) SnapshotShardContext(ctx context.Context, si int) ([]jsondo
 				go attempt(order[tried])
 				tried++
 			} else if pending == 0 {
-				return nil, &ShardError{Shard: si, Err: fmt.Errorf("%w: %v", ErrShardUnavailable, lastErr)}
+				return zero, &ShardError{Shard: si, Err: fmt.Errorf("%w: %v", ErrShardUnavailable, lastErr)}
 			}
 		case <-hedge.C:
 			if tried < n {
@@ -277,9 +316,50 @@ func (c *Collection) SnapshotShardContext(ctx context.Context, si int) ([]jsondo
 				hedge.Reset(s.currentHedgeDelay())
 			}
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return zero, ctx.Err()
 		}
 	}
+}
+
+// SnapshotShardContext returns a consistent deep-copied snapshot of one
+// shard (ids sorted), served by any healthy up-to-date replica via a
+// hedged read. When every replica fails, the error is a ShardError
+// wrapping ErrShardUnavailable.
+func (c *Collection) SnapshotShardContext(ctx context.Context, si int) ([]jsondoc.Doc, error) {
+	return hedgedShardRead(ctx, c, si, c.snapshotReplica)
+}
+
+// ShardIDsContext returns one shard's document ids (sorted), served by
+// any healthy up-to-date replica via a hedged read, cloning nothing —
+// callers that only need ids (the search scan fallback, candidate
+// feeds) use it instead of materializing the shard. When every replica
+// fails, the error is a ShardError wrapping ErrShardUnavailable.
+func (c *Collection) ShardIDsContext(ctx context.Context, si int) ([]string, error) {
+	return hedgedShardRead(ctx, c, si, c.replicaIDs)
+}
+
+// AllShardsServing reports whether every shard currently has at least
+// one up-to-date replica whose breaker admits traffic — the cheap
+// upfront gate the index-native scoring path uses: when it holds, page
+// materialization will (almost certainly) succeed, so index-only
+// ranking cannot silently drop a dark shard's documents from Total.
+func (c *Collection) AllShardsServing() bool {
+	s := c.store
+	for si, sg := range c.shards {
+		sg.mu.RLock()
+		ok := false
+		for ri, r := range sg.replicas {
+			if r.version == sg.version && s.brk[si][ri].State().String() != "open" {
+				ok = true
+				break
+			}
+		}
+		sg.mu.RUnlock()
+		if !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // defaultHedgeDelay applies until enough replica reads are observed to

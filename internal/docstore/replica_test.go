@@ -406,3 +406,71 @@ func TestHealthReflectsOutage(t *testing.T) {
 		}
 	}
 }
+
+func TestShardIDsContextMatchesSnapshot(t *testing.T) {
+	s, _, _ := chaosStore(t)
+	c := s.Collection("pubs")
+	seedDocs(t, c, 60)
+	for si := 0; si < c.NumShards(); si++ {
+		ids, err := c.ShardIDsContext(context.Background(), si)
+		if err != nil {
+			t.Fatalf("shard %d: %v", si, err)
+		}
+		docs, err := c.SnapshotShardContext(context.Background(), si)
+		if err != nil {
+			t.Fatalf("shard %d snapshot: %v", si, err)
+		}
+		if len(ids) != len(docs) {
+			t.Fatalf("shard %d: %d ids vs %d docs", si, len(ids), len(docs))
+		}
+		for i, d := range docs {
+			if got := d.GetString("_id"); got != ids[i] {
+				t.Fatalf("shard %d pos %d: id %q vs doc %q (order or content mismatch)", si, i, ids[i], got)
+			}
+		}
+	}
+}
+
+func TestShardIDsContextDarkShard(t *testing.T) {
+	s, fp, _ := chaosStore(t)
+	c := s.Collection("pubs")
+	ids := seedDocs(t, c, 40)
+	si, _ := shardWithDocs(c, ids)
+	fp.Set(fmt.Sprintf("shard%d/*", si), failpoint.Rule{Down: true})
+	if _, err := c.ShardIDsContext(context.Background(), si); !errors.Is(err, ErrShardUnavailable) {
+		t.Fatalf("dark shard id scan err = %v, want ErrShardUnavailable", err)
+	}
+	if got, ok := ShardOfError(func() error {
+		_, err := c.ShardIDsContext(context.Background(), si)
+		return err
+	}()); !ok || got != si {
+		t.Fatalf("ShardOfError = %d,%v want %d,true", got, ok, si)
+	}
+}
+
+func TestAllShardsServing(t *testing.T) {
+	s, fp, _ := chaosStore(t)
+	c := s.Collection("pubs")
+	ids := seedDocs(t, c, 40)
+	if !c.AllShardsServing() {
+		t.Fatal("healthy store should report all shards serving")
+	}
+	// darken one shard and trip its breakers via failed reads
+	si, id := shardWithDocs(c, ids)
+	fp.Set(fmt.Sprintf("shard%d/*", si), failpoint.Rule{Down: true})
+	for i := 0; i < 10; i++ {
+		c.Get(id) //nolint:errcheck // driving the breakers open
+	}
+	if c.AllShardsServing() {
+		t.Fatal("shard with every breaker open should not count as serving")
+	}
+	// recovery: failpoint cleared, half-open probes close the breakers
+	fp.ClearAll()
+	time.Sleep(2 * time.Millisecond) // past the 1ms cooldown
+	if _, err := c.Get(id); err != nil {
+		t.Fatalf("post-recovery read: %v", err)
+	}
+	if !c.AllShardsServing() {
+		t.Fatal("recovered shard should count as serving again")
+	}
+}

@@ -1,18 +1,48 @@
 package experiments
 
 import (
+	"math"
+	"reflect"
 	"runtime"
+	"sort"
 	"time"
 
 	"covidkg/internal/cord19"
 	"covidkg/internal/docstore"
+	"covidkg/internal/metrics"
 	"covidkg/internal/search"
 )
 
+// ShapeStats is the cold-path latency profile of one query shape
+// (single-term, multi-term, phrase) on the default scoring path.
+type ShapeStats struct {
+	Shape   string  `json:"shape"`
+	Queries int     `json:"queries"` // distinct queries of this shape in the mix
+	Samples int     `json:"samples"` // timed cold executions
+	P50Us   float64 `json:"p50_us"`
+	P95Us   float64 `json:"p95_us"`
+}
+
+// TopKComparison pits the index-native top-k path against the
+// full-sort pipeline path over the identical query mix, cache disabled,
+// and records whether every returned page was identical.
+type TopKComparison struct {
+	TopKColdUs     float64 `json:"topk_cold_page1_us"`     // mean cold page-1, index path
+	FullSortColdUs float64 `json:"fullsort_cold_page1_us"` // mean cold page-1, pipeline path
+	Speedup        float64 `json:"speedup"`                // fullsort / topk
+	PagesIdentical bool    `json:"pages_identical"`
+
+	IndexPathQueries    int64 `json:"index_path_queries"`
+	FallbackPathQueries int64 `json:"fallback_path_queries"`
+	PrunedDocs          int64 `json:"topk_pruned_docs"`
+}
+
 // SearchBenchResult is the machine-readable output of RunSearchBench,
 // serialized into BENCH_search.json by cmd/benchrunner. It records the
-// serial-vs-parallel throughput of the all-fields engine and the
-// cold-vs-warm latency of the query cache over a generated corpus.
+// serial-vs-parallel throughput of the all-fields engine, the
+// cold-vs-warm latency of the query cache, the cold-path latency per
+// query shape, and the top-k vs full-sort comparison over a generated
+// corpus.
 type SearchBenchResult struct {
 	Docs    int `json:"docs"`
 	Cores   int `json:"cores"`   // runtime.NumCPU of the benchmarking host
@@ -28,6 +58,9 @@ type SearchBenchResult struct {
 	WarmPage1Us float64 `json:"warm_page1_us"` // mean cached page-1 latency
 	CacheGain   float64 `json:"cache_gain"`    // cold / warm
 
+	ColdByShape []ShapeStats   `json:"cold_by_shape"`
+	TopK        TopKComparison `json:"topk"`
+
 	CacheStats search.CacheStats `json:"cache_stats"`
 }
 
@@ -39,17 +72,67 @@ var benchQueries = []string{
 	"vaccine treatment outcomes", `"intensive care"`,
 }
 
+// queryShape buckets a query for the per-shape latency profile.
+func queryShape(q string) string {
+	switch {
+	case len(q) > 0 && q[0] == '"':
+		return "phrase"
+	case len(splitWords(q)) > 1:
+		return "multi_term"
+	default:
+		return "single_term"
+	}
+}
+
+func splitWords(q string) []string {
+	var out []string
+	cur := ""
+	for _, r := range q {
+		if r == ' ' {
+			if cur != "" {
+				out = append(out, cur)
+				cur = ""
+			}
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
 // RunSearchBench measures the concurrent query-execution work: QPS of
 // SearchAll with one worker vs the full pool (caching disabled so every
-// query pays the pipeline), then cold-vs-warm page-1 latency with the
-// cache enabled. Note the speedup is bounded by the host's core count —
-// on a single-core runner serial and parallel are expected to tie.
+// query pays the scoring), cold-vs-warm page-1 latency with the cache
+// enabled, the cold-path p50/p95 per query shape, and a head-to-head
+// of the index-native top-k path against the full-sort pipeline path
+// (identical pages asserted). Note the throughput speedup is bounded by
+// the host's core count — on a single-core runner serial and parallel
+// are expected to tie.
 func RunSearchBench(quick bool) SearchBenchResult {
 	nDocs := 5000
 	rounds := 3
+	shapeReps := 5
 	if quick {
 		nDocs = 800
 		rounds = 2
+		shapeReps = 3
 	}
 	store := docstore.Open(docstore.WithShards(8))
 	coll := store.Collection("pubs")
@@ -59,7 +142,11 @@ func RunSearchBench(quick bool) SearchBenchResult {
 			panic(err)
 		}
 	}
+	// run-local registry so the path counters reported in the comparison
+	// block cover exactly this bench's queries
+	reg := metrics.NewRegistry()
 	eng := search.NewEngine(coll)
+	eng.SetMetrics(reg)
 
 	res := SearchBenchResult{
 		Docs:    nDocs,
@@ -93,6 +180,89 @@ func RunSearchBench(quick bool) SearchBenchResult {
 	res.ParallelQPS = throughput(res.Workers)
 	if res.SerialQPS > 0 {
 		res.Speedup = res.ParallelQPS / res.SerialQPS
+	}
+
+	// cold-path latency per query shape, and the top-k vs full-sort
+	// head-to-head: cache stays off so every execution is cold; each
+	// query runs shapeReps times on the index-native path, then again
+	// with index scoring disabled (full pipeline), and the returned
+	// pages are diffed.
+	eng.SetCacheLimits(0, 0)
+	type sample struct {
+		shape string
+		us    float64
+	}
+	var topkSamples, fullSamples []sample
+	res.TopK.PagesIdentical = true
+	pages := make([]search.Page, len(benchQueries))
+	for qi, q := range benchQueries {
+		shape := queryShape(q)
+		for r := 0; r < shapeReps; r++ {
+			start := time.Now()
+			pg, err := eng.SearchAll(q, 1)
+			if err != nil {
+				panic(err)
+			}
+			topkSamples = append(topkSamples, sample{shape, float64(time.Since(start).Nanoseconds()) / 1e3})
+			pages[qi] = pg
+		}
+	}
+	idxQ, fbQ, pruned := eng.ScoringStats()
+	res.TopK.IndexPathQueries = idxQ
+	res.TopK.FallbackPathQueries = fbQ
+	res.TopK.PrunedDocs = pruned
+
+	eng.SetIndexScoring(false)
+	for qi, q := range benchQueries {
+		shape := queryShape(q)
+		for r := 0; r < shapeReps; r++ {
+			start := time.Now()
+			pg, err := eng.SearchAll(q, 1)
+			if err != nil {
+				panic(err)
+			}
+			fullSamples = append(fullSamples, sample{shape, float64(time.Since(start).Nanoseconds()) / 1e3})
+			if !reflect.DeepEqual(pg, pages[qi]) {
+				res.TopK.PagesIdentical = false
+			}
+		}
+	}
+	eng.SetIndexScoring(true)
+
+	mean := func(ss []sample) float64 {
+		if len(ss) == 0 {
+			return 0
+		}
+		sum := 0.0
+		for _, s := range ss {
+			sum += s.us
+		}
+		return sum / float64(len(ss))
+	}
+	res.TopK.TopKColdUs = mean(topkSamples)
+	res.TopK.FullSortColdUs = mean(fullSamples)
+	if res.TopK.TopKColdUs > 0 {
+		res.TopK.Speedup = res.TopK.FullSortColdUs / res.TopK.TopKColdUs
+	}
+
+	byShape := map[string][]float64{}
+	shapeQueries := map[string]int{}
+	for _, q := range benchQueries {
+		shapeQueries[queryShape(q)]++
+	}
+	for _, s := range topkSamples {
+		byShape[s.shape] = append(byShape[s.shape], s.us)
+	}
+	for _, shape := range []string{"single_term", "multi_term", "phrase"} {
+		ss := byShape[shape]
+		sort.Float64s(ss)
+		res.ColdByShape = append(res.ColdByShape, ShapeStats{
+			Shape:   shape,
+			Queries: shapeQueries[shape],
+			Samples: len(ss),
+			P50Us:   percentile(ss, 0.50),
+			P95Us:   percentile(ss, 0.95),
+		})
 	}
 
 	// cold vs warm: re-enable the cache, time the first and second hit of

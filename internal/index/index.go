@@ -31,9 +31,28 @@ type fieldKey struct {
 // fieldPostings maps field name → positions for one (term, doc) pair.
 type fieldPostings map[string][]int
 
+// termList is a per-term, lazily sorted list of the doc ids holding the
+// term. Appends in ascending id order (the common case: generated ids
+// are monotone) keep the list clean; out-of-order inserts and removals
+// mark it dirty and it is rebuilt from the postings map on the next
+// snapshot. Rebuilds replace the slice, so snapshot holders reading an
+// older header stay valid.
+type termList struct {
+	ids   []string
+	dirty bool
+}
+
 // Index is a thread-safe inverted index over stemmed content words.
 // Postings are keyed term → doc → field so per-document scoring (the
 // search ranking hot path) never scans other documents' postings.
+//
+// Beyond raw postings the index incrementally maintains, at Add/Remove
+// time, the per-term partial-score metadata the document-at-a-time
+// top-k scorer needs: a sorted doc-id posting list per term, a monotone
+// upper bound of the field-weighted term frequency (for max-score early
+// termination), and a per-document static score (the recency feature,
+// recorded by the search engine so index-only ranking never touches the
+// stored document).
 type Index struct {
 	mu sync.RWMutex
 	// postings: term -> doc -> field -> positions
@@ -43,6 +62,21 @@ type Index struct {
 	// fieldLen: (doc, field) -> token count, for normalization
 	fieldLen map[fieldKey]int
 	docs     map[string]struct{}
+
+	// weights are the per-field ranking weights used for the
+	// precomputed weighted-TF partials (default 1 per field).
+	weights map[string]float64
+	// termDocs: term -> lazily sorted doc ids (the posting list the
+	// top-k merge iterates).
+	termDocs map[string]*termList
+	// maxWTF / maxRaw: term -> monotone maxima of Σ_field tf·weight and
+	// Σ_field tf over any single document. Add raises them; Remove
+	// leaves them untouched (a stale-high maximum is still a valid
+	// upper bound for max-score pruning).
+	maxWTF map[string]float64
+	maxRaw map[string]int
+	// static: doc -> query-independent score component (recency).
+	static map[string]float64
 }
 
 // New creates an empty index.
@@ -52,12 +86,85 @@ func New() *Index {
 		docTerms: map[string]map[string]struct{}{},
 		fieldLen: map[fieldKey]int{},
 		docs:     map[string]struct{}{},
+		termDocs: map[string]*termList{},
+		maxWTF:   map[string]float64{},
+		maxRaw:   map[string]int{},
+		static:   map[string]float64{},
 	}
+}
+
+// SetFieldWeights installs the per-field ranking weights backing the
+// precomputed weighted-TF partials and recomputes every per-term
+// maximum under the new weights. Call it once, right after New, before
+// indexing documents — a live reweigh is correct but pays a full pass
+// over the postings.
+func (ix *Index) SetFieldWeights(w map[string]float64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.weights = make(map[string]float64, len(w))
+	for f, v := range w {
+		ix.weights[f] = v
+	}
+	ix.maxWTF = make(map[string]float64, len(ix.postings))
+	ix.maxRaw = make(map[string]int, len(ix.postings))
+	for term, byDoc := range ix.postings {
+		for docID := range byDoc {
+			ix.refreshBoundsLocked(term, docID)
+		}
+	}
+}
+
+// fieldWeightLocked returns the configured weight of a field (1 when
+// unconfigured). Caller holds ix.mu.
+func (ix *Index) fieldWeightLocked(field string) float64 {
+	if ix.weights == nil {
+		return 1
+	}
+	if w, ok := ix.weights[field]; ok {
+		return w
+	}
+	return 1
+}
+
+// refreshBoundsLocked recomputes one (term, doc) weighted/raw TF
+// partial and raises the term's maxima if it exceeds them. Caller holds
+// ix.mu.
+func (ix *Index) refreshBoundsLocked(term, docID string) {
+	fp := ix.postings[term][docID]
+	raw := 0
+	wtf := 0.0
+	for f, pos := range fp {
+		raw += len(pos)
+		wtf += float64(len(pos)) * ix.fieldWeightLocked(f)
+	}
+	if raw > ix.maxRaw[term] {
+		ix.maxRaw[term] = raw
+	}
+	if wtf > ix.maxWTF[term] {
+		ix.maxWTF[term] = wtf
+	}
+}
+
+// SetStatic records a document's query-independent score component
+// (the search engine stores the recency feature here at indexing time).
+func (ix *Index) SetStatic(docID string, v float64) {
+	ix.mu.Lock()
+	ix.static[docID] = v
+	ix.mu.Unlock()
+}
+
+// Static returns the document's query-independent score component
+// (zero when never set).
+func (ix *Index) Static(docID string) float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.static[docID]
 }
 
 // Add tokenizes, stems, and indexes text as the given field of doc.
 // Calling Add twice for the same (doc, field) appends, with positions
-// continuing after the previous call's tokens.
+// continuing after the previous call's tokens. The per-term posting
+// lists and max-score partials are maintained incrementally.
 func (ix *Index) Add(docID, field, text string) {
 	terms := textproc.ContentWords(text)
 	ix.mu.Lock()
@@ -71,6 +178,7 @@ func (ix *Index) Add(docID, field, text string) {
 		seen = map[string]struct{}{}
 		ix.docTerms[docID] = seen
 	}
+	touched := map[string]struct{}{}
 	for i, term := range terms {
 		byDoc := ix.postings[term]
 		if byDoc == nil {
@@ -81,13 +189,35 @@ func (ix *Index) Add(docID, field, text string) {
 		if fp == nil {
 			fp = fieldPostings{}
 			byDoc[docID] = fp
+			ix.noteTermDocLocked(term, docID)
 		}
 		fp[field] = append(fp[field], base+i)
 		seen[term] = struct{}{}
+		touched[term] = struct{}{}
+	}
+	for term := range touched {
+		ix.refreshBoundsLocked(term, docID)
 	}
 }
 
-// Remove deletes every posting of doc.
+// noteTermDocLocked appends a newly-posting doc to the term's posting
+// list, keeping the sorted invariant when ids arrive in order and
+// marking the list dirty otherwise. Caller holds ix.mu.
+func (ix *Index) noteTermDocLocked(term, docID string) {
+	tl := ix.termDocs[term]
+	if tl == nil {
+		tl = &termList{}
+		ix.termDocs[term] = tl
+	}
+	if !tl.dirty && len(tl.ids) > 0 && tl.ids[len(tl.ids)-1] >= docID {
+		tl.dirty = true
+	}
+	tl.ids = append(tl.ids, docID)
+}
+
+// Remove deletes every posting of doc. Affected posting lists are
+// marked dirty and rebuilt lazily; per-term maxima are deliberately
+// left as-is (monotone maxima remain valid upper bounds).
 func (ix *Index) Remove(docID string) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
@@ -100,6 +230,11 @@ func (ix *Index) Remove(docID string) {
 		delete(byDoc, docID)
 		if len(byDoc) == 0 {
 			delete(ix.postings, term)
+			delete(ix.termDocs, term)
+			delete(ix.maxWTF, term)
+			delete(ix.maxRaw, term)
+		} else if tl := ix.termDocs[term]; tl != nil {
+			tl.dirty = true
 		}
 	}
 	delete(ix.docTerms, docID)
@@ -109,6 +244,7 @@ func (ix *Index) Remove(docID string) {
 		}
 	}
 	delete(ix.docs, docID)
+	delete(ix.static, docID)
 }
 
 // DocCount returns the number of indexed documents.

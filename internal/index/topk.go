@@ -1,0 +1,51 @@
+package index
+
+import "sort"
+
+// TermSnapshot is a point-in-time view of one term's posting list plus
+// the precomputed partials the document-at-a-time top-k scorer needs to
+// build max-score upper bounds. Docs is sorted ascending and must be
+// treated as immutable: the index only ever appends past the snapshot's
+// length or swaps in a freshly-built slice, so a held snapshot stays
+// stable without copying.
+type TermSnapshot struct {
+	Term string
+	// Docs holds the ids of every document containing Term, ascending.
+	Docs []string
+	// MaxWTF is an upper bound of Σ_field tf·fieldWeight over any
+	// single document containing Term (monotone: removals never lower
+	// it, so it can be stale-high but never stale-low).
+	MaxWTF float64
+	// MaxRaw is the matching upper bound of the raw (unweighted)
+	// term frequency.
+	MaxRaw int
+}
+
+// TermSnapshots returns one snapshot per requested term, rebuilding any
+// posting list whose sorted invariant was invalidated by out-of-order
+// adds or removals. Terms absent from the index yield empty snapshots.
+func (ix *Index) TermSnapshots(terms []string) []TermSnapshot {
+	out := make([]TermSnapshot, len(terms))
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for i, term := range terms {
+		out[i].Term = term
+		tl := ix.termDocs[term]
+		if tl == nil {
+			continue
+		}
+		if tl.dirty {
+			ids := make([]string, 0, len(ix.postings[term]))
+			for docID := range ix.postings[term] {
+				ids = append(ids, docID)
+			}
+			sort.Strings(ids)
+			tl.ids = ids
+			tl.dirty = false
+		}
+		out[i].Docs = tl.ids
+		out[i].MaxWTF = ix.maxWTF[term]
+		out[i].MaxRaw = ix.maxRaw[term]
+	}
+	return out
+}

@@ -10,6 +10,7 @@ package search
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -61,20 +62,48 @@ type Engine struct {
 	gen   atomic.Uint64
 	cache atomic.Pointer[queryCache]
 	met   *metrics.Registry
+	// indexScoring enables the index-native top-k path for eligible
+	// query shapes (on by default; off forces the pipeline path, used
+	// by benchmarks and the parity property test).
+	indexScoring atomic.Bool
 }
 
 // NewEngine builds a search engine over the given publication collection
 // and indexes every document already present.
 func NewEngine(coll *docstore.Collection) *Engine {
 	e := &Engine{coll: coll, idx: index.New(), met: metrics.Default()}
+	e.idx.SetFieldWeights(fieldWeights)
 	e.rankOpts.Store(&RankOptions{})
 	e.workers.Store(int32(pipeline.DefaultWorkers()))
 	e.cache.Store(newQueryCache(defaultCacheEntries, defaultCacheBytes))
+	e.indexScoring.Store(true)
 	coll.Scan(func(d jsondoc.Doc) bool {
 		e.indexDoc(d)
 		return true
 	})
 	return e
+}
+
+// SetIndexScoring toggles the index-native top-k scoring path. Both
+// settings produce identical pages (the paths are parity-tested); off
+// forces every query through the full materialize-match-rank pipeline.
+// Toggling bumps the generation so cached pages carry no stale counters
+// semantics across a switch.
+func (e *Engine) SetIndexScoring(on bool) {
+	e.indexScoring.Store(on)
+	e.invalidate()
+}
+
+// IndexScoring reports whether the index-native top-k path is enabled.
+func (e *Engine) IndexScoring() bool { return e.indexScoring.Load() }
+
+// ScoringStats reports how many queries each scoring path served and
+// how many candidate documents the top-k bound pruned, for the metrics
+// endpoint and benchmarks.
+func (e *Engine) ScoringStats() (indexPath, fallback, pruned int64) {
+	return e.met.Counter("index_path_queries").Value(),
+		e.met.Counter("fallback_path_queries").Value(),
+		e.met.Counter("topk_pruned_docs").Value()
 }
 
 // Index returns the engine's inverted index (read-mostly; exposed for
@@ -91,11 +120,22 @@ func (e *Engine) SetMetrics(reg *metrics.Registry) {
 	}
 }
 
-// Workers returns the current scoring fan-out width.
-func (e *Engine) Workers() int { return int(e.workers.Load()) }
+// Workers returns the current scoring fan-out width, clamped to
+// runtime.GOMAXPROCS(0): spawning more scoring goroutines than
+// schedulable CPUs only adds switch overhead (on a 1-core host the
+// parallel path used to lose to the serial one), and at width 1 the
+// pipeline stages skip pool spawn entirely and run inline.
+func (e *Engine) Workers() int {
+	n := int(e.workers.Load())
+	if max := runtime.GOMAXPROCS(0); n > max {
+		return max
+	}
+	return n
+}
 
 // SetWorkers bounds the per-query worker pool; n ≤ 1 forces fully
-// serial execution (useful for benchmarking the speedup).
+// serial execution (useful for benchmarking the speedup). Values above
+// runtime.GOMAXPROCS(0) are clamped at read time.
 func (e *Engine) SetWorkers(n int) {
 	if n < 1 {
 		n = 1
@@ -177,6 +217,9 @@ func (e *Engine) indexDoc(d jsondoc.Doc) {
 			e.idx.Add(id, FieldFigureCaption, s)
 		}
 	}
+	// Record the static (recency) feature so index-native scoring never
+	// needs the stored document.
+	e.idx.SetStatic(id, recencyOf(d))
 }
 
 // fieldTexts extracts the raw text of each logical field of a stored

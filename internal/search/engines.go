@@ -83,27 +83,29 @@ func (e *Engine) resolveCandidates(ctx context.Context, ids []string, workers in
 	return out, missing, nil
 }
 
-// scatterScan materializes the whole collection shard by shard, the
-// shards raced in parallel through hedged replica snapshots. A shard
-// whose every replica is unavailable is skipped and reported in missing
-// rather than failing the scan — the degraded-read counterpart of
-// Collection.ScanContext, which fails loudly. Context errors still
-// abort the whole scan.
-func (e *Engine) scatterScan(ctx context.Context, workers int) ([]jsondoc.Doc, []int, error) {
+// scatterScanIDs lists the whole collection's doc ids shard by shard,
+// the shards raced in parallel through hedged replica id reads. Unlike
+// the old full-document scatter scan this clones nothing — downstream
+// stages fetch only the documents they actually need (resolveCandidates
+// for the pipeline's match stage, page materialization for top-k). A
+// shard whose every replica is unavailable is skipped and reported in
+// missing rather than failing the scan. Context errors still abort the
+// whole scan. The returned ids are globally sorted.
+func (e *Engine) scatterScanIDs(ctx context.Context, workers int) ([]string, []int, error) {
 	n := e.coll.NumShards()
-	snaps := make([][]jsondoc.Doc, n)
+	snaps := make([][]string, n)
 	errs := make([]error, n)
 	pipeline.ParallelChunks(n, workers, func(lo, hi int) {
 		for si := lo; si < hi; si++ {
-			snaps[si], errs[si] = e.coll.SnapshotShardContext(ctx, si)
+			snaps[si], errs[si] = e.coll.ShardIDsContext(ctx, si)
 		}
 	})
-	var buf []jsondoc.Doc
+	var ids []string
 	var missing []int
 	for si := 0; si < n; si++ {
 		switch err := errs[si]; {
 		case err == nil:
-			buf = append(buf, snaps[si]...)
+			ids = append(ids, snaps[si]...)
 		case errors.Is(err, docstore.ErrShardUnavailable):
 			missing = append(missing, si)
 		default:
@@ -113,7 +115,8 @@ func (e *Engine) scatterScan(ctx context.Context, workers int) ([]jsondoc.Doc, [
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	return buf, missing, nil
+	sort.Strings(ids)
+	return ids, missing, nil
 }
 
 // phraseCandidates resolves a quoted phrase to the documents containing
@@ -198,28 +201,28 @@ func (e *Engine) runSearch(
 ) (Page, error) {
 	workers := e.Workers()
 
-	// materialize the input stream: candidate partitions resolve in
-	// parallel; the fallback buffers the whole collection for the
-	// parallel $match to partition. Both paths abandon work when the
-	// request context dies.
+	// materialize the input stream: an id-only scatter scan supplies the
+	// candidate list when the index could not (the match predicate then
+	// stays active over the fetched docs), and candidate partitions
+	// resolve in parallel. Both paths abandon work when the request
+	// context dies.
 	start := time.Now()
-	var buf []jsondoc.Doc
-	var missing []int
-	if candidates != nil {
+	var scanMissing []int
+	if candidates == nil {
 		var err error
-		buf, missing, err = e.resolveCandidates(ctx, candidates, workers)
-		if err != nil {
-			return Page{}, fmt.Errorf("search: fetch: %w", err)
-		}
-		if !verifyCandidates {
-			matchPred = func(jsondoc.Doc) bool { return true }
-		}
-	} else {
-		var err error
-		buf, missing, err = e.scatterScan(ctx, workers)
+		candidates, scanMissing, err = e.scatterScanIDs(ctx, workers)
 		if err != nil {
 			return Page{}, fmt.Errorf("search: scan: %w", err)
 		}
+		verifyCandidates = true
+	}
+	buf, missing, err := e.resolveCandidates(ctx, candidates, workers)
+	if err != nil {
+		return Page{}, fmt.Errorf("search: fetch: %w", err)
+	}
+	missing = mergeMissing(scanMissing, missing)
+	if !verifyCandidates {
+		matchPred = func(jsondoc.Doc) bool { return true }
 	}
 	e.observeStage("fetch", time.Since(start))
 
@@ -371,6 +374,25 @@ func (e *Engine) cachedSearch(ctx context.Context, engine, canon string, pageNum
 	return pg, nil
 }
 
+// mergeMissing unions two dark-shard lists without duplicates (order is
+// normalized later, when the page is marked partial).
+func mergeMissing(a, b []int) []int {
+	if len(a) == 0 {
+		return b
+	}
+	seen := map[int]bool{}
+	for _, si := range a {
+		seen[si] = true
+	}
+	for _, si := range b {
+		if !seen[si] {
+			seen[si] = true
+			a = append(a, si)
+		}
+	}
+	return a
+}
+
 // intersectSorted intersects two sorted string slices.
 func intersectSorted(a, b []string) []string {
 	var out []string
@@ -508,7 +530,7 @@ func (e *Engine) SearchFieldsContext(ctx context.Context, q FieldQuery, pageNum 
 		e.observeStage("candidates", time.Since(start))
 		// Results format: "table captions first, the title and authors and
 		// the full abstract" — snippet order encodes that.
-		return e.runSearch(ctx, match, candidates, verify, allTerms, rankFields,
+		return e.runQuery(ctx, match, candidates, verify, allTerms, rankFields,
 			[]string{FieldTableCaption, FieldTitle, FieldAbstract}, pageNum)
 	})
 }
@@ -541,7 +563,7 @@ func (e *Engine) SearchAllContext(ctx context.Context, query string, pageNum int
 		if !ok {
 			candidates, verify = nil, false
 		}
-		return e.runSearch(ctx, match, candidates, verify, terms, nil,
+		return e.runQuery(ctx, match, candidates, verify, terms, nil,
 			[]string{FieldAbstract, FieldBody, FieldTableCaption, FieldTableCell, FieldFigureCaption},
 			pageNum)
 	})
@@ -576,7 +598,7 @@ func (e *Engine) SearchTablesContext(ctx context.Context, query string, pageNum 
 		}
 		// The table engine also shows where the terms land in the abstract
 		// for context (Figure 4 shows an abstract match below the table).
-		return e.runSearch(ctx, match, candidates, verify, terms, tableFields,
+		return e.runQuery(ctx, match, candidates, verify, terms, tableFields,
 			[]string{FieldTableCaption, FieldTableCell, FieldAbstract}, pageNum)
 	})
 }

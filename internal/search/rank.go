@@ -67,10 +67,40 @@ type RankExplain struct {
 	Total     float64
 }
 
+// recencyOf computes the static recency feature from a document's
+// publish date. Dates are ISO "YYYY-MM-DD"; missing dates contribute
+// nothing. The engine records this value in the index at indexing time
+// so the index-native scoring path can apply it without touching the
+// stored document.
+func recencyOf(d jsondoc.Doc) float64 {
+	if date := d.GetString("publish_date"); len(date) >= 4 {
+		switch {
+		case date >= "2022":
+			return wRecency * 1.0
+		case date >= "2021":
+			return wRecency * 0.6
+		case date >= "2020":
+			return wRecency * 0.3
+		}
+	}
+	return 0
+}
+
 // scoreDoc computes the ranking score of doc for the parsed query,
 // restricted to the given fields (nil means all fields).
 func (e *Engine) scoreDoc(d jsondoc.Doc, terms []textproc.QueryTerm, fields map[string]bool) RankExplain {
-	docID := d.GetString("_id")
+	return e.score(d.GetString("_id"), d, terms, fields)
+}
+
+// score is the single ranking implementation behind both scoring paths.
+// The pipeline path passes the materialized document; the index-native
+// top-k path passes a nil doc and the score is derived from postings
+// alone (exact-phrase terms never reach the index path — phrase shapes
+// force the pipeline fallback — and the recency feature comes from the
+// static store recorded at indexing time). Both paths therefore
+// accumulate the identical float sequence in the identical order, which
+// is what makes their result pages byte-identical.
+func (e *Engine) score(docID string, d jsondoc.Doc, terms []textproc.QueryTerm, fields map[string]bool) RankExplain {
 	var ex RankExplain
 	opts := *e.rankOpts.Load()
 	fieldWeight := func(f string) float64 {
@@ -100,6 +130,9 @@ func (e *Engine) scoreDoc(d jsondoc.Doc, terms []textproc.QueryTerm, fields map[
 	for _, t := range terms {
 		termHit := false
 		if t.Exact {
+			if d == nil {
+				continue // index path never sees exact terms
+			}
 			for f, texts := range fieldTexts(d) {
 				if fields != nil && !fields[f] {
 					continue
@@ -167,17 +200,14 @@ func (e *Engine) scoreDoc(d jsondoc.Doc, terms []textproc.QueryTerm, fields map[
 		ex.Coverage = wCoverage * float64(matched) / float64(len(terms))
 	}
 
-	// Static feature: newer publications get a small boost. Dates are
-	// ISO "YYYY-MM-DD"; missing dates contribute nothing.
-	if date := d.GetString("publish_date"); len(date) >= 4 {
-		switch {
-		case date >= "2022":
-			ex.Recency = wRecency * 1.0
-		case date >= "2021":
-			ex.Recency = wRecency * 0.6
-		case date >= "2020":
-			ex.Recency = wRecency * 0.3
-		}
+	// Static feature: newer publications get a small boost. The index
+	// path reads the value recorded at indexing time; the pipeline path
+	// recomputes it from the document (the two are identical because
+	// indexDoc stores recencyOf(d)).
+	if d == nil {
+		ex.Recency = e.idx.Static(docID)
+	} else {
+		ex.Recency = recencyOf(d)
 	}
 
 	ex.Total = ex.TFIDF + ex.Matches + ex.Proximity + ex.Coverage + ex.Recency
