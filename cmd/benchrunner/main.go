@@ -16,14 +16,15 @@
 //	benchrunner -chaosbench BENCH_chaos.json
 //	                          # shard kill/recover schedule: availability,
 //	                          # outage p99, resync time, lost-write audit
+//	benchrunner -soakbench BENCH_soak.json
+//	                          # multi-tenant session replay under chaos +
+//	                          # live ingest; exits non-zero on SLO breach
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"strings"
 	"time"
 
@@ -36,7 +37,36 @@ func main() {
 	searchBench := flag.String("searchbench", "", "run the search concurrency/cache benchmark and write JSON to this file")
 	loadBench := flag.String("loadbench", "", "run the request-lifecycle overload benchmark and write JSON to this file")
 	chaosBench := flag.String("chaosbench", "", "run the shard kill/recover chaos benchmark and write JSON to this file")
+	soakBench := flag.String("soakbench", "", "run the multi-tenant soak benchmark and write JSON to this file; exits non-zero on SLO breach")
 	flag.Parse()
+
+	if *soakBench != "" {
+		res := experiments.RunSoakBench(*quick)
+		writeJSONFile(*soakBench, res)
+		fmt.Printf("soak bench over %d docs (%d shards × %d replicas, seed %d), %.0fms wall:\n",
+			res.Docs, res.Shards, res.Replicas, res.Seed, res.DurationMs)
+		fmt.Printf("  %d requests across %d sessions: %d ok, %d rate-limited, %d quota-denied, %d shed, %d failed\n",
+			res.Requests, res.Sessions, res.OK, res.RateLimited, res.QuotaDenied, res.Shed, res.Failed)
+		fmt.Printf("  availability %.3f%% (SLO ≥ %.1f%%)\n", res.AvailabilityPct, res.SLOs.AvailabilityPct)
+		for _, cs := range res.Classes {
+			fmt.Printf("  %-6s p50 %.1fms  p99 %.1fms  (budget %.0fms, %d requests)\n",
+				cs.Class, cs.P50Us/1000, cs.P99Us/1000, cs.BudgetMs, cs.Requests)
+		}
+		for _, ts := range res.Tenants {
+			fmt.Printf("  tenant %-7s [%-8s] %d req → %d ok, %d quota-denied, served=%d/%s\n",
+				ts.ID, ts.Priority, ts.Requests, ts.OK, ts.QuotaDenied,
+				ts.ServedCounter, quotaStr(ts.Quota))
+		}
+		fmt.Printf("  chaos: %d replica kills; ingest: %d acked, %d rejected, %d lost, %d ghost; inversions=%d\n",
+			res.ReplicaKills, res.IngestAcked, res.IngestRejected, res.LostWrites, res.GhostWrites,
+			res.AdmissionInversions)
+		fmt.Printf("written to %s\n", *soakBench)
+		if !res.Pass {
+			log.Fatalf("soak SLO breach:\n  - %s", strings.Join(res.Breaches, "\n  - "))
+		}
+		fmt.Println("all SLOs met")
+		return
+	}
 
 	if *chaosBench != "" {
 		res := experiments.RunChaosBench(*quick)
@@ -117,15 +147,19 @@ func main() {
 	fmt.Printf("all experiments done in %s\n", time.Since(start).Round(time.Millisecond))
 }
 
-// writeJSONFile marshals v with an indent and writes it, fatally on any
-// error — benchmark output is the whole point of the run.
+// writeJSONFile delegates to the experiments package's shared
+// serializer, fatally on any error — benchmark output is the whole
+// point of the run.
 func writeJSONFile(path string, v any) {
-	data, err := json.MarshalIndent(v, "", "  ")
-	if err != nil {
+	if err := experiments.WriteBenchJSON(path, v); err != nil {
 		log.Fatal(err)
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		log.Fatal(err)
+}
+
+// quotaStr renders a quota for the console summary ("∞" when unset).
+func quotaStr(q int64) string {
+	if q <= 0 {
+		return "∞"
 	}
+	return fmt.Sprintf("%d", q)
 }

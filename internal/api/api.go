@@ -36,7 +36,8 @@ type Server struct {
 	mux      *http.ServeMux
 	handler  http.Handler
 	idPrefix string
-	sems     [numClasses]chan struct{}
+	adms     [numClasses]*admitter
+	tenants  *tenants
 }
 
 // NewServer builds the handler tree over a (typically trained) system
@@ -62,9 +63,10 @@ func NewServerWith(sys *core.System, cfg Config) *Server {
 		classHeavy:  cfg.MaxInflightHeavy,
 	} {
 		if max > 0 {
-			s.sems[class] = make(chan struct{}, max)
+			s.adms[class] = newAdmitter(max)
 		}
 	}
+	s.tenants = newTenants(cfg.Tenants, cfg.DefaultTenant, cfg.Now)
 
 	// healthz (liveness) and readyz (readiness) are exempt from
 	// versioning and admission control: load balancers must be able to
@@ -93,8 +95,10 @@ func NewServerWith(sys *core.System, cfg Config) *Server {
 	s.mux.HandleFunc("GET /", s.handleIndex)
 
 	// request ids outermost so metrics and recovered panics carry them;
+	// tenant resolution sits inside that so every response — including
+	// recovered panics and sheds — carries the resolved X-Tenant-ID;
 	// metrics wraps recover so recovered panics still record their 500
-	s.handler = s.requestIDMiddleware(metricsMiddleware(s.met, recoverMiddleware(s.mux)))
+	s.handler = s.requestIDMiddleware(s.tenantMiddleware(metricsMiddleware(s.met, recoverMiddleware(s.mux))))
 	return s
 }
 
@@ -147,9 +151,17 @@ func errCode(status int) string {
 //
 //	{"error": "...", "code": "bad_query", "request_id": "..."}
 func writeErr(w http.ResponseWriter, r *http.Request, status int, err error) {
+	writeErrCode(w, r, status, errCode(status), err)
+}
+
+// writeErrCode emits the envelope with an explicit machine-readable
+// code, for statuses that cover several distinct conditions (429 is
+// "overloaded" from admission control, "rate_limited" from a tenant's
+// token bucket, "quota_exceeded" from an exhausted budget).
+func writeErrCode(w http.ResponseWriter, r *http.Request, status int, code string, err error) {
 	env := map[string]string{
 		"error": err.Error(),
-		"code":  errCode(status),
+		"code":  code,
 	}
 	if r != nil {
 		if id := RequestIDFromContext(r.Context()); id != "" {
@@ -253,9 +265,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 // handleMetrics exposes the process-wide counters, gauges, and latency
 // histograms plus the query-cache statistics — the observability surface
 // behind the BENCH_* numbers and the lifecycle counters (requests_shed,
-// requests_cancelled, deadline_exceeded, inflight_*).
+// requests_cancelled, deadline_exceeded, inflight_*). Runtime vitals
+// (goroutines, heap-in-use, GC pause p99) are captured per request so
+// long soaks can watch for leaks.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	rt := metrics.CaptureRuntimeHealth()
+	rt.SetGauges(s.met)
 	snap := s.met.Snapshot()
+	snap["runtime"] = rt
 	snap["search_cache"] = s.sys.Search.CacheStats()
 	snap["search_workers"] = s.sys.Search.Workers()
 	// which scoring path served queries (read from the engine's own

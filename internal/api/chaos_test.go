@@ -186,8 +186,10 @@ func TestChaosInvariant(t *testing.T) {
 // immediate-retry invitation — on shed responses.
 func TestRetryAfterClampedToWholeSecond(t *testing.T) {
 	s, _ := liteServer(t, Config{MaxInflightSearch: 1, RetryAfter: 100 * time.Millisecond})
-	s.sems[classSearch] <- struct{}{}
-	defer func() { <-s.sems[classSearch] }()
+	if ok, _ := s.adms[classSearch].acquire(PriorityHigh); !ok {
+		t.Fatal("could not pre-fill the search class")
+	}
+	defer s.adms[classSearch].release()
 	rec, _ := get(t, s, "/api/v1/search?q=vaccine")
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("saturated search = %d, want 429", rec.Code)

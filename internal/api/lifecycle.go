@@ -5,6 +5,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -62,12 +63,29 @@ type Config struct {
 	MaxInflightSearch int // default 64
 	MaxInflightHeavy  int // default 8
 
-	// RetryAfter is the back-off hint attached to shed responses.
+	// RetryAfter is the back-off hint attached to admission-shed
+	// responses (rate-limited responses compute theirs from the token
+	// bucket's actual refill time instead).
 	RetryAfter time.Duration // default 1s
 
+	// Tenants maps X-Tenant-ID values onto per-tenant contracts:
+	// priority (shed order), token-bucket rate limit, and lifetime
+	// quota. Requests with a missing or unconfigured tenant id share
+	// the anonymous state governed by DefaultTenant.
+	Tenants map[string]TenantLimits
+
+	// DefaultTenant is the contract applied to anonymous traffic. The
+	// zero value means standard priority, no rate limit, no quota.
+	DefaultTenant TenantLimits
+
+	// Now is the clock used by rate-limit buckets (default time.Now);
+	// tests inject a fake to drive refill deterministically.
+	Now func() time.Time
+
 	// Metrics receives the lifecycle counters/gauges (requests_shed,
-	// requests_cancelled, deadline_exceeded, inflight_*) alongside the
-	// request middleware metrics. Defaults to metrics.Default().
+	// requests_cancelled, deadline_exceeded, inflight_*, per-tenant
+	// tenant.<id>.* counters) alongside the request middleware metrics.
+	// Defaults to metrics.Default().
 	Metrics *metrics.Registry
 }
 
@@ -117,6 +135,9 @@ func (c Config) withDefaults() Config {
 	c.MaxInflightHeavy = pickN(c.MaxInflightHeavy, d.MaxInflightHeavy)
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = d.RetryAfter
+	}
+	if c.Now == nil {
+		c.Now = time.Now
 	}
 	if c.Metrics == nil {
 		c.Metrics = d.Metrics
@@ -187,45 +208,78 @@ func (s *Server) requestIDMiddleware(next http.Handler) http.Handler {
 
 // ------------------------------------------------- admission + deadlines
 
-// acquire tries to take an in-flight slot for the class; it never
-// blocks — under saturation the request is shed, not queued.
-func (s *Server) acquire(class routeClass) bool {
-	sem := s.sems[class]
-	if sem == nil {
+// acquire tries to take an in-flight slot for the class at the given
+// priority; it never blocks — under saturation the request is shed, not
+// queued. An inversion (a shed that a lower priority would have
+// survived — structurally impossible, counted to prove it) is recorded
+// into admission_inversions.
+func (s *Server) acquire(class routeClass, p Priority) bool {
+	a := s.adms[class]
+	if a == nil {
 		return true
 	}
-	select {
-	case sem <- struct{}{}:
+	ok, inversion := a.acquire(p)
+	if ok {
 		s.met.Gauge("inflight_" + class.String()).Inc()
-		return true
-	default:
-		return false
+	} else if inversion {
+		s.met.Counter("admission_inversions").Inc()
 	}
+	return ok
 }
 
 // release returns an in-flight slot.
 func (s *Server) release(class routeClass) {
-	if sem := s.sems[class]; sem != nil {
-		<-sem
+	if a := s.adms[class]; a != nil {
+		a.release()
 		s.met.Gauge("inflight_" + class.String()).Dec()
 	}
 }
 
-// lifecycle wraps a handler with the request lifecycle: admission
-// control (shed with 429 + Retry-After when the class is saturated), a
-// per-class deadline layered onto the client's own cancellation, and
-// cancel/deadline accounting after the handler returns.
+// lifecycle wraps a handler with the request lifecycle: the tenant's
+// token-bucket rate limit (429 + bucket-derived Retry-After +
+// X-RateLimit-* when exhausted), priority-aware admission control (shed
+// with 429 + Retry-After when the class is saturated at the tenant's
+// priority ceiling), the tenant's lifetime quota, a per-class deadline
+// layered onto the client's own cancellation, and cancel/deadline
+// accounting after the handler returns.
 func (s *Server) lifecycle(class routeClass, timeout time.Duration, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if !s.acquire(class) {
+		st := s.tenantState(r.Context())
+
+		if st.bucket != nil {
+			ok, wait, remaining, reset := st.bucket.take(s.cfg.Now())
+			setRateHeaders(w, st, remaining, reset)
+			if !ok {
+				s.met.Counter("tenant." + st.id + ".rate_limited").Inc()
+				w.Header().Set("Retry-After", strconv.Itoa(ceilSeconds(wait)))
+				writeErrCode(w, r, http.StatusTooManyRequests, "rate_limited",
+					fmt.Errorf("tenant %s over its request rate; retry after the bucket refills", st.id))
+				return
+			}
+		}
+
+		if !s.acquire(class, st.limits.Priority) {
 			s.met.Counter("requests_shed").Inc()
 			s.met.Counter("requests_shed." + class.String()).Inc()
+			s.met.Counter("requests_shed.priority." + st.limits.Priority.String()).Inc()
+			s.met.Counter("tenant." + st.id + ".shed").Inc()
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
 			writeErr(w, r, http.StatusTooManyRequests,
 				errors.New("server overloaded; try again shortly"))
 			return
 		}
 		defer s.release(class)
+
+		// quota is consumed after admission so shed requests never burn
+		// budget; the CAS inside tryQuota makes the cap exact under
+		// concurrency
+		if !st.tryQuota() {
+			s.met.Counter("tenant." + st.id + ".quota_rejected").Inc()
+			writeErrCode(w, r, http.StatusTooManyRequests, "quota_exceeded",
+				fmt.Errorf("tenant %s exhausted its request quota", st.id))
+			return
+		}
+		s.met.Counter("tenant." + st.id + ".served").Inc()
 
 		ctx := r.Context()
 		if timeout > 0 {
@@ -252,6 +306,17 @@ func (s *Server) lifecycle(class routeClass, timeout time.Duration, h http.Handl
 // and turn into a tight retry storm against an overloaded server.
 func retryAfterSeconds(d time.Duration) int {
 	secs := int(d.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// ceilSeconds renders a token-bucket refill wait as a Retry-After
+// value: rounded up to whole seconds (a client that retries early just
+// burns its own budget), never below 1.
+func ceilSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}

@@ -153,8 +153,11 @@ func TestRequestIDPropagation(t *testing.T) {
 func TestAdmissionControlSheds(t *testing.T) {
 	s, reg := liteServer(t, Config{MaxInflightSearch: 1, RetryAfter: 3 * time.Second})
 
-	// saturate the search class from the outside
-	s.sems[classSearch] <- struct{}{}
+	// saturate the search class from the outside (high priority fills
+	// the whole capacity, so every tenant tier below is saturated too)
+	if ok, _ := s.adms[classSearch].acquire(PriorityHigh); !ok {
+		t.Fatal("could not pre-fill the search class")
+	}
 	rec, body := get(t, s, "/api/v1/search?q=vaccine")
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("saturated search = %d, want 429", rec.Code)
@@ -175,7 +178,7 @@ func TestAdmissionControlSheds(t *testing.T) {
 	}
 
 	// freeing the slot restores service
-	<-s.sems[classSearch]
+	s.adms[classSearch].release()
 	if rec, _ := get(t, s, "/api/v1/search?q=vaccine"); rec.Code != http.StatusOK {
 		t.Fatalf("post-drain search = %d", rec.Code)
 	}

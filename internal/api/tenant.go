@@ -1,0 +1,300 @@
+package api
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Priority orders tenants for admission control: when a route class
+// saturates, lower priorities are shed first and PriorityHigh tenants
+// shed last. The admission ceilings per priority are monotone
+// (low ≤ standard ≤ high = class capacity), which makes "a high-priority
+// request was shed while a lower-priority one would have been admitted"
+// structurally impossible — the admission_inversions counter exists to
+// prove that invariant holds at runtime, not to tolerate violations.
+type Priority int
+
+const (
+	// PriorityLow is best-effort traffic: free tiers, crawlers,
+	// batch consumers. Shed first.
+	PriorityLow Priority = iota
+	// PriorityStandard is the default for unidentified traffic.
+	PriorityStandard
+	// PriorityHigh is paying/interactive traffic. Shed last.
+	PriorityHigh
+	numPriorities
+)
+
+func (p Priority) String() string {
+	switch p {
+	case PriorityLow:
+		return "low"
+	case PriorityStandard:
+		return "standard"
+	case PriorityHigh:
+		return "high"
+	default:
+		return "unknown"
+	}
+}
+
+// ParsePriority maps a config string onto a Priority; unknown strings
+// fall back to standard.
+func ParsePriority(s string) Priority {
+	switch s {
+	case "low":
+		return PriorityLow
+	case "high":
+		return PriorityHigh
+	default:
+		return PriorityStandard
+	}
+}
+
+// TenantLimits is one tenant's traffic contract. The zero value means
+// standard priority, no rate limit, and no quota — the treatment
+// anonymous traffic gets.
+type TenantLimits struct {
+	// Priority decides shed order under saturation.
+	Priority Priority
+	// RatePerSec refills the tenant's token bucket; 0 disables rate
+	// limiting for the tenant.
+	RatePerSec float64
+	// Burst is the bucket capacity; 0 defaults to max(1, ceil(RatePerSec)).
+	Burst int
+	// Quota caps the total requests served to the tenant over the
+	// server's lifetime (the soak run's budget); 0 means unlimited.
+	// Exhausting the quota is terminal: 429 with code quota_exceeded
+	// until the process restarts.
+	Quota int64
+}
+
+// tokenBucket is a standard token bucket with an injectable clock.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int, now time.Time) *tokenBucket {
+	b := float64(burst)
+	if b <= 0 {
+		b = math.Ceil(rate)
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &tokenBucket{rate: rate, burst: b, tokens: b, last: now}
+}
+
+// take consumes one token if available. It returns whether the take
+// succeeded, how long until a token would be available (for
+// Retry-After), the whole tokens remaining, and when the bucket will be
+// full again (the X-RateLimit-Reset instant).
+func (b *tokenBucket) take(now time.Time) (ok bool, wait time.Duration, remaining int, reset time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+	}
+	if !now.Before(b.last) {
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		ok = true
+	} else if b.rate > 0 {
+		wait = time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	}
+	remaining = int(b.tokens)
+	if b.rate > 0 {
+		reset = now.Add(time.Duration((b.burst - b.tokens) / b.rate * float64(time.Second)))
+	}
+	return ok, wait, remaining, reset
+}
+
+// tenantState is the live accounting for one tenant id.
+type tenantState struct {
+	id     string
+	limits TenantLimits
+	bucket *tokenBucket // nil when the tenant has no rate limit
+	served atomic.Int64 // requests admitted and handled; the quota counter
+}
+
+// tryQuota consumes one unit of the tenant's quota, or reports
+// exhaustion. The CAS loop makes the budget exact under concurrency: a
+// race can never admit the quota+1'th request.
+func (t *tenantState) tryQuota() bool {
+	for {
+		cur := t.served.Load()
+		if t.limits.Quota > 0 && cur >= t.limits.Quota {
+			return false
+		}
+		if t.served.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// anonTenant keys the shared state for requests with no (or an
+// unconfigured) X-Tenant-ID.
+const anonTenant = "anonymous"
+
+// tenants resolves and caches per-tenant state. Configured tenants get
+// individual buckets and quotas; everything else shares the anonymous
+// state so a spray of random ids cannot grow server memory or metric
+// cardinality without bound.
+type tenants struct {
+	mu    sync.Mutex
+	byID  map[string]*tenantState
+	deflt TenantLimits
+	now   func() time.Time
+}
+
+func newTenants(cfg map[string]TenantLimits, deflt TenantLimits, now func() time.Time) *tenants {
+	ts := &tenants{byID: make(map[string]*tenantState, len(cfg)+1), deflt: deflt, now: now}
+	for id, lim := range cfg {
+		ts.byID[id] = ts.newState(id, lim)
+	}
+	ts.byID[anonTenant] = ts.newState(anonTenant, deflt)
+	return ts
+}
+
+func (ts *tenants) newState(id string, lim TenantLimits) *tenantState {
+	st := &tenantState{id: id, limits: lim}
+	if lim.RatePerSec > 0 {
+		st.bucket = newTokenBucket(lim.RatePerSec, lim.Burst, ts.now())
+	}
+	return st
+}
+
+// resolve maps a raw X-Tenant-ID header onto tenant state; unknown or
+// empty ids collapse onto the anonymous tenant.
+func (ts *tenants) resolve(rawID string) *tenantState {
+	id := sanitizeID(rawID)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if st, ok := ts.byID[id]; ok {
+		return st
+	}
+	return ts.byID[anonTenant]
+}
+
+const tenantKey ctxKey = 1
+
+// TenantFromContext returns the tenant id the request resolved to
+// ("anonymous" outside configured tenants, "" outside a request).
+func TenantFromContext(ctx context.Context) string {
+	if st, ok := ctx.Value(tenantKey).(*tenantState); ok {
+		return st.id
+	}
+	return ""
+}
+
+// tenantState returns the request's resolved tenant, falling back to
+// the anonymous tenant for contexts that never passed the middleware
+// (direct handler invocations in tests).
+func (s *Server) tenantState(ctx context.Context) *tenantState {
+	if st, ok := ctx.Value(tenantKey).(*tenantState); ok {
+		return st
+	}
+	return s.tenants.resolve("")
+}
+
+// tenantMiddleware resolves X-Tenant-ID onto tenant state, stores it in
+// the context, and echoes the resolved id so clients can confirm which
+// contract applied.
+func (s *Server) tenantMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		st := s.tenants.resolve(r.Header.Get("X-Tenant-ID"))
+		w.Header().Set("X-Tenant-ID", st.id)
+		ctx := context.WithValue(r.Context(), tenantKey, st)
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// setRateHeaders attaches the X-RateLimit-* trio for a rate-limited
+// tenant: Limit is the burst capacity, Remaining the whole tokens left,
+// Reset the unix second the bucket refills completely.
+func setRateHeaders(w http.ResponseWriter, st *tenantState, remaining int, reset time.Time) {
+	if st.bucket == nil {
+		return
+	}
+	w.Header().Set("X-RateLimit-Limit", strconv.Itoa(int(st.bucket.burst)))
+	if remaining < 0 {
+		remaining = 0
+	}
+	w.Header().Set("X-RateLimit-Remaining", strconv.Itoa(remaining))
+	if !reset.IsZero() {
+		w.Header().Set("X-RateLimit-Reset", strconv.FormatInt(reset.Unix(), 10))
+	}
+}
+
+// ---------------------------------------------------- priority admission
+
+// admitter bounds a route class's in-flight requests with per-priority
+// ceilings: limits[p] is the in-flight level at and above which priority
+// p is shed. Ceilings are monotone in priority and limits[high] is the
+// class capacity, so as the class fills, low-priority traffic sheds
+// first and high-priority traffic owns the final reserved slots.
+type admitter struct {
+	mu       sync.Mutex
+	inflight int
+	limits   [numPriorities]int
+}
+
+// newAdmitter builds the monotone ceilings from a class capacity:
+// low may fill 50%, standard 80% (rounded up), high 100%, each at
+// least one slot.
+func newAdmitter(capacity int) *admitter {
+	low := capacity / 2
+	if low < 1 {
+		low = 1
+	}
+	std := (capacity*4 + 4) / 5
+	if std < low {
+		std = low
+	}
+	return &admitter{limits: [numPriorities]int{low, std, capacity}}
+}
+
+// acquire takes an in-flight slot for priority p, or reports a shed.
+// inversion reports whether a strictly lower priority would have been
+// admitted at this exact instant — by construction of the monotone
+// ceilings it is always false; it is computed (under the same lock that
+// decided the shed) so the soak audit can assert the invariant held.
+func (a *admitter) acquire(p Priority) (ok, inversion bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.inflight < a.limits[p] {
+		a.inflight++
+		return true, false
+	}
+	for q := Priority(0); q < p; q++ {
+		if a.inflight < a.limits[q] {
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// release returns an in-flight slot.
+func (a *admitter) release() {
+	a.mu.Lock()
+	a.inflight--
+	a.mu.Unlock()
+}
+
+// level returns the current in-flight count (for gauges and tests).
+func (a *admitter) level() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}

@@ -1,0 +1,139 @@
+package breaker
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// trip drives a closed breaker into the open state. (The shared
+// fakeClock from breaker_test.go is only ever advanced between
+// fully-joined rounds, so the racing goroutines below read a quiescent
+// clock.)
+func trip(t *testing.T, b *Breaker, threshold int) {
+	t.Helper()
+	for i := 0; i < threshold; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker rejected a request before tripping")
+		}
+		b.Failure()
+	}
+	if b.State() != Open {
+		t.Fatalf("state after %d failures = %v, want open", threshold, b.State())
+	}
+}
+
+// TestHalfOpenAdmitsExactlyOneProbeUnderRace is the concurrency
+// contract of the half-open state: when the cooldown elapses and many
+// goroutines race Allow simultaneously, exactly one may probe — a
+// thundering herd against a barely-recovered replica would knock it
+// straight back over. Run under -race in CI.
+func TestHalfOpenAdmitsExactlyOneProbeUnderRace(t *testing.T) {
+	const goroutines = 64
+	clock := newClock()
+	b := New(Config{Threshold: 3, Cooldown: time.Second, Now: clock.now})
+	trip(t, b, 3)
+	clock.advance(2 * time.Second) // cooldown elapsed: next Allow goes half-open
+
+	var admitted atomic.Int64
+	var start, done sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < goroutines; i++ {
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			start.Wait() // maximize the simultaneous window
+			if b.Allow() {
+				admitted.Add(1)
+			}
+		}()
+	}
+	start.Done()
+	done.Wait()
+
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("half-open admitted %d concurrent probes, want exactly 1", got)
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open while the probe is in flight", b.State())
+	}
+
+	// while the probe is in flight every other request keeps bouncing
+	for i := 0; i < 8; i++ {
+		if b.Allow() {
+			t.Fatal("second probe admitted while the first is still in flight")
+		}
+	}
+}
+
+// TestHalfOpenProbeFailureReopensCleanly drives repeated rounds of
+// racing probes whose single winner always fails: each round must
+// re-open the breaker atomically (no stray probe slot left behind), and
+// the cycle must stay exact over many iterations. A final successful
+// probe closes the breaker for good measure.
+func TestHalfOpenProbeFailureReopensCleanly(t *testing.T) {
+	const goroutines = 32
+	clock := newClock()
+	b := New(Config{Threshold: 2, Cooldown: time.Second, Now: clock.now})
+	trip(t, b, 2)
+
+	for round := 0; round < 10; round++ {
+		clock.advance(2 * time.Second)
+
+		var admitted atomic.Int64
+		var start, done sync.WaitGroup
+		start.Add(1)
+		for i := 0; i < goroutines; i++ {
+			done.Add(1)
+			go func() {
+				defer done.Done()
+				start.Wait()
+				if b.Allow() {
+					admitted.Add(1)
+					b.Failure() // the probe discovers the replica is still dead
+				}
+			}()
+		}
+		start.Done()
+		done.Wait()
+
+		if got := admitted.Load(); got != 1 {
+			t.Fatalf("round %d: %d probes admitted, want 1", round, got)
+		}
+		if b.State() != Open {
+			t.Fatalf("round %d: state after failed probe = %v, want open", round, b.State())
+		}
+		// the failed probe restarted the cooldown: nothing may pass now
+		if b.Allow() {
+			t.Fatalf("round %d: request admitted inside the restarted cooldown", round)
+		}
+	}
+
+	// recovery: the next probe succeeds and the breaker closes fully
+	clock.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("post-cooldown probe rejected")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	// closed means unrestricted concurrency again
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Allow() {
+				admitted.Add(1)
+				b.Success()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := admitted.Load(); got != goroutines {
+		t.Fatalf("closed breaker admitted %d of %d", got, goroutines)
+	}
+}

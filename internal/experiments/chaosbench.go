@@ -7,12 +7,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
-	"sort"
 	"time"
 
 	"covidkg/internal/api"
 	"covidkg/internal/breaker"
-	"covidkg/internal/cord19"
 	"covidkg/internal/core"
 	"covidkg/internal/docstore"
 	"covidkg/internal/failpoint"
@@ -89,9 +87,7 @@ func RunChaosBench(quick bool) ChaosBenchResult {
 	cfg.Breaker = breaker.Config{Threshold: 2, Cooldown: 25 * time.Millisecond}
 	cfg.HedgeDelay = 2 * time.Millisecond
 	sys := core.NewSystem(cfg)
-	if err := sys.IngestPublications(cord19.NewGenerator(seed).Corpus(nDocs)); err != nil {
-		panic(err)
-	}
+	ingestCorpus(sys, seed, nDocs)
 	// no caching: during the outage a warm cache would mask the degraded
 	// path this benchmark exists to measure
 	sys.Search.SetCacheLimits(0, 0)
@@ -110,11 +106,10 @@ func RunChaosBench(quick bool) ChaosBenchResult {
 	}))
 	defer srv.Close()
 
-	queries := []string{"vaccine", "masks", "fever", "treatment", "covid", "dose"}
 	runQueries := func(n int) []time.Duration {
 		lats := make([]time.Duration, 0, n)
 		for i := 0; i < n; i++ {
-			q := queries[i%len(queries)]
+			q := benchHTTPQueries[i%len(benchHTTPQueries)]
 			t0 := time.Now()
 			resp, err := http.Get(srv.URL + "/api/v1/search?q=" + url.QueryEscape(q) +
 				fmt.Sprintf("&page=%d", 1+i%3))
@@ -198,16 +193,9 @@ func RunChaosBench(quick bool) ChaosBenchResult {
 	res.ResyncMs = float64(time.Since(t0).Microseconds()) / 1000
 	res.ChecksumsIdentical = rep.Identical && sys.Store.ReplicasIdentical()
 
-	for _, id := range acked {
-		if _, err := sys.Pubs.Get(id); err != nil {
-			res.LostWrites++
-		}
-	}
-	for _, id := range rejected {
-		if _, err := sys.Pubs.Get(id); err == nil {
-			res.GhostWrites++
-		}
-	}
+	audit := sys.Pubs.AuditWrites(acked, rejected)
+	res.LostWrites = audit.Lost
+	res.GhostWrites = audit.Ghost
 
 	if res.Queries > 0 {
 		res.AvailabilityPct = 100 * float64(res.OK) / float64(res.Queries)
@@ -218,17 +206,4 @@ func RunChaosBench(quick bool) ChaosBenchResult {
 	res.HedgedRequests = reg.Counter("hedged_requests").Value()
 	res.ReplicaResyncs = reg.Counter("replica_resyncs").Value()
 	return res
-}
-
-// p99Us returns the 99th-percentile latency in microseconds.
-func p99Us(lats []time.Duration) float64 {
-	if len(lats) == 0 {
-		return 0
-	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	idx := (99 * len(lats)) / 100
-	if idx >= len(lats) {
-		idx = len(lats) - 1
-	}
-	return float64(lats[idx].Nanoseconds()) / 1000
 }

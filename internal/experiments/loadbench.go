@@ -11,7 +11,6 @@ import (
 	"time"
 
 	"covidkg/internal/api"
-	"covidkg/internal/cord19"
 	"covidkg/internal/core"
 	"covidkg/internal/metrics"
 )
@@ -59,9 +58,7 @@ func RunLoadBench(quick bool) LoadBenchResult {
 	}
 
 	sys := core.NewSystem(core.DefaultConfig())
-	if err := sys.IngestPublications(cord19.NewGenerator(77).Corpus(nDocs)); err != nil {
-		panic(err)
-	}
+	ingestCorpus(sys, 77, nDocs)
 	// no caching: every search must pay the full pipeline, otherwise the
 	// warm cache answers faster than the semaphore can saturate
 	sys.Search.SetCacheLimits(0, 0)
@@ -99,14 +96,13 @@ func RunLoadBench(quick bool) LoadBenchResult {
 			res.OtherStatus++
 		}
 	}
-	queries := []string{"vaccine", "masks", "fever dose", "treatment outcomes"}
 	var wg sync.WaitGroup
 	for c := 0; c < concurrency; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
-				q := queries[(c+r)%len(queries)]
+				q := benchHTTPQueries[(c+r)%len(benchHTTPQueries)]
 				resp, err := http.Get(shedSrv.URL + "/api/v1/search?q=" + url.QueryEscape(q))
 				if err != nil {
 					continue

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"math"
 	"reflect"
 	"runtime"
 	"sort"
@@ -101,20 +100,6 @@ func splitWords(q string) []string {
 		out = append(out, cur)
 	}
 	return out
-}
-
-func percentile(sorted []float64, p float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(math.Ceil(p*float64(len(sorted)))) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
 }
 
 // RunSearchBench measures the concurrent query-execution work: QPS of

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSoakBenchInvariants runs the quick soak and asserts every
+// structural SLO: quota exactness, zero priority inversions, zero
+// lost/ghost writes, identical replicas, and full availability despite
+// the chaos loop. Latency budgets are deliberately NOT asserted here —
+// under -race on a loaded CI box a p99 breach would be noise, and the
+// benchrunner gate already enforces them on the un-instrumented build.
+func TestSoakBenchInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak bench skipped in -short")
+	}
+	res := RunSoakBench(true)
+
+	if res.Requests == 0 || res.Sessions == 0 {
+		t.Fatalf("soak issued no traffic: %d requests, %d sessions", res.Requests, res.Sessions)
+	}
+	if res.ReplicaKills == 0 {
+		t.Fatal("chaos loop never killed a replica")
+	}
+	if res.IngestAcked == 0 {
+		t.Fatal("background writer never landed a document")
+	}
+	if res.LostWrites != 0 || res.GhostWrites != 0 {
+		t.Fatalf("write audit: %d lost, %d ghost", res.LostWrites, res.GhostWrites)
+	}
+	if !res.ResyncIdentical {
+		t.Fatal("replicas not identical after post-soak resync")
+	}
+	if res.AdmissionInversions != 0 {
+		t.Fatalf("admission_inversions = %d, want 0", res.AdmissionInversions)
+	}
+	if res.QuotaViolations != 0 {
+		t.Fatalf("quota violations = %d, want 0", res.QuotaViolations)
+	}
+	if res.AvailabilityPct < res.SLOs.AvailabilityPct {
+		t.Fatalf("availability %.3f%% < %.1f%%", res.AvailabilityPct, res.SLOs.AvailabilityPct)
+	}
+
+	// only latency breaches are tolerated under instrumentation
+	for _, b := range res.Breaches {
+		if !strings.Contains(b, "p99") {
+			t.Errorf("non-latency SLO breach: %s", b)
+		}
+	}
+}
+
+// TestSoakAbusiveTenantCannotDegradePriority is the issue's acceptance
+// criterion in miniature: the low-priority tenant drives ~10× its
+// quota, and the server must (a) serve it exactly its quota — not one
+// request more — and (b) keep the high-priority tenant at full
+// availability with zero shed or failed requests.
+func TestSoakAbusiveTenantCannotDegradePriority(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak bench skipped in -short")
+	}
+	res := RunSoakBench(true)
+
+	var gold, bronze *SoakTenantStats
+	for i := range res.Tenants {
+		switch res.Tenants[i].ID {
+		case "gold":
+			gold = &res.Tenants[i]
+		case "bronze":
+			bronze = &res.Tenants[i]
+		}
+	}
+	if gold == nil || bronze == nil {
+		t.Fatalf("tenant stats missing: %+v", res.Tenants)
+	}
+
+	if bronze.Requests < int(bronze.Quota)*5 {
+		t.Fatalf("bronze only drove %d requests against quota %d — not abusive enough to prove anything",
+			bronze.Requests, bronze.Quota)
+	}
+	if bronze.ServedCounter != bronze.Quota {
+		t.Fatalf("bronze served %d, want exactly its quota %d", bronze.ServedCounter, bronze.Quota)
+	}
+	if bronze.QuotaDenied == 0 {
+		t.Fatal("bronze never hit the quota gate")
+	}
+
+	if gold.Failed != 0 || gold.Shed != 0 || gold.QuotaDenied != 0 {
+		t.Fatalf("priority tenant degraded by abuse: failed=%d shed=%d quota_denied=%d",
+			gold.Failed, gold.Shed, gold.QuotaDenied)
+	}
+	if gold.AvailabilityPct < res.SLOs.AvailabilityPct {
+		t.Fatalf("priority tenant availability %.3f%% < %.1f%%",
+			gold.AvailabilityPct, res.SLOs.AvailabilityPct)
+	}
+}

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"runtime"
+	"sort"
+)
+
+// RuntimeHealth is a point-in-time snapshot of the Go runtime's vital
+// signs — the leak detectors for long soaks: a goroutine count that
+// climbs monotonically means a handler is leaking workers, heap-in-use
+// that never plateaus means a cache or accumulator is unbounded, and a
+// growing GC pause p99 means the heap churn is catching up with tail
+// latency.
+type RuntimeHealth struct {
+	Goroutines     int     `json:"goroutines"`
+	HeapInuseBytes uint64  `json:"heap_inuse_bytes"`
+	HeapSysBytes   uint64  `json:"heap_sys_bytes"`
+	NumGC          uint32  `json:"num_gc"`
+	GCPauseP99Us   float64 `json:"gc_pause_p99_us"`
+	GCPauseMaxUs   float64 `json:"gc_pause_max_us"`
+}
+
+// CaptureRuntimeHealth reads the runtime's current vitals. The GC pause
+// percentiles cover the most recent pauses retained in MemStats's
+// 256-entry ring buffer.
+func CaptureRuntimeHealth() RuntimeHealth {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	h := RuntimeHealth{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapInuseBytes: ms.HeapInuse,
+		HeapSysBytes:   ms.HeapSys,
+		NumGC:          ms.NumGC,
+	}
+	n := int(ms.NumGC)
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	if n > 0 {
+		pauses := make([]uint64, 0, n)
+		for i := 0; i < n; i++ {
+			pauses = append(pauses, ms.PauseNs[i])
+		}
+		sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+		idx := (99 * len(pauses)) / 100
+		if idx >= len(pauses) {
+			idx = len(pauses) - 1
+		}
+		h.GCPauseP99Us = float64(pauses[idx]) / 1e3
+		h.GCPauseMaxUs = float64(pauses[len(pauses)-1]) / 1e3
+	}
+	return h
+}
+
+// SetGauges publishes the snapshot into the registry's gauges
+// (runtime.goroutines, runtime.heap_inuse_bytes, runtime.gc_pause_p99_us,
+// runtime.num_gc), so runtime health rides the same snapshot surface as
+// every other metric.
+func (h RuntimeHealth) SetGauges(r *Registry) {
+	r.Gauge("runtime.goroutines").Set(int64(h.Goroutines))
+	r.Gauge("runtime.heap_inuse_bytes").Set(int64(h.HeapInuseBytes))
+	r.Gauge("runtime.gc_pause_p99_us").Set(int64(h.GCPauseP99Us))
+	r.Gauge("runtime.num_gc").Set(int64(h.NumGC))
+}

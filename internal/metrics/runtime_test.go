@@ -1,0 +1,39 @@
+package metrics
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestCaptureRuntimeHealth(t *testing.T) {
+	runtime.GC() // guarantee at least one pause is recorded
+	h := CaptureRuntimeHealth()
+	if h.Goroutines < 1 {
+		t.Fatalf("goroutines = %d", h.Goroutines)
+	}
+	if h.HeapInuseBytes == 0 {
+		t.Fatal("heap_inuse_bytes = 0")
+	}
+	if h.NumGC == 0 {
+		t.Fatal("num_gc = 0 after explicit GC")
+	}
+	if h.GCPauseP99Us <= 0 || h.GCPauseMaxUs < h.GCPauseP99Us {
+		t.Fatalf("pause stats p99=%v max=%v", h.GCPauseP99Us, h.GCPauseMaxUs)
+	}
+}
+
+func TestRuntimeHealthSetGauges(t *testing.T) {
+	reg := NewRegistry()
+	h := RuntimeHealth{Goroutines: 7, HeapInuseBytes: 1 << 20, GCPauseP99Us: 42, NumGC: 3}
+	h.SetGauges(reg)
+	for name, want := range map[string]int64{
+		"runtime.goroutines":       7,
+		"runtime.heap_inuse_bytes": 1 << 20,
+		"runtime.gc_pause_p99_us":  42,
+		"runtime.num_gc":           3,
+	} {
+		if got := reg.Gauge(name).Value(); got != want {
+			t.Fatalf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
