@@ -121,6 +121,29 @@ func main() {
 		if !res.TopK.PagesIdentical {
 			log.Fatal("search bench: topk and fullsort pages diverged (parity violated)")
 		}
+		sc := res.Scale
+		fmt.Printf("  scale %d docs: built in %.0fms, heap +%.0fMB, postings %.1fMB across %d segments (%d seals, %d merges)\n",
+			sc.Docs, sc.BuildMs, sc.HeapAllocMB, sc.PostingMB, sc.Segments, sc.Seals, sc.Merges)
+		fmt.Printf("  scale cold p95 %.0fµs; live writer +%d docs: p95 %.0fµs, warm hits %d, term stalings %d\n",
+			sc.ColdP95Us, sc.LiveWriterDocs, sc.LiveP95Us, sc.LiveWarmHits, sc.LiveStaleTerm)
+		if sc.Segments == 0 {
+			log.Fatal("search bench: scale ingest produced no sealed segments (seal path broken?)")
+		}
+		if sc.LiveWarmHits == 0 {
+			log.Fatal("search bench: cache never warm under the live writer (term-scoped invalidation broken?)")
+		}
+		// Generous ceilings — these catch order-of-magnitude regressions
+		// (accidental full-scan, unbounded heap), not CI-runner jitter.
+		coldBudget, heapBudget := 5_000_000.0, 2048.0 // full mode: 100K docs
+		if *quick {
+			coldBudget, heapBudget = 1_000_000.0, 512.0
+		}
+		if sc.ColdP95Us > coldBudget {
+			log.Fatalf("search bench: scale cold p95 %.0fµs exceeds %.0fµs budget", sc.ColdP95Us, coldBudget)
+		}
+		if sc.HeapAllocMB > heapBudget {
+			log.Fatalf("search bench: scale heap %.0fMB exceeds %.0fMB budget", sc.HeapAllocMB, heapBudget)
+		}
 		fmt.Printf("written to %s\n", *searchBench)
 		return
 	}

@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -419,32 +420,126 @@ func (s *Server) handleReject(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "rejected"})
 }
 
+// ingestBatchSize is how many documents are decoded and handed to the
+// system at a time during bulk ingest: the request body streams through
+// a fixed-size window instead of materializing in memory, so a very
+// large upload is bounded by one batch, not the body size.
+const ingestBatchSize = 256
+
 // handleIngest accepts new publication documents (№12 in Figure 1: new
 // information arriving from the Web), stores and indexes them, and
 // incrementally refreshes the knowledge graph from their tables.
+//
+// Two body framings are supported: a JSON array of publications
+// (default), and newline-delimited JSON — one publication per line —
+// when the Content-Type mentions ndjson or jsonl. Either way the body
+// is decoded incrementally and ingested in batches, and the response
+// reports a per-document outcome: a batch with one bad document no
+// longer answers a bare 500 after silently storing everything before
+// it. Partial success is 200 with per-document errors listed; 400 is
+// reserved for requests where nothing at all was ingested.
+// Backpressure is inherited from the route's heavy admission class:
+// when too many heavy requests are in flight the request is rejected
+// up front with 429 rather than queued without bound.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	var docs []jsondoc.Doc
-	if err := json.NewDecoder(r.Body).Decode(&docs); err != nil {
-		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("bad request body (want a JSON array of publications): %w", err))
-		return
+	ndjson := strings.Contains(r.Header.Get("Content-Type"), "ndjson") ||
+		strings.Contains(r.Header.Get("Content-Type"), "jsonl")
+	dec := json.NewDecoder(r.Body)
+
+	var (
+		results   []core.DocResult
+		inserted  int
+		failed    int
+		total     int
+		decodeErr error
+		batch     []jsondoc.Doc
+	)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		base := total - len(batch)
+		rep := s.sys.IngestDocs(batch)
+		for _, res := range rep.Results {
+			res.Index += base
+			results = append(results, res)
+		}
+		inserted += rep.Inserted
+		failed += rep.Failed
+		batch = batch[:0]
 	}
-	if len(docs) == 0 {
-		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("no publications in request"))
-		return
+
+	if !ndjson {
+		tok, err := dec.Token()
+		if err != nil {
+			writeErr(w, r, http.StatusBadRequest,
+				fmt.Errorf("bad request body (want a JSON array of publications): %w", err))
+			return
+		}
+		if d, ok := tok.(json.Delim); !ok || d != '[' {
+			writeErr(w, r, http.StatusBadRequest,
+				fmt.Errorf("bad request body: want a JSON array of publications, got %v", tok))
+			return
+		}
 	}
-	st, err := s.sys.RefreshDocs(docs)
-	if err != nil {
+	for {
+		if r.Context().Err() != nil {
+			writeErr(w, r, http.StatusGatewayTimeout, r.Context().Err())
+			return
+		}
+		if !ndjson && !dec.More() {
+			break
+		}
+		var d jsondoc.Doc
+		if err := dec.Decode(&d); err != nil {
+			if ndjson && errors.Is(err, io.EOF) {
+				break
+			}
+			decodeErr = fmt.Errorf("document %d: %w", total, err)
+			break
+		}
+		total++
+		batch = append(batch, d)
+		if len(batch) >= ingestBatchSize {
+			flush()
+		}
+	}
+	flush()
+
+	if total == 0 {
+		err := fmt.Errorf("no publications in request")
+		if decodeErr != nil {
+			err = fmt.Errorf("bad request body: %w", decodeErr)
+		}
 		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"ingested":    len(docs),
+	if inserted == 0 {
+		err := core.IngestReport{Results: results, Failed: failed}.Err()
+		if err == nil {
+			err = fmt.Errorf("no publications ingested")
+		}
+		writeErr(w, r, http.StatusBadRequest, err)
+		return
+	}
+	st := s.sys.EnrichNew()
+	payload := map[string]any{
+		"ingested":    inserted,
+		"failed":      failed,
+		"results":     results,
 		"tables":      st.Tables,
 		"subtrees":    st.Subtrees,
 		"fused":       st.Fused,
 		"queued":      st.Queued,
 		"nodes_added": st.NodesAdded,
-	})
+	}
+	if decodeErr != nil {
+		// Documents after the malformed one were never seen; say so
+		// instead of pretending the stream was fully consumed.
+		payload["truncated"] = true
+		payload["decode_error"] = decodeErr.Error()
+	}
+	writeJSON(w, http.StatusOK, payload)
 }
 
 // aggregateRequest is the POST /api/v1/aggregate body: a collection name

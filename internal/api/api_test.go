@@ -2,6 +2,7 @@ package api
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -481,5 +482,101 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if cache["hits"].(float64) < 1 {
 		t.Fatalf("repeat query did not register a cache hit: %v", cache)
+	}
+}
+
+// postNDJSON posts a newline-delimited JSON body.
+func postNDJSON(t *testing.T, s *Server, path, body string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var out map[string]any
+	_ = json.Unmarshal(rec.Body.Bytes(), &out)
+	return rec, out
+}
+
+// TestBulkIngestPartialSuccess pins the per-document ingest contract: a
+// batch with a bad document in the middle no longer rolls the response
+// up into one error after silently storing everything before it. The
+// response reports each document's outcome and the good ones land.
+func TestBulkIngestPartialSuccess(t *testing.T) {
+	s, sys := testServer(t)
+	before := sys.Pubs.Count()
+	body := `[
+		{"_id": "bulk-ok-1", "title": "Bulk zymurgology outcomes"},
+		{"_id": "bulk-ok-1", "title": "Duplicate id, must fail"},
+		{"_id": "bulk-ok-2", "title": "Bulk zymurgology continued"}
+	]`
+	rec, resp := postJSON(t, s, "/api/v1/publications", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("partial ingest = %d: %v", rec.Code, resp)
+	}
+	if resp["ingested"].(float64) != 2 || resp["failed"].(float64) != 1 {
+		t.Fatalf("counts: %v", resp)
+	}
+	results := resp["results"].([]any)
+	if len(results) != 3 {
+		t.Fatalf("results: %v", results)
+	}
+	second := results[1].(map[string]any)
+	if second["index"].(float64) != 1 || second["error"] == nil {
+		t.Fatalf("failed doc not reported: %v", second)
+	}
+	if sys.Pubs.Count() != before+2 {
+		t.Fatalf("count = %d, want %d", sys.Pubs.Count(), before+2)
+	}
+	rec, page := get(t, s, "/api/v1/search?q=zymurgology")
+	if rec.Code != http.StatusOK || page["Total"].(float64) != 2 {
+		t.Fatalf("ingested docs not searchable: %v", page)
+	}
+}
+
+// TestBulkIngestNDJSONStreaming: the newline-delimited framing decodes
+// incrementally (batches, not one big array) and reports the same
+// per-document results.
+func TestBulkIngestNDJSONStreaming(t *testing.T) {
+	s, sys := testServer(t)
+	before := sys.Pubs.Count()
+	var b strings.Builder
+	for i := 0; i < 600; i++ { // > 2 ingest batches
+		fmt.Fprintf(&b, "{\"_id\": \"nd-%03d\", \"title\": \"Streamed niclosamide doc %d\"}\n", i, i)
+	}
+	rec, resp := postNDJSON(t, s, "/api/v1/publications", b.String())
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ndjson ingest = %d: %v", rec.Code, resp)
+	}
+	if resp["ingested"].(float64) != 600 || resp["failed"].(float64) != 0 {
+		t.Fatalf("counts: %v", resp)
+	}
+	// per-doc indexes must be global across batches, not per-batch
+	results := resp["results"].([]any)
+	last := results[len(results)-1].(map[string]any)
+	if last["index"].(float64) != 599 || last["id"] != "nd-599" {
+		t.Fatalf("last result: %v", last)
+	}
+	if sys.Pubs.Count() != before+600 {
+		t.Fatalf("count = %d, want %d", sys.Pubs.Count(), before+600)
+	}
+
+	// all-failed body (every id a duplicate) answers 400, nothing stored
+	rec, resp = postNDJSON(t, s, "/api/v1/publications",
+		"{\"_id\": \"nd-000\", \"title\": \"dup\"}\n{\"_id\": \"nd-001\", \"title\": \"dup\"}\n")
+	if rec.Code != http.StatusBadRequest || resp["code"] != "bad_query" {
+		t.Fatalf("all-failed ingest = %d %v", rec.Code, resp)
+	}
+	if sys.Pubs.Count() != before+600 {
+		t.Fatalf("all-failed ingest stored docs: %d", sys.Pubs.Count())
+	}
+
+	// malformed tail: everything before it lands, truncation is flagged
+	rec, resp = postNDJSON(t, s, "/api/v1/publications",
+		"{\"_id\": \"nd-tail\", \"title\": \"Good doc\"}\n{not json\n")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("truncated ingest = %d: %v", rec.Code, resp)
+	}
+	if resp["truncated"] != true || resp["ingested"].(float64) != 1 {
+		t.Fatalf("truncation not reported: %v", resp)
 	}
 }

@@ -38,7 +38,7 @@ func chaosServer(t *testing.T) (*Server, *core.System, *failpoint.Registry, *met
 			"journal":   "Test Journal",
 		})
 	}
-	if err := sys.IngestDocs(docs); err != nil {
+	if err := sys.IngestDocs(docs).Err(); err != nil {
 		t.Fatal(err)
 	}
 	return NewServerWith(sys, Config{Metrics: reg}), sys, fp, reg
@@ -161,7 +161,7 @@ func TestChaosInvariant(t *testing.T) {
 			break
 		}
 	}
-	if err := sys.IngestDocs([]jsondoc.Doc{{"_id": lateID, "title": "Late covid arrival"}}); err != nil {
+	if err := sys.IngestDocs([]jsondoc.Doc{{"_id": lateID, "title": "Late covid arrival"}}).Err(); err != nil {
 		t.Fatalf("quorum write with one replica down failed: %v", err)
 	}
 	fp.ClearAll()

@@ -167,14 +167,55 @@ func (s *System) IngestPublications(pubs []*cord19.Publication) error {
 	return nil
 }
 
-// IngestDocs stores raw publication documents (the non-generated path).
-func (s *System) IngestDocs(docs []jsondoc.Doc) error {
-	for _, d := range docs {
-		if _, err := s.Search.AddDocument(d); err != nil {
-			return fmt.Errorf("core: ingest: %w", err)
+// DocResult is the outcome of one document in a bulk ingest: its
+// position in the batch and either the assigned id or the failure.
+type DocResult struct {
+	Index int    `json:"index"`
+	ID    string `json:"id,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// IngestReport is the per-document outcome of a bulk ingest. Unlike the
+// old all-or-nothing error, it makes partial success explicit: a batch
+// used to stop at the first bad document, leaving every earlier one
+// silently ingested while the caller saw only a failure.
+type IngestReport struct {
+	Results  []DocResult `json:"results"`
+	Inserted int         `json:"inserted"`
+	Failed   int         `json:"failed"`
+}
+
+// Err summarizes the report as a single error (nil when every document
+// landed), for callers that only need the old pass/fail signal.
+func (r IngestReport) Err() error {
+	if r.Failed == 0 {
+		return nil
+	}
+	for _, res := range r.Results {
+		if res.Error != "" {
+			return fmt.Errorf("core: ingest: %d of %d documents failed, first at index %d: %s",
+				r.Failed, len(r.Results), res.Index, res.Error)
 		}
 	}
-	return nil
+	return fmt.Errorf("core: ingest: %d documents failed", r.Failed)
+}
+
+// IngestDocs stores raw publication documents (the non-generated path).
+// Every document is attempted; failures do not abort the batch.
+func (s *System) IngestDocs(docs []jsondoc.Doc) IngestReport {
+	rep := IngestReport{Results: make([]DocResult, 0, len(docs))}
+	for i, d := range docs {
+		id, err := s.Search.AddDocument(d)
+		res := DocResult{Index: i, ID: id}
+		if err != nil {
+			res.Error = err.Error()
+			rep.Failed++
+		} else {
+			rep.Inserted++
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep
 }
 
 // storedTables iterates every stored table with its owning publication.
@@ -347,12 +388,23 @@ func (s *System) Refresh(pubs []*cord19.Publication) (BuildStats, error) {
 
 // RefreshDocs ingests raw publication documents (№12 in Figure 1: new
 // information arriving from the Web) and incrementally enriches the KG
-// from them.
+// from them. Documents that land are enriched even when others in the
+// batch fail; the summary error reports how many failed. Callers that
+// need the per-document breakdown (the bulk ingest API) use IngestDocs
+// plus EnrichNew directly.
 func (s *System) RefreshDocs(docs []jsondoc.Doc) (BuildStats, error) {
-	if err := s.IngestDocs(docs); err != nil {
-		return BuildStats{}, err
+	rep := s.IngestDocs(docs)
+	if rep.Inserted == 0 && rep.Failed > 0 {
+		return BuildStats{}, rep.Err()
 	}
-	return s.enrichFrom(func(pubID string) bool { return !s.processed[pubID] }), nil
+	return s.EnrichNew(), rep.Err()
+}
+
+// EnrichNew incrementally enriches the KG from every stored publication
+// not yet processed — the tail step of a streaming bulk ingest, run
+// once after all batches landed instead of per batch.
+func (s *System) EnrichNew() BuildStats {
+	return s.enrichFrom(func(pubID string) bool { return !s.processed[pubID] })
 }
 
 // enrichFrom runs classification + extraction + fusion over stored

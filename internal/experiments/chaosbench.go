@@ -143,7 +143,7 @@ func RunChaosBench(quick bool) ChaosBenchResult {
 			err := sys.IngestDocs([]jsondoc.Doc{{
 				"_id": id, "title": "chaos write " + id,
 				"abstract": "synthetic write issued during the " + phase + " phase",
-			}})
+			}}).Err()
 			if err != nil {
 				res.WritesRejected++
 				rejected = append(rejected, id)

@@ -4,10 +4,12 @@ import (
 	"reflect"
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"covidkg/internal/cord19"
 	"covidkg/internal/docstore"
+	"covidkg/internal/jsondoc"
 	"covidkg/internal/metrics"
 	"covidkg/internal/search"
 )
@@ -61,6 +63,32 @@ type SearchBenchResult struct {
 	TopK        TopKComparison `json:"topk"`
 
 	CacheStats search.CacheStats `json:"cache_stats"`
+
+	Scale ScaleStats `json:"scale"`
+}
+
+// ScaleStats is the large-corpus section: the whole corpus is streamed
+// through the engine's ingest path (driving memtable seals and
+// background merges), then cold latency is profiled over the segmented
+// index, then a live writer keeps streaming documents while a reader
+// re-issues the query mix — proving the segmented index's memory stays
+// bounded, cold p95 holds at scale, and the term-scoped cache keeps
+// serving warm pages between writes.
+type ScaleStats struct {
+	Docs        int     `json:"docs"`
+	BuildMs     float64 `json:"build_ms"`      // wall time to stream-ingest the corpus
+	HeapAllocMB float64 `json:"heap_alloc_mb"` // live heap after the build, post-GC
+	PostingMB   float64 `json:"posting_mb"`    // compressed posting bytes across segments
+	Segments    int     `json:"segments"`
+	Seals       uint64  `json:"seals"`
+	Merges      uint64  `json:"merges"`
+
+	ColdP95Us float64 `json:"cold_p95_us"` // cache off, over the scale query mix
+
+	LiveWriterDocs int     `json:"live_writer_docs"` // docs streamed during the live phase
+	LiveWarmHits   int64   `json:"live_warm_hits"`   // cache hits while the writer ran
+	LiveStaleTerm  int64   `json:"live_stale_term"`  // term-scoped invalidations while the writer ran
+	LiveP95Us      float64 `json:"live_p95_us"`      // reader p95 with the writer running
 }
 
 // benchQueries is the throughput query mix: bare terms, multi-term, and
@@ -273,5 +301,155 @@ func RunSearchBench(quick bool) SearchBenchResult {
 		res.CacheGain = float64(cold) / float64(warm)
 	}
 	res.CacheStats = eng.CacheStats()
+
+	res.Scale = runScaleBench(quick)
 	return res
+}
+
+// scaleQueries is the scale-section mix: the throughput queries plus a
+// marker term that only build-time documents contain, so at least one
+// cached page is guaranteed to stay warm while the live writer runs —
+// the term-scoped invalidation contract made observable.
+var scaleQueries = append(append([]string(nil), benchQueries...), "zyxmark")
+
+// scaleDoc strips a generated publication down to its searchable text
+// fields. The scale section measures the segmented index and the query
+// cache, not table enrichment, and the lean shape keeps a 100K-doc
+// store inside a CI runner's memory.
+func scaleDoc(p *cord19.Publication, marker bool) jsondoc.Doc {
+	title := p.Title
+	if marker {
+		title += " zyxmark"
+	}
+	return jsondoc.Doc{
+		"_id":          p.ID,
+		"title":        title,
+		"abstract":     p.Abstract,
+		"body_text":    p.BodyText,
+		"journal":      p.Journal,
+		"publish_date": p.PublishDate,
+	}
+}
+
+// runScaleBench streams a large corpus through the engine's own ingest
+// path (every document goes through AddDocument, so memtable seals and
+// background merges happen exactly as they would in production), then
+// profiles cold latency with the cache off, then runs a live writer
+// against a warm cache and measures what the readers see.
+func runScaleBench(quick bool) ScaleStats {
+	nDocs := 100000
+	coldReps := 5
+	liveRounds := 6
+	if quick {
+		nDocs = 10000
+		coldReps = 3
+		liveRounds = 8
+	}
+	store := docstore.Open(docstore.WithShards(8), docstore.WithReplicas(1))
+	coll := store.Collection("pubs")
+	eng := search.NewEngine(coll)
+
+	st := ScaleStats{Docs: nDocs}
+
+	// Heap is reported as growth over a post-GC baseline so the smaller
+	// corpora of the earlier sections don't pollute the number.
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+
+	g := cord19.NewGenerator(101)
+	start := time.Now()
+	for i := 0; i < nDocs; i++ {
+		// The marker lives only in early build docs; the live writer
+		// never produces it.
+		if _, err := eng.AddDocument(scaleDoc(g.Publication(), i < 200)); err != nil {
+			panic(err)
+		}
+	}
+	eng.Index().Wait()
+	st.BuildMs = float64(time.Since(start).Microseconds()) / 1e3
+
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	if m1.HeapAlloc > m0.HeapAlloc {
+		st.HeapAllocMB = float64(m1.HeapAlloc-m0.HeapAlloc) / (1 << 20)
+	}
+	ixst := eng.Index().Stats()
+	st.PostingMB = ixst.PostingMB
+	st.Segments = ixst.Segments
+	st.Seals = ixst.Seals
+	st.Merges = ixst.Merges
+
+	// Cold latency over the segmented index: cache off, every execution
+	// pays the full scoring.
+	eng.SetCacheLimits(0, 0)
+	var cold []float64
+	for r := 0; r < coldReps; r++ {
+		for _, q := range scaleQueries {
+			t0 := time.Now()
+			if _, err := eng.SearchAll(q, 1); err != nil {
+				panic(err)
+			}
+			cold = append(cold, float64(time.Since(t0).Nanoseconds())/1e3)
+		}
+	}
+	sort.Float64s(cold)
+	st.ColdP95Us = percentile(cold, 0.95)
+
+	// Live-writer phase: prime the cache, then stream documents in the
+	// background while readers re-issue the mix. The marker query's terms
+	// are never written, so its page must stay warm; the corpus queries
+	// overlap the writer's vocabulary and go stale by term.
+	eng.SetCacheLimits(1024, 64<<20)
+	for _, q := range scaleQueries {
+		if _, err := eng.SearchAll(q, 1); err != nil {
+			panic(err)
+		}
+	}
+	before := eng.CacheStats()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var written int64
+	go func() {
+		defer close(done)
+		wg := cord19.NewGenerator(202)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := eng.AddDocument(scaleDoc(wg.Publication(), false)); err != nil {
+				panic(err)
+			}
+			atomic.AddInt64(&written, 1)
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+	// Each round sleeps briefly so the writer is guaranteed scheduling
+	// time even on a single-core runner, and the loop doesn't stop until
+	// at least one write has landed — otherwise "warm under a live
+	// writer" would be vacuously true.
+	var live []float64
+	for r := 0; r < liveRounds || atomic.LoadInt64(&written) == 0; r++ {
+		time.Sleep(5 * time.Millisecond)
+		for _, q := range scaleQueries {
+			t0 := time.Now()
+			if _, err := eng.SearchAll(q, 1); err != nil {
+				panic(err)
+			}
+			live = append(live, float64(time.Since(t0).Nanoseconds())/1e3)
+		}
+	}
+	close(stop)
+	<-done
+	st.LiveWriterDocs = int(atomic.LoadInt64(&written))
+	eng.Index().Wait()
+
+	after := eng.CacheStats()
+	st.LiveWarmHits = after.Hits - before.Hits
+	st.LiveStaleTerm = after.StaleTerm - before.StaleTerm
+	sort.Float64s(live)
+	st.LiveP95Us = percentile(live, 0.95)
+	return st
 }

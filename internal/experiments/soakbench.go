@@ -372,7 +372,7 @@ func RunSoakBench(quick bool) SoakBenchResult {
 			err := sys.IngestDocs([]jsondoc.Doc{{
 				"_id": id, "title": "soak live write " + id,
 				"abstract": "document streamed in during the soak by the background writer",
-			}})
+			}}).Err()
 			mu.Lock()
 			res.IngestAttempted++
 			if err != nil {

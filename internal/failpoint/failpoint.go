@@ -38,6 +38,11 @@ type Rule struct {
 	// disk or saturated peer. Applied even when the operation then
 	// fails, like a real timeout.
 	Latency time.Duration
+	// SkipChecks lets the first N checks after the rule is installed
+	// pass untouched before the fault behavior starts — a target that
+	// dies mid-sequence, e.g. between a write and the read-back that
+	// follows it. Counted per rule installation: Set resets the budget.
+	SkipChecks int
 }
 
 // Registry holds the active rules. A nil *Registry is valid and injects
@@ -45,6 +50,7 @@ type Rule struct {
 type Registry struct {
 	mu    sync.Mutex
 	rules map[string]Rule
+	skips map[string]int // remaining SkipChecks budget per rule key
 	rng   *rand.Rand
 	hits  map[string]int // injected failures per target
 	seen  map[string]int // total checks per target
@@ -57,6 +63,7 @@ type Registry struct {
 func New(seed int64) *Registry {
 	return &Registry{
 		rules: map[string]Rule{},
+		skips: map[string]int{},
 		rng:   rand.New(rand.NewSource(seed)),
 		hits:  map[string]int{},
 		seen:  map[string]int{},
@@ -89,6 +96,7 @@ func (r *Registry) Set(target string, rule Rule) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.rules[target] = rule
+	r.skips[target] = rule.SkipChecks
 }
 
 // Clear removes the rule for a target (exact key, including prefix
@@ -100,6 +108,7 @@ func (r *Registry) Clear(target string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	delete(r.rules, target)
+	delete(r.skips, target)
 }
 
 // ClearAll removes every rule, returning the registry to fully healthy.
@@ -110,15 +119,17 @@ func (r *Registry) ClearAll() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.rules = map[string]Rule{}
+	r.skips = map[string]int{}
 }
 
 // lookup resolves the effective rule for a target: an exact rule wins,
 // otherwise the longest matching prefix rule applies.
-func (r *Registry) lookup(target string) (Rule, bool) {
+func (r *Registry) lookup(target string) (Rule, string, bool) {
 	if rule, ok := r.rules[target]; ok {
-		return rule, true
+		return rule, target, true
 	}
 	var best Rule
+	var bestKey string
 	bestLen := -1
 	for key, rule := range r.rules {
 		if !strings.HasSuffix(key, "*") {
@@ -126,10 +137,10 @@ func (r *Registry) lookup(target string) (Rule, bool) {
 		}
 		prefix := strings.TrimSuffix(key, "*")
 		if strings.HasPrefix(target, prefix) && len(prefix) > bestLen {
-			best, bestLen = rule, len(prefix)
+			best, bestKey, bestLen = rule, key, len(prefix)
 		}
 	}
-	return best, bestLen >= 0
+	return best, bestKey, bestLen >= 0
 }
 
 // Check runs one operation against the target through the fault rules:
@@ -141,12 +152,17 @@ func (r *Registry) Check(target string) error {
 		return nil
 	}
 	r.mu.Lock()
-	rule, ok := r.lookup(target)
+	rule, key, ok := r.lookup(target)
 	if !ok {
 		r.mu.Unlock()
 		return nil
 	}
 	r.seen[target]++
+	if r.skips[key] > 0 {
+		r.skips[key]--
+		r.mu.Unlock()
+		return nil
+	}
 	fail := rule.Down
 	if !fail && rule.ErrRate > 0 && r.rng.Float64() < rule.ErrRate {
 		fail = true

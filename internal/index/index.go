@@ -4,6 +4,16 @@
 // postings by document and field, so rankers can weight the number of
 // matches, the field a term matched in, and the proximity between
 // matched terms — the three dynamic features the paper names.
+//
+// Internally the index is LSM-shaped: writes land in a small mutable
+// memtable; once the memtable crosses a document threshold it is frozen
+// at a document boundary and sealed in the background into an immutable
+// segment holding delta-varint block-compressed posting lists with
+// exact per-term max-score bounds. A size-tiered background merger
+// compacts small segments. Readers aggregate across the memtable, the
+// (at most one) sealing memtable, and the sealed segments; because
+// sealing and merging preserve logical content, query results are
+// unchanged by segment lifecycle transitions.
 package index
 
 import (
@@ -14,6 +24,12 @@ import (
 	"covidkg/internal/textproc"
 )
 
+// DefaultSealDocs is the memtable document threshold that triggers a
+// background seal. Small enough that a bulk load produces real
+// segments, large enough that unit-test-sized corpora stay purely
+// in-memory.
+const DefaultSealDocs = 2048
+
 // Posting records the occurrences of one term in one field of one
 // document. Positions are token offsets within that field.
 type Posting struct {
@@ -22,126 +38,93 @@ type Posting struct {
 	Positions []int
 }
 
-// fieldKey identifies a (document, field) pair.
-type fieldKey struct {
-	doc   string
-	field string
-}
-
-// fieldPostings maps field name → positions for one (term, doc) pair.
-type fieldPostings map[string][]int
-
-// termList is a per-term, lazily sorted list of the doc ids holding the
-// term. Appends in ascending id order (the common case: generated ids
-// are monotone) keep the list clean; out-of-order inserts and removals
-// mark it dirty and it is rebuilt from the postings map on the next
-// snapshot. Rebuilds replace the slice, so snapshot holders reading an
-// older header stay valid.
-type termList struct {
-	ids   []string
-	dirty bool
-}
-
-// Index is a thread-safe inverted index over stemmed content words.
-// Postings are keyed term → doc → field so per-document scoring (the
-// search ranking hot path) never scans other documents' postings.
-//
-// Beyond raw postings the index incrementally maintains, at Add/Remove
-// time, the per-term partial-score metadata the document-at-a-time
-// top-k scorer needs: a sorted doc-id posting list per term, a monotone
-// upper bound of the field-weighted term frequency (for max-score early
-// termination), and a per-document static score (the recency feature,
-// recorded by the search engine so index-only ranking never touches the
-// stored document).
+// Index is a thread-safe inverted index over stemmed content words,
+// structured as memtable + sealed segments (see the package comment).
+// The public read API reports the aggregate view across all parts.
 type Index struct {
 	mu sync.RWMutex
-	// postings: term -> doc -> field -> positions
-	postings map[string]map[string]fieldPostings
-	// docTerms: doc -> set of terms, for removal
-	docTerms map[string]map[string]struct{}
-	// fieldLen: (doc, field) -> token count, for normalization
-	fieldLen map[fieldKey]int
-	docs     map[string]struct{}
+	// cond signals seal/merge completion (waiters: Remove and
+	// SetStatic on frozen docs, Seal, Compact, SetFieldWeights).
+	cond *sync.Cond
 
-	// weights are the per-field ranking weights used for the
-	// precomputed weighted-TF partials (default 1 per field).
-	weights map[string]float64
-	// termDocs: term -> lazily sorted doc ids (the posting list the
-	// top-k merge iterates).
-	termDocs map[string]*termList
-	// maxWTF / maxRaw: term -> monotone maxima of Σ_field tf·weight and
-	// Σ_field tf over any single document. Add raises them; Remove
-	// leaves them untouched (a stale-high maximum is still a valid
-	// upper bound for max-score pruning).
-	maxWTF map[string]float64
-	maxRaw map[string]int
-	// static: doc -> query-independent score component (recency).
-	static map[string]float64
+	mem *memtable
+	// sealing is the frozen memtable a background builder is turning
+	// into a segment (nil when no seal is in flight). It is immutable
+	// while set; readers still consult it.
+	sealing *memtable
+	segs    []*segment
+
+	weights  map[string]float64
+	sealDocs int
+	nextSeg  uint64
+
+	// termGens maps term → last write sequence that touched it; the
+	// search layer's scoped cache invalidation compares these.
+	termGens map[string]uint64
+	seq      uint64
+
+	// crossSource is set once any document's postings span more than
+	// one part (only possible when a doc id is re-added after sealing).
+	// It switches TermSnapshots from max to sum when combining
+	// per-part score bounds, keeping them valid upper bounds.
+	crossSource bool
+
+	merging bool
+	wg      sync.WaitGroup
+
+	seals  uint64
+	merges uint64
+	epoch  uint64
 }
 
-// New creates an empty index.
+// New creates an empty index with the default seal threshold.
 func New() *Index {
-	return &Index{
-		postings: map[string]map[string]fieldPostings{},
-		docTerms: map[string]map[string]struct{}{},
-		fieldLen: map[fieldKey]int{},
-		docs:     map[string]struct{}{},
-		termDocs: map[string]*termList{},
-		maxWTF:   map[string]float64{},
-		maxRaw:   map[string]int{},
-		static:   map[string]float64{},
+	ix := &Index{
+		mem:      newMemtable(),
+		sealDocs: DefaultSealDocs,
+		termGens: map[string]uint64{},
 	}
+	ix.cond = sync.NewCond(&ix.mu)
+	return ix
+}
+
+// SetSealThreshold overrides the memtable document count that triggers
+// a background seal; n <= 0 disables automatic sealing. Benchmarks and
+// tests use it to force or forbid segment churn.
+func (ix *Index) SetSealThreshold(n int) {
+	ix.mu.Lock()
+	ix.sealDocs = n
+	ix.mu.Unlock()
+}
+
+// memsLocked returns the live memtable parts: the active memtable and,
+// when a seal is in flight, the frozen one being sealed. Caller holds
+// ix.mu (read or write).
+func (ix *Index) memsLocked() []*memtable {
+	if ix.sealing != nil {
+		return []*memtable{ix.mem, ix.sealing}
+	}
+	return []*memtable{ix.mem}
 }
 
 // SetFieldWeights installs the per-field ranking weights backing the
 // precomputed weighted-TF partials and recomputes every per-term
 // maximum under the new weights. Call it once, right after New, before
 // indexing documents — a live reweigh is correct but pays a full pass
-// over the postings.
+// over the postings of every part.
 func (ix *Index) SetFieldWeights(w map[string]float64) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	for ix.sealing != nil || ix.merging {
+		ix.cond.Wait()
+	}
 	ix.weights = make(map[string]float64, len(w))
 	for f, v := range w {
 		ix.weights[f] = v
 	}
-	ix.maxWTF = make(map[string]float64, len(ix.postings))
-	ix.maxRaw = make(map[string]int, len(ix.postings))
-	for term, byDoc := range ix.postings {
-		for docID := range byDoc {
-			ix.refreshBoundsLocked(term, docID)
-		}
-	}
-}
-
-// fieldWeightLocked returns the configured weight of a field (1 when
-// unconfigured). Caller holds ix.mu.
-func (ix *Index) fieldWeightLocked(field string) float64 {
-	if ix.weights == nil {
-		return 1
-	}
-	if w, ok := ix.weights[field]; ok {
-		return w
-	}
-	return 1
-}
-
-// refreshBoundsLocked recomputes one (term, doc) weighted/raw TF
-// partial and raises the term's maxima if it exceeds them. Caller holds
-// ix.mu.
-func (ix *Index) refreshBoundsLocked(term, docID string) {
-	fp := ix.postings[term][docID]
-	raw := 0
-	wtf := 0.0
-	for f, pos := range fp {
-		raw += len(pos)
-		wtf += float64(len(pos)) * ix.fieldWeightLocked(f)
-	}
-	if raw > ix.maxRaw[term] {
-		ix.maxRaw[term] = raw
-	}
-	if wtf > ix.maxWTF[term] {
-		ix.maxWTF[term] = wtf
+	ix.mem.recomputeBounds(ix.weights)
+	for _, s := range ix.segs {
+		s.recomputeBounds(ix.weights)
 	}
 }
 
@@ -149,8 +132,26 @@ func (ix *Index) refreshBoundsLocked(term, docID string) {
 // (the search engine stores the recency feature here at indexing time).
 func (ix *Index) SetStatic(docID string, v float64) {
 	ix.mu.Lock()
-	ix.static[docID] = v
-	ix.mu.Unlock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.mem.docs[docID]; ok {
+		ix.mem.static[docID] = v
+		return
+	}
+	// A frozen memtable is being read by its seal builder without the
+	// lock; wait the seal out rather than mutate it.
+	for ix.sealing != nil {
+		if _, ok := ix.sealing.docs[docID]; !ok {
+			break
+		}
+		ix.cond.Wait()
+	}
+	for _, s := range ix.segs {
+		if ord, ok := s.ordOf(docID); ok && !s.dead[ord] {
+			s.static[ord] = v
+			return
+		}
+	}
+	ix.mem.static[docID] = v
 }
 
 // Static returns the document's query-independent score component
@@ -158,100 +159,154 @@ func (ix *Index) SetStatic(docID string, v float64) {
 func (ix *Index) Static(docID string) float64 {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return ix.static[docID]
+	for _, m := range ix.memsLocked() {
+		if v, ok := m.static[docID]; ok {
+			return v
+		}
+	}
+	for _, s := range ix.segs {
+		if ord, ok := s.ordOf(docID); ok && !s.dead[ord] {
+			return s.static[ord]
+		}
+	}
+	return 0
 }
 
 // Add tokenizes, stems, and indexes text as the given field of doc.
 // Calling Add twice for the same (doc, field) appends, with positions
 // continuing after the previous call's tokens. The per-term posting
-// lists and max-score partials are maintained incrementally.
+// lists and max-score partials are maintained incrementally. Crossing
+// the seal threshold at a document boundary freezes the memtable and
+// seals it into a segment in the background.
 func (ix *Index) Add(docID, field, text string) {
 	terms := textproc.ContentWords(text)
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	ix.docs[docID] = struct{}{}
-	fk := fieldKey{docID, field}
-	base := ix.fieldLen[fk]
-	ix.fieldLen[fk] = base + len(terms)
-	seen := ix.docTerms[docID]
-	if seen == nil {
-		seen = map[string]struct{}{}
-		ix.docTerms[docID] = seen
-	}
-	touched := map[string]struct{}{}
-	for i, term := range terms {
-		byDoc := ix.postings[term]
-		if byDoc == nil {
-			byDoc = map[string]fieldPostings{}
-			ix.postings[term] = byDoc
+
+	if _, inMem := ix.mem.docs[docID]; !inMem && docID != ix.mem.lastDoc {
+		// First touch of a new document: the only point a seal may
+		// trigger (so one doc's postings never straddle the boundary),
+		// and the point to detect a re-add of an already-sealed id.
+		if ix.sealDocs > 0 && ix.sealing == nil && len(ix.mem.docs) >= ix.sealDocs {
+			ix.freezeLocked()
 		}
-		fp := byDoc[docID]
-		if fp == nil {
-			fp = fieldPostings{}
-			byDoc[docID] = fp
-			ix.noteTermDocLocked(term, docID)
+		if !ix.crossSource && ix.partOtherThanMemHas(docID) {
+			ix.crossSource = true
 		}
-		fp[field] = append(fp[field], base+i)
-		seen[term] = struct{}{}
-		touched[term] = struct{}{}
 	}
-	for term := range touched {
-		ix.refreshBoundsLocked(term, docID)
+
+	base := ix.mem.fieldLen[fieldKey{docID, field}]
+	if ix.crossSource {
+		base = ix.fieldLenLocked(docID, field)
+	}
+	ix.mem.add(docID, field, terms, base, ix.weights)
+
+	ix.seq++
+	for _, t := range terms {
+		ix.termGens[t] = ix.seq
 	}
 }
 
-// noteTermDocLocked appends a newly-posting doc to the term's posting
-// list, keeping the sorted invariant when ids arrive in order and
-// marking the list dirty otherwise. Caller holds ix.mu.
-func (ix *Index) noteTermDocLocked(term, docID string) {
-	tl := ix.termDocs[term]
-	if tl == nil {
-		tl = &termList{}
-		ix.termDocs[term] = tl
+// partOtherThanMemHas reports whether the doc id is live anywhere
+// outside the active memtable. Caller holds ix.mu.
+func (ix *Index) partOtherThanMemHas(docID string) bool {
+	if ix.sealing != nil {
+		if _, ok := ix.sealing.docs[docID]; ok {
+			return true
+		}
 	}
-	if !tl.dirty && len(tl.ids) > 0 && tl.ids[len(tl.ids)-1] >= docID {
-		tl.dirty = true
+	for _, s := range ix.segs {
+		if ord, ok := s.ordOf(docID); ok && !s.dead[ord] {
+			return true
+		}
 	}
-	tl.ids = append(tl.ids, docID)
+	return false
 }
 
-// Remove deletes every posting of doc. Affected posting lists are
-// marked dirty and rebuilt lazily; per-term maxima are deliberately
-// left as-is (monotone maxima remain valid upper bounds).
+// fieldLenLocked sums the (doc, field) token count across every part.
+func (ix *Index) fieldLenLocked(docID, field string) int {
+	n := 0
+	for _, m := range ix.memsLocked() {
+		n += m.fieldLen[fieldKey{docID, field}]
+	}
+	for _, s := range ix.segs {
+		if ord, ok := s.ordOf(docID); ok && !s.dead[ord] {
+			if fid, ok := s.fieldN[field]; ok {
+				n += s.fieldLenOf(ord, fid)
+			}
+		}
+	}
+	return n
+}
+
+// Remove deletes every posting of doc: memtable postings are removed in
+// place, sealed postings are tombstoned (space is reclaimed at the next
+// merge). Affected posting lists are invalidated; per-term maxima are
+// deliberately left as-is (monotone maxima remain valid upper bounds).
 func (ix *Index) Remove(docID string) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	terms, ok := ix.docTerms[docID]
-	if !ok {
+	// The sealing memtable is read lock-free by its builder; wait any
+	// in-flight seal out so the tombstone lands on the built segment.
+	for ix.sealing != nil {
+		ix.cond.Wait()
+	}
+	touched := ix.mem.remove(docID)
+	for _, s := range ix.segs {
+		if ord, ok := s.ordOf(docID); ok && !s.dead[ord] {
+			touched = append(touched, s.termsOf(ord)...)
+			s.markDead(ord)
+		}
+	}
+	if len(touched) == 0 {
 		return
 	}
-	for term := range terms {
-		byDoc := ix.postings[term]
-		delete(byDoc, docID)
-		if len(byDoc) == 0 {
-			delete(ix.postings, term)
-			delete(ix.termDocs, term)
-			delete(ix.maxWTF, term)
-			delete(ix.maxRaw, term)
-		} else if tl := ix.termDocs[term]; tl != nil {
-			tl.dirty = true
-		}
+	ix.seq++
+	for _, t := range touched {
+		ix.termGens[t] = ix.seq
 	}
-	delete(ix.docTerms, docID)
-	for fk := range ix.fieldLen {
-		if fk.doc == docID {
-			delete(ix.fieldLen, fk)
-		}
+}
+
+// TermGens returns the last write sequence that touched each given
+// term (zero for never-written terms). The search layer captures these
+// before computing a page and revalidates cached pages against them:
+// a page goes stale only when one of its own terms was written, not on
+// every ingest.
+func (ix *Index) TermGens(terms []string) []uint64 {
+	out := make([]uint64, len(terms))
+	ix.mu.RLock()
+	for i, t := range terms {
+		out[i] = ix.termGens[t]
 	}
-	delete(ix.docs, docID)
-	delete(ix.static, docID)
+	ix.mu.RUnlock()
+	return out
+}
+
+// WriteSeq returns the index's global write sequence (bumped by every
+// Add/Remove). Cached pages with unbounded term scope revalidate
+// against this.
+func (ix *Index) WriteSeq() uint64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.seq
 }
 
 // DocCount returns the number of indexed documents.
 func (ix *Index) DocCount() int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return len(ix.docs)
+	return ix.docCountLocked()
+}
+
+func (ix *Index) docCountLocked() int {
+	n := 0
+	for _, m := range ix.memsLocked() {
+		n += len(m.docs)
+	}
+	for _, s := range ix.segs {
+		n += s.liveDocs()
+	}
+	return n
 }
 
 // DocFreq returns the number of documents containing term (already
@@ -259,38 +314,82 @@ func (ix *Index) DocCount() int {
 func (ix *Index) DocFreq(term string) int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return len(ix.postings[term])
+	return ix.docFreqLocked(term)
+}
+
+func (ix *Index) docFreqLocked(term string) int {
+	n := 0
+	for _, m := range ix.memsLocked() {
+		n += len(m.postings[term])
+	}
+	for _, s := range ix.segs {
+		if t, ok := s.tid(term); ok {
+			n += s.liveDF(t)
+		}
+	}
+	return n
 }
 
 // IDF returns the inverse document frequency of a stemmed term:
 // log((N+1)/(df+1)) + 1, smoothed so unseen terms still rank.
 func (ix *Index) IDF(term string) float64 {
 	ix.mu.RLock()
-	n := len(ix.docs)
-	df := len(ix.postings[term])
+	n := ix.docCountLocked()
+	df := ix.docFreqLocked(term)
 	ix.mu.RUnlock()
 	return math.Log(float64(n+1)/float64(df+1)) + 1
 }
 
 // TermFreq returns the occurrence count of term in the given field of
-// doc.
+// doc, summed across parts.
 func (ix *Index) TermFreq(term, docID, field string) int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return len(ix.postings[term][docID][field])
+	n := 0
+	for _, m := range ix.memsLocked() {
+		n += len(m.postings[term][docID][field])
+	}
+	for _, s := range ix.segs {
+		ord, ok := s.ordOf(docID)
+		if !ok || s.dead[ord] {
+			continue
+		}
+		t, ok := s.tid(term)
+		if !ok {
+			continue
+		}
+		fid, ok := s.fieldN[field]
+		if !ok {
+			continue
+		}
+		if e, ok := s.entry(t, ord); ok {
+			for _, f := range e.fields {
+				if f.fieldID == fid {
+					n += len(f.pos)
+				}
+			}
+		}
+	}
+	return n
 }
 
 // TFIDF returns the tf·idf weight of term in doc, summed across fields
 // and normalized by field length.
 func (ix *Index) TFIDF(term, docID string) float64 {
 	ix.mu.RLock()
-	fp, ok := ix.postings[term][docID]
+	perField := ix.fieldPositionsLocked(term, docID)
+	// Sum in sorted field order: float addition is order-sensitive at
+	// the last ulp, and map iteration order would make repeated calls
+	// (and flat-vs-segmented comparisons) nondeterministic.
+	fields := make([]string, 0, len(perField))
+	for field := range perField {
+		fields = append(fields, field)
+	}
+	sort.Strings(fields)
 	tf := 0.0
-	if ok {
-		for field, pos := range fp {
-			if l := ix.fieldLen[fieldKey{docID, field}]; l > 0 {
-				tf += float64(len(pos)) / float64(l)
-			}
+	for _, field := range fields {
+		if l := ix.fieldLenLocked(docID, field); l > 0 {
+			tf += float64(len(perField[field])) / float64(l)
 		}
 	}
 	ix.mu.RUnlock()
@@ -300,22 +399,97 @@ func (ix *Index) TFIDF(term, docID string) float64 {
 	return tf * ix.IDF(term)
 }
 
+// fieldPositionsLocked gathers (term, doc) positions per field across
+// every part. Positions from distinct parts occupy distinct ranges
+// (Add continues positions across seals), but are re-sorted when more
+// than one part contributed, since part order need not match position
+// order. Caller holds at least a read lock.
+func (ix *Index) fieldPositionsLocked(term, docID string) map[string][]int {
+	var out map[string][]int
+	multi := false
+	addRun := func(field string, pos []int) {
+		if len(pos) == 0 {
+			return
+		}
+		if out == nil {
+			out = map[string][]int{}
+		}
+		if _, ok := out[field]; ok {
+			multi = true
+		}
+		out[field] = append(out[field], pos...)
+	}
+	for _, s := range ix.segs {
+		ord, ok := s.ordOf(docID)
+		if !ok || s.dead[ord] {
+			continue
+		}
+		t, ok := s.tid(term)
+		if !ok {
+			continue
+		}
+		if e, ok := s.entry(t, ord); ok {
+			for _, f := range e.fields {
+				addRun(s.fields[f.fieldID], f.pos)
+			}
+		}
+	}
+	for _, m := range ix.memsLocked() {
+		for field, pos := range m.postings[term][docID] {
+			addRun(field, pos)
+		}
+	}
+	if multi {
+		for _, pos := range out {
+			if !sort.IntsAreSorted(pos) {
+				sort.Ints(pos)
+			}
+		}
+	}
+	return out
+}
+
 // Lookup returns all postings of a stemmed term, sorted by (doc, field)
-// for determinism.
+// for determinism, nil when the term posts for no live document.
 func (ix *Index) Lookup(term string) []Posting {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	byDoc, ok := ix.postings[term]
-	if !ok {
+	type dfKey struct{ doc, field string }
+	acc := map[dfKey][]int{}
+	add := func(doc, field string, pos []int) {
+		k := dfKey{doc, field}
+		acc[k] = append(acc[k], pos...)
+	}
+	for _, s := range ix.segs {
+		t, ok := s.tid(term)
+		if !ok {
+			continue
+		}
+		s.forEachEntry(t, func(e segEntry) bool {
+			if s.dead[e.ord] {
+				return true
+			}
+			for _, f := range e.fields {
+				add(s.docIDs[e.ord], s.fields[f.fieldID], f.pos)
+			}
+			return true
+		})
+	}
+	for _, m := range ix.memsLocked() {
+		for doc, fp := range m.postings[term] {
+			for field, pos := range fp {
+				add(doc, field, pos)
+			}
+		}
+	}
+	if len(acc) == 0 {
 		return nil
 	}
-	var out []Posting
-	for doc, fp := range byDoc {
-		for field, pos := range fp {
-			cp := make([]int, len(pos))
-			copy(cp, pos)
-			out = append(out, Posting{DocID: doc, Field: field, Positions: cp})
-		}
+	out := make([]Posting, 0, len(acc))
+	for k, pos := range acc {
+		cp := append([]int(nil), pos...)
+		sort.Ints(cp)
+		out = append(out, Posting{DocID: k.doc, Field: k.field, Positions: cp})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].DocID != out[j].DocID {
@@ -324,6 +498,26 @@ func (ix *Index) Lookup(term string) []Posting {
 		return out[i].Field < out[j].Field
 	})
 	return out
+}
+
+// hasTermDocLocked reports whether doc has a live posting for term in
+// any part.
+func (ix *Index) hasTermDocLocked(term, docID string) bool {
+	for _, m := range ix.memsLocked() {
+		if _, ok := m.postings[term][docID]; ok {
+			return true
+		}
+	}
+	for _, s := range ix.segs {
+		ord, ok := s.ordOf(docID)
+		if !ok || s.dead[ord] {
+			continue
+		}
+		if t, ok := s.tid(term); ok && s.contains(t, ord) {
+			return true
+		}
+	}
+	return false
 }
 
 // DocsWithAll returns the ids of documents containing every given stemmed
@@ -337,7 +531,7 @@ func (ix *Index) DocsWithAll(terms []string) []string {
 	smallest := ""
 	smallestN := math.MaxInt
 	for _, t := range terms {
-		n := len(ix.postings[t])
+		n := ix.docFreqLocked(t)
 		if n < smallestN {
 			smallestN, smallest = n, t
 		}
@@ -346,19 +540,32 @@ func (ix *Index) DocsWithAll(terms []string) []string {
 		return nil
 	}
 	var out []string
-	for doc := range ix.postings[smallest] {
-		all := true
+	seen := map[string]struct{}{}
+	check := func(doc string) {
+		if _, dup := seen[doc]; dup {
+			return
+		}
+		seen[doc] = struct{}{}
 		for _, t := range terms {
 			if t == smallest {
 				continue
 			}
-			if _, ok := ix.postings[t][doc]; !ok {
-				all = false
-				break
+			if !ix.hasTermDocLocked(t, doc) {
+				return
 			}
 		}
-		if all {
-			out = append(out, doc)
+		out = append(out, doc)
+	}
+	for _, m := range ix.memsLocked() {
+		for doc := range m.postings[smallest] {
+			check(doc)
+		}
+	}
+	for _, s := range ix.segs {
+		if t, ok := s.tid(smallest); ok {
+			for _, doc := range s.docList(t) {
+				check(doc)
+			}
 		}
 	}
 	if out == nil {
@@ -377,16 +584,33 @@ func (ix *Index) DocsWithAnyInFields(terms []string, fields map[string]bool) []s
 	defer ix.mu.RUnlock()
 	set := map[string]struct{}{}
 	for _, t := range terms {
-		for doc, fp := range ix.postings[t] {
-			if fields == nil {
-				set[doc] = struct{}{}
+		for _, m := range ix.memsLocked() {
+			for doc, fp := range m.postings[t] {
+				if fields == nil {
+					set[doc] = struct{}{}
+					continue
+				}
+				for field := range fp {
+					if fields[field] {
+						set[doc] = struct{}{}
+						break
+					}
+				}
+			}
+		}
+		for _, s := range ix.segs {
+			tid, ok := s.tid(t)
+			if !ok {
 				continue
 			}
-			for field := range fp {
-				if fields[field] {
+			if fields == nil {
+				for _, doc := range s.docList(tid) {
 					set[doc] = struct{}{}
-					break
 				}
+				continue
+			}
+			for _, doc := range s.docListInFields(tid, fields) {
+				set[doc] = struct{}{}
 			}
 		}
 	}
@@ -411,9 +635,12 @@ func (ix *Index) DocsWithAny(terms []string) []string {
 func (ix *Index) MinPairDistance(docID, a, b string) int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	fpA, okA := ix.postings[a][docID]
-	fpB, okB := ix.postings[b][docID]
-	if !okA || !okB {
+	fpA := ix.fieldPositionsLocked(a, docID)
+	if len(fpA) == 0 {
+		return -1
+	}
+	fpB := ix.fieldPositionsLocked(b, docID)
+	if len(fpB) == 0 {
 		return -1
 	}
 	best := -1
@@ -452,12 +679,26 @@ func minListDistance(a, b []int) int {
 	return best
 }
 
-// Terms returns every indexed term, sorted; used by vocabulary tooling.
+// Terms returns every term with at least one live posting, sorted;
+// used by vocabulary tooling.
 func (ix *Index) Terms() []string {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	out := make([]string, 0, len(ix.postings))
-	for t := range ix.postings {
+	set := map[string]struct{}{}
+	for _, m := range ix.memsLocked() {
+		for t := range m.postings {
+			set[t] = struct{}{}
+		}
+	}
+	for _, s := range ix.segs {
+		for tid, term := range s.terms {
+			if s.liveDF(tid) > 0 {
+				set[term] = struct{}{}
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
 		out = append(out, t)
 	}
 	sort.Strings(out)
@@ -468,8 +709,8 @@ func (ix *Index) Terms() []string {
 func (ix *Index) FieldsOf(docID, term string) []string {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	fp, ok := ix.postings[term][docID]
-	if !ok {
+	fp := ix.fieldPositionsLocked(term, docID)
+	if len(fp) == 0 {
 		return nil
 	}
 	out := make([]string, 0, len(fp))

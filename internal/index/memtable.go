@@ -1,0 +1,214 @@
+package index
+
+import "sort"
+
+// fieldKey identifies a (document, field) pair.
+type fieldKey struct {
+	doc   string
+	field string
+}
+
+// fieldPostings maps field name → positions for one (term, doc) pair.
+type fieldPostings map[string][]int
+
+// termList is a per-term, lazily sorted list of the doc ids holding the
+// term. Appends in ascending id order (the common case: generated ids
+// are monotone) keep the list clean; out-of-order inserts and removals
+// mark it dirty and it is rebuilt from the postings map on the next
+// snapshot. Rebuilds replace the slice, so snapshot holders reading an
+// older header stay valid.
+type termList struct {
+	ids   []string
+	dirty bool
+}
+
+// memtable is the mutable in-memory write buffer of the index: the
+// classic term → doc → field → positions map structure, plus the
+// incrementally-maintained per-term partials (sorted posting list,
+// max weighted/raw TF) the top-k scorer consumes. It carries no lock of
+// its own — every access is guarded by the owning Index's mutex. Once a
+// memtable is frozen for sealing it is never mutated again, so the seal
+// builder can read it without synchronization.
+type memtable struct {
+	// postings: term -> doc -> field -> positions
+	postings map[string]map[string]fieldPostings
+	// docTerms: doc -> set of terms, for removal
+	docTerms map[string]map[string]struct{}
+	// fieldLen: (doc, field) -> token count, for normalization
+	fieldLen map[fieldKey]int
+	docs     map[string]struct{}
+
+	// termDocs: term -> lazily sorted doc ids (the posting list the
+	// top-k merge iterates).
+	termDocs map[string]*termList
+	// maxWTF / maxRaw: term -> monotone maxima of Σ_field tf·weight and
+	// Σ_field tf over any single document. Add raises them; Remove
+	// leaves them untouched (a stale-high maximum is still a valid
+	// upper bound for max-score pruning).
+	maxWTF map[string]float64
+	maxRaw map[string]int
+	// static: doc -> query-independent score component (recency).
+	static map[string]float64
+
+	// lastDoc is the most recently added document id: the seal trigger
+	// only fires at a document boundary so one doc's postings never
+	// straddle the memtable/segment line.
+	lastDoc string
+	// tokens counts indexed content tokens, a cheap size heuristic.
+	tokens int
+}
+
+func newMemtable() *memtable {
+	return &memtable{
+		postings: map[string]map[string]fieldPostings{},
+		docTerms: map[string]map[string]struct{}{},
+		fieldLen: map[fieldKey]int{},
+		docs:     map[string]struct{}{},
+		termDocs: map[string]*termList{},
+		maxWTF:   map[string]float64{},
+		maxRaw:   map[string]int{},
+		static:   map[string]float64{},
+	}
+}
+
+func fieldWeight(weights map[string]float64, field string) float64 {
+	if weights == nil {
+		return 1
+	}
+	if w, ok := weights[field]; ok {
+		return w
+	}
+	return 1
+}
+
+// refreshBounds recomputes one (term, doc) weighted/raw TF partial and
+// raises the term's maxima if it exceeds them.
+func (m *memtable) refreshBounds(term, docID string, weights map[string]float64) {
+	fp := m.postings[term][docID]
+	raw := 0
+	wtf := 0.0
+	for f, pos := range fp {
+		raw += len(pos)
+		wtf += float64(len(pos)) * fieldWeight(weights, f)
+	}
+	if raw > m.maxRaw[term] {
+		m.maxRaw[term] = raw
+	}
+	if wtf > m.maxWTF[term] {
+		m.maxWTF[term] = wtf
+	}
+}
+
+// recomputeBounds rebuilds every per-term maximum under new weights.
+func (m *memtable) recomputeBounds(weights map[string]float64) {
+	m.maxWTF = make(map[string]float64, len(m.postings))
+	m.maxRaw = make(map[string]int, len(m.postings))
+	for term, byDoc := range m.postings {
+		for docID := range byDoc {
+			m.refreshBounds(term, docID, weights)
+		}
+	}
+}
+
+// add indexes already-stemmed terms as one contiguous run of the given
+// field, with positions starting at base.
+func (m *memtable) add(docID, field string, terms []string, base int, weights map[string]float64) {
+	m.docs[docID] = struct{}{}
+	fk := fieldKey{docID, field}
+	m.fieldLen[fk] += len(terms)
+	m.tokens += len(terms)
+	seen := m.docTerms[docID]
+	if seen == nil {
+		seen = map[string]struct{}{}
+		m.docTerms[docID] = seen
+	}
+	touched := map[string]struct{}{}
+	for i, term := range terms {
+		byDoc := m.postings[term]
+		if byDoc == nil {
+			byDoc = map[string]fieldPostings{}
+			m.postings[term] = byDoc
+		}
+		fp := byDoc[docID]
+		if fp == nil {
+			fp = fieldPostings{}
+			byDoc[docID] = fp
+			m.noteTermDoc(term, docID)
+		}
+		fp[field] = append(fp[field], base+i)
+		seen[term] = struct{}{}
+		touched[term] = struct{}{}
+	}
+	for term := range touched {
+		m.refreshBounds(term, docID, weights)
+	}
+	m.lastDoc = docID
+}
+
+// noteTermDoc appends a newly-posting doc to the term's posting list,
+// keeping the sorted invariant when ids arrive in order and marking the
+// list dirty otherwise.
+func (m *memtable) noteTermDoc(term, docID string) {
+	tl := m.termDocs[term]
+	if tl == nil {
+		tl = &termList{}
+		m.termDocs[term] = tl
+	}
+	if !tl.dirty && len(tl.ids) > 0 && tl.ids[len(tl.ids)-1] >= docID {
+		tl.dirty = true
+	}
+	tl.ids = append(tl.ids, docID)
+}
+
+// remove deletes every posting of doc and reports the affected terms
+// (nil when the doc was not present). Per-term maxima are deliberately
+// left as-is: monotone maxima remain valid upper bounds.
+func (m *memtable) remove(docID string) []string {
+	terms, ok := m.docTerms[docID]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(terms))
+	for term := range terms {
+		out = append(out, term)
+		byDoc := m.postings[term]
+		delete(byDoc, docID)
+		if len(byDoc) == 0 {
+			delete(m.postings, term)
+			delete(m.termDocs, term)
+			delete(m.maxWTF, term)
+			delete(m.maxRaw, term)
+		} else if tl := m.termDocs[term]; tl != nil {
+			tl.dirty = true
+		}
+	}
+	delete(m.docTerms, docID)
+	for fk := range m.fieldLen {
+		if fk.doc == docID {
+			delete(m.fieldLen, fk)
+		}
+	}
+	delete(m.docs, docID)
+	delete(m.static, docID)
+	return out
+}
+
+// docList returns the term's sorted live doc ids, rebuilding the lazy
+// list if dirty. Requires the owning Index's write lock (it may swap
+// the backing slice).
+func (m *memtable) docList(term string) []string {
+	tl := m.termDocs[term]
+	if tl == nil {
+		return nil
+	}
+	if tl.dirty {
+		ids := make([]string, 0, len(m.postings[term]))
+		for docID := range m.postings[term] {
+			ids = append(ids, docID)
+		}
+		sort.Strings(ids)
+		tl.ids = ids
+		tl.dirty = false
+	}
+	return tl.ids
+}

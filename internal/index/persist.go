@@ -1,0 +1,296 @@
+package index
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"covidkg/internal/durable"
+	"covidkg/internal/faultfs"
+)
+
+// segMagic versions the segment file format.
+const segMagic = "CKGSEG1"
+
+// persistMeta is the index-level manifest stored alongside the segment
+// files inside a durable snapshot generation.
+type persistMeta struct {
+	NextSeg     uint64             `json:"next_seg"`
+	CrossSource bool               `json:"cross_source"`
+	Weights     map[string]float64 `json:"weights,omitempty"`
+	SealDocs    int                `json:"seal_docs"`
+	Segments    []string           `json:"segments"`
+}
+
+// Save seals the memtable and writes every segment plus an index
+// manifest as one atomic durable snapshot generation under dir: either
+// the whole new generation commits (manifest rename) or a reader keeps
+// seeing the previous one. A crash between segment file writes and the
+// manifest commit leaves the prior generation intact — the crash-matrix
+// test walks every such point.
+func (ix *Index) Save(dir string, fs faultfs.FS) error {
+	ix.Seal()
+	snap := durable.NewSnapshotter(dir, durable.WithFS(fs))
+	tx, err := snap.Begin()
+	if err != nil {
+		return fmt.Errorf("index save: %w", err)
+	}
+
+	ix.mu.RLock()
+	meta := persistMeta{
+		NextSeg:     ix.nextSeg,
+		CrossSource: ix.crossSource,
+		Weights:     ix.weights,
+		SealDocs:    ix.sealDocs,
+	}
+	type blob struct {
+		name string
+		data []byte
+	}
+	blobs := make([]blob, 0, len(ix.segs))
+	for _, s := range ix.segs {
+		name := fmt.Sprintf("seg-%d.bin", s.id)
+		meta.Segments = append(meta.Segments, name)
+		blobs = append(blobs, blob{name, encodeSegment(s)})
+	}
+	ix.mu.RUnlock()
+
+	mb, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("index save: %w", err)
+	}
+	if err := tx.WriteFile("index.json", mb); err != nil {
+		return fmt.Errorf("index save: %w", err)
+	}
+	for _, b := range blobs {
+		if err := tx.WriteFile(b.name, b.data); err != nil {
+			return fmt.Errorf("index save: %w", err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return fmt.Errorf("index save: %w", err)
+	}
+	return nil
+}
+
+// Load rebuilds an index from the newest committed snapshot generation
+// under dir. It returns durable.ErrNoSnapshot (wrapped) when no
+// generation ever committed — callers fall back to reindexing from the
+// document store. The report carries any fallback/discard forensics
+// from the snapshot layer.
+func Load(dir string, fs faultfs.FS) (*Index, *durable.Report, error) {
+	snap, rep, err := durable.NewSnapshotter(dir, durable.WithFS(fs)).Load()
+	if err != nil {
+		return nil, rep, err
+	}
+	mb, err := snap.ReadFile("index.json")
+	if err != nil {
+		return nil, rep, fmt.Errorf("index load: %w", err)
+	}
+	var meta persistMeta
+	if err := json.Unmarshal(mb, &meta); err != nil {
+		return nil, rep, fmt.Errorf("index load: manifest: %w", err)
+	}
+	ix := New()
+	ix.nextSeg = meta.NextSeg
+	ix.crossSource = meta.CrossSource
+	ix.weights = meta.Weights
+	if meta.SealDocs != 0 {
+		ix.sealDocs = meta.SealDocs
+	}
+	for _, name := range meta.Segments {
+		data, err := snap.ReadFile(name)
+		if err != nil {
+			return nil, rep, fmt.Errorf("index load: %w", err)
+		}
+		s, err := decodeSegment(data)
+		if err != nil {
+			return nil, rep, fmt.Errorf("index load: %s: %w", name, err)
+		}
+		ix.segs = append(ix.segs, s)
+	}
+	return ix, rep, nil
+}
+
+// encodeSegment serializes one segment (including tombstone state).
+// Posting data is already compressed; the container just frames the
+// dictionaries and tables around it.
+func encodeSegment(s *segment) []byte {
+	var b []byte
+	b = append(b, segMagic...)
+	b = binary.AppendUvarint(b, s.id)
+
+	b = binary.AppendUvarint(b, uint64(len(s.docIDs)))
+	for _, d := range s.docIDs {
+		b = appendString(b, d)
+	}
+	b = binary.AppendUvarint(b, uint64(s.deadN))
+	for ord, dead := range s.dead {
+		if dead {
+			b = binary.AppendUvarint(b, uint64(ord))
+		}
+	}
+
+	b = binary.AppendUvarint(b, uint64(len(s.fields)))
+	for _, f := range s.fields {
+		b = appendString(b, f)
+	}
+	for _, n := range s.fieldLen {
+		b = binary.AppendUvarint(b, uint64(n))
+	}
+	for _, v := range s.static {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+
+	b = binary.AppendUvarint(b, uint64(len(s.terms)))
+	for t, term := range s.terms {
+		pl := &s.posts[t]
+		b = appendString(b, term)
+		b = binary.AppendUvarint(b, uint64(pl.df))
+		b = binary.AppendUvarint(b, uint64(pl.maxRaw))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(pl.maxWTF))
+		b = binary.AppendUvarint(b, uint64(len(pl.blockOff)))
+		for i := range pl.blockOff {
+			b = binary.AppendUvarint(b, uint64(pl.blockOff[i]))
+			b = binary.AppendUvarint(b, uint64(pl.blockLast[i]))
+		}
+		b = binary.AppendUvarint(b, uint64(len(pl.data)))
+		b = append(b, pl.data...)
+	}
+	return b
+}
+
+type segReader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (r *segReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		r.err = fmt.Errorf("truncated varint at %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *segReader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.pos+n > len(r.b) {
+		r.err = fmt.Errorf("truncated: want %d bytes at %d of %d", n, r.pos, len(r.b))
+		return nil
+	}
+	out := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return out
+}
+
+func (r *segReader) str() string { return string(r.bytes(int(r.uvarint()))) }
+
+func (r *segReader) f64() float64 {
+	raw := r.bytes(8)
+	if r.err != nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(raw))
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// decodeSegment rebuilds a segment from its serialized form, restoring
+// the derived tables (field/term maps, ordTerms, delDF) that are not
+// stored.
+func decodeSegment(data []byte) (*segment, error) {
+	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+		return nil, fmt.Errorf("bad segment magic")
+	}
+	r := &segReader{b: data, pos: len(segMagic)}
+	s := &segment{id: r.uvarint()}
+
+	nDocs := int(r.uvarint())
+	s.docIDs = make([]string, nDocs)
+	for i := range s.docIDs {
+		s.docIDs[i] = r.str()
+	}
+	s.dead = make([]bool, nDocs)
+	s.deadN = int(r.uvarint())
+	for i := 0; i < s.deadN; i++ {
+		ord := int(r.uvarint())
+		if r.err == nil && ord < nDocs {
+			s.dead[ord] = true
+		}
+	}
+
+	nFields := int(r.uvarint())
+	s.fields = make([]string, nFields)
+	s.fieldN = make(map[string]int, nFields)
+	for i := range s.fields {
+		s.fields[i] = r.str()
+		s.fieldN[s.fields[i]] = i
+	}
+	s.fieldLen = make([]uint32, nDocs*nFields)
+	for i := range s.fieldLen {
+		s.fieldLen[i] = uint32(r.uvarint())
+	}
+	s.static = make([]float64, nDocs)
+	for i := range s.static {
+		s.static[i] = r.f64()
+	}
+
+	nTerms := int(r.uvarint())
+	s.terms = make([]string, nTerms)
+	s.termN = make(map[string]int, nTerms)
+	s.posts = make([]postingList, nTerms)
+	s.ordTerms = make([][]int32, nDocs)
+	s.delDF = make([]int32, nTerms)
+	for t := 0; t < nTerms; t++ {
+		s.terms[t] = r.str()
+		s.termN[s.terms[t]] = t
+		pl := &s.posts[t]
+		pl.df = int(r.uvarint())
+		pl.maxRaw = int(r.uvarint())
+		pl.maxWTF = r.f64()
+		nBlocks := int(r.uvarint())
+		pl.blockOff = make([]uint32, nBlocks)
+		pl.blockLast = make([]uint32, nBlocks)
+		for i := 0; i < nBlocks; i++ {
+			pl.blockOff[i] = uint32(r.uvarint())
+			pl.blockLast[i] = uint32(r.uvarint())
+		}
+		pl.data = append([]byte(nil), r.bytes(int(r.uvarint()))...)
+		s.bytes += len(pl.data)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+
+	// Rebuild ordTerms and delDF from the postings themselves.
+	for t := range s.posts {
+		s.forEachEntry(t, func(e segEntry) bool {
+			if e.ord >= nDocs {
+				r.err = fmt.Errorf("ordinal %d out of range", e.ord)
+				return false
+			}
+			s.ordTerms[e.ord] = append(s.ordTerms[e.ord], int32(t))
+			if s.dead[e.ord] {
+				s.delDF[t]++
+			}
+			return true
+		})
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return s, nil
+}

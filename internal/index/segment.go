@@ -1,0 +1,486 @@
+package index
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+)
+
+// blockEntries is the posting-list block size: within a block, doc
+// ordinals are delta-varint encoded, and the block boundary table lets
+// lookups binary-search to the right block and decode at most this many
+// entries. 64 keeps blocks small enough for cheap random access while
+// amortizing the boundary table to one entry per 64 postings.
+const blockEntries = 64
+
+// postingList is one term's compressed postings inside a segment:
+// per-doc entries (ordinal, then per-field positions), delta-varint
+// encoded in blocks of blockEntries. df, maxWTF and maxRaw are exact at
+// seal time (tombstones later lower the true values, which only makes
+// the recorded maxima conservative — still valid upper bounds for
+// max-score pruning).
+type postingList struct {
+	df     int
+	maxWTF float64
+	maxRaw int
+
+	// blockOff[i] is the byte offset of block i in data; blockLast[i]
+	// is the largest doc ordinal in block i (the binary-search key).
+	blockOff  []uint32
+	blockLast []uint32
+	data      []byte
+}
+
+// segEntry is one decoded posting entry: the occurrences of a term in
+// one document, by field.
+type segEntry struct {
+	ord    int
+	fields []segField
+}
+
+type segField struct {
+	fieldID int
+	pos     []int
+}
+
+// segment is an immutable sealed run of documents. Everything except
+// the tombstone state (dead/deadN/delDF/static) is frozen at build
+// time; tombstones and static-score updates are applied in place under
+// the owning Index's write lock. docIDs is sorted, and a document's
+// ordinal (its index in docIDs) is the id used throughout the encoded
+// postings.
+type segment struct {
+	id     uint64
+	docIDs []string // sorted; ordinal = position
+	fields []string // field dictionary, sorted
+	fieldN map[string]int
+
+	// fieldLen[ord*len(fields)+fid] = token count of that (doc, field).
+	fieldLen []uint32
+	// static[ord] = query-independent score (mutable under Index.mu).
+	static []float64
+
+	terms []string // sorted term dictionary
+	termN map[string]int
+	posts []postingList
+
+	// ordTerms[ord] = sorted term ids posting for that doc; drives
+	// tombstone bookkeeping (delDF, memo invalidation) on Remove.
+	ordTerms [][]int32
+
+	// Tombstones, guarded by Index.mu.
+	dead  []bool
+	deadN int
+	// delDF[tid] = tombstoned docs per term, so live docFreq stays O(1).
+	delDF []int32
+
+	// decoded memoizes per-term live doc-id lists (tid → []string).
+	// sync.Map so read-locked query paths can populate it concurrently;
+	// entries are invalidated when a tombstone lands on the term.
+	decoded sync.Map
+
+	// entMemo memoizes per-term decoded posting entries (tid →
+	// []segEntry, ordinal ascending, tombstones included — callers
+	// filter). Postings are immutable after build, so this memo is
+	// never invalidated; it exists because per-candidate scoring
+	// (TFIDF, proximity) random-accesses entries per (term, doc), and
+	// re-decoding a varint block per access made scoring an order of
+	// magnitude slower than the flat index. Hot query terms decode
+	// once; cold terms stay compressed.
+	entMemo sync.Map
+
+	// bytes is the total encoded postings size (merge-policy heuristic).
+	bytes int
+}
+
+// liveDocs returns the number of non-tombstoned documents.
+func (s *segment) liveDocs() int { return len(s.docIDs) - s.deadN }
+
+// ordOf returns the ordinal of a doc id and whether it is present.
+func (s *segment) ordOf(docID string) (int, bool) {
+	i := sort.SearchStrings(s.docIDs, docID)
+	if i < len(s.docIDs) && s.docIDs[i] == docID {
+		return i, true
+	}
+	return 0, false
+}
+
+// tid returns the term id of a stemmed term and whether it is present.
+func (s *segment) tid(term string) (int, bool) {
+	t, ok := s.termN[term]
+	return t, ok
+}
+
+// liveDF returns the term's live document frequency.
+func (s *segment) liveDF(tid int) int { return s.posts[tid].df - int(s.delDF[tid]) }
+
+// markDead tombstones one ordinal: bumps per-term deleted counts and
+// drops the memoized doc lists of every term the doc posted for.
+// Caller holds the owning Index's write lock.
+func (s *segment) markDead(ord int) {
+	if s.dead[ord] {
+		return
+	}
+	s.dead[ord] = true
+	s.deadN++
+	for _, t := range s.ordTerms[ord] {
+		s.delDF[t]++
+		s.decoded.Delete(int(t))
+	}
+}
+
+// termsOf returns the stemmed terms the given ordinal posts for.
+func (s *segment) termsOf(ord int) []string {
+	out := make([]string, len(s.ordTerms[ord]))
+	for i, t := range s.ordTerms[ord] {
+		out[i] = s.terms[t]
+	}
+	return out
+}
+
+// forEachEntry decodes the term's postings in ordinal order, calling fn
+// for every entry (including tombstoned ordinals — callers filter).
+// Stops early when fn returns false.
+func (s *segment) forEachEntry(tid int, fn func(e segEntry) bool) {
+	pl := &s.posts[tid]
+	for b := 0; b < len(pl.blockOff); b++ {
+		if !s.decodeBlock(pl, b, fn) {
+			return
+		}
+	}
+}
+
+// decodeBlock decodes one block of a posting list, calling fn per
+// entry; returns false if fn stopped the scan.
+func (s *segment) decodeBlock(pl *postingList, b int, fn func(e segEntry) bool) bool {
+	data := pl.data[pl.blockOff[b]:]
+	if b+1 < len(pl.blockOff) {
+		data = pl.data[pl.blockOff[b]:pl.blockOff[b+1]]
+	}
+	n := pl.df - b*blockEntries
+	if n > blockEntries {
+		n = blockEntries
+	}
+	pos := 0
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		delta, k := binary.Uvarint(data[pos:])
+		pos += k
+		ord := delta
+		if i > 0 {
+			ord = prev + delta
+		}
+		prev = ord
+		nf, k := binary.Uvarint(data[pos:])
+		pos += k
+		e := segEntry{ord: int(ord), fields: make([]segField, nf)}
+		for f := 0; f < int(nf); f++ {
+			fid, k := binary.Uvarint(data[pos:])
+			pos += k
+			np, k := binary.Uvarint(data[pos:])
+			pos += k
+			ps := make([]int, np)
+			prevP := uint64(0)
+			for p := 0; p < int(np); p++ {
+				d, k := binary.Uvarint(data[pos:])
+				pos += k
+				if p == 0 {
+					prevP = d
+				} else {
+					prevP += d
+				}
+				ps[p] = int(prevP)
+			}
+			e.fields[f] = segField{fieldID: int(fid), pos: ps}
+		}
+		if !fn(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// entries returns the term's decoded posting entries, ordinal
+// ascending, tombstones included. Decoded once per term and memoized
+// (see entMemo). Callers must treat the result as immutable.
+func (s *segment) entries(tid int) []segEntry {
+	if v, ok := s.entMemo.Load(tid); ok {
+		return v.([]segEntry)
+	}
+	out := make([]segEntry, 0, s.posts[tid].df)
+	s.forEachEntry(tid, func(e segEntry) bool {
+		out = append(out, e)
+		return true
+	})
+	s.entMemo.Store(tid, out)
+	return out
+}
+
+// entry random-accesses the posting entry for one ordinal: binary
+// search over the term's memoized entries.
+func (s *segment) entry(tid, ord int) (segEntry, bool) {
+	ents := s.entries(tid)
+	i := sort.Search(len(ents), func(i int) bool { return ents[i].ord >= ord })
+	if i < len(ents) && ents[i].ord == ord {
+		return ents[i], true
+	}
+	return segEntry{}, false
+}
+
+// contains reports whether the ordinal posts for the term (tombstones
+// not considered — callers check dead separately).
+func (s *segment) contains(tid, ord int) bool {
+	_, ok := s.entry(tid, ord)
+	return ok
+}
+
+// docList returns the term's live doc ids, ascending. Memoized per
+// term; the memo is dropped when a tombstone lands on the term.
+func (s *segment) docList(tid int) []string {
+	if v, ok := s.decoded.Load(tid); ok {
+		return v.([]string)
+	}
+	out := make([]string, 0, s.liveDF(tid))
+	for _, e := range s.entries(tid) {
+		if !s.dead[e.ord] {
+			out = append(out, s.docIDs[e.ord])
+		}
+	}
+	s.decoded.Store(tid, out)
+	return out
+}
+
+// docListInFields returns the live doc ids whose postings for the term
+// include at least one of the allowed fields, ascending. Not memoized
+// (field filters vary per query).
+func (s *segment) docListInFields(tid int, fields map[string]bool) []string {
+	var out []string
+	s.forEachEntry(tid, func(e segEntry) bool {
+		if s.dead[e.ord] {
+			return true
+		}
+		for _, f := range e.fields {
+			if fields[s.fields[f.fieldID]] {
+				out = append(out, s.docIDs[e.ord])
+				break
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// fieldLenOf returns the token count of (ord, fid).
+func (s *segment) fieldLenOf(ord, fid int) int {
+	return int(s.fieldLen[ord*len(s.fields)+fid])
+}
+
+// recomputeBounds rebuilds every term's maxWTF/maxRaw under new field
+// weights (a full decode — only done from SetFieldWeights, which is a
+// configure-at-startup call).
+func (s *segment) recomputeBounds(weights map[string]float64) {
+	for t := range s.posts {
+		pl := &s.posts[t]
+		pl.maxWTF, pl.maxRaw = 0, 0
+		s.forEachEntry(t, func(e segEntry) bool {
+			raw := 0
+			wtf := 0.0
+			for _, f := range e.fields {
+				raw += len(f.pos)
+				wtf += float64(len(f.pos)) * fieldWeight(weights, s.fields[f.fieldID])
+			}
+			if raw > pl.maxRaw {
+				pl.maxRaw = raw
+			}
+			if wtf > pl.maxWTF {
+				pl.maxWTF = wtf
+			}
+			return true
+		})
+	}
+}
+
+// segSource is the builder input: the raw map-structured postings a
+// segment is sealed from (either a frozen memtable or the decoded union
+// of merge inputs).
+type segSource struct {
+	postings map[string]map[string]fieldPostings
+	fieldLen map[fieldKey]int
+	static   map[string]float64
+	docs     map[string]struct{}
+}
+
+// buildSegment seals a segSource into an immutable segment: sorts the
+// doc/field/term dictionaries, delta-varint encodes each posting list
+// in blocks, and computes exact per-term max-score bounds under the
+// given field weights (tighter than the memtable's monotone stale-high
+// maxima, so sealed data prunes better).
+func buildSegment(id uint64, src segSource, weights map[string]float64) *segment {
+	s := &segment{id: id}
+
+	s.docIDs = make([]string, 0, len(src.docs))
+	for d := range src.docs {
+		s.docIDs = append(s.docIDs, d)
+	}
+	sort.Strings(s.docIDs)
+	ords := make(map[string]int, len(s.docIDs))
+	for i, d := range s.docIDs {
+		ords[d] = i
+	}
+
+	fieldSet := map[string]struct{}{}
+	for fk := range src.fieldLen {
+		fieldSet[fk.field] = struct{}{}
+	}
+	s.fields = make([]string, 0, len(fieldSet))
+	for f := range fieldSet {
+		s.fields = append(s.fields, f)
+	}
+	sort.Strings(s.fields)
+	s.fieldN = make(map[string]int, len(s.fields))
+	for i, f := range s.fields {
+		s.fieldN[f] = i
+	}
+
+	s.fieldLen = make([]uint32, len(s.docIDs)*len(s.fields))
+	for fk, n := range src.fieldLen {
+		if ord, ok := ords[fk.doc]; ok {
+			s.fieldLen[ord*len(s.fields)+s.fieldN[fk.field]] = uint32(n)
+		}
+	}
+	s.static = make([]float64, len(s.docIDs))
+	for d, v := range src.static {
+		if ord, ok := ords[d]; ok {
+			s.static[ord] = v
+		}
+	}
+
+	s.terms = make([]string, 0, len(src.postings))
+	for t := range src.postings {
+		s.terms = append(s.terms, t)
+	}
+	sort.Strings(s.terms)
+	s.termN = make(map[string]int, len(s.terms))
+	for i, t := range s.terms {
+		s.termN[t] = i
+	}
+
+	s.posts = make([]postingList, len(s.terms))
+	s.ordTerms = make([][]int32, len(s.docIDs))
+	s.dead = make([]bool, len(s.docIDs))
+	s.delDF = make([]int32, len(s.terms))
+
+	var buf []byte
+	for tIdx, term := range s.terms {
+		byDoc := src.postings[term]
+		entryOrds := make([]int, 0, len(byDoc))
+		for d := range byDoc {
+			entryOrds = append(entryOrds, ords[d])
+		}
+		sort.Ints(entryOrds)
+
+		pl := &s.posts[tIdx]
+		pl.df = len(entryOrds)
+		buf = buf[:0]
+		prev := 0
+		for i, ord := range entryOrds {
+			s.ordTerms[ord] = append(s.ordTerms[ord], int32(tIdx))
+			if i%blockEntries == 0 {
+				pl.blockOff = append(pl.blockOff, uint32(len(buf)))
+				buf = binary.AppendUvarint(buf, uint64(ord))
+			} else {
+				buf = binary.AppendUvarint(buf, uint64(ord-prev))
+			}
+			prev = ord
+			if i%blockEntries == blockEntries-1 || i == len(entryOrds)-1 {
+				pl.blockLast = append(pl.blockLast, uint32(ord))
+			}
+
+			fp := byDoc[s.docIDs[ord]]
+			fids := make([]int, 0, len(fp))
+			for f := range fp {
+				fids = append(fids, s.fieldN[f])
+			}
+			sort.Ints(fids)
+			buf = binary.AppendUvarint(buf, uint64(len(fids)))
+			raw := 0
+			wtf := 0.0
+			for _, fid := range fids {
+				pos := fp[s.fields[fid]]
+				if !sort.IntsAreSorted(pos) {
+					// merged multi-source runs can interleave; delta
+					// encoding needs ascending positions. Sort a copy —
+					// the source maps may be shared with live readers.
+					cp := append([]int(nil), pos...)
+					sort.Ints(cp)
+					pos = cp
+				}
+				raw += len(pos)
+				wtf += float64(len(pos)) * fieldWeight(weights, s.fields[fid])
+				buf = binary.AppendUvarint(buf, uint64(fid))
+				buf = binary.AppendUvarint(buf, uint64(len(pos)))
+				prevP := 0
+				for pi, p := range pos {
+					if pi == 0 {
+						buf = binary.AppendUvarint(buf, uint64(p))
+					} else {
+						buf = binary.AppendUvarint(buf, uint64(p-prevP))
+					}
+					prevP = p
+				}
+			}
+			if raw > pl.maxRaw {
+				pl.maxRaw = raw
+			}
+			if wtf > pl.maxWTF {
+				pl.maxWTF = wtf
+			}
+		}
+		pl.data = append([]byte(nil), buf...)
+		s.bytes += len(pl.data)
+	}
+	return s
+}
+
+// decodeInto expands the segment's live postings back into map form,
+// accumulating into a segSource (the merge path: inputs are decoded
+// into one source, then re-sealed). deadSnap is the tombstone view to
+// honor; positions for a (doc, field) already present in dst append
+// after the existing run.
+func (s *segment) decodeInto(dst *segSource, deadSnap []bool) {
+	for tIdx, term := range s.terms {
+		byDoc := dst.postings[term]
+		s.forEachEntry(tIdx, func(e segEntry) bool {
+			if deadSnap[e.ord] {
+				return true
+			}
+			if byDoc == nil {
+				byDoc = map[string]fieldPostings{}
+				dst.postings[term] = byDoc
+			}
+			docID := s.docIDs[e.ord]
+			fp := byDoc[docID]
+			if fp == nil {
+				fp = fieldPostings{}
+				byDoc[docID] = fp
+			}
+			for _, f := range e.fields {
+				field := s.fields[f.fieldID]
+				fp[field] = append(fp[field], f.pos...)
+			}
+			return true
+		})
+	}
+	for ord, docID := range s.docIDs {
+		if deadSnap[ord] {
+			continue
+		}
+		dst.docs[docID] = struct{}{}
+		dst.static[docID] = s.static[ord]
+		for fid, field := range s.fields {
+			if n := s.fieldLenOf(ord, fid); n > 0 {
+				dst.fieldLen[fieldKey{docID, field}] += n
+			}
+		}
+	}
+}

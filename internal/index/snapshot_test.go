@@ -1,0 +1,91 @@
+package index
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// copySnaps deep-copies the data a reader is promised to own.
+func copySnaps(snaps []TermSnapshot) []TermSnapshot {
+	out := make([]TermSnapshot, len(snaps))
+	for i, s := range snaps {
+		out[i] = TermSnapshot{
+			Term:   s.Term,
+			Docs:   append([]string(nil), s.Docs...),
+			MaxWTF: s.MaxWTF,
+			MaxRaw: s.MaxRaw,
+		}
+	}
+	return out
+}
+
+// TestTermSnapshotsImmutableUnderChurn is the snapshot-isolation
+// property at the index level: a TermSnapshot handed to a reader must
+// never change after the fact, no matter how many adds, removals,
+// seals, merges, and compactions the writer performs meanwhile. Readers
+// hold their snapshots across writer progress and re-compare against a
+// copy taken at acquisition; the race detector additionally flags any
+// unsynchronized mutation of the shared slices.
+func TestTermSnapshotsImmutableUnderChurn(t *testing.T) {
+	ix := New()
+	ix.SetSealThreshold(8)
+	docs := segTestDocs(60, 5)
+	for _, d := range docs {
+		for f, text := range d.fields {
+			ix.Add(d.id, f, text)
+		}
+	}
+	probe := append([]string(nil), ix.Terms()...)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(13))
+		extra := segTestDocs(4000, 77)
+		for i := 60; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			d := extra[i%len(extra)]
+			for f, text := range d.fields {
+				ix.Add(d.id+"x", f, text)
+			}
+			switch rng.Intn(20) {
+			case 0:
+				ix.Remove(docs[rng.Intn(len(docs))].id)
+			case 1:
+				ix.Seal()
+			case 2:
+				ix.Compact()
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		snaps := ix.TermSnapshots(probe)
+		frozen := copySnaps(snaps)
+		for _, s := range snaps {
+			if !sort.StringsAreSorted(s.Docs) {
+				t.Fatalf("snapshot %q docs not sorted: %v", s.Term, s.Docs)
+			}
+		}
+		// Let the writer seal/merge under us, then re-check the very
+		// slices we were handed.
+		time.Sleep(2 * time.Millisecond)
+		if !reflect.DeepEqual(snaps, frozen) {
+			t.Fatal("snapshot mutated after return while writer progressed")
+		}
+	}
+	close(stop)
+	wg.Wait()
+	ix.Wait()
+}

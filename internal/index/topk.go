@@ -1,51 +1,114 @@
 package index
 
-import "sort"
-
 // TermSnapshot is a point-in-time view of one term's posting list plus
 // the precomputed partials the document-at-a-time top-k scorer needs to
 // build max-score upper bounds. Docs is sorted ascending and must be
-// treated as immutable: the index only ever appends past the snapshot's
-// length or swaps in a freshly-built slice, so a held snapshot stays
-// stable without copying.
+// treated as immutable: single-part snapshots share the part's slice
+// (memtable lists only ever append past the snapshot's length or swap
+// in a freshly-built slice; segment lists are immutable), and
+// multi-part snapshots are freshly merged.
 type TermSnapshot struct {
 	Term string
-	// Docs holds the ids of every document containing Term, ascending.
+	// Docs holds the ids of every live document containing Term,
+	// ascending.
 	Docs []string
 	// MaxWTF is an upper bound of Σ_field tf·fieldWeight over any
-	// single document containing Term (monotone: removals never lower
-	// it, so it can be stale-high but never stale-low).
+	// single document containing Term. Memtable contributions are
+	// monotone (removals never lower them, so they can be stale-high
+	// but never stale-low); segment contributions are exact at seal
+	// time and only go conservative as tombstones land.
 	MaxWTF float64
 	// MaxRaw is the matching upper bound of the raw (unweighted)
 	// term frequency.
 	MaxRaw int
 }
 
-// TermSnapshots returns one snapshot per requested term, rebuilding any
-// posting list whose sorted invariant was invalidated by out-of-order
-// adds or removals. Terms absent from the index yield empty snapshots.
+// TermSnapshots returns one snapshot per requested term, aggregating
+// the memtable, the sealing memtable, and every sealed segment. Terms
+// absent from the index yield empty snapshots.
+//
+// Per-part bounds combine by max when every document lives in exactly
+// one part (the normal case — the seal boundary keeps documents whole),
+// and by sum when any document's postings span parts (re-added ids), so
+// the result is always a valid upper bound for max-score pruning.
 func (ix *Index) TermSnapshots(terms []string) []TermSnapshot {
 	out := make([]TermSnapshot, len(terms))
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	for i, term := range terms {
 		out[i].Term = term
-		tl := ix.termDocs[term]
-		if tl == nil {
-			continue
-		}
-		if tl.dirty {
-			ids := make([]string, 0, len(ix.postings[term]))
-			for docID := range ix.postings[term] {
-				ids = append(ids, docID)
+		var lists [][]string
+		var maxW float64
+		var maxR int
+		bound := func(w float64, r int) {
+			if ix.crossSource {
+				maxW += w
+				maxR += r
+				return
 			}
-			sort.Strings(ids)
-			tl.ids = ids
-			tl.dirty = false
+			if w > maxW {
+				maxW = w
+			}
+			if r > maxR {
+				maxR = r
+			}
 		}
-		out[i].Docs = tl.ids
-		out[i].MaxWTF = ix.maxWTF[term]
-		out[i].MaxRaw = ix.maxRaw[term]
+		for _, m := range ix.memsLocked() {
+			if ids := m.docList(term); len(ids) > 0 {
+				lists = append(lists, ids)
+				bound(m.maxWTF[term], m.maxRaw[term])
+			}
+		}
+		for _, s := range ix.segs {
+			t, ok := s.tid(term)
+			if !ok || s.liveDF(t) == 0 {
+				continue
+			}
+			if ids := s.docList(t); len(ids) > 0 {
+				lists = append(lists, ids)
+				bound(s.posts[t].maxWTF, s.posts[t].maxRaw)
+			}
+		}
+		switch len(lists) {
+		case 0:
+		case 1:
+			out[i].Docs = lists[0]
+			out[i].MaxWTF, out[i].MaxRaw = maxW, maxR
+		default:
+			out[i].Docs = mergeSortedUnique(lists)
+			out[i].MaxWTF, out[i].MaxRaw = maxW, maxR
+		}
 	}
 	return out
+}
+
+// mergeSortedUnique k-way merges ascending string lists, dropping
+// duplicates. len(lists) is small (memtable + a handful of segments),
+// so a linear scan over list heads beats a heap.
+func mergeSortedUnique(lists [][]string) []string {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]string, 0, total)
+	heads := make([]int, len(lists))
+	for {
+		best := -1
+		for li, l := range lists {
+			if heads[li] >= len(l) {
+				continue
+			}
+			if best < 0 || l[heads[li]] < lists[best][heads[best]] {
+				best = li
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		v := lists[best][heads[best]]
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
+		}
+		heads[best]++
+	}
 }

@@ -14,11 +14,20 @@ const (
 	defaultCacheBytes   = 64 << 20
 )
 
-// CacheStats is a point-in-time view of the query cache.
+// CacheStats is a point-in-time view of the query cache. StaleGen and
+// StaleTerm break the misses down by invalidation cause: StaleGen
+// counts entries dropped by a global generation bump (removal, option
+// change), StaleTerm counts entries dropped because a write touched one
+// of the entry's own scope terms — the per-segment/term-scoped
+// invalidation a live ingest stream exercises. A cache that stays warm
+// under a writer shows Hits climbing while StaleTerm stays proportional
+// to writes that actually overlap the query mix.
 type CacheStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
+	StaleGen  int64 `json:"stale_gen"`
+	StaleTerm int64 `json:"stale_term"`
 	Entries   int   `json:"entries"`
 	Bytes     int64 `json:"bytes"`
 }
@@ -32,21 +41,60 @@ type cacheKey struct {
 	page   int
 }
 
-// cacheEntry is one LRU slot. gen is the engine generation the page was
-// computed under; a mismatch with the current generation means an ingest
-// or option change happened since and the entry is stale.
+// cacheScope is the invalidation fingerprint a page is cached under:
+// the engine generation (global invalidation: removals, option
+// changes), and either the per-term write generations of the query's
+// index terms (scoped invalidation: the page goes stale only when one
+// of its own terms is written) or, for queries whose term set the index
+// cannot bound (a quoted phrase with no content words), the index's
+// global write sequence.
+type cacheScope struct {
+	gen   uint64
+	terms []string
+	gens  []uint64
+	// all marks an unbounded scope: validate against writeSeq instead
+	// of per-term gens.
+	all      bool
+	writeSeq uint64
+}
+
+// staleness compares a stored scope against the current one: 0 fresh,
+// 1 stale by generation, 2 stale by term write.
+func (sc cacheScope) staleness(now cacheScope) int {
+	if sc.gen != now.gen {
+		return 1
+	}
+	if sc.all || now.all {
+		if sc.all != now.all || sc.writeSeq != now.writeSeq {
+			return 2
+		}
+		return 0
+	}
+	if len(sc.gens) != len(now.gens) {
+		return 2
+	}
+	for i := range sc.gens {
+		if sc.gens[i] != now.gens[i] {
+			return 2
+		}
+	}
+	return 0
+}
+
+// cacheEntry is one LRU slot.
 type cacheEntry struct {
 	key   cacheKey
 	page  Page
-	gen   uint64
+	scope cacheScope
 	bytes int64
 }
 
 // queryCache is a doubly-bounded (entries and bytes) LRU of computed
-// result pages. Invalidation is generation-based: entries carry the
-// engine generation they were computed under and are discarded on
-// lookup when it no longer matches, so a single atomic counter bump
-// invalidates the whole cache without sweeping it.
+// result pages. Invalidation is scope-based: entries carry the
+// generation and per-term write fingerprints they were computed under
+// and are discarded on lookup when the current fingerprint no longer
+// matches — no sweep, and a write to term X never evicts pages for
+// queries that do not involve X.
 type queryCache struct {
 	mu       sync.Mutex
 	maxItems int
@@ -58,6 +106,8 @@ type queryCache struct {
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
+	staleGen  atomic.Int64
+	staleTerm atomic.Int64
 }
 
 // newQueryCache builds a cache; maxItems ≤ 0 or maxBytes ≤ 0 disables
@@ -73,9 +123,9 @@ func newQueryCache(maxItems int, maxBytes int64) *queryCache {
 
 func (c *queryCache) enabled() bool { return c.maxItems > 0 && c.maxBytes > 0 }
 
-// get returns the cached page for key if present and computed under the
-// current generation. Stale entries are removed on sight.
-func (c *queryCache) get(key cacheKey, gen uint64) (Page, bool) {
+// get returns the cached page for key if present and still fresh under
+// the current scope fingerprint. Stale entries are removed on sight.
+func (c *queryCache) get(key cacheKey, now cacheScope) (Page, bool) {
 	if !c.enabled() {
 		return Page{}, false
 	}
@@ -87,10 +137,15 @@ func (c *queryCache) get(key cacheKey, gen uint64) (Page, bool) {
 		return Page{}, false
 	}
 	ent := el.Value.(*cacheEntry)
-	if ent.gen != gen {
+	if st := ent.scope.staleness(now); st != 0 {
 		c.removeLocked(el)
 		c.mu.Unlock()
 		c.misses.Add(1)
+		if st == 1 {
+			c.staleGen.Add(1)
+		} else {
+			c.staleTerm.Add(1)
+		}
 		return Page{}, false
 	}
 	c.ll.MoveToFront(el)
@@ -100,11 +155,11 @@ func (c *queryCache) get(key cacheKey, gen uint64) (Page, bool) {
 	return pg, true
 }
 
-// put stores a computed page under the generation it was computed under
-// (captured before the computation started, so a concurrent ingest
-// invalidates it). Returns the number of entries evicted to make room.
-// Pages larger than the whole byte budget are not cached.
-func (c *queryCache) put(key cacheKey, pg Page, gen uint64) int64 {
+// put stores a computed page under the scope fingerprint captured
+// before the computation started, so a concurrent write to one of the
+// query's terms invalidates it. Returns the number of entries evicted
+// to make room. Pages larger than the whole byte budget are not cached.
+func (c *queryCache) put(key cacheKey, pg Page, scope cacheScope) int64 {
 	if !c.enabled() {
 		return 0
 	}
@@ -117,7 +172,7 @@ func (c *queryCache) put(key cacheKey, pg Page, gen uint64) int64 {
 	if el, ok := c.items[key]; ok {
 		c.removeLocked(el)
 	}
-	ent := &cacheEntry{key: key, page: pg, gen: gen, bytes: size}
+	ent := &cacheEntry{key: key, page: pg, scope: scope, bytes: size}
 	c.items[key] = c.ll.PushFront(ent)
 	c.curBytes += size
 	var evicted int64
@@ -146,6 +201,8 @@ func (c *queryCache) stats() CacheStats {
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Evictions: c.evictions.Load(),
+		StaleGen:  c.staleGen.Load(),
+		StaleTerm: c.staleTerm.Load(),
 		Entries:   entries,
 		Bytes:     bytes,
 	}

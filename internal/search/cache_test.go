@@ -16,7 +16,7 @@ func fakePage(id string, titleLen int) Page {
 func TestCacheEntryBoundEvictsLRU(t *testing.T) {
 	c := newQueryCache(3, 1<<20)
 	for i := 0; i < 4; i++ {
-		c.put(cacheKey{"all", fmt.Sprintf("q%d", i), 1}, fakePage("d", 10), 1)
+		c.put(cacheKey{"all", fmt.Sprintf("q%d", i), 1}, fakePage("d", 10), cacheScope{gen: 1})
 	}
 	st := c.stats()
 	if st.Entries != 3 {
@@ -26,19 +26,19 @@ func TestCacheEntryBoundEvictsLRU(t *testing.T) {
 		t.Fatalf("evictions = %d", st.Evictions)
 	}
 	// q0 was least recently used and must be gone; q3 must be present
-	if _, ok := c.get(cacheKey{"all", "q0", 1}, 1); ok {
+	if _, ok := c.get(cacheKey{"all", "q0", 1}, cacheScope{gen: 1}); ok {
 		t.Fatal("evicted entry still served")
 	}
-	if _, ok := c.get(cacheKey{"all", "q3", 1}, 1); !ok {
+	if _, ok := c.get(cacheKey{"all", "q3", 1}, cacheScope{gen: 1}); !ok {
 		t.Fatal("recent entry missing")
 	}
 	// touching q1 then inserting must evict q2, not q1
-	c.get(cacheKey{"all", "q1", 1}, 1)
-	c.put(cacheKey{"all", "q4", 1}, fakePage("d", 10), 1)
-	if _, ok := c.get(cacheKey{"all", "q1", 1}, 1); !ok {
+	c.get(cacheKey{"all", "q1", 1}, cacheScope{gen: 1})
+	c.put(cacheKey{"all", "q4", 1}, fakePage("d", 10), cacheScope{gen: 1})
+	if _, ok := c.get(cacheKey{"all", "q1", 1}, cacheScope{gen: 1}); !ok {
 		t.Fatal("recently-used entry evicted")
 	}
-	if _, ok := c.get(cacheKey{"all", "q2", 1}, 1); ok {
+	if _, ok := c.get(cacheKey{"all", "q2", 1}, cacheScope{gen: 1}); ok {
 		t.Fatal("LRU entry survived")
 	}
 }
@@ -47,7 +47,7 @@ func TestCacheByteBound(t *testing.T) {
 	one := pageBytes(fakePage("d", 1000))
 	c := newQueryCache(100, 2*one+one/2) // room for two big pages, not three
 	for i := 0; i < 3; i++ {
-		c.put(cacheKey{"all", fmt.Sprintf("q%d", i), 1}, fakePage("d", 1000), 1)
+		c.put(cacheKey{"all", fmt.Sprintf("q%d", i), 1}, fakePage("d", 1000), cacheScope{gen: 1})
 	}
 	st := c.stats()
 	if st.Entries != 2 {
@@ -58,7 +58,7 @@ func TestCacheByteBound(t *testing.T) {
 	}
 	// a single page larger than the whole budget is never cached
 	c2 := newQueryCache(100, 64)
-	c2.put(cacheKey{"all", "big", 1}, fakePage("d", 10000), 1)
+	c2.put(cacheKey{"all", "big", 1}, fakePage("d", 10000), cacheScope{gen: 1})
 	if st := c2.stats(); st.Entries != 0 {
 		t.Fatalf("oversized page cached: %+v", st)
 	}
@@ -67,12 +67,12 @@ func TestCacheByteBound(t *testing.T) {
 func TestCacheGenerationInvalidation(t *testing.T) {
 	c := newQueryCache(10, 1<<20)
 	key := cacheKey{"all", "masks", 1}
-	c.put(key, fakePage("d1", 10), 5)
-	if _, ok := c.get(key, 5); !ok {
+	c.put(key, fakePage("d1", 10), cacheScope{gen: 5})
+	if _, ok := c.get(key, cacheScope{gen: 5}); !ok {
 		t.Fatal("same-generation lookup missed")
 	}
 	// generation moved on: entry is stale, removed on sight
-	if _, ok := c.get(key, 6); ok {
+	if _, ok := c.get(key, cacheScope{gen: 6}); ok {
 		t.Fatal("stale entry served")
 	}
 	if st := c.stats(); st.Entries != 0 {
@@ -82,8 +82,8 @@ func TestCacheGenerationInvalidation(t *testing.T) {
 
 func TestCacheDisabled(t *testing.T) {
 	for _, c := range []*queryCache{newQueryCache(0, 1<<20), newQueryCache(10, 0)} {
-		c.put(cacheKey{"all", "q", 1}, fakePage("d", 10), 1)
-		if _, ok := c.get(cacheKey{"all", "q", 1}, 1); ok {
+		c.put(cacheKey{"all", "q", 1}, fakePage("d", 10), cacheScope{gen: 1})
+		if _, ok := c.get(cacheKey{"all", "q", 1}, cacheScope{gen: 1}); ok {
 			t.Fatal("disabled cache served an entry")
 		}
 		if st := c.stats(); st.Entries != 0 {

@@ -28,6 +28,11 @@ import (
 // failures.
 var ErrBadQuery = errors.New("bad query")
 
+// ErrBadDoc marks structurally invalid ingest documents (for now: a
+// present-but-unusable _id). It wraps ErrBadQuery so API layers map it
+// to the same 400 envelope without a second error taxonomy.
+var ErrBadDoc = fmt.Errorf("%w: bad document", ErrBadQuery)
+
 // Field names used for indexing and ranking.
 const (
 	FieldTitle         = "title"
@@ -56,9 +61,10 @@ type Engine struct {
 	rankOpts atomic.Pointer[RankOptions]
 	// workers bounds the scoring/matching fan-out (default GOMAXPROCS).
 	workers atomic.Int32
-	// gen is bumped by every mutation (ingest, removal, option change);
-	// cache entries are versioned against it, so one atomic add
-	// invalidates every cached page.
+	// gen is bumped by global invalidations (removal, option changes);
+	// cache entries carry it plus per-term index write generations, so a
+	// removal or option flip stales every cached page while an ingest
+	// stales only pages whose query terms the new document touched.
 	gen   atomic.Uint64
 	cache atomic.Pointer[queryCache]
 	met   *metrics.Registry
@@ -154,8 +160,11 @@ func (e *Engine) SetCacheLimits(maxItems int, maxBytes int64) {
 // occupancy.
 func (e *Engine) CacheStats() CacheStats { return e.cache.Load().stats() }
 
-// Generation returns the current mutation generation; it increases on
-// every document ingest/removal and every option change.
+// Generation returns the current global invalidation generation; it
+// increases on every document removal and every option change. Document
+// ingest does not bump it — ingest invalidates cached pages through the
+// index's per-term write generations instead, so unrelated pages stay
+// warm under a live writer.
 func (e *Engine) Generation() uint64 { return e.gen.Load() }
 
 // invalidate bumps the generation, atomically staling every cached page.
@@ -163,18 +172,27 @@ func (e *Engine) invalidate() { e.gen.Add(1) }
 
 // AddDocument inserts a publication document into the collection and the
 // index. The document must follow the corpus shape (title, abstract,
-// body_text, tables, figure_captions).
+// body_text, tables, figure_captions). A missing or empty _id means the
+// store assigns one; a non-string _id is rejected with ErrBadDoc before
+// anything is stored — previously such documents were inserted but
+// silently never indexed, permanently invisible to search.
 func (e *Engine) AddDocument(d jsondoc.Doc) (string, error) {
-	id, err := e.coll.Insert(d)
+	if v, present := d[docstore.IDField]; present {
+		if _, ok := v.(string); !ok {
+			return "", fmt.Errorf("%w: %s must be a string, got %T(%v)",
+				ErrBadDoc, docstore.IDField, v, v)
+		}
+	}
+	// Index from the insert result rather than re-reading the store: a
+	// post-insert Get can fail (shard breaker opening between the two
+	// calls) which used to leave the document stored but never indexed.
+	nd := jsondoc.NormalizeDoc(d)
+	id, err := e.coll.Insert(nd)
 	if err != nil {
 		return "", err
 	}
-	stored, err := e.coll.Get(id)
-	if err != nil {
-		return "", err
-	}
-	e.indexDoc(stored)
-	e.invalidate()
+	nd[docstore.IDField] = id
+	e.indexDoc(nd)
 	return id, nil
 }
 
@@ -189,8 +207,12 @@ func (e *Engine) RemoveDocument(id string) error {
 }
 
 func (e *Engine) indexDoc(d jsondoc.Doc) {
-	id, _ := d["_id"].(string)
+	id, _ := d[docstore.IDField].(string)
 	if id == "" {
+		// AddDocument validates ids up front, so reaching this means a
+		// pre-seeded collection holds a malformed document; count it so
+		// the divergence is observable instead of silent.
+		e.met.Counter("index.skipped_no_id").Inc()
 		return
 	}
 	e.idx.Add(id, FieldTitle, d.GetString("title"))

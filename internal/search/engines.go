@@ -333,10 +333,69 @@ func canonicalTerms(terms []textproc.QueryTerm) string {
 	return b.String()
 }
 
+// queryScope derives the set of index terms whose writes can change the
+// query's answer: the stemmed bare terms plus their synonym expansions
+// (candidate generation looks exactly those up), and the content words
+// of quoted phrases (phrase candidates intersect those posting lists).
+// all reports an unbounded scope — a phrase with no content words falls
+// back to a full scan, so any write can change its answer and the entry
+// must be validated against the index's global write sequence instead.
+func (e *Engine) queryScope(terms []textproc.QueryTerm) (scope []string, all bool) {
+	seen := map[string]bool{}
+	add := func(s string) {
+		if s != "" && !seen[s] {
+			seen[s] = true
+			scope = append(scope, s)
+		}
+	}
+	noSyn := e.RankOptions().NoSynonyms
+	for _, t := range terms {
+		if t.Exact {
+			words := textproc.ContentWords(t.Text)
+			if len(words) == 0 {
+				all = true
+				continue
+			}
+			for _, w := range words {
+				add(w)
+			}
+			continue
+		}
+		add(t.Text)
+		if !noSyn {
+			for _, syn := range textproc.SynonymStems(t.Text) {
+				add(syn)
+			}
+		}
+	}
+	return scope, all
+}
+
+// currentScope captures the invalidation fingerprint for a query at this
+// instant: the engine's global generation plus the per-term index write
+// generations of the query's scope (or the global write sequence when
+// the scope is unbounded).
+func (e *Engine) currentScope(terms []textproc.QueryTerm) cacheScope {
+	sc := cacheScope{gen: e.gen.Load()}
+	sc.terms, sc.all = e.queryScope(terms)
+	if sc.all {
+		sc.writeSeq = e.idx.WriteSeq()
+	} else {
+		sc.gens = e.idx.TermGens(sc.terms)
+	}
+	return sc
+}
+
 // cachedSearch funnels one engine's query through the query cache: a hit
 // returns the cached page; a miss computes, then stores the page under
-// the generation captured *before* computing, so a concurrent ingest
-// atomically invalidates it. Total latency per engine and cache
+// the scope fingerprint captured *before* computing, so a concurrent
+// write to any of the query's terms (or a removal/option change, which
+// bump the global generation) invalidates it while writes to unrelated
+// terms leave it warm. The deliberate staleness window: a new document
+// shifts corpus-wide statistics (N in IDF) by one, and pages whose terms
+// the document does not touch keep their pre-write scores until one of
+// their own terms is written — bounded drift traded for a cache that
+// survives a live ingest stream. Total latency per engine and cache
 // hit/miss/eviction counts are recorded in the metrics registry.
 //
 // A compute abandoned by cancellation (or failed for any other reason)
@@ -344,14 +403,14 @@ func canonicalTerms(terms []textproc.QueryTerm) string {
 // dead request must never be served to a live one. Likewise a page
 // degraded by a dark shard (Partial) is returned but never cached: the
 // shard may recover the next instant, and a cached partial page would
-// keep serving the hole until the next ingest bumped the generation.
-func (e *Engine) cachedSearch(ctx context.Context, engine, canon string, pageNum int, compute func(context.Context) (Page, error)) (Page, error) {
+// keep serving the hole until the entry went stale.
+func (e *Engine) cachedSearch(ctx context.Context, engine, canon string, pageNum int, terms []textproc.QueryTerm, compute func(context.Context) (Page, error)) (Page, error) {
 	start := time.Now()
 	e.met.Counter("search.queries").Inc()
 	cache := e.cache.Load()
 	key := cacheKey{engine: engine, query: canon, page: pageNum}
-	gen := e.gen.Load()
-	if pg, ok := cache.get(key, gen); ok {
+	scope := e.currentScope(terms)
+	if pg, ok := cache.get(key, scope); ok {
 		e.met.Counter("search.cache.hits").Inc()
 		e.met.Histogram("search.latency." + engine).Observe(time.Since(start))
 		return pg, nil
@@ -366,7 +425,7 @@ func (e *Engine) cachedSearch(ctx context.Context, engine, canon string, pageNum
 	if pg.Partial {
 		e.met.Counter("partial_responses").Inc()
 	} else if ctx.Err() == nil {
-		if ev := cache.put(key, pg, gen); ev > 0 {
+		if ev := cache.put(key, pg, scope); ev > 0 {
 			e.met.Counter("search.cache.evictions").Add(ev)
 		}
 	}
@@ -489,7 +548,7 @@ func (e *Engine) SearchFieldsContext(ctx context.Context, q FieldQuery, pageNum 
 		}
 		canon.WriteString(c.field + "=" + canonicalTerms(c.terms))
 	}
-	return e.cachedSearch(ctx, "fields", canon.String(), pageNum, func(ctx context.Context) (Page, error) {
+	return e.cachedSearch(ctx, "fields", canon.String(), pageNum, allTerms, func(ctx context.Context) (Page, error) {
 		rankFields := map[string]bool{FieldTitle: true, FieldAbstract: true, FieldTableCaption: true}
 		match := func(d jsondoc.Doc) bool {
 			for _, c := range conds {
@@ -551,7 +610,7 @@ func (e *Engine) SearchAllContext(ctx context.Context, query string, pageNum int
 		return Page{}, err
 	}
 	pageNum = clampPage(pageNum)
-	return e.cachedSearch(ctx, "all", canonicalTerms(terms), pageNum, func(ctx context.Context) (Page, error) {
+	return e.cachedSearch(ctx, "all", canonicalTerms(terms), pageNum, terms, func(ctx context.Context) (Page, error) {
 		allFields := []string{FieldTitle, FieldAbstract, FieldBody,
 			FieldTableCaption, FieldTableCell, FieldFigureCaption}
 		match := func(d jsondoc.Doc) bool {
@@ -585,7 +644,7 @@ func (e *Engine) SearchTablesContext(ctx context.Context, query string, pageNum 
 		return Page{}, err
 	}
 	pageNum = clampPage(pageNum)
-	return e.cachedSearch(ctx, "tables", canonicalTerms(terms), pageNum, func(ctx context.Context) (Page, error) {
+	return e.cachedSearch(ctx, "tables", canonicalTerms(terms), pageNum, terms, func(ctx context.Context) (Page, error) {
 		tableFields := map[string]bool{FieldTableCaption: true, FieldTableCell: true}
 		match := func(d jsondoc.Doc) bool {
 			return e.anyTermInFields(d, terms, FieldTableCaption, FieldTableCell)

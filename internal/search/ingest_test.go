@@ -1,0 +1,228 @@
+package search
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"covidkg/internal/docstore"
+	"covidkg/internal/failpoint"
+	"covidkg/internal/jsondoc"
+	"covidkg/internal/textproc"
+)
+
+// TestAddDocumentIndexesDespiteReadbackFailure pins the store/index
+// divergence fix: AddDocument used to insert, then re-read the stored
+// copy, then index the readback. A replica dying between the two calls
+// made AddDocument fail AFTER the write landed — document stored,
+// never indexed, permanently invisible to search. The fixed path
+// indexes the insert result and never reads back.
+func TestAddDocumentIndexesDespiteReadbackFailure(t *testing.T) {
+	reg := failpoint.New(1)
+	s := docstore.Open(docstore.WithShards(1), docstore.WithReplicas(1), docstore.WithFailpoints(reg))
+	c := s.Collection("pubs")
+	e := NewEngine(c)
+	target := docstore.ReplicaTarget(0, 0)
+
+	// Measure how many failpoint checks one insert performs, so the
+	// outage can be scheduled to start exactly after the write lands.
+	reg.Set(target, failpoint.Rule{})
+	if _, err := e.AddDocument(pub("", "Warmup", "warmup text", "")); err != nil {
+		t.Fatal(err)
+	}
+	insertChecks := reg.Checks(target)
+	if insertChecks == 0 {
+		t.Fatal("insert performed no failpoint checks; cannot schedule the outage")
+	}
+
+	reg.Set(target, failpoint.Rule{Down: true, SkipChecks: insertChecks})
+	id, err := e.AddDocument(pub("", "Zymurgy advances", "A zymurgy survey.", ""))
+	if err != nil {
+		t.Fatalf("AddDocument failed when the replica died after the write: %v", err)
+	}
+	// The readback window is real: the store is unreachable right now.
+	if _, err := c.Get(id); err == nil {
+		t.Fatal("expected store reads to fail while the replica is down")
+	}
+	stem := textproc.Stem("zymurgy")
+	if df := e.Index().DocFreq(stem); df != 1 {
+		t.Fatalf("DocFreq(%q) = %d, want 1: stored document was never indexed", stem, df)
+	}
+
+	reg.ClearAll()
+	pg, err := e.SearchAll("zymurgy", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pg.Results) != 1 || pg.Results[0].DocID != id {
+		t.Fatalf("search after recovery = %+v, want exactly doc %s", pg.Results, id)
+	}
+}
+
+// TestAddDocumentRejectsNonStringID pins the _id validation fix: a
+// non-string _id used to be stored (the store assigned a fresh id over
+// it) while indexDoc silently skipped the doc. Now it is rejected up
+// front with ErrBadDoc, which wraps ErrBadQuery so the API answers 400.
+func TestAddDocumentRejectsNonStringID(t *testing.T) {
+	e := testEngine(t)
+	countDocs := func() int {
+		n := 0
+		e.coll.Scan(func(jsondoc.Doc) bool { n++; return true })
+		return n
+	}
+	before, idxBefore := countDocs(), e.Index().DocCount()
+	_, err := e.AddDocument(jsondoc.Doc{
+		"_id": 123, "title": "Xylotomy primer", "abstract": "", "body_text": "",
+	})
+	if err == nil {
+		t.Fatal("non-string _id accepted")
+	}
+	if !errors.Is(err, ErrBadDoc) || !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("err = %v, want ErrBadDoc wrapping ErrBadQuery", err)
+	}
+	if n := countDocs(); n != before {
+		t.Fatalf("rejected doc was stored: %d docs, had %d", n, before)
+	}
+	if n := e.Index().DocCount(); n != idxBefore {
+		t.Fatalf("rejected doc was indexed: %d docs, had %d", n, idxBefore)
+	}
+}
+
+// TestPagesIdenticalUnderLiveWriter is the snapshot-isolation property
+// at the page level: readers query while a writer streams documents in
+// (driving memtable seals and background merges), and when the dust
+// settles every page must be byte-identical to one computed by a fresh
+// flat engine over the same final corpus. It also pins the term-scoped
+// cache contract: a query whose terms the writer never touches stays
+// warm across writes, while overlapping queries go stale by term.
+func TestPagesIdenticalUnderLiveWriter(t *testing.T) {
+	words := []string{"mask", "vaccine", "fever", "dose", "trial", "cohort", "antibody", "serum"}
+	sentence := func(rng *rand.Rand, k int) string {
+		out := ""
+		for i := 0; i < k; i++ {
+			if i > 0 {
+				out += " "
+			}
+			out += words[rng.Intn(len(words))]
+		}
+		return out
+	}
+	mkDoc := func(i int, rng *rand.Rand, extra string) jsondoc.Doc {
+		return pub(fmt.Sprintf("w%04d", i),
+			sentence(rng, 4)+" "+extra,
+			sentence(rng, 12),
+			sentence(rng, 25))
+	}
+
+	s := docstore.Open(docstore.WithShards(2))
+	c := s.Collection("pubs")
+	rng := rand.New(rand.NewSource(11))
+	var mu sync.Mutex
+	var docs []jsondoc.Doc
+	for i := 0; i < 80; i++ {
+		// "zoonosis" lives only in the preloaded docs; the writer never
+		// touches its term, so its cached page must stay warm throughout.
+		d := mkDoc(i, rng, "zoonosis")
+		docs = append(docs, d)
+		if _, err := c.Insert(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := NewEngine(c)
+	e.Index().SetSealThreshold(16)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wrng := rand.New(rand.NewSource(7))
+		for i := 80; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			d := mkDoc(i, wrng, "")
+			if _, err := e.AddDocument(d); err != nil {
+				t.Errorf("writer: %v", err)
+				return
+			}
+			mu.Lock()
+			docs = append(docs, d)
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	queries := []string{"mask", "vaccine fever", "\"dose trial\"", "zoonosis"}
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for _, q := range queries {
+			pg, err := e.SearchAll(q, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := map[string]bool{}
+			for i, r := range pg.Results {
+				if seen[r.DocID] {
+					t.Fatalf("q=%q: duplicate doc %s on page", q, r.DocID)
+				}
+				seen[r.DocID] = true
+				if i > 0 && pg.Results[i-1].Score < r.Score {
+					t.Fatalf("q=%q: scores out of order", q)
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	e.Index().Wait()
+
+	st := e.CacheStats()
+	if st.Hits == 0 {
+		t.Fatalf("cache never warm under live writer: %+v", st)
+	}
+	if st.StaleTerm == 0 {
+		t.Fatalf("writer overlapped query terms but no term-scoped staling: %+v", st)
+	}
+	if sealed := e.Index().Stats(); sealed.Seals == 0 {
+		t.Fatalf("writer never drove a seal: %+v", sealed)
+	}
+
+	// Fresh flat engine over the same final corpus: every page of every
+	// query must be byte-identical to the churned segmented engine's.
+	// Flush the cache first — a warm page legitimately carries pre-write
+	// corpus statistics (that is the documented staleness trade), and
+	// the identity contract is about freshly computed pages.
+	e.SetCacheLimits(defaultCacheEntries, defaultCacheBytes)
+	s2 := docstore.Open(docstore.WithShards(2))
+	c2 := s2.Collection("pubs")
+	mu.Lock()
+	for _, d := range docs {
+		if _, err := c2.Insert(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Unlock()
+	e2 := NewEngine(c2)
+	for _, q := range queries {
+		for page := 1; page <= 3; page++ {
+			got, err := e.SearchAll(q, page)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := e2.SearchAll(q, page)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("q=%q page %d diverged after churn:\nsegmented %+v\nflat      %+v", q, page, got, want)
+			}
+		}
+	}
+}
