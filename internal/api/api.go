@@ -23,7 +23,6 @@ import (
 	"covidkg/internal/core"
 	"covidkg/internal/docstore"
 	"covidkg/internal/jsondoc"
-	"covidkg/internal/kg"
 	"covidkg/internal/metrics"
 	"covidkg/internal/pipeline"
 	"covidkg/internal/search"
@@ -83,8 +82,15 @@ func NewServerWith(sys *core.System, cfg Config) *Server {
 	s.route("GET", "/publications/{id}/nodes", classLight, cfg.LightTimeout, s.handlePubNodes)
 	s.route("GET", "/kg", classHeavy, cfg.AggregateTimeout, s.handleGraph)
 	s.route("GET", "/kg/search", classSearch, cfg.SearchTimeout, s.handleGraphSearch)
-	s.route("GET", "/kg/node/{id}", classLight, cfg.LightTimeout, s.handleNode)
-	s.route("GET", "/kg/node/{id}/children", classLight, cfg.LightTimeout, s.handleChildren)
+	s.route("GET", "/kg/nodes/{id}", classLight, cfg.LightTimeout, s.handleKGNodes)
+	s.route("POST", "/kg/query", classSearch, cfg.SearchTimeout, s.handleKGQuery)
+	s.route("POST", "/kg/hypotheses", classSearch, cfg.SearchTimeout, s.handleKGHypotheses)
+	// the pre-v1-redesign node resource: same data, now answered with
+	// Deprecation + successor Link pointing at /kg/nodes/{id}
+	s.routeDeprecated("GET", "/kg/node/{id}", "/kg/nodes/{id}",
+		classLight, cfg.LightTimeout, s.handleNodeLegacy)
+	s.routeDeprecated("GET", "/kg/node/{id}/children", "/kg/nodes/{id}?expand=children",
+		classLight, cfg.LightTimeout, s.handleChildrenLegacy)
 	s.route("GET", "/reviews", classLight, cfg.LightTimeout, s.handleReviews)
 	s.route("POST", "/reviews/{id}/approve", classLight, cfg.LightTimeout, s.handleApprove)
 	s.route("POST", "/reviews/{id}/reject", classLight, cfg.LightTimeout, s.handleReject)
@@ -115,6 +121,22 @@ func (s *Server) route(method, path string, class routeClass, timeout time.Durat
 		w.Header().Set("Link", "</api/v1"+path+">; rel=\"successor-version\"")
 		wrapped(w, r)
 	})
+}
+
+// routeDeprecated mounts a lifecycle-wrapped handler at a path that is
+// deprecated in v1 itself: both the /api/v1 and legacy /api mounts
+// answer with Deprecation: true and a Link to the successor v1
+// resource, so clients migrating off the old KG node routes learn the
+// new address from either prefix.
+func (s *Server) routeDeprecated(method, path, successor string, class routeClass, timeout time.Duration, h http.HandlerFunc) {
+	wrapped := s.lifecycle(class, timeout, h)
+	dep := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "</api/v1"+successor+">; rel=\"successor-version\"")
+		wrapped(w, r)
+	}
+	s.mux.HandleFunc(method+" /api/v1"+path, dep)
+	s.mux.HandleFunc(method+" /api"+path, dep)
 }
 
 // ServeHTTP implements http.Handler.
@@ -344,6 +366,9 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
+// handleGraphSearch answers KG node search with root paths, paginated:
+// the result set was previously unbounded (every matching node in one
+// response), now it pages through the standard envelope.
 func (s *Server) handleGraphSearch(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if strings.TrimSpace(q) == "" {
@@ -352,29 +377,11 @@ func (s *Server) handleGraphSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	hits, err := s.sys.Graph.SearchContext(r.Context(), q)
 	if err != nil {
-		writeErr(w, r, failStatus(err, http.StatusInternalServerError), err)
+		writeKGErr(w, r, err, http.StatusInternalServerError)
 		return
 	}
-	writeJSON(w, http.StatusOK, hits)
-}
-
-func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
-	n, err := s.sys.Graph.Node(r.PathValue("id"))
-	if err != nil {
-		writeErr(w, r, http.StatusNotFound, err)
-		return
-	}
-	path, _ := s.sys.Graph.PathToRoot(n.ID)
-	writeJSON(w, http.StatusOK, map[string]any{"node": n, "path": path})
-}
-
-func (s *Server) handleChildren(w http.ResponseWriter, r *http.Request) {
-	kids, err := s.sys.Graph.Children(r.PathValue("id"))
-	if err != nil {
-		writeErr(w, r, http.StatusNotFound, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, kids)
+	page, size := pageParams(r.URL.Query())
+	writeJSON(w, http.StatusOK, paginateSlice(hits, page, size))
 }
 
 func (s *Server) handleReviews(w http.ResponseWriter, _ *http.Request) {
@@ -397,11 +404,7 @@ func (s *Server) handleApprove(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.sys.Fuser.Approve(id, target); err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, kg.ErrNodeNotFound) {
-			status = http.StatusNotFound
-		}
-		writeErr(w, r, status, err)
+		writeKGErr(w, r, err, http.StatusBadRequest)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "approved"})

@@ -1,0 +1,295 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"covidkg/internal/kg"
+	"covidkg/internal/kgquery"
+)
+
+// KG read-surface pagination defaults, shared by /kg/nodes children
+// expansion, /kg/search, and /kg/query path pages.
+const (
+	kgDefaultPageSize = 20
+	kgMaxPageSize     = 100
+	// kgQueryResultCap bounds how many paths one query may materialize
+	// server-side; pagination then slices this ranked set.
+	kgQueryResultCap = 1000
+	// kgHypothesesCap bounds ranked hypothesis paths per request.
+	kgHypothesesCap = 100
+)
+
+// pageEnv is the pagination envelope, field-compatible with the
+// publication search page (search.Page): Results/Total/PageNum/
+// PerPage/NumPages, so clients paginate every list the same way.
+type pageEnv[T any] struct {
+	Results  []T
+	Total    int
+	PageNum  int
+	PerPage  int
+	NumPages int
+}
+
+// paginateSlice pages an in-memory result set into the envelope. An
+// empty set still has one (empty) page; an out-of-range page returns
+// empty Results with the true Total so clients can re-aim.
+func paginateSlice[T any](all []T, page, size int) pageEnv[T] {
+	total := len(all)
+	numPages := (total + size - 1) / size
+	if numPages < 1 {
+		numPages = 1
+	}
+	lo := (page - 1) * size
+	hi := lo + size
+	if lo > total {
+		lo = total
+	}
+	if hi > total {
+		hi = total
+	}
+	out := make([]T, hi-lo)
+	copy(out, all[lo:hi])
+	return pageEnv[T]{Results: out, Total: total, PageNum: page, PerPage: size, NumPages: numPages}
+}
+
+// pageParams reads page/page_size query parameters with clamping.
+func pageParams(q url.Values) (page, size int) {
+	page, _ = strconv.Atoi(q.Get("page"))
+	if page < 1 {
+		page = 1
+	}
+	size, _ = strconv.Atoi(q.Get("page_size"))
+	if size < 1 {
+		size = kgDefaultPageSize
+	}
+	if size > kgMaxPageSize {
+		size = kgMaxPageSize
+	}
+	return page, size
+}
+
+// writeKGErr maps knowledge-graph errors onto the uniform envelope: an
+// unknown node or concept is 404 not_found, a malformed query is 400
+// bad_query (with the parse offset attached), and a dead context gets
+// the lifecycle statuses — never a blanket 500 internal.
+func writeKGErr(w http.ResponseWriter, r *http.Request, err error, fallback int) {
+	var pe *kgquery.ParseError
+	switch {
+	case errors.Is(err, kg.ErrNodeNotFound):
+		writeErr(w, r, http.StatusNotFound, err)
+	case errors.As(err, &pe):
+		writeErr(w, r, http.StatusBadRequest, err)
+	default:
+		writeErr(w, r, failStatus(err, fallback), err)
+	}
+}
+
+// handleKGNodes is the redesigned node resource:
+//
+//	GET /api/v1/kg/nodes/{id}?expand=children&page=&page_size=
+//
+// Without expand it answers the node plus its root path (what the
+// deprecated /kg/node/{id} returned); expand=children embeds one page
+// of children in the standard envelope, replacing the old unbounded
+// /kg/node/{id}/children listing.
+func (s *Server) handleKGNodes(w http.ResponseWriter, r *http.Request) {
+	n, err := s.sys.Graph.Node(r.PathValue("id"))
+	if err != nil {
+		writeKGErr(w, r, err, http.StatusInternalServerError)
+		return
+	}
+	path, _ := s.sys.Graph.PathToRoot(n.ID)
+	payload := map[string]any{"node": n, "path": path}
+	if r.URL.Query().Get("expand") == "children" {
+		env, err := s.childrenPage(r)
+		if err != nil {
+			writeKGErr(w, r, err, http.StatusInternalServerError)
+			return
+		}
+		payload["children"] = env
+	}
+	writeJSON(w, http.StatusOK, payload)
+}
+
+// childrenPage loads one page of a node's children.
+func (s *Server) childrenPage(r *http.Request) (pageEnv[kg.Node], error) {
+	kids, err := s.sys.Graph.Children(r.PathValue("id"))
+	if err != nil {
+		return pageEnv[kg.Node]{}, err
+	}
+	page, size := pageParams(r.URL.Query())
+	return paginateSlice(kids, page, size), nil
+}
+
+// handleNodeLegacy serves the deprecated GET /kg/node/{id}: the node
+// resource without expansion.
+func (s *Server) handleNodeLegacy(w http.ResponseWriter, r *http.Request) {
+	n, err := s.sys.Graph.Node(r.PathValue("id"))
+	if err != nil {
+		writeKGErr(w, r, err, http.StatusInternalServerError)
+		return
+	}
+	path, _ := s.sys.Graph.PathToRoot(n.ID)
+	writeJSON(w, http.StatusOK, map[string]any{"node": n, "path": path})
+}
+
+// handleChildrenLegacy serves the deprecated GET /kg/node/{id}/children.
+// It answers the same paginated envelope as the successor's
+// expand=children (bounded responses are a behavior fix, not a v2): an
+// un-parameterized request gets page 1 rather than every child.
+func (s *Server) handleChildrenLegacy(w http.ResponseWriter, r *http.Request) {
+	env, err := s.childrenPage(r)
+	if err != nil {
+		writeKGErr(w, r, err, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, env)
+}
+
+// kgQueryRequest is the POST /api/v1/kg/query body.
+type kgQueryRequest struct {
+	// Query is the path-query text (see DESIGN.md for the grammar).
+	Query string `json:"query"`
+	// Params binds $name references in the query text.
+	Params map[string]string `json:"params,omitempty"`
+	// Page/PageSize slice the ranked path set.
+	Page     int `json:"page"`
+	PageSize int `json:"page_size"`
+	// MaxExpansions lowers (never raises) the executor's work budget.
+	MaxExpansions int `json:"max_expansions"`
+}
+
+// handleKGQuery executes a declarative path query:
+//
+//	POST /api/v1/kg/query
+//	{"query": "(norm=\"vaccines\")-{1,3}->(label~\"mrna\")", "page": 1}
+//
+// The request rides the search route class — its admission slots and
+// deadline — and the executor checks the request context every yield
+// interval, so a hung client or an expired deadline stops the
+// traversal, not just the response write. Parse errors are 400
+// bad_query with the byte offset of the fault; budget exhaustion is a
+// 200 with "truncated": true, mirroring partial search results.
+func (s *Server) handleKGQuery(w http.ResponseWriter, r *http.Request) {
+	var req kgQueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Query == "" {
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("missing query text"))
+		return
+	}
+	q, err := kgquery.Parse(req.Query, req.Params)
+	if err != nil {
+		s.met.Counter("kgquery.parse_errors").Inc()
+		writeKGErr(w, r, err, http.StatusBadRequest)
+		return
+	}
+	opts := kgquery.Options{Limit: kgQueryResultCap}
+	if req.MaxExpansions > 0 && req.MaxExpansions < kgquery.DefaultMaxExpansions {
+		opts.MaxExpansions = req.MaxExpansions
+	}
+	snap := s.sys.Graph.Snapshot()
+	plan := kgquery.Compile(q, snap)
+	start := time.Now()
+	res, err := plan.Execute(r.Context(), snap, opts)
+	s.met.Histogram("kgquery.latency").Observe(time.Since(start))
+	s.met.Counter("kgquery.queries").Inc()
+	if err != nil {
+		s.met.Counter("kgquery.cancelled").Inc()
+		writeKGErr(w, r, err, http.StatusInternalServerError)
+		return
+	}
+	s.met.Counter("kgquery.expansions").Add(int64(res.Expansions))
+	s.met.Counter("kgquery.paths_returned").Add(int64(len(res.Paths)))
+	if res.Truncated {
+		s.met.Counter("kgquery.truncated").Inc()
+	}
+
+	page, size := req.Page, req.PageSize
+	if page < 1 {
+		page = 1
+	}
+	if size < 1 {
+		size = kgDefaultPageSize
+	}
+	if size > kgMaxPageSize {
+		size = kgMaxPageSize
+	}
+	env := paginateSlice(res.Paths, page, size)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"paths":     env.Results,
+		"total":     env.Total,
+		"page_num":  env.PageNum,
+		"per_page":  env.PerPage,
+		"num_pages": env.NumPages,
+		"expansions": res.Expansions,
+		"truncated":  res.Truncated,
+		"plan": map[string]any{
+			"entry":            plan.Entry.String(),
+			"reversed":         plan.Reversed,
+			"entry_candidates": res.EntryCandidates,
+		},
+	})
+}
+
+// kgHypothesesRequest is the POST /api/v1/kg/hypotheses body.
+type kgHypothesesRequest struct {
+	From    string `json:"from"`
+	To      string `json:"to"`
+	MaxHops int    `json:"max_hops"`
+	Limit   int    `json:"limit"`
+}
+
+// handleKGHypotheses returns ranked evidence-scored paths between two
+// concepts — the hypothesis-path surface: "how does BNT162b2 connect to
+// Rash, and how much literature backs each link?" Unknown concepts are
+// 404 not_found.
+func (s *Server) handleKGHypotheses(w http.ResponseWriter, r *http.Request) {
+	var req kgHypothesesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.From == "" || req.To == "" {
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("both from and to concepts are required"))
+		return
+	}
+	limit := req.Limit
+	if limit < 1 {
+		limit = kgDefaultPageSize
+	}
+	if limit > kgHypothesesCap {
+		limit = kgHypothesesCap
+	}
+	snap := s.sys.Graph.Snapshot()
+	start := time.Now()
+	res, err := kgquery.Hypotheses(r.Context(), snap, req.From, req.To, req.MaxHops,
+		kgquery.Options{Limit: kgquery.MaxLimit})
+	s.met.Histogram("kgquery.latency").Observe(time.Since(start))
+	s.met.Counter("kgquery.hypotheses").Inc()
+	if err != nil {
+		writeKGErr(w, r, err, http.StatusInternalServerError)
+		return
+	}
+	paths := res.Paths
+	if len(paths) > limit {
+		paths = paths[:limit]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"from":       req.From,
+		"to":         req.To,
+		"max_hops":   req.MaxHops,
+		"paths":      paths,
+		"total":      len(res.Paths),
+		"expansions": res.Expansions,
+		"truncated":  res.Truncated,
+	})
+}

@@ -1,0 +1,245 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestKGQueryEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	rec, body := postJSON(t, s, "/api/v1/kg/query",
+		`{"query": "(norm=\"vaccines\")-{1,2}->()"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query = %d: %v", rec.Code, body)
+	}
+	paths, ok := body["paths"].([]any)
+	if !ok || len(paths) < 2 {
+		t.Fatalf("paths = %v", body["paths"])
+	}
+	for _, k := range []string{"total", "page_num", "per_page", "num_pages", "expansions"} {
+		if _, ok := body[k]; !ok {
+			t.Fatalf("missing %s in %v", k, body)
+		}
+	}
+	plan, ok := body["plan"].(map[string]any)
+	if !ok || plan["entry"] != "norm-index" {
+		t.Fatalf("plan = %v", body["plan"])
+	}
+	first := paths[0].(map[string]any)
+	for _, k := range []string{"nodes", "confidence", "evidence_coverage", "score"} {
+		if _, ok := first[k]; !ok {
+			t.Fatalf("path missing %s: %v", k, first)
+		}
+	}
+}
+
+func TestKGQueryParams(t *testing.T) {
+	s, _ := testServer(t)
+	rec, body := postJSON(t, s, "/api/v1/kg/query",
+		`{"query": "(norm=$start)->()", "params": {"start": "vaccines"}}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query = %d: %v", rec.Code, body)
+	}
+	if body["total"].(float64) < 1 {
+		t.Fatalf("no paths: %v", body)
+	}
+}
+
+func TestKGQueryPagination(t *testing.T) {
+	s, _ := testServer(t)
+	rec, body := postJSON(t, s, "/api/v1/kg/query",
+		`{"query": "()-->()", "page": 1, "page_size": 3}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query = %d: %v", rec.Code, body)
+	}
+	if got := len(body["paths"].([]any)); got != 3 {
+		t.Fatalf("page size = %d, want 3", got)
+	}
+	total := int(body["total"].(float64))
+	numPages := int(body["num_pages"].(float64))
+	if total <= 3 || numPages != (total+2)/3 {
+		t.Fatalf("total %d num_pages %d", total, numPages)
+	}
+	// walking past the end answers an empty page, not an error
+	rec, body = postJSON(t, s, "/api/v1/kg/query",
+		`{"query": "()-->()", "page": 10000, "page_size": 3}`)
+	if rec.Code != http.StatusOK || len(body["paths"].([]any)) != 0 {
+		t.Fatalf("overrun page = %d %v", rec.Code, body["paths"])
+	}
+}
+
+func TestKGQueryErrors(t *testing.T) {
+	s, _ := testServer(t)
+	cases := []struct {
+		body string
+		frag string
+	}{
+		{`{"query": "(norm="}`, "parse error at offset"},
+		{`{"query": }`, "bad request body"},
+		{`{}`, "missing query text"},
+		{`{"query": "(bogus=\"x\")"}`, "unknown field"},
+		{`{"query": "(norm=$nope)"}`, "unbound parameter"},
+		{`{"query": "()-{0,2}->()"}`, "hop minimum"},
+	}
+	for _, c := range cases {
+		rec, body := postJSON(t, s, "/api/v1/kg/query", c.body)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, want 400", c.body, rec.Code)
+		}
+		if body["code"] != "bad_query" {
+			t.Fatalf("%s: code = %v, want bad_query", c.body, body["code"])
+		}
+		if !strings.Contains(body["error"].(string), c.frag) {
+			t.Fatalf("%s: error %q missing %q", c.body, body["error"], c.frag)
+		}
+	}
+}
+
+func TestKGQueryCancelledClient(t *testing.T) {
+	s, _ := testServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/kg/query",
+		strings.NewReader(`{"query": "()-{1,4}-()"}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var body map[string]any
+	_ = json.Unmarshal(rec.Body.Bytes(), &body)
+	if rec.Code != StatusClientClosedRequest || body["code"] != "cancelled" {
+		t.Fatalf("cancelled query = %d %v, want 499 cancelled", rec.Code, body)
+	}
+}
+
+func TestKGHypothesesEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	rec, body := postJSON(t, s, "/api/v1/kg/hypotheses",
+		`{"from": "mRNA vaccines", "to": "Vector vaccines", "max_hops": 2}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("hypotheses = %d: %v", rec.Code, body)
+	}
+	paths := body["paths"].([]any)
+	if len(paths) == 0 {
+		t.Fatalf("no hypothesis paths: %v", body)
+	}
+	first := paths[0].(map[string]any)
+	if first["score"].(float64) <= 0 {
+		t.Fatalf("unranked path: %v", first)
+	}
+
+	rec, body = postJSON(t, s, "/api/v1/kg/hypotheses",
+		`{"from": "no such concept anywhere", "to": "Vaccines"}`)
+	if rec.Code != http.StatusNotFound || body["code"] != "not_found" {
+		t.Fatalf("unknown concept = %d %v, want 404 not_found", rec.Code, body)
+	}
+
+	rec, body = postJSON(t, s, "/api/v1/kg/hypotheses", `{"from": "", "to": ""}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty concepts = %d %v", rec.Code, body)
+	}
+}
+
+func TestKGNodesResource(t *testing.T) {
+	s, sys := testServer(t)
+	root := sys.Graph.RootID()
+
+	rec, body := get(t, s, "/api/v1/kg/nodes/"+root)
+	if rec.Code != http.StatusOK || body["node"] == nil || body["path"] == nil {
+		t.Fatalf("nodes/{id} = %d %v", rec.Code, body)
+	}
+	if rec.Header().Get("Deprecation") != "" {
+		t.Fatalf("canonical route must not be deprecated")
+	}
+	if _, ok := body["children"]; ok {
+		t.Fatalf("children embedded without expand")
+	}
+
+	rec, body = get(t, s, "/api/v1/kg/nodes/"+root+"?expand=children&page=1&page_size=2")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("expand = %d", rec.Code)
+	}
+	kids, ok := body["children"].(map[string]any)
+	if !ok {
+		t.Fatalf("children = %v", body["children"])
+	}
+	if got := len(kids["Results"].([]any)); got != 2 {
+		t.Fatalf("children page = %d results, want 2", got)
+	}
+	if int(kids["Total"].(float64)) < 3 {
+		t.Fatalf("children total = %v", kids["Total"])
+	}
+
+	rec, body = get(t, s, "/api/v1/kg/nodes/bogus")
+	if rec.Code != http.StatusNotFound || body["code"] != "not_found" {
+		t.Fatalf("bogus node = %d %v", rec.Code, body)
+	}
+}
+
+func TestKGNodeDeprecatedAliases(t *testing.T) {
+	s, sys := testServer(t)
+	root := sys.Graph.RootID()
+	for _, path := range []string{
+		"/api/v1/kg/node/" + root,
+		"/api/kg/node/" + root,
+		"/api/v1/kg/node/" + root + "/children",
+		"/api/kg/node/" + root + "/children",
+	} {
+		rec, _ := get(t, s, path)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s = %d", path, rec.Code)
+		}
+		if rec.Header().Get("Deprecation") != "true" {
+			t.Fatalf("%s missing Deprecation header", path)
+		}
+		if link := rec.Header().Get("Link"); !strings.Contains(link, "/api/v1/kg/nodes/") {
+			t.Fatalf("%s Link = %q, want successor /api/v1/kg/nodes/", path, link)
+		}
+	}
+	// the alias answers the same node payload as the successor
+	rec, body := get(t, s, "/api/v1/kg/node/"+root)
+	if rec.Code != http.StatusOK || body["node"] == nil || body["path"] == nil {
+		t.Fatalf("legacy node = %d %v", rec.Code, body)
+	}
+	// and the children alias answers the bounded envelope
+	rec, body = get(t, s, "/api/v1/kg/node/"+root+"/children?page_size=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("legacy children = %d", rec.Code)
+	}
+	if got := len(body["Results"].([]any)); got != 1 {
+		t.Fatalf("legacy children page = %d results, want 1", got)
+	}
+}
+
+func TestKGSearchPaginated(t *testing.T) {
+	s, _ := testServer(t)
+	rec, body := get(t, s, "/api/v1/kg/search?q=vaccines&page_size=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("kg search = %d", rec.Code)
+	}
+	results, ok := body["Results"].([]any)
+	if !ok {
+		t.Fatalf("results = %v", body)
+	}
+	if len(results) > 1 {
+		t.Fatalf("page_size=1 returned %d results", len(results))
+	}
+	total := int(body["Total"].(float64))
+	if total < 1 || int(body["NumPages"].(float64)) != total {
+		t.Fatalf("total %v num_pages %v", body["Total"], body["NumPages"])
+	}
+}
+
+func TestKGQueryMetrics(t *testing.T) {
+	s, _ := testServer(t)
+	postJSON(t, s, "/api/v1/kg/query", `{"query": "(norm=\"vaccines\")->()"}`)
+	postJSON(t, s, "/api/v1/kg/query", `{"query": "(((("}`)
+	if got := s.met.Counter("kgquery.queries").Value(); got < 1 {
+		t.Fatalf("kgquery.queries = %d", got)
+	}
+	if got := s.met.Counter("kgquery.parse_errors").Value(); got < 1 {
+		t.Fatalf("kgquery.parse_errors = %d", got)
+	}
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"covidkg/internal/kg"
+	"covidkg/internal/kgquery"
+)
+
+// KGBench measures the declarative path-query engine against the naive
+// reference traversal on a randomized knowledge graph:
+//
+//   - latency percentiles per benchmark query, planned vs naive, plus
+//     the planner's chosen entry strategy;
+//   - a divergence audit: every timed query's planned path set is
+//     compared key-by-key against NaiveExecute (must be identical);
+//   - cancellation responsiveness: p50/p99 from cancel() to executor
+//     return on a long-running query, gated against a budget derived
+//     from the measured yield interval.
+//
+// The cancellation gate is structural, not wall-clock-absolute: the
+// executor promises to observe cancellation within one yield interval
+// (YieldEvery expansions), so the budget is 8× the measured cost of one
+// interval with a 2ms floor to absorb scheduler jitter on CI runners.
+
+// KGQueryStat is one benchmark query's measured profile.
+type KGQueryStat struct {
+	Query        string  `json:"query"`
+	Entry        string  `json:"entry"`
+	Reversed     bool    `json:"reversed"`
+	Paths        int     `json:"paths"`
+	Expansions   int     `json:"expansions"`
+	PlannedP50Us float64 `json:"planned_p50_us"`
+	PlannedP95Us float64 `json:"planned_p95_us"`
+	PlannedP99Us float64 `json:"planned_p99_us"`
+	NaiveP50Us   float64 `json:"naive_p50_us"`
+	NaiveP95Us   float64 `json:"naive_p95_us"`
+	NaiveP99Us   float64 `json:"naive_p99_us"`
+	Speedup      float64 `json:"speedup"`
+	Divergent    bool    `json:"divergent"`
+}
+
+// KGCancelStat is the cancellation-responsiveness measurement.
+type KGCancelStat struct {
+	Samples         int     `json:"samples"`
+	YieldEvery      int     `json:"yield_every"`
+	YieldIntervalUs float64 `json:"yield_interval_us"`
+	P50Us           float64 `json:"p50_us"`
+	P99Us           float64 `json:"p99_us"`
+	BudgetUs        float64 `json:"budget_us"`
+}
+
+// KGBenchResult is the BENCH_kg.json artifact.
+type KGBenchResult struct {
+	Nodes            int           `json:"nodes"`
+	Seed             int64         `json:"seed"`
+	Quick            bool          `json:"quick"`
+	Iters            int           `json:"iters"`
+	Queries          []KGQueryStat `json:"queries"`
+	DivergentQueries int           `json:"divergent_queries"`
+	Cancel           KGCancelStat  `json:"cancel"`
+	Pass             bool          `json:"pass"`
+	Breaches         []string      `json:"breaches,omitempty"`
+}
+
+// kgBenchGraph grows a randomized hierarchy mirroring fused real-world
+// shape: a small label vocabulary with numeric suffixes (so norms
+// collide across subtrees and byNorm postings have real fan-out), mixed
+// sources, and random provenance.
+func kgBenchGraph(seed int64, n int) *kg.Graph {
+	bases := []string{
+		"vaccine", "variant", "symptom", "treatment", "trial", "dose",
+		"antibody", "protein", "mutation", "risk", "therapy", "cohort",
+	}
+	sources := []string{kg.SourceSeed, kg.SourceFusion, kg.SourceExpert}
+	r := rand.New(rand.NewSource(seed))
+	g := kg.New("root", nil)
+	ids := []string{g.RootID()}
+	for len(ids) < n {
+		parent := ids[r.Intn(len(ids))]
+		label := bases[r.Intn(len(bases))] + " " + strconv.Itoa(r.Intn(12))
+		var papers []string
+		for p := 0; p < r.Intn(4); p++ {
+			papers = append(papers, "p"+strconv.Itoa(r.Intn(50)))
+		}
+		node, err := g.AddNode(parent, label, sources[r.Intn(len(sources))], papers...)
+		if err != nil {
+			continue
+		}
+		ids = append(ids, node.ID)
+	}
+	return g
+}
+
+// kgBenchQueries is the fixed query mix: an indexed-entry walk, its
+// reversed twin, a contains scan, a source filter, and a bidirectional
+// sibling pattern.
+var kgBenchQueries = []string{
+	`(norm="vaccine 1")-{1,3}->()`,
+	`()-{1,3}->(norm="vaccine 1")`,
+	`(label~"variant")-->()`,
+	`(source="expert")-{1,2}->(source="fusion")`,
+	`(norm="treatment 2")-{1,2}-(norm="dose 3")`,
+}
+
+func kgPathKey(p kgquery.Path) string {
+	ids := make([]string, len(p.Nodes))
+	for i, n := range p.Nodes {
+		ids[i] = n.ID
+	}
+	return strings.Join(ids, "\x1f")
+}
+
+// kgDiverges reports whether the planned and naive results disagree as
+// path sets (node sequences only; aggregates are covered by the
+// property tests under -race in CI).
+func kgDiverges(planned, naive *kgquery.Result) bool {
+	if len(planned.Paths) != len(naive.Paths) {
+		return true
+	}
+	keys := make(map[string]struct{}, len(naive.Paths))
+	for _, p := range naive.Paths {
+		keys[kgPathKey(p)] = struct{}{}
+	}
+	for _, p := range planned.Paths {
+		if _, ok := keys[kgPathKey(p)]; !ok {
+			return true
+		}
+	}
+	return false
+}
+
+// RunKGBench executes the KG query benchmark. quick shrinks graph size
+// and sample counts to CI-smoke scale.
+func RunKGBench(quick bool) KGBenchResult {
+	nodes, iters, cancelSamples := 3000, 20, 50
+	if quick {
+		nodes, iters, cancelSamples = 1000, 8, 20
+	}
+	const seed = 20230328 // EDBT'23 vintage
+
+	res := KGBenchResult{Nodes: nodes, Seed: seed, Quick: quick, Iters: iters}
+	g := kgBenchGraph(seed, nodes)
+	snap := g.Snapshot()
+	opts := kgquery.Options{Limit: kgquery.MaxLimit, MaxExpansions: 1 << 30}
+	ctx := context.Background()
+
+	for _, text := range kgBenchQueries {
+		q, err := kgquery.Parse(text, nil)
+		if err != nil {
+			panic(fmt.Sprintf("kgbench: bad benchmark query %q: %v", text, err))
+		}
+		plan := kgquery.Compile(q, snap)
+		stat := KGQueryStat{Query: text, Entry: plan.Entry.String(), Reversed: plan.Reversed}
+
+		var plannedLats, naiveLats []time.Duration
+		for i := 0; i < iters; i++ {
+			t0 := time.Now()
+			planned, err := plan.Execute(ctx, snap, opts)
+			plannedLats = append(plannedLats, time.Since(t0))
+			if err != nil {
+				panic(fmt.Sprintf("kgbench: planned %q: %v", text, err))
+			}
+			t0 = time.Now()
+			naive, err := kgquery.NaiveExecute(ctx, snap, q)
+			naiveLats = append(naiveLats, time.Since(t0))
+			if err != nil {
+				panic(fmt.Sprintf("kgbench: naive %q: %v", text, err))
+			}
+			if i == 0 {
+				stat.Paths = len(planned.Paths)
+				stat.Expansions = planned.Expansions
+				stat.Divergent = kgDiverges(planned, naive)
+			}
+		}
+		stat.PlannedP50Us = durPercentileUs(plannedLats, 0.50)
+		stat.PlannedP95Us = durPercentileUs(plannedLats, 0.95)
+		stat.PlannedP99Us = durPercentileUs(plannedLats, 0.99)
+		stat.NaiveP50Us = durPercentileUs(naiveLats, 0.50)
+		stat.NaiveP95Us = durPercentileUs(naiveLats, 0.95)
+		stat.NaiveP99Us = durPercentileUs(naiveLats, 0.99)
+		if stat.PlannedP50Us > 0 {
+			stat.Speedup = stat.NaiveP50Us / stat.PlannedP50Us
+		}
+		if stat.Divergent {
+			res.DivergentQueries++
+		}
+		res.Queries = append(res.Queries, stat)
+	}
+
+	res.Cancel = kgCancelBench(snap, cancelSamples)
+
+	if res.DivergentQueries > 0 {
+		res.Breaches = append(res.Breaches,
+			fmt.Sprintf("%d benchmark queries diverged from the naive reference", res.DivergentQueries))
+	}
+	if res.Cancel.P99Us > res.Cancel.BudgetUs {
+		res.Breaches = append(res.Breaches,
+			fmt.Sprintf("cancellation p99 %.0fµs exceeds budget %.0fµs (yield interval %.0fµs)",
+				res.Cancel.P99Us, res.Cancel.BudgetUs, res.Cancel.YieldIntervalUs))
+	}
+	res.Pass = len(res.Breaches) == 0
+	return res
+}
+
+// kgCancelBench measures how long a mid-flight query takes to return
+// after its context is cancelled. The budget derives from the measured
+// per-expansion cost: the executor checks the context every YieldEvery
+// expansions, so one yield interval is the structural upper bound on
+// cancellation latency; 8× that (2ms floor) absorbs runner jitter.
+func kgCancelBench(snap *kg.Snapshot, samples int) KGCancelStat {
+	q, err := kgquery.Parse(`()-{1,4}-()`, nil)
+	if err != nil {
+		panic(err)
+	}
+	plan := kgquery.Compile(q, snap)
+	opts := kgquery.Options{Limit: kgquery.MaxLimit, MaxExpansions: 1 << 30}
+
+	// calibrate: cost of one yield interval from an uncancelled run,
+	// bounded so calibration itself stays cheap
+	calOpts := opts
+	calOpts.MaxExpansions = 2_000_000
+	t0 := time.Now()
+	cal, err := plan.Execute(context.Background(), snap, calOpts)
+	if err != nil {
+		panic(fmt.Sprintf("kgbench: calibration: %v", err))
+	}
+	elapsed := time.Since(t0)
+	perExpansionNs := float64(elapsed.Nanoseconds()) / float64(max(cal.Expansions, 1))
+	yieldIntervalUs := perExpansionNs * float64(kgquery.DefaultYieldEvery) / 1e3
+	budgetUs := 8 * yieldIntervalUs
+	if budgetUs < 2000 {
+		budgetUs = 2000
+	}
+
+	var lats []time.Duration
+	for i := 0; i < samples; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_, _ = plan.Execute(ctx, snap, opts)
+		}()
+		// let the walk get deep into the graph before pulling the plug
+		time.Sleep(time.Duration(200+i*37) * time.Microsecond)
+		t := time.Now()
+		cancel()
+		<-done
+		lats = append(lats, time.Since(t))
+	}
+	return KGCancelStat{
+		Samples:         samples,
+		YieldEvery:      kgquery.DefaultYieldEvery,
+		YieldIntervalUs: yieldIntervalUs,
+		P50Us:           durPercentileUs(lats, 0.50),
+		P99Us:           durPercentileUs(lats, 0.99),
+		BudgetUs:        budgetUs,
+	}
+}

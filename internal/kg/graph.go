@@ -57,6 +57,11 @@ type Graph struct {
 	rootID string
 	seq    int
 	embed  EmbedFunc
+
+	// gen counts mutations; snap caches the last Snapshot built, valid
+	// while snap.gen == gen.
+	gen  uint64
+	snap *Snapshot
 }
 
 // New creates a graph with a root node of the given label. embed may be
@@ -149,6 +154,7 @@ func (g *Graph) addNodeLocked(parentID, label, source string, papers ...string) 
 		if g.nodes[cid].Norm == norm {
 			// same concept already present: merge provenance
 			g.addPapersLocked(g.nodes[cid], papers)
+			g.gen++
 			return copyNode(g.nodes[cid]), ErrDuplicate
 		}
 	}
@@ -163,6 +169,7 @@ func (g *Graph) addNodeLocked(parentID, label, source string, papers ...string) 
 	g.nodes[n.ID] = n
 	parent.Children = append(parent.Children, n.ID)
 	g.byNorm[norm] = append(g.byNorm[norm], n.ID)
+	g.gen++
 	return copyNode(n), nil
 }
 
@@ -190,6 +197,7 @@ func (g *Graph) AddPapers(id string, papers ...string) error {
 		return fmt.Errorf("%w: %s", ErrNodeNotFound, id)
 	}
 	g.addPapersLocked(n, papers)
+	g.gen++
 	return nil
 }
 
@@ -225,6 +233,7 @@ func (g *Graph) RemoveLeaf(id string) error {
 		delete(g.byNorm, n.Norm)
 	}
 	delete(g.nodes, id)
+	g.gen++
 	return nil
 }
 

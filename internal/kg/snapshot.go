@@ -1,0 +1,84 @@
+package kg
+
+import "sort"
+
+// Snapshot is an immutable point-in-time view of the graph: node set,
+// adjacency (Parent/Children on each node), and the byNorm entry-point
+// index, all deep-copied so readers never observe a concurrent mutation
+// and never take the graph lock. It is the execution surface for
+// internal/kgquery: a path query traverses one snapshot end to end, so
+// its results are consistent even while fusion keeps writing.
+//
+// Snapshots are generation-cached: Graph.Snapshot() returns the same
+// *Snapshot until a mutation bumps the graph's generation, so steady
+// read traffic pays the O(n) copy once per write, not once per query.
+type Snapshot struct {
+	nodes  map[string]*Node
+	byNorm map[string][]string
+	ids    []string // sorted, for deterministic full scans
+	rootID string
+	gen    uint64
+}
+
+// Gen returns the graph generation this snapshot was built from.
+func (s *Snapshot) Gen() uint64 { return s.gen }
+
+// RootID returns the root node id.
+func (s *Snapshot) RootID() string { return s.rootID }
+
+// Len returns the node count.
+func (s *Snapshot) Len() int { return len(s.nodes) }
+
+// Node returns the snapshot's node with the given id. The returned
+// pointer is shared and MUST be treated as read-only.
+func (s *Snapshot) Node(id string) (*Node, bool) {
+	n, ok := s.nodes[id]
+	return n, ok
+}
+
+// IDs returns all node ids in sorted order. The returned slice is
+// shared and MUST NOT be mutated.
+func (s *Snapshot) IDs() []string { return s.ids }
+
+// ByNorm returns the ids of nodes whose normalized label equals norm
+// (the caller passes an already-normalized term; see
+// textproc.NormalizeTerm). The returned slice is shared and MUST NOT be
+// mutated.
+func (s *Snapshot) ByNorm(norm string) []string { return s.byNorm[norm] }
+
+// Snapshot returns the current immutable view, rebuilding it only when
+// the graph has changed since the last call.
+func (g *Graph) Snapshot() *Snapshot {
+	g.mu.RLock()
+	if g.snap != nil && g.snap.gen == g.gen {
+		s := g.snap
+		g.mu.RUnlock()
+		return s
+	}
+	g.mu.RUnlock()
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	// another goroutine may have rebuilt while we waited for the lock
+	if g.snap != nil && g.snap.gen == g.gen {
+		return g.snap
+	}
+	s := &Snapshot{
+		nodes:  make(map[string]*Node, len(g.nodes)),
+		byNorm: make(map[string][]string, len(g.byNorm)),
+		ids:    make([]string, 0, len(g.nodes)),
+		rootID: g.rootID,
+		gen:    g.gen,
+	}
+	for id, n := range g.nodes {
+		c := copyNode(n)
+		s.nodes[id] = &c
+		s.ids = append(s.ids, id)
+	}
+	sort.Strings(s.ids)
+	for norm, ids := range g.byNorm {
+		s.byNorm[norm] = append([]string(nil), ids...)
+	}
+	g.snap = s
+	return s
+}

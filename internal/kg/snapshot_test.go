@@ -1,0 +1,98 @@
+package kg
+
+import (
+	"testing"
+
+	"covidkg/internal/textproc"
+)
+
+func TestSnapshotCachedUntilMutation(t *testing.T) {
+	g := SeedCOVID(nil)
+	s1 := g.Snapshot()
+	s2 := g.Snapshot()
+	if s1 != s2 {
+		t.Fatalf("unchanged graph rebuilt its snapshot")
+	}
+	if s1.Len() != g.Size() {
+		t.Fatalf("snapshot len %d, graph size %d", s1.Len(), g.Size())
+	}
+
+	if _, err := g.AddNode(g.RootID(), "Long COVID", SourceExpert, "p1"); err != nil {
+		t.Fatal(err)
+	}
+	s3 := g.Snapshot()
+	if s3 == s1 {
+		t.Fatalf("mutation did not invalidate the snapshot")
+	}
+	if s3.Len() != s1.Len()+1 {
+		t.Fatalf("new snapshot len %d, want %d", s3.Len(), s1.Len()+1)
+	}
+	// the old snapshot must not see the new child
+	r1, _ := s1.Node(s1.RootID())
+	r3, _ := s3.Node(s3.RootID())
+	if len(r3.Children) != len(r1.Children)+1 {
+		t.Fatalf("old snapshot leaked the mutation: %d vs %d children",
+			len(r1.Children), len(r3.Children))
+	}
+}
+
+func TestSnapshotProvenanceInvalidation(t *testing.T) {
+	g := SeedCOVID(nil)
+	ids := g.FindByNorm("Vaccines")
+	if len(ids) == 0 {
+		t.Fatal("no Vaccines node in seed")
+	}
+	s1 := g.Snapshot()
+	if err := g.AddPapers(ids[0], "p9"); err != nil {
+		t.Fatal(err)
+	}
+	s2 := g.Snapshot()
+	if s1 == s2 {
+		t.Fatalf("AddPapers did not invalidate the snapshot")
+	}
+	n1, _ := s1.Node(ids[0])
+	n2, _ := s2.Node(ids[0])
+	if len(n1.Papers) == len(n2.Papers) {
+		t.Fatalf("provenance change not visible in the new snapshot")
+	}
+}
+
+func TestSnapshotByNormAndIDs(t *testing.T) {
+	g := SeedCOVID(nil)
+	s := g.Snapshot()
+	norm := textproc.NormalizeTerm("Vaccines")
+	if got, want := s.ByNorm(norm), g.FindByNorm("Vaccines"); len(got) != len(want) {
+		t.Fatalf("snapshot byNorm %v, graph %v", got, want)
+	}
+	ids := s.IDs()
+	if len(ids) != s.Len() {
+		t.Fatalf("IDs len %d, snapshot len %d", len(ids), s.Len())
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("IDs not sorted at %d: %q >= %q", i, ids[i-1], ids[i])
+		}
+	}
+}
+
+func TestSnapshotAfterRemoveLeaf(t *testing.T) {
+	g := SeedCOVID(nil)
+	n, err := g.AddNode(g.RootID(), "Temp node", SourceFusion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := g.Snapshot()
+	if err := g.RemoveLeaf(n.ID); err != nil {
+		t.Fatal(err)
+	}
+	s2 := g.Snapshot()
+	if s1 == s2 {
+		t.Fatalf("RemoveLeaf did not invalidate the snapshot")
+	}
+	if _, ok := s2.Node(n.ID); ok {
+		t.Fatalf("removed node still present in fresh snapshot")
+	}
+	if _, ok := s1.Node(n.ID); !ok {
+		t.Fatalf("old snapshot lost a node it was built with")
+	}
+}

@@ -1,0 +1,147 @@
+package kgquery
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"covidkg/internal/kg"
+)
+
+// countdownCtx is a context whose Err() flips to Canceled after a fixed
+// number of checks. The executor promises to check the context every
+// YieldEvery expansions and stop at the first failed check — with this
+// context that promise becomes exactly countable: checksAfterCancel
+// must end at 1 (the single check that observed cancellation), never
+// more.
+type countdownCtx struct {
+	context.Context
+	remaining         atomic.Int64
+	checksAfterCancel atomic.Int64
+}
+
+func newCountdownCtx(checks int64) *countdownCtx {
+	c := &countdownCtx{Context: context.Background()}
+	c.remaining.Store(checks)
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		c.checksAfterCancel.Add(1)
+		return context.Canceled
+	}
+	return nil
+}
+
+// bigGraph builds a graph big enough that an unconstrained query runs
+// for millions of expansions.
+func bigGraph(n int) *kg.Graph {
+	r := rand.New(rand.NewSource(42))
+	g := kg.New("root", nil)
+	ids := []string{g.RootID()}
+	for len(ids) < n {
+		parent := ids[r.Intn(len(ids))]
+		node, err := g.AddNode(parent, "node "+strconv.Itoa(len(ids)), kg.SourceFusion, "p"+strconv.Itoa(len(ids)%40))
+		if err != nil {
+			continue
+		}
+		ids = append(ids, node.ID)
+	}
+	return g
+}
+
+func TestCancellationStopsWithinOneYieldInterval(t *testing.T) {
+	g := bigGraph(3000)
+	snap := g.Snapshot()
+	q, err := Parse(`()-{1,4}-()`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := newCountdownCtx(3) // allow three clean checks, then cancel
+	res, execErr := Compile(q, snap).Execute(ctx, snap,
+		Options{Limit: MaxLimit, MaxExpansions: 1 << 30})
+	if !errors.Is(execErr, context.Canceled) {
+		t.Fatalf("err = %v (res %v), want Canceled", execErr, res)
+	}
+	if res != nil {
+		t.Fatalf("cancelled execution returned a result")
+	}
+	if got := ctx.checksAfterCancel.Load(); got != 1 {
+		t.Fatalf("executor checked the context %d times after cancellation; "+
+			"it must return at the first failed check (≤ YieldEvery expansions late)", got)
+	}
+}
+
+func TestPreCancelledContext(t *testing.T) {
+	g := bigGraph(500)
+	snap := g.Snapshot()
+	q, _ := Parse(`()-{1,3}-()`, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Compile(q, snap).Execute(ctx, snap, Options{Limit: MaxLimit})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+}
+
+func TestDeadlineExpiresMidQuery(t *testing.T) {
+	g := bigGraph(3000)
+	snap := g.Snapshot()
+	q, _ := Parse(`()-{1,4}-()`, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := Compile(q, snap).Execute(ctx, snap,
+		Options{Limit: MaxLimit, MaxExpansions: 1 << 30})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	// generous bound: yield interval is 256 expansions of map/slice work
+	if elapsed > 2*time.Second {
+		t.Fatalf("deadline honored only after %v", elapsed)
+	}
+}
+
+// TestQueryDuringLiveWrites runs queries against snapshots while the
+// graph mutates concurrently — under -race this proves the snapshot
+// boundary is sound (the executor never touches live graph state).
+func TestQueryDuringLiveWrites(t *testing.T) {
+	g := bigGraph(300)
+	q, _ := Parse(`(source="fusion")-{1,3}->()`, nil)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, _ = g.AddNode(g.RootID(), "live "+strconv.Itoa(i), kg.SourceFusion, "px")
+			_ = g.AddPapers(g.RootID(), "p"+strconv.Itoa(i%7))
+			i++
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		snap := g.Snapshot()
+		res, err := Compile(q, snap).Execute(context.Background(), snap, Options{Limit: 200})
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if res.Expansions == 0 {
+			t.Fatalf("query %d did no work", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

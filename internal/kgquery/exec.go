@@ -1,0 +1,339 @@
+package kgquery
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sort"
+	"strings"
+
+	"covidkg/internal/kg"
+)
+
+// Executor defaults. Limit and MaxExpansions are the per-query budget:
+// the deadline itself rides the request context (the API's search-class
+// timeout), so the executor only needs to bound work between checks.
+const (
+	DefaultLimit         = 100
+	DefaultMaxExpansions = 200_000
+	DefaultYieldEvery    = 256
+	// MaxLimit caps how many paths one execution may materialize
+	// regardless of what the caller asks for.
+	MaxLimit = 10_000
+)
+
+// Options tune one execution; zero fields take the defaults above.
+type Options struct {
+	// Limit is the maximum number of paths returned; hitting it marks
+	// the result truncated.
+	Limit int
+	// MaxExpansions bounds edge traversals; exhausting it marks the
+	// result truncated rather than failing, so a pathological pattern
+	// degrades to partial results like a dark shard does.
+	MaxExpansions int
+	// YieldEvery is how many expansions run between cooperative yields
+	// (context check + runtime.Gosched). It bounds cancellation latency:
+	// after ctx is done the executor performs at most YieldEvery-1
+	// further expansions before returning.
+	YieldEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Limit <= 0 {
+		o.Limit = DefaultLimit
+	}
+	if o.Limit > MaxLimit {
+		o.Limit = MaxLimit
+	}
+	if o.MaxExpansions <= 0 {
+		o.MaxExpansions = DefaultMaxExpansions
+	}
+	if o.YieldEvery <= 0 {
+		o.YieldEvery = DefaultYieldEvery
+	}
+	return o
+}
+
+// PathNode is one node on a result path, trimmed for transport: the
+// provenance list collapses to its size.
+type PathNode struct {
+	ID     string `json:"id"`
+	Label  string `json:"label"`
+	Norm   string `json:"norm"`
+	Source string `json:"source"`
+	Papers int    `json:"papers"`
+}
+
+// Path is one match: the full node sequence (pattern endpoints and
+// unconstrained intermediate hops alike) plus aggregates derived from
+// node provenance — the hypothesis-path model: how trustworthy is each
+// link (source-derived confidence) and how much of the chain is backed
+// by literature (evidence coverage).
+type Path struct {
+	Nodes []PathNode `json:"nodes"`
+	// Confidence is the product of per-node source confidences
+	// (seed 1.0, expert 0.97, fusion 0.85).
+	Confidence float64 `json:"confidence"`
+	// EvidenceCoverage is the fraction of path nodes citing at least
+	// one publication.
+	EvidenceCoverage float64 `json:"evidence_coverage"`
+	// Papers counts distinct publications cited along the path.
+	Papers int `json:"papers"`
+	// Score ranks paths: Confidence × (0.5 + 0.5 × EvidenceCoverage).
+	Score float64 `json:"score"`
+}
+
+// key canonicalizes a path for dedup and deterministic ordering.
+func pathKey(ids []string) string { return strings.Join(ids, "\x1f") }
+
+// Result is one execution's output.
+type Result struct {
+	Paths []Path `json:"paths"`
+	// Expansions is how many edge traversals the query cost.
+	Expansions int `json:"expansions"`
+	// EntryCandidates is how many entry nodes the plan admitted.
+	EntryCandidates int `json:"entry_candidates"`
+	// Truncated is set when the result limit or expansion budget cut
+	// the search short: the paths are valid but possibly incomplete.
+	Truncated bool `json:"truncated"`
+}
+
+// Per-source confidence weights (see DESIGN.md): expert-seeded
+// structure is ground truth, expert-approved fusions are close behind,
+// unsupervised fusions carry the embedding threshold's residual risk.
+const (
+	confSeed    = 1.0
+	confExpert  = 0.97
+	confFusion  = 0.85
+	confUnknown = 0.75
+)
+
+func sourceConfidence(source string) float64 {
+	switch source {
+	case kg.SourceSeed:
+		return confSeed
+	case kg.SourceExpert:
+		return confExpert
+	case kg.SourceFusion:
+		return confFusion
+	default:
+		return confUnknown
+	}
+}
+
+// internal unwind sentinels: stop the traversal without failing it
+var (
+	errLimitHit  = errors.New("kgquery: path limit reached")
+	errBudgetHit = errors.New("kgquery: expansion budget exhausted")
+)
+
+// Execute runs the plan against a snapshot. It returns ctx.Err() when
+// cancelled or past deadline (checked every YieldEvery expansions);
+// exhausted budgets return a truncated result, not an error. Results
+// are ranked by Score (descending), then shorter paths first, then by
+// node-id sequence for full determinism.
+func (p *Plan) Execute(ctx context.Context, snap *kg.Snapshot, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	ex := &executor{
+		plan: p,
+		snap: snap,
+		opts: opts,
+		ctx:  ctx,
+		seen: map[string]struct{}{},
+	}
+	entries := p.entries(snap)
+	res := &Result{EntryCandidates: len(entries)}
+	err := func() error {
+		for _, id := range entries {
+			n, ok := snap.Node(id)
+			if !ok || !matchNode(n, p.pat.Nodes[0].Preds) {
+				continue
+			}
+			// entry matching costs one expansion too: a scan entry over a
+			// huge graph must stay cancellable even if nothing matches
+			if err := ex.expand(); err != nil {
+				return err
+			}
+			if err := ex.walk([]string{id}, map[string]struct{}{id: {}}, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	}()
+	res.Expansions = ex.expansions
+	switch {
+	case err == nil:
+	case errors.Is(err, errLimitHit), errors.Is(err, errBudgetHit):
+		res.Truncated = true
+	default:
+		return nil, err // context cancellation / deadline
+	}
+	res.Paths = ex.paths
+	sortPaths(res.Paths)
+	return res, nil
+}
+
+// sortPaths ranks: best score first, then shortest, then id sequence.
+func sortPaths(paths []Path) {
+	sort.Slice(paths, func(i, j int) bool {
+		a, b := &paths[i], &paths[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if len(a.Nodes) != len(b.Nodes) {
+			return len(a.Nodes) < len(b.Nodes)
+		}
+		for k := range a.Nodes {
+			if a.Nodes[k].ID != b.Nodes[k].ID {
+				return a.Nodes[k].ID < b.Nodes[k].ID
+			}
+		}
+		return false
+	})
+}
+
+type executor struct {
+	plan *Plan
+	snap *kg.Snapshot
+	opts Options
+	ctx  context.Context
+
+	expansions int
+	paths      []Path
+	seen       map[string]struct{} // emitted path keys (dedup across hop decompositions)
+}
+
+// expand charges one unit of work and cooperatively yields at the
+// configured interval: check the context, then let the scheduler run
+// someone else. This is the executor's entire cancellation story — no
+// traversal loop runs more than YieldEvery expansions between checks.
+func (ex *executor) expand() error {
+	ex.expansions++
+	if ex.expansions%ex.opts.YieldEvery == 0 {
+		if err := ex.ctx.Err(); err != nil {
+			return err
+		}
+		runtime.Gosched()
+	}
+	if ex.expansions >= ex.opts.MaxExpansions {
+		return errBudgetHit
+	}
+	return nil
+}
+
+// walk extends a partial path (pathIDs, ending at a node that satisfied
+// node step ei) across edge ei toward node step ei+1. Paths are simple:
+// a node appears at most once (onPath), which both matches the
+// hypothesis-path reading and makes DirAny traversal terminate.
+func (ex *executor) walk(pathIDs []string, onPath map[string]struct{}, ei int) error {
+	if ei == len(ex.plan.pat.Edges) {
+		ex.emit(pathIDs)
+		if len(ex.paths) >= ex.opts.Limit {
+			return errLimitHit
+		}
+		return nil
+	}
+	e := ex.plan.pat.Edges[ei]
+	target := ex.plan.pat.Nodes[ei+1].Preds
+
+	var rec func(cur string, depth int) error
+	rec = func(cur string, depth int) error {
+		if depth >= e.Min {
+			n, _ := ex.snap.Node(cur)
+			if matchNode(n, target) {
+				if err := ex.walk(pathIDs, onPath, ei+1); err != nil {
+					return err
+				}
+			}
+		}
+		if depth == e.Max {
+			return nil
+		}
+		for _, next := range ex.neighbors(cur, e.Dir) {
+			if _, dup := onPath[next]; dup {
+				continue
+			}
+			if err := ex.expand(); err != nil {
+				return err
+			}
+			pathIDs = append(pathIDs, next)
+			onPath[next] = struct{}{}
+			err := rec(next, depth+1)
+			delete(onPath, next)
+			pathIDs = pathIDs[:len(pathIDs)-1]
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(pathIDs[len(pathIDs)-1], 0)
+}
+
+// neighbors lists where one hop from cur may land.
+func (ex *executor) neighbors(cur string, dir Direction) []string {
+	n, ok := ex.snap.Node(cur)
+	if !ok {
+		return nil
+	}
+	switch dir {
+	case DirDown:
+		return n.Children
+	case DirUp:
+		if n.Parent == "" {
+			return nil
+		}
+		return []string{n.Parent}
+	default:
+		out := make([]string, 0, len(n.Children)+1)
+		out = append(out, n.Children...)
+		if n.Parent != "" {
+			out = append(out, n.Parent)
+		}
+		return out
+	}
+}
+
+// emit records a completed path (deduplicating hop-range decompositions
+// that produce the same node sequence) with its aggregates, restoring
+// query order when the planner reversed the pattern.
+func (ex *executor) emit(pathIDs []string) {
+	ids := pathIDs
+	if ex.plan.Reversed {
+		ids = make([]string, len(pathIDs))
+		for i, id := range pathIDs {
+			ids[len(pathIDs)-1-i] = id
+		}
+	}
+	k := pathKey(ids)
+	if _, dup := ex.seen[k]; dup {
+		return
+	}
+	ex.seen[k] = struct{}{}
+	ex.paths = append(ex.paths, buildPath(ex.snap, ids))
+}
+
+// buildPath materializes transport nodes and the provenance aggregates.
+func buildPath(snap *kg.Snapshot, ids []string) Path {
+	p := Path{Nodes: make([]PathNode, len(ids)), Confidence: 1}
+	papers := map[string]struct{}{}
+	withEvidence := 0
+	for i, id := range ids {
+		n, _ := snap.Node(id)
+		p.Nodes[i] = PathNode{
+			ID: n.ID, Label: n.Label, Norm: n.Norm,
+			Source: n.Source, Papers: len(n.Papers),
+		}
+		p.Confidence *= sourceConfidence(n.Source)
+		if len(n.Papers) > 0 {
+			withEvidence++
+		}
+		for _, pub := range n.Papers {
+			papers[pub] = struct{}{}
+		}
+	}
+	p.EvidenceCoverage = float64(withEvidence) / float64(len(ids))
+	p.Papers = len(papers)
+	p.Score = p.Confidence * (0.5 + 0.5*p.EvidenceCoverage)
+	return p
+}

@@ -1,0 +1,229 @@
+// Package kgquery is a declarative path-query engine over the COVIDKG
+// knowledge graph: a small pattern language (node predicates, edge
+// direction, variable-length hops), a cost-based planner that picks its
+// entry point from the graph's byNorm index, and a budgeted executor
+// with cooperative cancellation. Queries run against an immutable
+// kg.Snapshot, so results are consistent even while fusion keeps
+// writing, and aggregate per-path confidence and evidence coverage from
+// node provenance — the "hypothesis path" model of the SARS-CoV-2
+// multi-intent KG line of work.
+//
+// Grammar (see DESIGN.md for the full spec):
+//
+//	pattern  = node { edge node }
+//	node     = "(" [ pred { "," pred } ] ")"
+//	pred     = ("id"|"label"|"norm"|"source") ("=" | "~") value
+//	value    = quoted string | "$" ident        (bound via params)
+//	edge     = "-" [hops] "->"                  (down: parent → child)
+//	         | "<-" [hops] "-"                  (up: child → parent)
+//	         | "-" [hops] "-"                   (either direction)
+//	         | "->"                             (down, one hop)
+//	hops     = "{" min [ "," [max] ] "}"        (default {1,1})
+//
+// Example: (norm="vaccines")-{1,3}->(label~"mrna")
+package kgquery
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseError reports a syntax error with its byte offset in the query
+// text, so clients can point at the offending character.
+type ParseError struct {
+	Pos int    `json:"pos"`
+	Msg string `json:"msg"`
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("kgquery: parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokComma
+	tokDash   // -
+	tokArrow  // ->
+	tokLArrow // <-
+	tokEq     // =
+	tokTilde  // ~
+	tokIdent
+	tokString
+	tokParam // $name
+	tokNumber
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokComma:
+		return "','"
+	case tokDash:
+		return "'-'"
+	case tokArrow:
+		return "'->'"
+	case tokLArrow:
+		return "'<-'"
+	case tokEq:
+		return "'='"
+	case tokTilde:
+		return "'~'"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "quoted string"
+	case tokParam:
+		return "parameter"
+	case tokNumber:
+		return "number"
+	}
+	return "token"
+}
+
+type token struct {
+	kind tokenKind
+	text string // ident/param name, string contents, number digits
+	pos  int    // byte offset in the source
+}
+
+// lex tokenizes the whole query up front; the parser then works over a
+// flat slice, which keeps error positions trivial.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, "", i})
+			i++
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "", i})
+			i++
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, "", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokEq, "", i})
+			i++
+		case c == '~':
+			toks = append(toks, token{tokTilde, "", i})
+			i++
+		case c == '-':
+			if i+1 < len(src) && src[i+1] == '>' {
+				toks = append(toks, token{tokArrow, "", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokDash, "", i})
+				i++
+			}
+		case c == '<':
+			if i+1 < len(src) && src[i+1] == '-' {
+				toks = append(toks, token{tokLArrow, "", i})
+				i += 2
+			} else {
+				return nil, &ParseError{i, "unexpected '<' (did you mean '<-'?)"}
+			}
+		case c == '"':
+			text, next, err := lexString(src, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{tokString, text, i})
+			i = next
+		case c == '$':
+			start := i + 1
+			j := start
+			for j < len(src) && isIdentByte(src[j]) {
+				j++
+			}
+			if j == start {
+				return nil, &ParseError{i, "'$' must be followed by a parameter name"}
+			}
+			toks = append(toks, token{tokParam, src[start:j], i})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i})
+			i = j
+		case isIdentByte(c):
+			j := i
+			for j < len(src) && isIdentByte(src[j]) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], i})
+			i = j
+		default:
+			r := rune(c)
+			if c >= 0x80 {
+				r = []rune(src[i:])[0]
+			}
+			if unicode.IsPrint(r) {
+				return nil, &ParseError{i, fmt.Sprintf("unexpected character %q", r)}
+			}
+			return nil, &ParseError{i, fmt.Sprintf("unexpected byte 0x%02x", c)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+// lexString consumes a double-quoted string starting at src[start]
+// (the opening quote); \" and \\ are the only escapes.
+func lexString(src string, start int) (text string, next int, err error) {
+	var b strings.Builder
+	i := start + 1
+	for i < len(src) {
+		switch src[i] {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(src) {
+				return "", 0, &ParseError{i, "unterminated escape"}
+			}
+			switch src[i+1] {
+			case '"', '\\':
+				b.WriteByte(src[i+1])
+			default:
+				return "", 0, &ParseError{i, fmt.Sprintf(`unknown escape \%c`, src[i+1])}
+			}
+			i += 2
+		default:
+			b.WriteByte(src[i])
+			i++
+		}
+	}
+	return "", 0, &ParseError{start, "unterminated string"}
+}
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_'
+}

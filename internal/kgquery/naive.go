@@ -1,0 +1,195 @@
+package kgquery
+
+import (
+	"context"
+	"sort"
+	"strings"
+
+	"covidkg/internal/kg"
+	"covidkg/internal/textproc"
+)
+
+// NaiveExecute is the reference implementation the planner/executor is
+// property-tested (and benchmarked) against: a deliberately independent
+// re-implementation of the query semantics with no planning, no entry
+// index, no reversal, no budgets, and no dedup-by-construction tricks —
+// every node is tried as a start, every decomposition enumerated, and
+// duplicates removed at the end. It must produce a result set-identical
+// to Plan.Execute on any graph and query; divergence is a bug in one of
+// them.
+//
+// It checks ctx between start candidates only, so it cancels coarsely;
+// it exists for correctness comparison, not serving.
+func NaiveExecute(ctx context.Context, snap *kg.Snapshot, q *Query) (*Result, error) {
+	pat := q.Pattern
+	var found []Path
+	seen := map[string]struct{}{}
+
+	var extend func(ids []string, ei int) error
+	extend = func(ids []string, ei int) error {
+		if ei == len(pat.Edges) {
+			k := strings.Join(ids, "\x1f")
+			if _, dup := seen[k]; !dup {
+				seen[k] = struct{}{}
+				found = append(found, naivePath(snap, ids))
+			}
+			return nil
+		}
+		e := pat.Edges[ei]
+		var rec func(cur string, depth int) error
+		rec = func(cur string, depth int) error {
+			if depth >= e.Min {
+				n, _ := snap.Node(cur)
+				if naiveMatch(n, pat.Nodes[ei+1].Preds) {
+					if err := extend(append([]string(nil), ids...), ei+1); err != nil {
+						return err
+					}
+				}
+			}
+			if depth == e.Max {
+				return nil
+			}
+			for _, next := range naiveNeighbors(snap, cur, e.Dir) {
+				if contains(ids, next) {
+					continue
+				}
+				ids = append(ids, next)
+				err := rec(next, depth+1)
+				ids = ids[:len(ids)-1]
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return rec(ids[len(ids)-1], 0)
+	}
+
+	for _, id := range snap.IDs() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		n, _ := snap.Node(id)
+		if !naiveMatch(n, pat.Nodes[0].Preds) {
+			continue
+		}
+		if err := extend([]string{id}, 0); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(found, func(i, j int) bool {
+		a, b := &found[i], &found[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if len(a.Nodes) != len(b.Nodes) {
+			return len(a.Nodes) < len(b.Nodes)
+		}
+		for k := range a.Nodes {
+			if a.Nodes[k].ID != b.Nodes[k].ID {
+				return a.Nodes[k].ID < b.Nodes[k].ID
+			}
+		}
+		return false
+	})
+	return &Result{Paths: found, EntryCandidates: snap.Len()}, nil
+}
+
+func contains(ids []string, id string) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+func naiveNeighbors(snap *kg.Snapshot, cur string, dir Direction) []string {
+	n, ok := snap.Node(cur)
+	if !ok {
+		return nil
+	}
+	var out []string
+	if dir == DirDown || dir == DirAny {
+		out = append(out, n.Children...)
+	}
+	if (dir == DirUp || dir == DirAny) && n.Parent != "" {
+		out = append(out, n.Parent)
+	}
+	return out
+}
+
+// naiveMatch re-derives predicate semantics from their documentation
+// rather than calling matchPred, so a bug there cannot hide.
+func naiveMatch(n *kg.Node, preds []Pred) bool {
+	for _, p := range preds {
+		var field string
+		switch p.Field {
+		case FieldID:
+			field = n.ID
+		case FieldLabel:
+			field = n.Label
+		case FieldNorm:
+			field = n.Norm
+		case FieldSource:
+			field = n.Source
+		}
+		ok := false
+		if p.Op == OpEq {
+			switch p.Field {
+			case FieldLabel:
+				ok = strings.EqualFold(field, p.Value)
+			case FieldNorm:
+				ok = field == textproc.NormalizeTerm(p.Value)
+			default:
+				ok = field == p.Value
+			}
+		} else {
+			want := p.Value
+			switch p.Field {
+			case FieldLabel, FieldNorm:
+				ok = strings.Contains(strings.ToLower(field), strings.ToLower(want))
+			default:
+				ok = strings.Contains(field, want)
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// naivePath recomputes the aggregates from first principles.
+func naivePath(snap *kg.Snapshot, ids []string) Path {
+	p := Path{Confidence: 1}
+	distinct := map[string]bool{}
+	evidenced := 0
+	for _, id := range ids {
+		n, _ := snap.Node(id)
+		p.Nodes = append(p.Nodes, PathNode{
+			ID: n.ID, Label: n.Label, Norm: n.Norm,
+			Source: n.Source, Papers: len(n.Papers),
+		})
+		switch n.Source {
+		case kg.SourceSeed:
+			p.Confidence *= confSeed
+		case kg.SourceExpert:
+			p.Confidence *= confExpert
+		case kg.SourceFusion:
+			p.Confidence *= confFusion
+		default:
+			p.Confidence *= confUnknown
+		}
+		if len(n.Papers) > 0 {
+			evidenced++
+		}
+		for _, pub := range n.Papers {
+			distinct[pub] = true
+		}
+	}
+	p.EvidenceCoverage = float64(evidenced) / float64(len(ids))
+	p.Papers = len(distinct)
+	p.Score = p.Confidence * (0.5 + 0.5*p.EvidenceCoverage)
+	return p
+}

@@ -1,0 +1,319 @@
+package kgquery
+
+import "fmt"
+
+// Limits enforced at parse time: they bound the worst case the executor
+// can be asked to do, independent of any runtime budget.
+const (
+	// MaxHop is the largest hop bound a single edge may declare.
+	MaxHop = 8
+	// MaxSteps is the largest number of node steps in one pattern.
+	MaxSteps = 8
+)
+
+// Direction of one edge step, relative to the hierarchy.
+type Direction int
+
+const (
+	DirDown Direction = iota // parent → child
+	DirUp                    // child → parent
+	DirAny                   // either
+)
+
+func (d Direction) String() string {
+	switch d {
+	case DirDown:
+		return "down"
+	case DirUp:
+		return "up"
+	default:
+		return "any"
+	}
+}
+
+// flip reverses a direction for planner-reversed execution.
+func (d Direction) flip() Direction {
+	switch d {
+	case DirDown:
+		return DirUp
+	case DirUp:
+		return DirDown
+	default:
+		return DirAny
+	}
+}
+
+// Predicate operators.
+const (
+	OpEq       = "="
+	OpContains = "~"
+)
+
+// Valid predicate fields.
+const (
+	FieldID     = "id"
+	FieldLabel  = "label"
+	FieldNorm   = "norm"
+	FieldSource = "source"
+)
+
+// Pred is one node predicate: field op value.
+type Pred struct {
+	Field string `json:"field"`
+	Op    string `json:"op"`
+	Value string `json:"value"`
+}
+
+// NodeStep constrains the node at one position in the pattern. An empty
+// Preds list matches any node.
+type NodeStep struct {
+	Preds []Pred `json:"preds,omitempty"`
+}
+
+// EdgeStep joins two consecutive node steps: a direction plus an
+// inclusive hop range. Intermediate nodes on a multi-hop edge are
+// unconstrained; only the node steps at each end carry predicates.
+type EdgeStep struct {
+	Dir Direction `json:"dir"`
+	Min int       `json:"min"`
+	Max int       `json:"max"`
+}
+
+// Pattern is the parsed query: n node steps joined by n-1 edge steps.
+type Pattern struct {
+	Nodes []NodeStep `json:"nodes"`
+	Edges []EdgeStep `json:"edges"`
+}
+
+// Query is a parsed, parameter-resolved query ready for planning.
+type Query struct {
+	Pattern Pattern
+	Text    string // original source, for logs and error context
+}
+
+// Parse compiles query text into a Query. $name values are resolved
+// against params at parse time; a reference to a missing parameter is a
+// *ParseError. All syntax errors are *ParseError with a byte offset.
+func Parse(text string, params map[string]string) (*Query, error) {
+	toks, err := lex(text)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, params: params}
+	pat, err := p.pattern()
+	if err != nil {
+		return nil, err
+	}
+	if tok := p.peek(); tok.kind != tokEOF {
+		return nil, &ParseError{tok.pos, fmt.Sprintf("unexpected %s after pattern", tok.kind)}
+	}
+	return &Query{Pattern: *pat, Text: text}, nil
+}
+
+type parser struct {
+	toks   []token
+	i      int
+	params map[string]string
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, &ParseError{t.pos, fmt.Sprintf("expected %s, got %s", k, t.kind)}
+	}
+	return t, nil
+}
+
+func (p *parser) pattern() (*Pattern, error) {
+	pat := &Pattern{}
+	n, err := p.nodeStep()
+	if err != nil {
+		return nil, err
+	}
+	pat.Nodes = append(pat.Nodes, *n)
+	for p.peek().kind != tokEOF {
+		e, err := p.edgeStep()
+		if err != nil {
+			return nil, err
+		}
+		n, err := p.nodeStep()
+		if err != nil {
+			return nil, err
+		}
+		pat.Edges = append(pat.Edges, *e)
+		pat.Nodes = append(pat.Nodes, *n)
+		if len(pat.Nodes) > MaxSteps {
+			return nil, &ParseError{p.peek().pos,
+				fmt.Sprintf("pattern exceeds %d node steps", MaxSteps)}
+		}
+	}
+	return pat, nil
+}
+
+func (p *parser) nodeStep() (*NodeStep, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	step := &NodeStep{}
+	if p.peek().kind == tokRParen {
+		p.next()
+		return step, nil
+	}
+	for {
+		pred, err := p.pred()
+		if err != nil {
+			return nil, err
+		}
+		step.Preds = append(step.Preds, *pred)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return step, nil
+}
+
+func (p *parser) pred() (*Pred, error) {
+	f, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	switch f.text {
+	case FieldID, FieldLabel, FieldNorm, FieldSource:
+	default:
+		return nil, &ParseError{f.pos,
+			fmt.Sprintf("unknown field %q (want id, label, norm, or source)", f.text)}
+	}
+	op := p.next()
+	var opStr string
+	switch op.kind {
+	case tokEq:
+		opStr = OpEq
+	case tokTilde:
+		opStr = OpContains
+	default:
+		return nil, &ParseError{op.pos, fmt.Sprintf("expected '=' or '~', got %s", op.kind)}
+	}
+	val := p.next()
+	var value string
+	switch val.kind {
+	case tokString:
+		value = val.text
+	case tokParam:
+		v, ok := p.params[val.text]
+		if !ok {
+			return nil, &ParseError{val.pos, fmt.Sprintf("unbound parameter $%s", val.text)}
+		}
+		value = v
+	default:
+		return nil, &ParseError{val.pos,
+			fmt.Sprintf("expected quoted string or parameter, got %s", val.kind)}
+	}
+	return &Pred{Field: f.text, Op: opStr, Value: value}, nil
+}
+
+// edgeStep parses one of:
+//
+//	->            down, exactly one hop
+//	-->  --       down / any, exactly one hop
+//	-{m,n}->      down, m..n hops
+//	-{m,n}-       any, m..n hops
+//	<--  <-{m}-   up
+func (p *parser) edgeStep() (*EdgeStep, error) {
+	t := p.next()
+	switch t.kind {
+	case tokArrow: // bare "->"
+		return &EdgeStep{Dir: DirDown, Min: 1, Max: 1}, nil
+	case tokLArrow: // "<-" [hops] "-"
+		min, max, err := p.hops()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokDash); err != nil {
+			return nil, err
+		}
+		return &EdgeStep{Dir: DirUp, Min: min, Max: max}, nil
+	case tokDash: // "-" [hops] ("->" | "-")
+		min, max, err := p.hops()
+		if err != nil {
+			return nil, err
+		}
+		tail := p.next()
+		switch tail.kind {
+		case tokArrow:
+			return &EdgeStep{Dir: DirDown, Min: min, Max: max}, nil
+		case tokDash:
+			return &EdgeStep{Dir: DirAny, Min: min, Max: max}, nil
+		default:
+			return nil, &ParseError{tail.pos,
+				fmt.Sprintf("expected '->' or '-' to close the edge, got %s", tail.kind)}
+		}
+	default:
+		return nil, &ParseError{t.pos, fmt.Sprintf("expected an edge, got %s", t.kind)}
+	}
+}
+
+// hops parses an optional "{min[,[max]]}" block; absent means {1,1}.
+func (p *parser) hops() (min, max int, err error) {
+	if p.peek().kind != tokLBrace {
+		return 1, 1, nil
+	}
+	p.next()
+	mt, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, 0, err
+	}
+	min = atoiSafe(mt.text)
+	max = min
+	if p.peek().kind == tokComma {
+		p.next()
+		switch p.peek().kind {
+		case tokNumber:
+			max = atoiSafe(p.next().text)
+		case tokRBrace:
+			max = MaxHop // "{m,}" = m..MaxHop
+		default:
+			t := p.peek()
+			return 0, 0, &ParseError{t.pos, fmt.Sprintf("expected number or '}', got %s", t.kind)}
+		}
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return 0, 0, err
+	}
+	if min < 1 {
+		return 0, 0, &ParseError{mt.pos, "hop minimum must be at least 1"}
+	}
+	if max < min {
+		return 0, 0, &ParseError{mt.pos, fmt.Sprintf("hop range {%d,%d} is empty", min, max)}
+	}
+	if max > MaxHop {
+		return 0, 0, &ParseError{mt.pos, fmt.Sprintf("hop maximum %d exceeds the limit of %d", max, MaxHop)}
+	}
+	return min, max, nil
+}
+
+// atoiSafe converts lexer-validated digits; overflow clamps far above
+// MaxHop so the range check reports it.
+func atoiSafe(s string) int {
+	n := 0
+	for _, c := range s {
+		n = n*10 + int(c-'0')
+		if n > 1<<20 {
+			return 1 << 20
+		}
+	}
+	return n
+}

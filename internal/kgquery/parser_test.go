@@ -1,0 +1,126 @@
+package kgquery
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseBasicPattern(t *testing.T) {
+	q, err := Parse(`(norm="vaccines")-{1,3}->(label~"mrna")`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := q.Pattern
+	if len(p.Nodes) != 2 || len(p.Edges) != 1 {
+		t.Fatalf("shape = %d nodes, %d edges", len(p.Nodes), len(p.Edges))
+	}
+	if got := p.Nodes[0].Preds[0]; got.Field != FieldNorm || got.Op != OpEq || got.Value != "vaccines" {
+		t.Fatalf("pred 0 = %+v", got)
+	}
+	if got := p.Nodes[1].Preds[0]; got.Field != FieldLabel || got.Op != OpContains || got.Value != "mrna" {
+		t.Fatalf("pred 1 = %+v", got)
+	}
+	e := p.Edges[0]
+	if e.Dir != DirDown || e.Min != 1 || e.Max != 3 {
+		t.Fatalf("edge = %+v", e)
+	}
+}
+
+func TestParseEdgeForms(t *testing.T) {
+	cases := []struct {
+		src      string
+		dir      Direction
+		min, max int
+	}{
+		{`()->()`, DirDown, 1, 1},
+		{`()-->()`, DirDown, 1, 1},
+		{`()--()`, DirAny, 1, 1},
+		{`()<--()`, DirUp, 1, 1},
+		{`()-{2}->()`, DirDown, 2, 2},
+		{`()-{1,4}-()`, DirAny, 1, 4},
+		{`()<-{2,3}-()`, DirUp, 2, 3},
+		{`()-{3,}->()`, DirDown, 3, MaxHop},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.src, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		e := q.Pattern.Edges[0]
+		if e.Dir != c.dir || e.Min != c.min || e.Max != c.max {
+			t.Fatalf("%s: edge = %+v, want dir=%v min=%d max=%d", c.src, e, c.dir, c.min, c.max)
+		}
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	q, err := Parse(`(norm=$from)-->(norm=$to)`, map[string]string{"from": "vaccines", "to": "side effects"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Pattern.Nodes[0].Preds[0].Value != "vaccines" ||
+		q.Pattern.Nodes[1].Preds[0].Value != "side effects" {
+		t.Fatalf("params not resolved: %+v", q.Pattern)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	q, err := Parse(`(label="a \"quoted\" \\ label")`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Pattern.Nodes[0].Preds[0].Value; got != `a "quoted" \ label` {
+		t.Fatalf("value = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string // expected substring of the message
+	}{
+		{``, "expected '('"},
+		{`(`, "expected"},
+		{`()`, ""}, // valid: single unconstrained node
+		{`(bogus="x")`, "unknown field"},
+		{`(norm,"x")`, "expected '=' or '~'"},
+		{`(norm="x") extra`, "expected an edge"},
+		{`(norm="x")->`, "expected '('"},
+		{`(norm="x`, "unterminated string"},
+		{`(norm=$missing)`, "unbound parameter"},
+		{`()-{0,2}->()`, "hop minimum"},
+		{`()-{3,2}->()`, "empty"},
+		{`()-{1,99}->()`, "exceeds"},
+		{`()-{1,2}>()`, "unexpected character"},
+		{`()<()`, "did you mean"},
+		{`(norm="x")#`, "unexpected character"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src, nil)
+		if c.frag == "" {
+			if err != nil {
+				t.Fatalf("%q: unexpected error %v", c.src, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("%q: expected error containing %q", c.src, c.frag)
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("%q: error is %T, want *ParseError", c.src, err)
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Fatalf("%q: error %q does not mention %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestParseTooManySteps(t *testing.T) {
+	src := "()" + strings.Repeat("-->()", MaxSteps)
+	if _, err := Parse(src, nil); err == nil ||
+		!strings.Contains(err.Error(), "node steps") {
+		t.Fatalf("oversized pattern: err = %v", err)
+	}
+}
