@@ -14,8 +14,10 @@
 //	                          # request-lifecycle overload benchmark:
 //	                          # shed/cancel/deadline counts under load
 //	benchrunner -chaosbench BENCH_chaos.json
-//	                          # shard kill/recover schedule: availability,
-//	                          # outage p99, resync time, lost-write audit
+//	                          # chaos schedules, in-process AND process-
+//	                          # level (real shard server child processes
+//	                          # SIGKILLed mid-write, restarted, migrated):
+//	                          # availability, outage p99, lost-write audit
 //	benchrunner -soakbench BENCH_soak.json
 //	                          # multi-tenant session replay under chaos +
 //	                          # live ingest; exits non-zero on SLO breach
@@ -33,9 +35,14 @@ import (
 	"time"
 
 	"covidkg/internal/experiments"
+	"covidkg/internal/shardnet"
 )
 
 func main() {
+	// The process chaos bench re-execs this binary as shard servers;
+	// child mode must be detected before anything else runs.
+	shardnet.MaybeRunChild()
+
 	quick := flag.Bool("quick", false, "run reduced-size experiments")
 	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e10) or 'all'")
 	searchBench := flag.String("searchbench", "", "run the search concurrency/cache benchmark and write JSON to this file")
@@ -96,9 +103,14 @@ func main() {
 	}
 
 	if *chaosBench != "" {
-		res := experiments.RunChaosBench(*quick)
-		writeJSONFile(*chaosBench, res)
-		fmt.Printf("chaos bench over %d docs (%d shards × %d replicas, seed %d):\n",
+		combined := experiments.ChaosBenchCombined{
+			InProcess: experiments.RunChaosBench(*quick),
+			Process:   experiments.RunProcChaosBench(*quick),
+		}
+		writeJSONFile(*chaosBench, combined)
+
+		res := combined.InProcess
+		fmt.Printf("in-process chaos bench over %d docs (%d shards × %d replicas, seed %d):\n",
 			res.Docs, res.Shards, res.Replicas, res.Seed)
 		fmt.Printf("  %d queries: %d ok, %d failed → %.2f%% availability (%d partial during outage)\n",
 			res.Queries, res.OK, res.Failed, res.AvailabilityPct, res.PartialResponses)
@@ -107,11 +119,30 @@ func main() {
 			res.WritesAttempted, res.WritesAcked, res.WritesRejected, res.LostWrites, res.GhostWrites)
 		fmt.Printf("  resync %.1fms, checksums identical: %v (breaker_open=%d hedged=%d resyncs=%d)\n",
 			res.ResyncMs, res.ChecksumsIdentical, res.BreakerOpened, res.HedgedRequests, res.ReplicaResyncs)
+
+		proc := combined.Process
+		fmt.Printf("process chaos bench over %d docs (%d shard processes × %d replicas, seed %d):\n",
+			proc.Docs, proc.Shards, proc.Replicas, proc.Seed)
+		fmt.Printf("  %d queries: %d ok, %d failed → %.3f%% availability (%d partial while shard %d dark)\n",
+			proc.Queries, proc.OK, proc.Failed, proc.AvailabilityPct, proc.PartialResponses, proc.KilledShard)
+		fmt.Printf("  p99 healthy %.0fµs, p99 process-dark %.0fµs\n", proc.P99HealthyUs, proc.P99OutageUs)
+		fmt.Printf("  writes: %d attempted, %d acked, %d rejected, %d indeterminate, %d lost, %d ghost\n",
+			proc.WritesAttempted, proc.WritesAcked, proc.WritesRejected,
+			proc.WritesIndeterminate, proc.LostWrites, proc.GhostWrites)
+		fmt.Printf("  SIGKILL→serving %.1fms (WAL replayed %d docs); migration identical=%v (%d bulk, %d delta, paused %.1fms) with %d live writes\n",
+			proc.RestartMs, proc.WALReplayDocs, proc.Migration.Identical,
+			proc.Migration.BulkDocs, proc.Migration.DeltaPuts, proc.Migration.PausedMs,
+			proc.MigrationLiveWrites)
+
 		if res.LostWrites > 0 || res.GhostWrites > 0 || !res.ChecksumsIdentical {
-			log.Fatalf("chaos invariant violated: lost=%d ghosts=%d identical=%v",
+			log.Fatalf("in-process chaos invariant violated: lost=%d ghosts=%d identical=%v",
 				res.LostWrites, res.GhostWrites, res.ChecksumsIdentical)
 		}
+		if !proc.Pass {
+			log.Fatalf("process chaos gate breach:\n  - %s", strings.Join(proc.Breaches, "\n  - "))
+		}
 		fmt.Printf("written to %s\n", *chaosBench)
+		fmt.Println("all chaos gates met")
 		return
 	}
 

@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -37,6 +38,7 @@ func main() {
 	dataDir := flag.String("data", "", "optional directory for store persistence")
 	shards := flag.Int("shards", 4, "document store shards")
 	replicas := flag.Int("replicas", 3, "replicas per shard (quorum = replicas/2+1)")
+	shardAddrs := flag.String("shard-addrs", "", "comma-separated covidkg-shard addresses; non-empty serves publications from those remote processes via the shardnet coordinator instead of in-process shards")
 	hedgeDelay := flag.Duration("hedge-delay", 0, "latency budget before a shard read is hedged onto another replica (0 = adaptive 2×p95)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "circuit-breaker open→half-open cooldown (0 = default 1s)")
 	breakerFailures := flag.Int("breaker-failures", 0, "consecutive replica failures before the breaker opens (0 = default 3)")
@@ -53,7 +55,23 @@ func main() {
 	cfg.Seed = *seed
 	cfg.HedgeDelay = *hedgeDelay
 	cfg.Breaker = breaker.Config{Threshold: *breakerFailures, Cooldown: *breakerCooldown}
+	if *shardAddrs != "" {
+		cfg.ShardAddrs = splitAddrs(*shardAddrs)
+	}
 	sys := core.NewSystem(cfg)
+	if sys.Remote() {
+		// Fail fast on a dead tier rather than booting into a server that
+		// rejects every ingest; individual shards may still crash later —
+		// breakers and /readyz take over from here.
+		pingCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := sys.Coord.Ping(pingCtx)
+		cancel()
+		if err != nil {
+			log.Fatalf("shard tier not reachable: %v", err)
+		}
+		log.Printf("publications served by %d remote shard processes (map v%d)",
+			sys.Coord.NumShards(), sys.Coord.MapVersion())
+	}
 	if *resyncInterval > 0 {
 		stopResync := sys.Store.StartAutoResync(*resyncInterval)
 		defer stopResync()
@@ -181,6 +199,18 @@ func saveStore(sys *core.System, dir string) error {
 	return retry.Do(ctx, retry.DefaultConfig(), func() error {
 		return sys.Store.Save(dir)
 	})
+}
+
+// splitAddrs parses the -shard-addrs list, dropping empty segments so
+// trailing commas don't become phantom shards.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 func sideEffectPapers(g *cord19.Generator) []*cord19.Publication {

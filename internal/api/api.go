@@ -203,9 +203,34 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 // handleReady is the readiness probe: 200 when every shard has at least
 // one healthy up-to-date replica, 503 otherwise. Either way the body
-// carries the per-shard replica states (breaker state, staleness) so an
-// operator can see exactly which failure domain is dark.
-func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+// carries the per-shard states so an operator can see exactly which
+// failure domain is dark. In the in-process tier that is the replica
+// view (breaker state, staleness); in networked mode it is the
+// per-shard connection state — connected, resyncing, breaker-open, or
+// unreachable — plus the shard-map version, so a migration's cutover
+// is visible from the probe.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.sys.Remote() {
+		conns, mapVersion := s.sys.ShardConnHealth(r.Context())
+		ready := true
+		for _, c := range conns {
+			if !c.Ready() {
+				ready = false
+				break
+			}
+		}
+		status, state := http.StatusOK, "ready"
+		if !ready {
+			status, state = http.StatusServiceUnavailable, "degraded"
+		}
+		writeJSON(w, status, map[string]any{
+			"status":            state,
+			"mode":              "shardnet",
+			"shard_map_version": mapVersion,
+			"shards":            conns,
+		})
+		return
+	}
 	shards := s.sys.Health()
 	ready := true
 	for _, sh := range shards {
@@ -221,15 +246,27 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, status, map[string]any{"status": state, "shards": shards})
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	st := s.sys.Store.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	out := map[string]any{
 		"publications": s.sys.Pubs.Count(),
-		"collections":  st.Collections,
-		"bytes":        st.Bytes,
-		"per_shard":    st.PerShard,
 		"kg_nodes":     s.sys.Graph.Size(),
-	})
+	}
+	if s.sys.Remote() {
+		conns, mapVersion := s.sys.ShardConnHealth(r.Context())
+		perShard := make([]int, len(conns))
+		for i, c := range conns {
+			perShard[i] = c.Docs
+		}
+		out["mode"] = "shardnet"
+		out["shard_map_version"] = mapVersion
+		out["per_shard"] = perShard
+	} else {
+		st := s.sys.Store.Stats()
+		out["collections"] = st.Collections
+		out["bytes"] = st.Bytes
+		out["per_shard"] = st.PerShard
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleSearch dispatches to the three engines via ?engine=. The request
@@ -567,9 +604,18 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	if req.Collection == "" {
 		req.Collection = core.PubsCollection
 	}
-	if !s.sys.Store.HasCollection(req.Collection) {
-		writeErr(w, r, http.StatusNotFound, fmt.Errorf("collection %q does not exist", req.Collection))
-		return
+	// In networked mode the publications collection lives in the shard
+	// processes: aggregate over the coordinator. Every other collection
+	// (the knowledge graph, model metadata) stays in the local store.
+	var coll docstore.Docs
+	if s.sys.Remote() && req.Collection == core.PubsCollection {
+		coll = s.sys.Pubs
+	} else {
+		if !s.sys.Store.HasCollection(req.Collection) {
+			writeErr(w, r, http.StatusNotFound, fmt.Errorf("collection %q does not exist", req.Collection))
+			return
+		}
+		coll = s.sys.Store.Collection(req.Collection)
 	}
 	p, err := pipeline.Compile(req.Pipeline)
 	if err != nil {
@@ -581,7 +627,6 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		limit = 100
 	}
 	p.Append(pipeline.Limit(limit))
-	coll := s.sys.Store.Collection(req.Collection)
 	out, err := p.RunContext(r.Context(), collScanner{coll})
 	if err != nil {
 		writeErr(w, r, failStatus(err, http.StatusBadRequest), err)
@@ -590,8 +635,9 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"results": out, "n": len(out)})
 }
 
-// collScanner adapts a docstore collection to pipeline.Source.
-type collScanner struct{ c *docstore.Collection }
+// collScanner adapts any docstore.Docs (in-process collection or
+// shardnet coordinator) to pipeline.Source.
+type collScanner struct{ c docstore.Docs }
 
 func (s collScanner) Scan(fn func(jsondoc.Doc) bool) { s.c.Scan(fn) }
 

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -31,6 +32,7 @@ import (
 	"covidkg/internal/metrics"
 	"covidkg/internal/mlcore"
 	"covidkg/internal/search"
+	"covidkg/internal/shardnet"
 	"covidkg/internal/svm"
 	"covidkg/internal/tableparse"
 )
@@ -58,6 +60,20 @@ type Config struct {
 	// HedgeDelay fixes the budget after which a shard snapshot read is
 	// hedged onto another replica; zero adapts to the observed p95.
 	HedgeDelay time.Duration
+
+	// ShardAddrs switches the publication store into networked mode: one
+	// address per shard server process (covidkg-shard), scatter-gathered
+	// by a shardnet.Coordinator instead of in-process replica groups.
+	// Empty keeps the in-process tier. Shards/Replicas then describe the
+	// remote processes (Replicas is enforced by each shard server, not
+	// here); the knowledge-graph collection and model artifacts stay in
+	// the local store either way.
+	ShardAddrs []string
+
+	// ShardNet tunes the coordinator (timeouts, retries, hedging) in
+	// networked mode; zero values take the shardnet defaults. Breaker,
+	// HedgeDelay and Metrics above are folded in automatically.
+	ShardNet shardnet.Config
 
 	// Metrics directs robustness counters (breaker_open, hedged_requests,
 	// replica_resyncs, partial_responses) to a specific registry; nil
@@ -99,8 +115,12 @@ type System struct {
 	cfg Config
 
 	Store  *docstore.Store
-	Pubs   *docstore.Collection
+	Pubs   docstore.Docs
 	Search *search.Engine
+
+	// Coord is non-nil in networked mode: publications live in remote
+	// shard server processes and Pubs is the scatter-gather coordinator.
+	Coord *shardnet.Coordinator
 
 	Vocab    *features.Vocabulary
 	TermW2V  *embeddings.Word2Vec // term-level tabular embeddings
@@ -138,8 +158,30 @@ func NewSystem(cfg Config) *System {
 	s := &System{
 		cfg:       cfg,
 		Store:     store,
-		Pubs:      store.Collection(PubsCollection),
 		processed: map[string]bool{},
+	}
+	if len(cfg.ShardAddrs) > 0 {
+		ncfg := cfg.ShardNet
+		ncfg.Collection = PubsCollection
+		if ncfg.Breaker.Threshold == 0 && ncfg.Breaker.Cooldown == 0 {
+			ncfg.Breaker = cfg.Breaker
+		}
+		if ncfg.HedgeDelay == 0 {
+			ncfg.HedgeDelay = cfg.HedgeDelay
+		}
+		if ncfg.Metrics == nil {
+			ncfg.Metrics = cfg.Metrics
+		}
+		co, err := shardnet.Dial(ncfg, cfg.ShardAddrs)
+		if err != nil {
+			// Dial only validates configuration (an empty address list);
+			// with ShardAddrs non-empty it cannot fail.
+			panic(fmt.Sprintf("core: shardnet dial: %v", err))
+		}
+		s.Coord = co
+		s.Pubs = co
+	} else {
+		s.Pubs = store.Collection(PubsCollection)
 	}
 	s.Search = search.NewEngine(s.Pubs)
 	s.Search.SetMetrics(cfg.Metrics)
@@ -149,13 +191,35 @@ func NewSystem(cfg Config) *System {
 }
 
 // Health reports per-shard readiness: replica breaker states and which
-// replicas are up to date — the payload behind GET /readyz.
+// replicas are up to date — the payload behind GET /readyz in the
+// in-process tier. In networked mode use ShardConnHealth instead.
 func (s *System) Health() []docstore.ShardHealth { return s.Store.Health() }
 
+// Remote reports whether publications are served by remote shard
+// processes through a coordinator.
+func (s *System) Remote() bool { return s.Coord != nil }
+
+// ShardConnHealth probes the remote shard tier: per-connection state
+// (connected / resyncing / breaker-open / unreachable) and the current
+// shard-map version — the payload behind GET /readyz in networked
+// mode. Returns nil, 0 when the system is in-process.
+func (s *System) ShardConnHealth(ctx context.Context) ([]shardnet.ConnHealth, uint64) {
+	if s.Coord == nil {
+		return nil, 0
+	}
+	return s.Coord.Health(ctx)
+}
+
 // Resync repairs stale replicas across every collection (see
-// docstore.Store.Resync). Exposed so operators and the auto-resync loop
-// share one entry point.
-func (s *System) Resync() docstore.ResyncReport { return s.Store.Resync() }
+// docstore.Store.Resync). In networked mode the pass is delegated to
+// every reachable shard server and aggregated. Exposed so operators
+// and the auto-resync loop share one entry point.
+func (s *System) Resync() docstore.ResyncReport {
+	if s.Coord != nil {
+		return s.Coord.ResyncAll(context.Background())
+	}
+	return s.Store.Resync()
+}
 
 // IngestPublications parses and stores generated publications.
 func (s *System) IngestPublications(pubs []*cord19.Publication) error {
@@ -683,8 +747,12 @@ func (s *System) Restore(dir string) (*durable.Report, error) {
 		}
 	}
 	// loading replaced the collection objects: rebind the publications
-	// handle and rebuild the search engine, which re-indexes on scan
-	s.Pubs = s.Store.Collection(PubsCollection)
+	// handle and rebuild the search engine, which re-indexes on scan. In
+	// networked mode the publications live in the shard processes (each
+	// with its own WAL), so the coordinator handle stays authoritative.
+	if s.Coord == nil {
+		s.Pubs = s.Store.Collection(PubsCollection)
+	}
 	s.Search = search.NewEngine(s.Pubs)
 	s.Search.SetMetrics(s.cfg.Metrics)
 	if _, err := s.RestoreGraph(); err != nil {

@@ -41,13 +41,32 @@ func (e *ShardError) Error() string { return fmt.Sprintf("shard %d: %v", e.Shard
 func (e *ShardError) Unwrap() error { return e.Err }
 
 // ShardOfError extracts the shard index from a ShardError anywhere in
-// err's chain.
+// err's chain. It unwraps with errors.As rather than a direct type
+// assertion, so a shard failure that crossed a transport boundary and
+// picked up wrapping layers on the way (retry joins, hedge wrappers,
+// shardnet's wire-error reconstruction) still resolves to its shard —
+// degraded readers depend on this to map remote failures onto
+// Page.MissingShards instead of failing the whole query.
 func ShardOfError(err error) (int, bool) {
 	var se *ShardError
 	if errors.As(err, &se) {
 		return se.Shard, true
 	}
 	return -1, false
+}
+
+// UnavailableShard reports whether err means "this whole shard is dark"
+// — a *ShardError wrapping ErrShardUnavailable anywhere in the chain,
+// however many transport or retry layers wrapped it — and, when it
+// does, which shard. It is the one predicate degraded readers should
+// use: checking the sentinel with errors.Is alone loses the shard
+// index, and type-asserting the head of the chain misses wrapped
+// errors entirely.
+func UnavailableShard(err error) (int, bool) {
+	if !errors.Is(err, ErrShardUnavailable) {
+		return -1, false
+	}
+	return ShardOfError(err)
 }
 
 // ReplicaTarget names one replica for the failpoint registry — chaos
@@ -505,6 +524,18 @@ func replicaCRC(r *replicaData) uint32 {
 		crc = crc32.Update(crc, crc32.IEEETable, []byte{'\n'})
 	}
 	return crc
+}
+
+// ShardCRC returns the CRC32 of one shard's freshest replica — the
+// deterministic JSONL checksum (same algorithm as replicaCRC and the
+// durable snapshot manifests). Shard servers expose it over the wire so
+// a live migration can prove the destination holds byte-identical data
+// before the shard map cuts over.
+func (c *Collection) ShardCRC(si int) uint32 {
+	sg := c.shards[si]
+	sg.mu.RLock()
+	defer sg.mu.RUnlock()
+	return replicaCRC(sg.freshest())
 }
 
 // ReplicaChecksums returns the CRC32 of every replica of one shard

@@ -1,0 +1,382 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"covidkg/internal/api"
+	"covidkg/internal/breaker"
+	"covidkg/internal/core"
+	"covidkg/internal/jsondoc"
+	"covidkg/internal/metrics"
+	"covidkg/internal/retry"
+	"covidkg/internal/shardnet"
+)
+
+// ProcChaosResult is the process-level half of BENCH_chaos.json: the
+// same invariants RunChaosBench checks in-process (availability while a
+// shard is dark, zero lost/ghost writes, byte-identical recovery), but
+// with each shard running as a real covidkg-shard child process that is
+// SIGKILLed mid-write and restarted, plus one live shard migration to a
+// fresh process under concurrent ingest.
+//
+// Writes have a third outcome here that the in-process tier cannot
+// produce: indeterminate (the connection died after the request was
+// sent — the shard may or may not have applied it). Indeterminate
+// writes are excluded from the lost/ghost audit; counting one as
+// either would make the audit dishonest.
+type ProcChaosResult struct {
+	Seed     int64 `json:"seed"`
+	Docs     int   `json:"docs"`
+	Shards   int   `json:"shards"`
+	Replicas int   `json:"replicas"`
+
+	// Query-side availability across all phases (degraded partial 200s
+	// count as available — that is the point of the degradation path).
+	Queries          int     `json:"queries"`
+	OK               int     `json:"ok"`
+	Failed           int     `json:"failed"`
+	AvailabilityPct  float64 `json:"availability_pct"`
+	PartialResponses int     `json:"partial_responses"`
+
+	P99HealthyUs float64 `json:"p99_healthy_us"`
+	P99OutageUs  float64 `json:"p99_outage_us"`
+
+	// Write accounting over the wire.
+	WritesAttempted     int `json:"writes_attempted"`
+	WritesAcked         int `json:"writes_acked"`
+	WritesRejected      int `json:"writes_rejected"`
+	WritesIndeterminate int `json:"writes_indeterminate"`
+	LostWrites          int `json:"lost_writes"`
+	GhostWrites         int `json:"ghost_writes"`
+
+	// Crash + recovery of one shard process.
+	KilledShard   int     `json:"killed_shard"`
+	RestartMs     float64 `json:"restart_ms"` // SIGKILL survivor back to serving (WAL replay + breaker re-admission)
+	WALReplayDocs int     `json:"wal_replay_docs"`
+
+	// Live migration of the restarted shard to a brand-new process while
+	// a background writer keeps ingesting.
+	Migration            shardnet.MigrationReport `json:"migration"`
+	MigrationOK          bool                     `json:"migration_ok"`
+	MigrationLiveWrites  int                      `json:"migration_live_writes"` // acked during the migration window
+	PostMigrationQueries int                      `json:"post_migration_queries"`
+
+	BreakerOpened  int64 `json:"breaker_open"`
+	HedgedRequests int64 `json:"hedged_requests"`
+
+	Pass     bool     `json:"pass"`
+	Breaches []string `json:"breaches,omitempty"`
+}
+
+// ChaosBenchCombined is the full BENCH_chaos.json artifact: the PR 4
+// in-process kill/recover schedule plus the process-level schedule
+// above, so one file answers both "do the invariants hold?" questions.
+type ChaosBenchCombined struct {
+	InProcess ChaosBenchResult `json:"in_process"`
+	Process   ProcChaosResult  `json:"process"`
+}
+
+// procWriteRecorder classifies write outcomes under concurrency: acked
+// (must survive), rejected (must not resurrect), indeterminate
+// (excluded from the audit).
+type procWriteRecorder struct {
+	mu            sync.Mutex
+	acked         []string
+	rejected      []string
+	indeterminate []string
+}
+
+func (r *procWriteRecorder) record(id string, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case err == nil:
+		r.acked = append(r.acked, id)
+	case errors.Is(err, shardnet.ErrIndeterminate):
+		r.indeterminate = append(r.indeterminate, id)
+	default:
+		r.rejected = append(r.rejected, id)
+	}
+}
+
+func (r *procWriteRecorder) counts() (acked, rejected, indeterminate int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.acked), len(r.rejected), len(r.indeterminate)
+}
+
+// lists snapshots the classified id lists for the audit (call with all
+// writers stopped).
+func (r *procWriteRecorder) lists() (acked, rejected []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.acked...), append([]string(nil), r.rejected...)
+}
+
+// RunProcChaosBench spawns one real shard server process per shard,
+// points a coordinator-mode system at them, and drives the schedule:
+// healthy baseline → SIGKILL one process mid-write (queries must stay
+// ≥99.9% available, dark-shard writes must reject or classify
+// indeterminate) → restart the process on the same port (WAL replay
+// restores every acked write, the breaker re-admits it) → audit →
+// migrate the restarted shard to a brand-new process under live ingest
+// with a CRC audit. Breaches are collected rather than fatal so the
+// JSON artifact always records what happened; cmd/benchrunner turns
+// Pass=false into a non-zero exit.
+func RunProcChaosBench(quick bool) ProcChaosResult {
+	nDocs := 600
+	queriesPerPhase := 120
+	writesPerPhase := 60
+	if quick {
+		nDocs = 160
+		queriesPerPhase = 40
+		writesPerPhase = 20
+	}
+	const (
+		seed     = 42
+		nShards  = 4
+		replicas = 3
+	)
+
+	res := ProcChaosResult{Seed: seed, Docs: nDocs, Shards: nShards, Replicas: replicas}
+	breach := func(format string, args ...any) {
+		res.Breaches = append(res.Breaches, fmt.Sprintf(format, args...))
+	}
+
+	dir, err := os.MkdirTemp("", "covidkg-procchaos")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// ---- spawn the shard tier: one child process per shard ----------
+	procs := make([]*shardnet.ShardProc, nShards)
+	addrs := make([]string, nShards)
+	for i := range procs {
+		p, err := shardnet.SpawnShardProc(
+			fmt.Sprintf("shard%d", i), "127.0.0.1:0",
+			filepath.Join(dir, fmt.Sprintf("shard%d.wal", i)), replicas)
+		if err != nil {
+			panic(fmt.Sprintf("procchaos: spawn shard %d: %v", i, err))
+		}
+		defer p.Stop()
+		procs[i] = p
+		addrs[i] = p.Addr
+	}
+
+	reg := metrics.NewRegistry()
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Metrics = reg
+	cfg.Shards = nShards
+	cfg.Replicas = replicas
+	cfg.ShardAddrs = addrs
+	cfg.Breaker = breaker.Config{Threshold: 2, Cooldown: 25 * time.Millisecond}
+	// Tight write retries keep the dark-shard write phase bounded; the
+	// idempotency keys make the extra attempts safe.
+	cfg.ShardNet.WriteRetry = retry.Config{Attempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond, Jitter: 0.2}
+	sys := core.NewSystem(cfg)
+	defer sys.Coord.Close()
+	ingestCorpus(sys, seed, nDocs)
+	// no caching: a warm cache would mask the degraded path under test
+	sys.Search.SetCacheLimits(0, 0)
+
+	srv := httptest.NewServer(api.NewServerWith(sys, api.Config{
+		SearchTimeout: 30 * time.Second,
+		Metrics:       reg,
+	}))
+	defer srv.Close()
+
+	runQueries := func(n int) []time.Duration {
+		lats := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			q := benchHTTPQueries[i%len(benchHTTPQueries)]
+			t0 := time.Now()
+			resp, err := http.Get(srv.URL + "/api/v1/search?q=" + url.QueryEscape(q) +
+				fmt.Sprintf("&page=%d", 1+i%3))
+			if err != nil {
+				res.Queries++
+				res.Failed++
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lat := time.Since(t0)
+			res.Queries++
+			if resp.StatusCode == http.StatusOK {
+				res.OK++
+				lats = append(lats, lat)
+				if resp.Header.Get("X-Partial-Results") == "true" {
+					res.PartialResponses++
+				}
+			} else {
+				res.Failed++
+			}
+		}
+		return lats
+	}
+
+	rec := &procWriteRecorder{}
+	doWrite := func(id string) {
+		// Search.AddDocument is the full ingest path (index + coordinator
+		// insert) and surfaces the transport error unflattened, which the
+		// three-way classification needs.
+		_, err := sys.Search.AddDocument(jsondoc.Doc{
+			"_id": id, "title": "proc chaos write " + id,
+			"abstract": "synthetic write issued by the process chaos schedule",
+		})
+		rec.record(id, err)
+	}
+	runWrites := func(phase string, n int) {
+		for i := 0; i < n; i++ {
+			doWrite(fmt.Sprintf("pw-%s-%d", phase, i))
+		}
+	}
+
+	// backgroundWriter issues writes continuously until stopped —
+	// the traffic a SIGKILL and a migration land in the middle of.
+	backgroundWriter := func(phase string) (stop func() int) {
+		done := make(chan struct{})
+		finished := make(chan int)
+		go func() {
+			n := 0
+			for {
+				select {
+				case <-done:
+					finished <- n
+					return
+				default:
+					doWrite(fmt.Sprintf("pw-%s-bg-%d", phase, n))
+					n++
+				}
+			}
+		}()
+		return func() int { close(done); return <-finished }
+	}
+
+	// ---- phase 1: healthy baseline ----------------------------------
+	healthyLats := runQueries(queriesPerPhase)
+	runWrites("healthy", writesPerPhase)
+
+	// ---- phase 2: SIGKILL one shard process mid-write ---------------
+	victim := sys.Coord.ShardOfID("pw-healthy-0")
+	res.KilledShard = victim
+	stopKillWriter := backgroundWriter("kill")
+	time.Sleep(20 * time.Millisecond) // let writes be genuinely in flight
+	if err := procs[victim].Kill(); err != nil {
+		panic(fmt.Sprintf("procchaos: kill shard %d: %v", victim, err))
+	}
+	outageLats := runQueries(queriesPerPhase)
+	runWrites("outage", writesPerPhase) // victim-shard writes reject fast via the open breaker
+	stopKillWriter()
+
+	// ---- phase 3: restart on the same port, WAL replay --------------
+	t0 := time.Now()
+	if err := procs[victim].Restart(); err != nil {
+		panic(fmt.Sprintf("procchaos: restart shard %d: %v", victim, err))
+	}
+	// The breaker re-admits the shard after its cooldown via a half-open
+	// probe; poll a victim-owned read until it lands.
+	probeID := "pw-healthy-0"
+	readmitted := false
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		if _, err := sys.Pubs.Get(probeID); err == nil {
+			readmitted = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	res.RestartMs = float64(time.Since(t0).Microseconds()) / 1000
+	if !readmitted {
+		breach("restarted shard %d not re-admitted within 10s", victim)
+	}
+	if conns, _ := sys.Coord.Health(context.Background()); victim < len(conns) {
+		res.WALReplayDocs = conns[victim].Docs
+	}
+	if res.WALReplayDocs == 0 {
+		breach("shard %d reports 0 docs after WAL replay", victim)
+	}
+
+	// ---- phase 4: post-recovery audit -------------------------------
+	sys.Resync()
+	ackedIDs, rejectedIDs := rec.lists()
+	audit := sys.Pubs.AuditWrites(ackedIDs, rejectedIDs)
+	res.LostWrites = audit.Lost
+	res.GhostWrites = audit.Ghost
+	if audit.Lost > 0 {
+		breach("%d acked writes lost after SIGKILL+restart: %v", audit.Lost, audit.LostIDs)
+	}
+	if audit.Ghost > 0 {
+		breach("%d rejected writes resurrected: %v", audit.Ghost, audit.GhostIDs)
+	}
+
+	// ---- phase 5: live migration under ingest -----------------------
+	newProc, err := shardnet.SpawnShardProc(
+		fmt.Sprintf("shard%d", victim), "127.0.0.1:0",
+		filepath.Join(dir, fmt.Sprintf("shard%d-new.wal", victim)), replicas)
+	if err != nil {
+		panic(fmt.Sprintf("procchaos: spawn migration target: %v", err))
+	}
+	defer newProc.Stop()
+
+	ackedBefore, _, _ := rec.counts()
+	stopMigWriter := backgroundWriter("mig")
+	time.Sleep(10 * time.Millisecond)
+	migRep, migErr := sys.Coord.Migrate(context.Background(), victim, newProc.Addr)
+	stopMigWriter()
+	ackedAfter, _, _ := rec.counts()
+	res.Migration = migRep
+	res.MigrationOK = migErr == nil && migRep.Identical
+	res.MigrationLiveWrites = ackedAfter - ackedBefore
+	if migErr != nil {
+		breach("live migration failed: %v", migErr)
+	} else if !migRep.Identical {
+		breach("post-migration CRC audit diverged: src %08x dst %08x", migRep.SourceCRC, migRep.DestCRC)
+	}
+
+	// The new owner must serve everything, including writes acked during
+	// the migration window.
+	postLats := runQueries(queriesPerPhase / 2)
+	res.PostMigrationQueries = len(postLats)
+	ackedIDs, rejectedIDs = rec.lists()
+	finalAudit := sys.Pubs.AuditWrites(ackedIDs, rejectedIDs)
+	if finalAudit.Lost > 0 {
+		res.LostWrites = finalAudit.Lost
+		breach("%d acked writes missing from migrated shard tier: %v", finalAudit.Lost, finalAudit.LostIDs)
+	}
+	if finalAudit.Ghost > 0 {
+		res.GhostWrites = finalAudit.Ghost
+		breach("%d rejected writes resurrected after migration: %v", finalAudit.Ghost, finalAudit.GhostIDs)
+	}
+
+	// ---- roll-up + gates --------------------------------------------
+	res.WritesAcked, res.WritesRejected, res.WritesIndeterminate = rec.counts()
+	res.WritesAttempted = res.WritesAcked + res.WritesRejected + res.WritesIndeterminate
+	if res.Queries > 0 {
+		res.AvailabilityPct = 100 * float64(res.OK) / float64(res.Queries)
+	}
+	res.P99HealthyUs = p99Us(healthyLats)
+	res.P99OutageUs = p99Us(outageLats)
+	res.BreakerOpened = reg.Counter("breaker_open").Value()
+	res.HedgedRequests = reg.Counter("shardnet.client.hedges").Value()
+
+	if res.AvailabilityPct < 99.9 {
+		breach("availability %.3f%% below the 99.9%% gate with 1 of %d shard processes dark",
+			res.AvailabilityPct, nShards)
+	}
+	if res.WritesAcked == 0 {
+		breach("no write was ever acked — the schedule measured nothing")
+	}
+	res.Pass = len(res.Breaches) == 0
+	return res
+}

@@ -53,7 +53,7 @@ const PerPage = 10
 // held in a generation-versioned LRU so repeated queries skip the
 // pipeline entirely. All methods are safe for concurrent use.
 type Engine struct {
-	coll *docstore.Collection
+	coll docstore.Docs
 	idx  *index.Index
 
 	// rankOpts is copy-on-set so concurrent queries never observe a
@@ -74,9 +74,11 @@ type Engine struct {
 	indexScoring atomic.Bool
 }
 
-// NewEngine builds a search engine over the given publication collection
-// and indexes every document already present.
-func NewEngine(coll *docstore.Collection) *Engine {
+// NewEngine builds a search engine over the given publication
+// collection — in-process (*docstore.Collection) or a remote shard tier
+// behind a shardnet coordinator; any docstore.Docs works — and indexes
+// every document already present.
+func NewEngine(coll docstore.Docs) *Engine {
 	e := &Engine{coll: coll, idx: index.New(), met: metrics.Default()}
 	e.idx.SetFieldWeights(fieldWeights)
 	e.rankOpts.Store(&RankOptions{})

@@ -58,7 +58,7 @@ func (e *Engine) resolveCandidates(ctx context.Context, ids []string, workers in
 			d, err := e.coll.Get(ids[i])
 			if err == nil {
 				docs[i] = d
-			} else if si, ok := docstore.ShardOfError(err); ok && errors.Is(err, docstore.ErrShardUnavailable) {
+			} else if si, ok := docstore.UnavailableShard(err); ok {
 				miss[i] = si
 			}
 		}

@@ -1,0 +1,241 @@
+package shardnet
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"covidkg/internal/breaker"
+)
+
+// scriptedServer accepts raw TCP connections and runs the i-th handler
+// on the i-th connection (the last handler repeats). It lets tests
+// produce precise network pathologies — mid-stream EOF, never-reply,
+// slow-reply — that a healthy Server never would.
+func scriptedServer(t *testing.T, handlers ...func(net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for i := 0; ; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			h := handlers[min(i, len(handlers)-1)]
+			go func() {
+				defer conn.Close()
+				h(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func readOneRequest(conn net.Conn) request {
+	var req request
+	readFrame(conn, &req)
+	return req
+}
+
+// midStreamEOF reads the request then slams the connection shut before
+// any reply — the reply-lost case.
+func midStreamEOF(conn net.Conn) {
+	readOneRequest(conn)
+}
+
+// neverReply reads the request and then sits on the connection until
+// the peer gives up — the slow-but-alive (hung) case.
+func neverReply(conn net.Conn) {
+	readOneRequest(conn)
+	io.Copy(io.Discard, conn) // block until the client abandons us
+}
+
+// healthyReply answers every request on the connection like a minimal
+// shard server.
+func healthyReply(conn net.Conn) {
+	for {
+		var req request
+		if err := readFrame(conn, &req); err != nil {
+			return
+		}
+		if err := writeFrame(conn, &response{N: 1}); err != nil {
+			return
+		}
+	}
+}
+
+// slowThenHealthy answers after a delay — alive, just slow.
+func slowThenHealthy(d time.Duration) func(net.Conn) {
+	return func(conn net.Conn) {
+		for {
+			var req request
+			if err := readFrame(conn, &req); err != nil {
+				return
+			}
+			time.Sleep(d)
+			if err := writeFrame(conn, &response{N: 99}); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func TestBreakerOpensOnConnectRefused(t *testing.T) {
+	// Reserve a port, then free it: connections are refused instantly.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	cl := newShardClient(0, "shard0", addr, clientOpts{
+		dialTimeout: 200 * time.Millisecond,
+		brk:         breaker.Config{Threshold: 3, Cooldown: time.Hour},
+	})
+	for i := 0; i < 3; i++ {
+		_, err := cl.call(context.Background(), &request{Op: opPing})
+		if !errors.Is(err, ErrNotSent) {
+			t.Fatalf("call %d = %v, want ErrNotSent (refused dial definitively did not send)", i, err)
+		}
+	}
+	if got := cl.brk.State(); got != breaker.Open {
+		t.Fatalf("breaker state after %d refused dials = %v, want Open", 3, got)
+	}
+	// While open the shard is rejected without touching the network.
+	start := time.Now()
+	_, err = cl.call(context.Background(), &request{Op: opPing})
+	if !errors.Is(err, ErrNotSent) {
+		t.Fatalf("breaker-open call = %v, want ErrNotSent", err)
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Fatalf("breaker-open rejection took %v, want fail-fast", d)
+	}
+}
+
+func TestBreakerOpensOnDialTimeout(t *testing.T) {
+	srv, addr := startServer(t, "shard0", "")
+	defer srv.Close()
+
+	// A dial budget no TCP handshake can meet: every dial times out, and
+	// a timed-out dial is still definitively not-sent.
+	cl := newShardClient(0, "shard0", addr, clientOpts{
+		dialTimeout: time.Nanosecond,
+		brk:         breaker.Config{Threshold: 2, Cooldown: time.Hour},
+	})
+	for i := 0; i < 2; i++ {
+		_, err := cl.call(context.Background(), &request{Op: opPing})
+		if !errors.Is(err, ErrNotSent) {
+			t.Fatalf("call %d = %v, want ErrNotSent", i, err)
+		}
+	}
+	if got := cl.brk.State(); got != breaker.Open {
+		t.Fatalf("breaker state after dial timeouts = %v, want Open", got)
+	}
+}
+
+func TestBreakerOpensOnMidStreamEOFThenRecovers(t *testing.T) {
+	// First three connections die mid-stream; the server then heals.
+	addr := scriptedServer(t, midStreamEOF, midStreamEOF, midStreamEOF, healthyReply)
+
+	cl := newShardClient(0, "shard0", addr, clientOpts{
+		brk: breaker.Config{Threshold: 3, Cooldown: 30 * time.Millisecond},
+	})
+	for i := 0; i < 3; i++ {
+		_, err := cl.call(context.Background(), &request{Op: opPing})
+		if !errors.Is(err, ErrIndeterminate) {
+			t.Fatalf("mid-stream EOF call %d = %v, want ErrIndeterminate (the request may have been applied)", i, err)
+		}
+	}
+	if got := cl.brk.State(); got != breaker.Open {
+		t.Fatalf("state after 3 EOFs = %v, want Open", got)
+	}
+	// During cooldown: rejected without a probe.
+	if _, err := cl.call(context.Background(), &request{Op: opPing}); !errors.Is(err, ErrNotSent) {
+		t.Fatalf("cooldown call = %v, want ErrNotSent", err)
+	}
+	// After cooldown, exactly one half-open probe rediscovers the shard.
+	time.Sleep(40 * time.Millisecond)
+	if _, err := cl.call(context.Background(), &request{Op: opPing}); err != nil {
+		t.Fatalf("half-open probe = %v, want success", err)
+	}
+	if got := cl.brk.State(); got != breaker.Closed {
+		t.Fatalf("state after successful probe = %v, want Closed", got)
+	}
+}
+
+func TestSlowButAliveTimesOutAsIndeterminate(t *testing.T) {
+	addr := scriptedServer(t, neverReply)
+	cl := newShardClient(0, "shard0", addr, clientOpts{
+		callTimeout: 80 * time.Millisecond,
+		brk:         breaker.Config{Threshold: 1, Cooldown: time.Hour},
+	})
+	start := time.Now()
+	_, err := cl.call(context.Background(), &request{Op: opPing})
+	if !errors.Is(err, ErrIndeterminate) {
+		t.Fatalf("hung-server call = %v, want ErrIndeterminate", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("hung-server call took %v, want bounded by callTimeout", d)
+	}
+	if got := cl.brk.State(); got != breaker.Open {
+		t.Fatalf("state after hung call = %v (threshold 1), want Open", got)
+	}
+}
+
+// TestHedgedReadBeatsSlowConnection pins the hedging behavior: when
+// the first connection is slow but alive, a second connection is
+// raced after the hedge budget and its fast reply wins.
+func TestHedgedReadBeatsSlowConnection(t *testing.T) {
+	// Connection 1 replies after 400ms; connection 2 replies instantly.
+	addr := scriptedServer(t, slowThenHealthy(400*time.Millisecond), healthyReply)
+	cl := newShardClient(0, "shard0", addr, clientOpts{
+		hedgeDelay: 20 * time.Millisecond,
+	})
+	start := time.Now()
+	resp, err := cl.hedgedCall(context.Background(), &request{Op: opPing})
+	if err != nil {
+		t.Fatalf("hedgedCall: %v", err)
+	}
+	elapsed := time.Since(start)
+	if resp.N != 1 {
+		t.Fatalf("hedged winner N = %d, want 1 (the fast connection)", resp.N)
+	}
+	if elapsed >= 300*time.Millisecond {
+		t.Fatalf("hedged read took %v — the slow connection was not hedged", elapsed)
+	}
+	if got := cl.met.Counter("shardnet.client.hedges").Value(); got != 1 {
+		t.Fatalf("hedges counter = %d, want 1", got)
+	}
+}
+
+// TestAdaptiveHedgeBudgetTracksP95 pins the 2×p95 adaptation: after
+// enough fast calls the budget shrinks from the 25ms default toward
+// twice the observed p95 (clamped at 1ms).
+func TestAdaptiveHedgeBudgetTracksP95(t *testing.T) {
+	_, addr := startServer(t, "shard0", "")
+	cl := newShardClient(0, "shard0", addr, clientOpts{})
+
+	if d := cl.currentHedgeDelay(); d != 25*time.Millisecond {
+		t.Fatalf("cold hedge budget = %v, want 25ms default", d)
+	}
+	for i := 0; i < 32; i++ {
+		if _, err := cl.call(context.Background(), &request{Op: opPing}); err != nil {
+			t.Fatalf("warmup call %d: %v", i, err)
+		}
+	}
+	d := cl.currentHedgeDelay()
+	if d < time.Millisecond || d > 250*time.Millisecond {
+		t.Fatalf("adaptive budget %v outside clamp [1ms, 250ms]", d)
+	}
+	if d >= 25*time.Millisecond {
+		t.Fatalf("adaptive budget %v did not shrink below the 25ms default after 32 sub-millisecond loopback calls", d)
+	}
+}

@@ -1,0 +1,261 @@
+package shardnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"covidkg/internal/breaker"
+	"covidkg/internal/metrics"
+)
+
+// Write-outcome sentinels. The coordinator classifies every transport
+// failure into exactly one of these so callers (and the chaos-bench
+// write audit) can reason honestly about what a failed write means:
+//
+//   - ErrNotSent: the request definitively never reached the server
+//     (breaker open, dial refused/timed out). The write was NOT
+//     applied; it is safe to count as rejected.
+//   - ErrIndeterminate: the request may have been sent but the reply
+//     was lost (mid-stream EOF, read timeout, SIGKILL between apply
+//     and ack). The write MAY have been applied. Only a retry with the
+//     same idempotency key — or an audit read after recovery — can
+//     resolve it.
+var (
+	ErrNotSent       = errors.New("shardnet: request not sent")
+	ErrIndeterminate = errors.New("shardnet: request outcome indeterminate")
+)
+
+// clientOpts tunes one shard connection group.
+type clientOpts struct {
+	dialTimeout time.Duration // per-dial cap
+	callTimeout time.Duration // per-call cap when the caller's ctx has no deadline
+	hedgeDelay  time.Duration // fixed hedge budget; 0 = adaptive 2×p95
+	maxIdle     int           // pooled connections kept warm
+	brk         breaker.Config
+	met         *metrics.Registry
+}
+
+func (o *clientOpts) fillDefaults() {
+	if o.dialTimeout <= 0 {
+		o.dialTimeout = 2 * time.Second
+	}
+	if o.callTimeout <= 0 {
+		o.callTimeout = 10 * time.Second
+	}
+	if o.maxIdle <= 0 {
+		o.maxIdle = 4
+	}
+	if o.met == nil {
+		o.met = metrics.NewRegistry()
+	}
+}
+
+// shardClient is the coordinator's handle to one shard server: a small
+// pool of connections guarded by a circuit breaker. One request is in
+// flight per connection; concurrency and hedging come from using
+// multiple pool connections.
+type shardClient struct {
+	shard int
+	name  string
+	addr  string
+	opts  clientOpts
+	brk   *breaker.Breaker
+	met   *metrics.Registry
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+}
+
+func newShardClient(shard int, name, addr string, opts clientOpts) *shardClient {
+	opts.fillDefaults()
+	c := &shardClient{shard: shard, name: name, addr: addr, opts: opts, met: opts.met}
+	c.brk = breaker.New(opts.brk)
+	return c
+}
+
+// acquire pops a pooled connection or dials a fresh one. A dial
+// failure is the one transport error with a definitive meaning: the
+// request was never sent.
+func (c *shardClient) acquire(ctx context.Context) (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: client for %s closed", ErrNotSent, c.name)
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+
+	d := net.Dialer{Timeout: c.opts.dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s (%s): %v", ErrNotSent, c.name, c.addr, err)
+	}
+	return conn, nil
+}
+
+// release returns a healthy connection to the pool (or closes it when
+// the pool is full / the client is closed).
+func (c *shardClient) release(conn net.Conn) {
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < c.opts.maxIdle {
+		c.idle = append(c.idle, conn)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	conn.Close()
+}
+
+// call performs one request/response exchange. Error classification:
+//
+//	breaker open, dial failure        → ErrNotSent   (+ breaker Failure on dial)
+//	write/read failure on the socket  → ErrIndeterminate (+ breaker Failure)
+//	server responded with an error    → decoded app error (breaker Success:
+//	                                    the LINK is healthy; not-found is
+//	                                    not a reason to stop dialing)
+//
+// The caller's context deadline is both enforced locally (socket
+// deadlines) and propagated in the frame (DeadlineUnixMicro) so the
+// server stops working for callers that have given up.
+func (c *shardClient) call(ctx context.Context, req *request) (*response, error) {
+	if !c.brk.Allow() {
+		c.met.Counter("shardnet.client.breaker_rejected").Inc()
+		return nil, fmt.Errorf("%w: breaker open for %s", ErrNotSent, c.name)
+	}
+	start := time.Now()
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		deadline = start.Add(c.opts.callTimeout)
+	}
+	req.DeadlineUnixMicro = deadline.UnixMicro()
+
+	conn, err := c.acquire(ctx)
+	if err != nil {
+		c.brk.Failure()
+		c.met.Counter("shardnet.client.dial_errors").Inc()
+		return nil, err
+	}
+	// A hair of grace past the propagated deadline lets the server's own
+	// deadline_exceeded response arrive instead of racing it.
+	conn.SetDeadline(deadline.Add(100 * time.Millisecond))
+
+	if err := writeFrame(conn, req); err != nil {
+		conn.Close()
+		c.brk.Failure()
+		c.met.Counter("shardnet.client.io_errors").Inc()
+		return nil, fmt.Errorf("%w: send to %s: %v", ErrIndeterminate, c.name, err)
+	}
+	var resp response
+	if err := readFrame(conn, &resp); err != nil {
+		conn.Close()
+		c.brk.Failure()
+		c.met.Counter("shardnet.client.io_errors").Inc()
+		return nil, fmt.Errorf("%w: awaiting reply from %s: %v", ErrIndeterminate, c.name, err)
+	}
+	c.release(conn)
+	c.brk.Success()
+	c.met.Histogram("shardnet.call").Observe(time.Since(start))
+	if werr := decodeWireErr(c.shard, resp.ErrCode, resp.ErrMsg); werr != nil {
+		return nil, werr
+	}
+	return &resp, nil
+}
+
+// currentHedgeDelay mirrors the replica layer's adaptive budget: twice
+// the observed p95 call latency, clamped to [1ms, 250ms], defaulting to
+// 25ms until 16 calls have been observed. A fixed opts.hedgeDelay
+// overrides.
+func (c *shardClient) currentHedgeDelay() time.Duration {
+	if c.opts.hedgeDelay > 0 {
+		return c.opts.hedgeDelay
+	}
+	snap := c.met.Histogram("shardnet.call").Snapshot()
+	if snap.Count < 16 {
+		return 25 * time.Millisecond
+	}
+	d := time.Duration(snap.P95Us * 2 * float64(time.Microsecond))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if d > 250*time.Millisecond {
+		d = 250 * time.Millisecond
+	}
+	return d
+}
+
+// hedgedCall races a second connection against a slow first attempt:
+// if no reply lands within the adaptive budget, a duplicate request is
+// launched and the first success wins. Only for idempotent reads — the
+// coordinator's write path never hedges (retries with idempotency keys
+// cover writes instead). A fast failure is returned immediately and
+// left to the caller's retry policy; hedging exists for the
+// slow-but-alive shard, not the dead one.
+func (c *shardClient) hedgedCall(ctx context.Context, req *request) (*response, error) {
+	type result struct {
+		resp *response
+		err  error
+	}
+	ch := make(chan result, 2)
+	launch := func(r request) {
+		go func() {
+			resp, err := c.call(ctx, &r)
+			ch <- result{resp, err}
+		}()
+	}
+	launch(*req)
+	pending := 1
+	hedged := false
+	timer := time.NewTimer(c.currentHedgeDelay())
+	defer timer.Stop()
+
+	var lastErr error
+	for pending > 0 {
+		select {
+		case r := <-ch:
+			pending--
+			if r.err == nil {
+				return r.resp, nil
+			}
+			lastErr = r.err
+			// A fast hard failure: do not burn the hedge on a dead shard;
+			// bubble up and let the retry layer back off.
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				pending++
+				c.met.Counter("shardnet.client.hedges").Inc()
+				launch(*req)
+			}
+		case <-ctx.Done():
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, fmt.Errorf("%w: %s: %v", ErrIndeterminate, c.name, ctx.Err())
+		}
+	}
+	return nil, lastErr
+}
+
+// state reports the breaker state string for readiness reporting.
+func (c *shardClient) state() string { return c.brk.State().String() }
+
+func (c *shardClient) close() {
+	c.mu.Lock()
+	c.closed = true
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, conn := range idle {
+		conn.Close()
+	}
+}

@@ -1,0 +1,186 @@
+package shardnet
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"covidkg/internal/jsondoc"
+)
+
+// MigrationReport records one live shard migration end to end,
+// including the byte-identity proof (source and destination shard CRCs
+// at cutover).
+type MigrationReport struct {
+	Shard        int    `json:"shard"`
+	Name         string `json:"name"`
+	From         string `json:"from"`
+	To           string `json:"to"`
+	BulkDocs     int    `json:"bulk_docs"`     // copied while writes flowed
+	DeltaPuts    int    `json:"delta_puts"`    // copied during the paused window
+	DeltaDeletes int    `json:"delta_deletes"` // removed during the paused window
+	SourceCRC    uint32 `json:"source_crc"`
+	DestCRC      uint32 `json:"dest_crc"`
+	Identical    bool   `json:"identical"`
+	MapVersion   uint64 `json:"map_version"` // version after cutover
+	PausedMs     float64
+	TotalMs      float64
+}
+
+// migrateBatch bounds one put_bulk frame during migration.
+const migrateBatch = 256
+
+// Migrate moves shard si to the process at newAddr while the system
+// keeps serving:
+//
+//  1. bulk copy — snapshot the source and stream it to the destination
+//     in batches, with ingest and reads still flowing to the source;
+//  2. pause — take the shard's write gate exclusively, draining
+//     in-flight writes (reads never pause);
+//  3. delta sync — diff source and destination manifests (id → CRC32)
+//     and ship only documents that changed under the bulk copy, plus
+//     deletions;
+//  4. CRC audit — source and destination shard CRCs must be
+//     byte-identical, or the migration aborts with the source still
+//     authoritative;
+//  5. cutover — bump the shard map version, fence the old owner (it
+//     rejects writes below the new version from here on), swap the
+//     coordinator's client to the new process;
+//  6. resume — release the gate; paused writers retry against the new
+//     owner with their idempotency keys intact.
+//
+// Failure anywhere before step 5 leaves the source authoritative and
+// the map unchanged — the destination just holds a dead partial copy.
+func (co *Coordinator) Migrate(ctx context.Context, si int, newAddr string) (MigrationReport, error) {
+	start := time.Now()
+	if si < 0 || si >= co.NumShards() {
+		return MigrationReport{}, fmt.Errorf("shardnet: migrate: no shard %d", si)
+	}
+	co.mu.RLock()
+	name := co.smap.Shards[si].Name
+	fromAddr := co.smap.Shards[si].Addr
+	gate := co.gates[si]
+	co.mu.RUnlock()
+
+	rep := MigrationReport{Shard: si, Name: name, From: fromAddr, To: newAddr}
+
+	dst := co.newClient(si, name, newAddr)
+	abort := func(err error) (MigrationReport, error) {
+		dst.close()
+		rep.TotalMs = float64(time.Since(start).Microseconds()) / 1e3
+		return rep, err
+	}
+	if _, err := dst.call(ctx, &request{Op: opPing, Shard: si}); err != nil {
+		return abort(fmt.Errorf("shardnet: migrate %s: destination %s unreachable: %w", name, newAddr, err))
+	}
+
+	// Phase 1: bulk copy under live traffic.
+	src, _ := co.clientFor(si)
+	snap, err := src.call(ctx, &request{Op: opSnapshot, Shard: si})
+	if err != nil {
+		return abort(fmt.Errorf("shardnet: migrate %s: source snapshot: %w", name, err))
+	}
+	if err := putBatches(ctx, dst, si, snap.Docs); err != nil {
+		return abort(fmt.Errorf("shardnet: migrate %s: bulk copy: %w", name, err))
+	}
+	rep.BulkDocs = len(snap.Docs)
+
+	// Phase 2: pause writes to this shard; in-flight attempts drain
+	// because writers hold the gate in read mode for the length of one
+	// attempt.
+	pauseStart := time.Now()
+	gate.Lock()
+	defer gate.Unlock()
+
+	// Phase 3: manifest diff + delta sync over the writes that raced the
+	// bulk copy.
+	srcMan, err := src.call(ctx, &request{Op: opManifest, Shard: si})
+	if err != nil {
+		return abort(fmt.Errorf("shardnet: migrate %s: source manifest: %w", name, err))
+	}
+	dstMan, err := dst.call(ctx, &request{Op: opManifest, Shard: si})
+	if err != nil {
+		return abort(fmt.Errorf("shardnet: migrate %s: destination manifest: %w", name, err))
+	}
+	var changed, deleted []string
+	for id, crc := range srcMan.Manifest {
+		if dstMan.Manifest[id] != crc {
+			changed = append(changed, id)
+		}
+	}
+	for id := range dstMan.Manifest {
+		if _, ok := srcMan.Manifest[id]; !ok {
+			deleted = append(deleted, id)
+		}
+	}
+	if len(changed) > 0 {
+		got, err := src.call(ctx, &request{Op: opGetMany, Shard: si, IDs: changed})
+		if err != nil {
+			return abort(fmt.Errorf("shardnet: migrate %s: delta read: %w", name, err))
+		}
+		if err := putBatches(ctx, dst, si, got.Docs); err != nil {
+			return abort(fmt.Errorf("shardnet: migrate %s: delta write: %w", name, err))
+		}
+		rep.DeltaPuts = len(got.Docs)
+	}
+	if len(deleted) > 0 {
+		if _, err := dst.call(ctx, &request{Op: opDeleteMany, Shard: si, IDs: deleted}); err != nil {
+			return abort(fmt.Errorf("shardnet: migrate %s: delta delete: %w", name, err))
+		}
+		rep.DeltaDeletes = len(deleted)
+	}
+
+	// Phase 4: byte-identity audit before the map moves.
+	srcCRC, err := src.call(ctx, &request{Op: opCRC, Shard: si})
+	if err != nil {
+		return abort(fmt.Errorf("shardnet: migrate %s: source crc: %w", name, err))
+	}
+	dstCRC, err := dst.call(ctx, &request{Op: opCRC, Shard: si})
+	if err != nil {
+		return abort(fmt.Errorf("shardnet: migrate %s: destination crc: %w", name, err))
+	}
+	rep.SourceCRC, rep.DestCRC = srcCRC.CRC, dstCRC.CRC
+	rep.Identical = srcCRC.CRC == dstCRC.CRC && srcCRC.N == dstCRC.N
+	if !rep.Identical {
+		return abort(fmt.Errorf("shardnet: migrate %s: CRC mismatch after delta sync: source %08x (%d docs) vs destination %08x (%d docs)",
+			name, srcCRC.CRC, srcCRC.N, dstCRC.CRC, dstCRC.N))
+	}
+
+	// Phase 5: cutover. Map version bumps first in our table, the old
+	// owner is fenced at the new version, then the client swaps. The
+	// fence is best-effort-ordered before the swap so a write that
+	// somehow raced the gate with a stale version bounces off the old
+	// owner with stale_map and retries onto the new one.
+	co.mu.Lock()
+	newMap := co.smap.WithAddr(si, newAddr)
+	co.smap = newMap
+	old := co.clients[si]
+	co.clients[si] = dst
+	co.mu.Unlock()
+	rep.MapVersion = newMap.Version
+
+	if _, err := old.call(ctx, &request{Op: opCutover, Shard: si, Version: newMap.Version}); err != nil {
+		// The old owner could not be fenced (it may be mid-crash). The
+		// map has moved; log-level concern only, since writers re-resolve
+		// the client under the gate and will not target it again.
+		co.met.Counter("shardnet.coord.cutover_fence_failed").Inc()
+	}
+	old.close()
+	co.met.Counter("shardnet.coord.migrations").Inc()
+
+	rep.PausedMs = float64(time.Since(pauseStart).Microseconds()) / 1e3
+	rep.TotalMs = float64(time.Since(start).Microseconds()) / 1e3
+	return rep, nil
+}
+
+// putBatches streams docs to a shard in bounded put_bulk frames.
+func putBatches(ctx context.Context, cl *shardClient, si int, docs []jsondoc.Doc) error {
+	for len(docs) > 0 {
+		n := min(migrateBatch, len(docs))
+		if _, err := cl.call(ctx, &request{Op: opPutBulk, Shard: si, Docs: docs[:n]}); err != nil {
+			return err
+		}
+		docs = docs[n:]
+	}
+	return nil
+}

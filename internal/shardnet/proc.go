@@ -1,0 +1,164 @@
+package shardnet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Environment keys driving child mode. Any binary that calls
+// MaybeRunChild at the top of main (benchrunner does, and test
+// binaries can from TestMain) can be re-executed as a shard server —
+// which is how the process-level chaos bench spawns, SIGKILLs, and
+// restarts real shard processes without needing the go toolchain at
+// bench time.
+const (
+	envChild      = "COVIDKG_SHARDNET_CHILD"
+	envChildAddr  = "COVIDKG_SHARDNET_ADDR"
+	envChildWAL   = "COVIDKG_SHARDNET_WAL"
+	envChildName  = "COVIDKG_SHARDNET_NAME"
+	envChildRepl  = "COVIDKG_SHARDNET_REPLICAS"
+	addrLinePfx   = "SHARDNET_LISTENING "
+	childReadyCap = 10 * time.Second
+)
+
+// MaybeRunChild turns the current process into a shard server when the
+// child environment is set, never returning in that case (the process
+// serves until killed). Call it first thing in main. The child prints
+// "SHARDNET_LISTENING <addr>" on stdout once bound, which is how the
+// parent learns an ephemeral port.
+func MaybeRunChild() {
+	if os.Getenv(envChild) == "" {
+		return
+	}
+	name := os.Getenv(envChildName)
+	replicas, _ := strconv.Atoi(os.Getenv(envChildRepl))
+	srv, err := NewServer(ServerConfig{
+		Name:     name,
+		Replicas: replicas,
+		WALPath:  os.Getenv(envChildWAL),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shardnet child %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", os.Getenv(envChildAddr))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shardnet child %s: listen: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s%s\n", addrLinePfx, ln.Addr().String())
+	os.Stdout.Sync()
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintf(os.Stderr, "shardnet child %s: serve: %v\n", name, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// ShardProc is a shard server running as a real child process — the
+// unit the chaos bench SIGKILLs and restarts.
+type ShardProc struct {
+	Name     string
+	Addr     string // resolved address (stable across Restart)
+	WALPath  string
+	Replicas int
+	cmd      *exec.Cmd
+}
+
+// SpawnShardProc re-execs the current binary as a shard server child.
+// addr may be "127.0.0.1:0"; the resolved port is captured and reused
+// on Restart so a coordinator's shard map stays valid across a crash.
+func SpawnShardProc(name, addr, walPath string, replicas int) (*ShardProc, error) {
+	p := &ShardProc{Name: name, Addr: addr, WALPath: walPath, Replicas: replicas}
+	if err := p.start(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *ShardProc) start() error {
+	self, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("shardnet: locate own binary: %w", err)
+	}
+	cmd := exec.Command(self)
+	cmd.Env = append(os.Environ(),
+		envChild+"=1",
+		envChildAddr+"="+p.Addr,
+		envChildWAL+"="+p.WALPath,
+		envChildName+"="+p.Name,
+		envChildRepl+"="+strconv.Itoa(p.Replicas),
+	)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("shardnet: spawn %s: %w", p.Name, err)
+	}
+
+	// Wait for the bind line so the caller gets a dialable address; keep
+	// draining stdout afterwards so the child never blocks on the pipe.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, addrLinePfx) {
+				select {
+				case addrCh <- strings.TrimSpace(strings.TrimPrefix(line, addrLinePfx)):
+				default:
+				}
+			}
+		}
+		io.Copy(io.Discard, stdout)
+	}()
+
+	select {
+	case got := <-addrCh:
+		p.Addr = got
+	case <-time.After(childReadyCap):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return fmt.Errorf("shardnet: shard process %s did not report its address within %s", p.Name, childReadyCap)
+	}
+	p.cmd = cmd
+	return nil
+}
+
+// Kill SIGKILLs the process — no shutdown hooks, no flush; exactly the
+// crash the WAL exists for — and reaps it.
+func (p *ShardProc) Kill() error {
+	if p.cmd == nil || p.cmd.Process == nil {
+		return nil
+	}
+	if err := p.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	p.cmd.Wait()
+	p.cmd = nil
+	return nil
+}
+
+// Restart relaunches the shard on its resolved address with the same
+// WAL path, so it replays its log and resumes ownership.
+func (p *ShardProc) Restart() error {
+	if p.cmd != nil {
+		p.Kill()
+	}
+	return p.start()
+}
+
+// Stop kills and reaps the process (alias used by cleanup paths).
+func (p *ShardProc) Stop() { p.Kill() }

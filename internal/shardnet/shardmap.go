@@ -1,0 +1,107 @@
+package shardnet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ShardAddr binds a logical shard name to the network address of the
+// process currently serving it. The name is permanent; the address
+// changes when the shard migrates.
+type ShardAddr struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+}
+
+// ShardMap is the versioned placement table: consistent-hash placement
+// over logical shard names, plus the address each shard is currently
+// served from. Placement hashes only the NAMES, so migrating a shard to
+// a new process (an address swap) moves zero documents — the ring is
+// untouched, only the version bumps. Every write carries the
+// coordinator's map version; a drained old owner fences versions below
+// its cutover point, which is what makes cutover safe under concurrent
+// writes.
+type ShardMap struct {
+	Version uint64      `json:"version"`
+	Shards  []ShardAddr `json:"shards"`
+
+	ring []ringPoint // sorted by hash; built once per map (names never change)
+}
+
+// ringPoint is one virtual node on the hash ring.
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// vnodesPerShard spreads each shard over the ring so load imbalance
+// stays small (128 vnodes keeps the max/mean key imbalance near 1.1
+// for the shard counts this system runs).
+const vnodesPerShard = 128
+
+// NewShardMap builds version-1 placement over the given addresses,
+// naming shards shard0..shardN-1 in order.
+func NewShardMap(addrs []string) *ShardMap {
+	shards := make([]ShardAddr, len(addrs))
+	for i, a := range addrs {
+		shards[i] = ShardAddr{Name: fmt.Sprintf("shard%d", i), Addr: a}
+	}
+	m := &ShardMap{Version: 1, Shards: shards}
+	m.buildRing()
+	return m
+}
+
+func (m *ShardMap) buildRing() {
+	m.ring = make([]ringPoint, 0, len(m.Shards)*vnodesPerShard)
+	for si, s := range m.Shards {
+		for v := 0; v < vnodesPerShard; v++ {
+			m.ring = append(m.ring, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", s.Name, v)), shard: si})
+		}
+	}
+	sort.Slice(m.ring, func(i, j int) bool { return m.ring[i].hash < m.ring[j].hash })
+}
+
+// ShardOf places an id: first ring point clockwise of the id's hash.
+func (m *ShardMap) ShardOf(id string) int {
+	if len(m.ring) == 0 {
+		return 0
+	}
+	h := hash64(id)
+	i := sort.Search(len(m.ring), func(i int) bool { return m.ring[i].hash >= h })
+	if i == len(m.ring) {
+		i = 0 // wrap
+	}
+	return m.ring[i].shard
+}
+
+// WithAddr returns a copy of the map with shard si re-homed to addr and
+// the version bumped — the cutover step of a migration. Placement is
+// unchanged (the ring hashes names, not addresses).
+func (m *ShardMap) WithAddr(si int, addr string) *ShardMap {
+	shards := make([]ShardAddr, len(m.Shards))
+	copy(shards, m.Shards)
+	shards[si].Addr = addr
+	next := &ShardMap{Version: m.Version + 1, Shards: shards}
+	next.buildRing()
+	return next
+}
+
+// NumShards returns the shard count.
+func (m *ShardMap) NumShards() int { return len(m.Shards) }
+
+// hash64 is FNV-64a with a splitmix64-style finalizer. Raw FNV has
+// weak avalanche in its low bytes, so sequential ids ("doc0001",
+// "doc0002", …) land in one contiguous ring arc and all place on one
+// shard; the finalizer scatters them.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,142 @@
+package shardnet
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"covidkg/internal/jsondoc"
+)
+
+// walRecord is one committed write. Records are appended strictly after
+// the write has been applied to the in-memory replica group and acked
+// strictly after the record is fsynced, so on SIGKILL the WAL can lag
+// the unacked tail of memory (fine — those writes were never
+// acknowledged) but an acked write is always recoverable: no lost
+// writes. Conversely a record is only written for applied writes, so
+// replay can never introduce a ghost. Idem carries the request's
+// idempotency key so the dedup table itself survives a crash — a
+// client retrying a write across a server restart still gets
+// exactly-once semantics.
+type walRecord struct {
+	Op   string      `json:"op"` // "insert" | "delete" | "put"
+	ID   string      `json:"id,omitempty"`
+	Doc  jsondoc.Doc `json:"doc,omitempty"`
+	Idem string      `json:"idem,omitempty"`
+}
+
+// wal is an append-only log of committed writes with per-record
+// integrity: [4-byte BE length][4-byte BE CRC32][JSON payload]. Replay
+// stops at the first record whose length or checksum does not hold and
+// truncates the file there — a torn tail from a crash mid-append is
+// discarded rather than poisoning recovery, and everything before it
+// is intact by construction (each append is fsynced before ack).
+type wal struct {
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+}
+
+const maxWALRecord = 16 << 20
+
+// openWAL opens (creating if absent) the log at path and replays every
+// intact record through apply in append order. The file is truncated
+// to the end of the last intact record so subsequent appends extend a
+// clean tail.
+func openWAL(path string, apply func(walRecord)) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("shardnet: open wal: %w", err)
+	}
+	valid, err := replayWAL(f, apply)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("shardnet: truncate torn wal tail: %w", err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{f: f, size: valid}, nil
+}
+
+// replayWAL scans records from the start of f, calling apply for each
+// intact one, and returns the byte offset of the end of the last intact
+// record. Corruption is a stop condition, not an error: anything past
+// the first bad length or checksum is a torn tail.
+func replayWAL(f *os.File, apply func(walRecord)) (valid int64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return valid, nil // clean EOF or torn header
+		}
+		n := binary.BigEndian.Uint32(hdr[:4])
+		sum := binary.BigEndian.Uint32(hdr[4:])
+		if n == 0 || n > maxWALRecord {
+			return valid, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return valid, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return valid, nil // corrupt record
+		}
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return valid, nil
+		}
+		valid += int64(8 + len(payload))
+		apply(rec)
+	}
+}
+
+// append durably commits one record: the write syscall and fsync both
+// complete before append returns, so a caller that acks after append
+// never acks a write a crash can lose.
+func (w *wal) append(rec walRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("shardnet: encode wal record: %w", err)
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	buf := append(hdr[:], payload...)
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("shardnet: append wal: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("shardnet: fsync wal: %w", err)
+	}
+	w.size += int64(len(buf))
+	return nil
+}
+
+// bytes returns the current log size (exposed via the health op so
+// operators can watch growth).
+func (w *wal) bytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
