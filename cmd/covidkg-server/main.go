@@ -28,6 +28,7 @@ import (
 	"covidkg/internal/breaker"
 	"covidkg/internal/cord19"
 	"covidkg/internal/core"
+	"covidkg/internal/pprofserve"
 	"covidkg/internal/retry"
 )
 
@@ -47,7 +48,12 @@ func main() {
 	aggTimeout := flag.Duration("aggregate-timeout", 0, "per-request deadline for aggregate/export routes (0 = default 10s, negative = none)")
 	inflightSearch := flag.Int("inflight-search", 0, "max concurrent search requests before shedding (0 = default 64, negative = unbounded)")
 	inflightHeavy := flag.Int("inflight-heavy", 0, "max concurrent aggregate/ingest/export requests before shedding (0 = default 8, negative = unbounded)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
+
+	if _, err := pprofserve.Start(*pprofAddr, log.Printf); err != nil {
+		log.Fatalf("pprof listener: %v", err)
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.Shards = *shards

@@ -21,6 +21,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"covidkg/internal/pprofserve"
 	"covidkg/internal/shardnet"
 )
 
@@ -29,7 +30,12 @@ func main() {
 	name := flag.String("name", "shard0", "logical shard name (stable across restarts and migrations)")
 	replicas := flag.Int("replicas", 3, "replicas inside this shard's group (quorum = replicas/2+1)")
 	wal := flag.String("wal", "", "write-ahead log path; empty disables crash durability")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
+
+	if _, err := pprofserve.Start(*pprofAddr, log.Printf); err != nil {
+		log.Fatalf("covidkg-shard %s: pprof listener: %v", *name, err)
+	}
 
 	srv, err := shardnet.NewServer(shardnet.ServerConfig{
 		Name:     *name,

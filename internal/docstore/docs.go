@@ -31,6 +31,15 @@ type Docs interface {
 	// Get returns a deep copy of one document, or ErrNotFound, or a
 	// *ShardError wrapping ErrShardUnavailable when its shard is dark.
 	Get(id string) (jsondoc.Doc, error)
+	// GetMany fetches a batch of documents in one pass, letting a
+	// networked implementation coalesce the batch into one frame per
+	// shard instead of one round trip per id. docs aligns 1:1 with ids
+	// — docs[i] is nil when ids[i] is absent or its shard is dark — and
+	// missing lists the dark shard indices (sorted, deduplicated), so
+	// degraded readers get the same partial-results contract per batch
+	// that Get gives per id. The error reports only total failures
+	// (a dead context), never a missing document or dark shard.
+	GetMany(ctx context.Context, ids []string) (docs []jsondoc.Doc, missing []int, err error)
 	// Delete removes one document with the same atomicity as Insert.
 	Delete(id string) error
 

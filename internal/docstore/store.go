@@ -356,6 +356,33 @@ func (c *Collection) Get(id string) (jsondoc.Doc, error) {
 	return doc.Clone(), nil
 }
 
+// GetMany fetches a batch of documents, aligned 1:1 with ids (nil for
+// absent ids and ids on dark shards); missing lists the dark shard
+// indices, sorted and deduplicated. In process this is a Get loop —
+// the batch shape exists so the networked coordinator can coalesce it
+// into one frame per shard behind the same Docs interface.
+func (c *Collection) GetMany(ctx context.Context, ids []string) ([]jsondoc.Doc, []int, error) {
+	docs := make([]jsondoc.Doc, len(ids))
+	var missing []int
+	seen := make(map[int]bool)
+	for i, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		d, err := c.Get(id)
+		if err != nil {
+			if si, dark := UnavailableShard(err); dark && !seen[si] {
+				seen[si] = true
+				missing = append(missing, si)
+			}
+			continue
+		}
+		docs[i] = d
+	}
+	sort.Ints(missing)
+	return docs, missing, nil
+}
+
 // Replace swaps the document with the given id for a new body (the _id
 // is preserved), committing to a quorum of replicas.
 func (c *Collection) Replace(id string, d jsondoc.Doc) error {

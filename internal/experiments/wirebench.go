@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"covidkg/internal/cord19"
+	"covidkg/internal/jsondoc"
+	"covidkg/internal/shardnet"
+)
+
+// WirePathStats is one wire mode's measured end-to-end read-path cost
+// against a live in-process shard tier: p50 round-trip latency of a
+// single get and of a batched get_many, and the whole-process
+// allocations per operation (client encode + server decode + handler +
+// server encode + client decode — both sides run in this process, so
+// the Mallocs delta covers the full path).
+type WirePathStats struct {
+	Codec string `json:"codec"` // "json" | "b1"
+
+	GetP50Us     float64 `json:"get_p50_us"`
+	GetManyP50Us float64 `json:"get_many_p50_us"`
+
+	GetAllocsPerOp     float64 `json:"get_allocs_per_op"`
+	GetManyAllocsPerOp float64 `json:"get_many_allocs_per_op"` // per batch, not per doc
+}
+
+// WireBenchResult is the machine-readable output of RunWireBench,
+// serialized into BENCH_wire.json by cmd/benchrunner. The codec section
+// is the pure encode/decode micro-benchmark; the path sections compare
+// the legacy JSON protocol (LegacyJSONOnly servers + ForceJSONWire
+// coordinator) against the negotiated binary-mux fast path over
+// identical corpora and identical query streams.
+type WireBenchResult struct {
+	Docs      int `json:"docs"`
+	Shards    int `json:"shards"`
+	BatchSize int `json:"batch_size"`
+
+	Codec []shardnet.CodecOpStats `json:"codec"`
+
+	// Codec round-trip speedups (json p50 / binary p50) per op.
+	CodecSpeedupGet     float64 `json:"codec_speedup_get"`
+	CodecSpeedupGetMany float64 `json:"codec_speedup_get_many"`
+
+	// Transport allocation reduction (json encode allocs / binary encode
+	// allocs) per op — the frame/encode machinery the pooled buffers
+	// eliminate, isolated from payload materialization which every codec
+	// pays identically. Binary encode is zero-alloc at steady state, so
+	// the ratio is clamped at json/0.2.
+	TransportAllocReductionGet     float64 `json:"transport_alloc_reduction_get"`
+	TransportAllocReductionGetMany float64 `json:"transport_alloc_reduction_get_many"`
+
+	JSON   WirePathStats `json:"json_path"`
+	Binary WirePathStats `json:"binary_path"`
+
+	// End-to-end improvements, JSON / binary.
+	PathSpeedupGet          float64 `json:"path_speedup_get"`
+	PathSpeedupGetMany      float64 `json:"path_speedup_get_many"`
+	AllocReductionGet       float64 `json:"alloc_reduction_get"`
+	AllocReductionGetMany   float64 `json:"alloc_reduction_get_many"`
+	NegotiatedBinaryGetMany bool    `json:"negotiated_binary_get_many"` // sanity: fast path really returned the docs
+}
+
+const wireBatchSize = 256
+
+// wireStack is one complete shard tier pinned to a wire mode.
+type wireStack struct {
+	servers []*shardnet.Server
+	coord   *shardnet.Coordinator
+}
+
+func (st *wireStack) close() {
+	st.coord.Close()
+	for _, s := range st.servers {
+		s.Close()
+	}
+}
+
+// startWireStack brings up nShards in-process shard servers and a
+// coordinator over them. forceJSON pins both sides to the legacy JSON
+// protocol — the mixed-version baseline; otherwise the connection
+// negotiates up to the binary mux exactly as production does.
+func startWireStack(nShards int, forceJSON bool) *wireStack {
+	st := &wireStack{}
+	addrs := make([]string, nShards)
+	for i := 0; i < nShards; i++ {
+		srv, err := shardnet.NewServer(shardnet.ServerConfig{
+			Name:           fmt.Sprintf("wire%d", i),
+			Replicas:       3,
+			LegacyJSONOnly: forceJSON,
+			Logf:           func(string, ...any) {},
+		})
+		if err != nil {
+			panic(fmt.Sprintf("wirebench: NewServer: %v", err))
+		}
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			panic(fmt.Sprintf("wirebench: Start: %v", err))
+		}
+		st.servers = append(st.servers, srv)
+		addrs[i] = addr.String()
+	}
+	coord, err := shardnet.Dial(shardnet.Config{ForceJSONWire: forceJSON}, addrs)
+	if err != nil {
+		panic(fmt.Sprintf("wirebench: Dial: %v", err))
+	}
+	st.coord = coord
+	return st
+}
+
+// measureWirePath runs the steady-state read workload against one
+// stack: warm-up first (connection pools filled, codec negotiated, GC
+// settled), then individually-timed single gets and get_many batches,
+// then an untimed allocation pass bracketed by MemStats reads.
+func measureWirePath(st *wireStack, codec string, ids []string, getOps, manyOps int) WirePathStats {
+	ctx := context.Background()
+	ps := WirePathStats{Codec: codec}
+
+	batch := func(i int) []string {
+		lo := (i * wireBatchSize) % len(ids)
+		hi := lo + wireBatchSize
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		return ids[lo:hi]
+	}
+
+	// Warm-up: negotiation, breaker probes, pool fill, hedge histogram.
+	for i := 0; i < 200; i++ {
+		if _, err := st.coord.Get(ids[i%len(ids)]); err != nil {
+			panic(fmt.Sprintf("wirebench: warm-up get: %v", err))
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, _, err := st.coord.GetMany(ctx, batch(i)); err != nil {
+			panic(fmt.Sprintf("wirebench: warm-up get_many: %v", err))
+		}
+	}
+
+	lat := make([]float64, 0, getOps)
+	for i := 0; i < getOps; i++ {
+		t0 := time.Now()
+		if _, err := st.coord.Get(ids[i%len(ids)]); err != nil {
+			panic(fmt.Sprintf("wirebench: get: %v", err))
+		}
+		lat = append(lat, float64(time.Since(t0).Nanoseconds())/1e3)
+	}
+	sort.Float64s(lat)
+	ps.GetP50Us = percentile(lat, 0.50)
+
+	lat = lat[:0]
+	for i := 0; i < manyOps; i++ {
+		t0 := time.Now()
+		docs, _, err := st.coord.GetMany(ctx, batch(i))
+		if err != nil {
+			panic(fmt.Sprintf("wirebench: get_many: %v", err))
+		}
+		if len(docs) == 0 {
+			panic("wirebench: get_many returned no docs")
+		}
+		lat = append(lat, float64(time.Since(t0).Nanoseconds())/1e3)
+	}
+	sort.Float64s(lat)
+	ps.GetManyP50Us = percentile(lat, 0.50)
+
+	// Allocations per op: whole-process Mallocs delta over a run of
+	// identical operations. Both halves of the tier live in this
+	// process, so the number is client+server combined — exactly the
+	// work the pooled-buffer fast path is supposed to shrink.
+	allocsPer := func(ops int, fn func(i int)) float64 {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		for i := 0; i < ops; i++ {
+			fn(i)
+		}
+		runtime.ReadMemStats(&m1)
+		return float64(m1.Mallocs-m0.Mallocs) / float64(ops)
+	}
+	ps.GetAllocsPerOp = allocsPer(getOps, func(i int) {
+		if _, err := st.coord.Get(ids[i%len(ids)]); err != nil {
+			panic(fmt.Sprintf("wirebench: alloc get: %v", err))
+		}
+	})
+	ps.GetManyAllocsPerOp = allocsPer(manyOps, func(i int) {
+		if _, _, err := st.coord.GetMany(ctx, batch(i)); err != nil {
+			panic(fmt.Sprintf("wirebench: alloc get_many: %v", err))
+		}
+	})
+	return ps
+}
+
+// RunWireBench measures the shard tier's wire fast path: the codec
+// micro-benchmark (pure encode/decode of get and get_many envelopes,
+// JSON vs binary), then the end-to-end read path over two identical
+// in-process shard tiers — one pinned to the legacy JSON protocol, one
+// negotiating the binary mux — reporting p50 latency and whole-process
+// allocations per operation for each. cmd/benchrunner gates on the
+// resulting ratios.
+func RunWireBench(quick bool) WireBenchResult {
+	nDocs := 4000
+	codecReps := 3000
+	getOps, manyOps := 3000, 150
+	if quick {
+		nDocs = 1200
+		codecReps = 800
+		getOps, manyOps = 800, 40
+	}
+	const nShards = 4
+
+	res := WireBenchResult{Docs: nDocs, Shards: nShards, BatchSize: wireBatchSize}
+
+	// --- codec micro-benchmark ---------------------------------------
+	g := cord19.NewGenerator(77)
+	pubs := g.Corpus(nDocs)
+	docs := make([]jsondoc.Doc, 0, len(pubs))
+	ids := make([]string, 0, len(pubs))
+	for _, p := range pubs {
+		d := p.Doc()
+		docs = append(docs, d)
+		ids = append(ids, p.ID)
+	}
+	res.Codec = shardnet.BenchWireCodecs(docs[0], docs[:wireBatchSize], ids[:wireBatchSize], codecReps)
+	roundP50 := map[string]float64{}
+	encAllocs := map[string]float64{}
+	for _, c := range res.Codec {
+		roundP50[c.Op+"/"+c.Codec] = c.P50RoundUs
+		encAllocs[c.Op+"/"+c.Codec] = c.EncodeAllocsPerOp
+	}
+	if b := roundP50["get/b1"]; b > 0 {
+		res.CodecSpeedupGet = roundP50["get/json"] / b
+	}
+	if b := roundP50["get_many/b1"]; b > 0 {
+		res.CodecSpeedupGetMany = roundP50["get_many/json"] / b
+	}
+	allocRatio := func(op string) float64 {
+		b := encAllocs[op+"/b1"]
+		if b < 0.2 {
+			b = 0.2 // steady-state binary encode is zero-alloc; clamp the divisor
+		}
+		return encAllocs[op+"/json"] / b
+	}
+	res.TransportAllocReductionGet = allocRatio("get")
+	res.TransportAllocReductionGetMany = allocRatio("get_many")
+
+	// --- end-to-end read path ----------------------------------------
+	runStack := func(forceJSON bool, codec string) WirePathStats {
+		st := startWireStack(nShards, forceJSON)
+		defer st.close()
+		for _, d := range docs {
+			if _, err := st.coord.Insert(d); err != nil {
+				panic(fmt.Sprintf("wirebench: insert: %v", err))
+			}
+		}
+		return measureWirePath(st, codec, ids, getOps, manyOps)
+	}
+	res.JSON = runStack(true, "json")
+	res.Binary = runStack(false, "b1")
+	res.NegotiatedBinaryGetMany = res.Binary.GetManyP50Us > 0
+
+	if res.Binary.GetP50Us > 0 {
+		res.PathSpeedupGet = res.JSON.GetP50Us / res.Binary.GetP50Us
+	}
+	if res.Binary.GetManyP50Us > 0 {
+		res.PathSpeedupGetMany = res.JSON.GetManyP50Us / res.Binary.GetManyP50Us
+	}
+	if res.Binary.GetAllocsPerOp > 0 {
+		res.AllocReductionGet = res.JSON.GetAllocsPerOp / res.Binary.GetAllocsPerOp
+	}
+	if res.Binary.GetManyAllocsPerOp > 0 {
+		res.AllocReductionGetMany = res.JSON.GetManyAllocsPerOp / res.Binary.GetManyAllocsPerOp
+	}
+	return res
+}

@@ -45,6 +45,30 @@ func ParallelChunks(n, workers int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
+// MinItemsPerWorker is the fan-out floor CPU-bound stages apply through
+// ParallelChunksMin: spawning a goroutine to match or rank fewer
+// documents than this costs more in scheduling than the work itself, so
+// small inputs run on fewer goroutines (degrading to fully serial)
+// instead of paying a full fan-out that makes "parallel" slower than
+// serial. Network-bound fan-outs (per-shard scatter reads) must NOT
+// apply the floor — there a chunk's cost is a round trip, not CPU.
+const MinItemsPerWorker = 64
+
+// ParallelChunksMin is ParallelChunks with the per-goroutine floor
+// applied: the effective worker count is capped at n/minPerWorker so
+// every goroutine gets at least minPerWorker items of real work.
+func ParallelChunksMin(n, workers, minPerWorker int, fn func(lo, hi int)) {
+	if minPerWorker > 1 && workers > 1 {
+		if maxW := n / minPerWorker; workers > maxW {
+			workers = maxW
+		}
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	ParallelChunks(n, workers, fn)
+}
+
 // ---------------------------------------------------------- $match (par)
 
 // ParallelMatchStage evaluates a predicate over the buffered stream in
@@ -86,7 +110,7 @@ func (m *ParallelMatchStage) Run(in []jsondoc.Doc) ([]jsondoc.Doc, error) {
 // one check interval.
 func (m *ParallelMatchStage) RunContext(ctx context.Context, in []jsondoc.Doc) ([]jsondoc.Doc, error) {
 	keep := make([]bool, len(in))
-	ParallelChunks(len(in), m.workers, func(lo, hi int) {
+	ParallelChunksMin(len(in), m.workers, MinItemsPerWorker, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if (i-lo)%CancelCheckInterval == CancelCheckInterval-1 && ctx.Err() != nil {
 				return
@@ -148,7 +172,7 @@ func (f *ParallelFunctionStage) Run(in []jsondoc.Doc) ([]jsondoc.Doc, error) {
 func (f *ParallelFunctionStage) RunContext(ctx context.Context, in []jsondoc.Doc) ([]jsondoc.Doc, error) {
 	mapped := make([]jsondoc.Doc, len(in))
 	errAt := make([]error, len(in))
-	ParallelChunks(len(in), f.workers, func(lo, hi int) {
+	ParallelChunksMin(len(in), f.workers, MinItemsPerWorker, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if (i-lo)%CancelCheckInterval == CancelCheckInterval-1 && ctx.Err() != nil {
 				return // abandon the chunk; the ctx.Err() check below reports it

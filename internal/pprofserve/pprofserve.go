@@ -1,0 +1,44 @@
+// Package pprofserve exposes the net/http/pprof handlers on a
+// dedicated operator-chosen listener. Profiling stays off the public
+// API surface entirely: the handlers are mounted on their own mux and
+// their own port, and nothing is served unless an address is
+// explicitly configured — the safe default for an internet-facing
+// service, while still letting an operator attach `go tool pprof` to a
+// hot production process with one flag.
+package pprofserve
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Start serves the pprof handlers on addr in a background goroutine
+// and returns the bound address (useful when addr picks port 0). An
+// empty addr is a no-op returning "": profiling is opt-in per process.
+func Start(addr string, logf func(string, ...any)) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed && logf != nil {
+			logf("pprof server: %v", err)
+		}
+	}()
+	if logf != nil {
+		logf("pprof listening on http://%s/debug/pprof/", ln.Addr())
+	}
+	return ln.Addr().String(), nil
+}

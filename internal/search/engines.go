@@ -34,33 +34,43 @@ func expandSynonyms(stems []string) []string {
 	return out
 }
 
-// resolveCandidates fetches candidate documents by id with the fetches
-// partitioned across the worker pool — Collection.Get deep-copies every
-// document, which dominates candidate materialization on large result
-// sets. Ids that vanished under a concurrent delete are skipped; input
-// order is preserved. A fetch failing because its whole shard is dark
-// does not fail the query: the shard lands in the missing list and the
-// query degrades to a partial result over the surviving shards (the
-// shard's breakers make the remaining fetches fail fast). Workers check
-// the context every pipeline.CancelCheckInterval fetches and stop early
-// when the request is gone, in which case ctx.Err() is returned.
+// candidateFetchBatch is how many ids resolveCandidates hands to one
+// Docs.GetMany call. Against the networked coordinator each batch is
+// coalesced into a single frame per shard, so the batch size bounds
+// both the per-frame payload and how much fetch work one worker owns.
+const candidateFetchBatch = 256
+
+// resolveCandidates fetches candidate documents by id through batched
+// Docs.GetMany calls, the batches partitioned across the worker pool —
+// in process each Get deep-copies the document, over the network each
+// batch collapses to one frame per shard, and both dominate candidate
+// materialization on large result sets. Ids that vanished under a
+// concurrent delete are skipped; input order is preserved. A batch
+// touching a dark shard does not fail the query: the shard lands in
+// the missing list and the query degrades to a partial result over the
+// surviving shards (the shard's breakers make the remaining fetches
+// fail fast). Each batch checks the context before it starts, and a
+// dead context is returned as ctx.Err().
 func (e *Engine) resolveCandidates(ctx context.Context, ids []string, workers int) ([]jsondoc.Doc, []int, error) {
 	docs := make([]jsondoc.Doc, len(ids))
-	miss := make([]int, len(ids)) // per-index dark shard, -1 = served
-	for i := range miss {
-		miss[i] = -1
-	}
-	pipeline.ParallelChunks(len(ids), workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if (i-lo)%pipeline.CancelCheckInterval == pipeline.CancelCheckInterval-1 && ctx.Err() != nil {
+	nb := (len(ids) + candidateFetchBatch - 1) / candidateFetchBatch
+	missAt := make([][]int, nb)
+	pipeline.ParallelChunks(nb, workers, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			if ctx.Err() != nil {
 				return
 			}
-			d, err := e.coll.Get(ids[i])
-			if err == nil {
-				docs[i] = d
-			} else if si, ok := docstore.UnavailableShard(err); ok {
-				miss[i] = si
+			start := b * candidateFetchBatch
+			end := start + candidateFetchBatch
+			if end > len(ids) {
+				end = len(ids)
 			}
+			bd, bm, err := e.coll.GetMany(ctx, ids[start:end])
+			if err != nil {
+				return // only a dead context; reported below
+			}
+			copy(docs[start:end], bd)
+			missAt[b] = bm
 		}
 	})
 	if err := ctx.Err(); err != nil {
@@ -68,12 +78,15 @@ func (e *Engine) resolveCandidates(ctx context.Context, ids []string, workers in
 	}
 	seen := map[int]bool{}
 	var missing []int
-	for _, si := range miss {
-		if si >= 0 && !seen[si] {
-			seen[si] = true
-			missing = append(missing, si)
+	for _, bm := range missAt {
+		for _, si := range bm {
+			if !seen[si] {
+				seen[si] = true
+				missing = append(missing, si)
+			}
 		}
 	}
+	sort.Ints(missing)
 	out := docs[:0]
 	for _, d := range docs {
 		if d != nil {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"covidkg/internal/breaker"
@@ -17,8 +18,9 @@ import (
 // write audit) can reason honestly about what a failed write means:
 //
 //   - ErrNotSent: the request definitively never reached the server
-//     (breaker open, dial refused/timed out). The write was NOT
-//     applied; it is safe to count as rejected.
+//     (breaker open, dial refused/timed out, or the frame provably
+//     never left the mux write queue). The write was NOT applied; it
+//     is safe to count as rejected.
 //   - ErrIndeterminate: the request may have been sent but the reply
 //     was lost (mid-stream EOF, read timeout, SIGKILL between apply
 //     and ack). The write MAY have been applied. Only a retry with the
@@ -34,7 +36,9 @@ type clientOpts struct {
 	dialTimeout time.Duration // per-dial cap
 	callTimeout time.Duration // per-call cap when the caller's ctx has no deadline
 	hedgeDelay  time.Duration // fixed hedge budget; 0 = adaptive 2×p95
-	maxIdle     int           // pooled connections kept warm
+	maxIdle     int           // pooled legacy (JSON) connections kept warm
+	muxConns    int           // multiplexed binary connections per shard
+	forceJSON   bool          // never offer the binary codec (tests, benches)
 	brk         breaker.Config
 	met         *metrics.Registry
 }
@@ -49,15 +53,22 @@ func (o *clientOpts) fillDefaults() {
 	if o.maxIdle <= 0 {
 		o.maxIdle = 4
 	}
+	if o.muxConns <= 0 {
+		o.muxConns = 2
+	}
 	if o.met == nil {
 		o.met = metrics.NewRegistry()
 	}
 }
 
-// shardClient is the coordinator's handle to one shard server: a small
-// pool of connections guarded by a circuit breaker. One request is in
-// flight per connection; concurrency and hedging come from using
-// multiple pool connections.
+// shardClient is the coordinator's handle to one shard server, guarded
+// by a circuit breaker. Against a binary-capable peer it runs a small
+// fixed set of multiplexed connections with many requests pipelined on
+// each; against a legacy JSON peer it falls back to the pooled
+// one-request-per-connection protocol. Which mode applies is
+// negotiated on the first exchange of each fresh connection: the
+// request advertises Features, a binary-capable server echoes
+// response.Codec, and the connection is promoted in place.
 type shardClient struct {
 	shard int
 	name  string
@@ -67,20 +78,44 @@ type shardClient struct {
 	met   *metrics.Registry
 
 	mu     sync.Mutex
-	idle   []net.Conn
+	idle   []net.Conn // pooled legacy connections
+	slots  []*muxConn // fixed mux connection set (nil/dead slots redial)
 	closed bool
+
+	rr atomic.Uint64 // round-robin cursor over mux slots
+
+	// legacy latches after a peer declines the binary codec; it is
+	// cleared on connection failure so a restarted (upgraded) peer is
+	// re-probed by the next fresh connection.
+	legacy atomic.Bool
 }
 
 func newShardClient(shard int, name, addr string, opts clientOpts) *shardClient {
 	opts.fillDefaults()
 	c := &shardClient{shard: shard, name: name, addr: addr, opts: opts, met: opts.met}
 	c.brk = breaker.New(opts.brk)
+	c.slots = make([]*muxConn, opts.muxConns)
 	return c
 }
 
-// acquire pops a pooled connection or dials a fresh one. A dial
-// failure is the one transport error with a definitive meaning: the
-// request was never sent.
+// dial opens a fresh connection. A dial failure is the one transport
+// error with a definitive meaning: the request was never sent.
+func (c *shardClient) dial(ctx context.Context) (net.Conn, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("%w: client for %s closed", ErrNotSent, c.name)
+	}
+	d := net.Dialer{Timeout: c.opts.dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s (%s): %v", ErrNotSent, c.name, c.addr, err)
+	}
+	return conn, nil
+}
+
+// acquire pops a pooled legacy connection or dials a fresh one.
 func (c *shardClient) acquire(ctx context.Context) (net.Conn, error) {
 	c.mu.Lock()
 	if c.closed {
@@ -94,17 +129,11 @@ func (c *shardClient) acquire(ctx context.Context) (net.Conn, error) {
 		return conn, nil
 	}
 	c.mu.Unlock()
-
-	d := net.Dialer{Timeout: c.opts.dialTimeout}
-	conn, err := d.DialContext(ctx, "tcp", c.addr)
-	if err != nil {
-		return nil, fmt.Errorf("%w: dial %s (%s): %v", ErrNotSent, c.name, c.addr, err)
-	}
-	return conn, nil
+	return c.dial(ctx)
 }
 
-// release returns a healthy connection to the pool (or closes it when
-// the pool is full / the client is closed).
+// release returns a healthy legacy connection to the pool (or closes
+// it when the pool is full / the client is closed).
 func (c *shardClient) release(conn net.Conn) {
 	c.mu.Lock()
 	if !c.closed && len(c.idle) < c.opts.maxIdle {
@@ -116,17 +145,55 @@ func (c *shardClient) release(conn net.Conn) {
 	conn.Close()
 }
 
+// liveSlot returns a live mux connection round-robin, or nil when none
+// exists yet (the caller then dials + negotiates one).
+func (c *shardClient) liveSlot() *muxConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.slots)
+	if n == 0 {
+		return nil
+	}
+	start := int(c.rr.Add(1))
+	for i := 0; i < n; i++ {
+		if mc := c.slots[(start+i)%n]; mc != nil && mc.live() {
+			return mc
+		}
+	}
+	return nil
+}
+
+// adoptMux installs a freshly negotiated binary connection into a free
+// slot; when every slot is already live (a negotiation race), the
+// surplus connection is torn down after having served its exchange.
+func (c *shardClient) adoptMux(conn net.Conn) {
+	mc := newMuxConn(c.name, conn, c.met)
+	c.mu.Lock()
+	if !c.closed {
+		for i, s := range c.slots {
+			if s == nil || !s.live() {
+				c.slots[i] = mc
+				c.mu.Unlock()
+				return
+			}
+		}
+	}
+	c.mu.Unlock()
+	mc.kill(errors.New("surplus negotiated connection"))
+}
+
 // call performs one request/response exchange. Error classification:
 //
-//	breaker open, dial failure        → ErrNotSent   (+ breaker Failure on dial)
-//	write/read failure on the socket  → ErrIndeterminate (+ breaker Failure)
-//	server responded with an error    → decoded app error (breaker Success:
-//	                                    the LINK is healthy; not-found is
-//	                                    not a reason to stop dialing)
+//	breaker open, dial failure, frame
+//	provably never written             → ErrNotSent   (+ breaker Failure)
+//	write/read failure, reply lost     → ErrIndeterminate (+ breaker Failure)
+//	server responded with an error     → decoded app error (breaker Success:
+//	                                     the LINK is healthy; not-found is
+//	                                     not a reason to stop dialing)
 //
-// The caller's context deadline is both enforced locally (socket
-// deadlines) and propagated in the frame (DeadlineUnixMicro) so the
-// server stops working for callers that have given up.
+// The caller's context deadline is both enforced locally (socket or
+// per-call deadlines) and propagated in the frame (DeadlineUnixMicro)
+// so the server stops working for callers that have given up.
 func (c *shardClient) call(ctx context.Context, req *request) (*response, error) {
 	if !c.brk.Allow() {
 		c.met.Counter("shardnet.client.breaker_rejected").Inc()
@@ -139,7 +206,38 @@ func (c *shardClient) call(ctx context.Context, req *request) (*response, error)
 	}
 	req.DeadlineUnixMicro = deadline.UnixMicro()
 
-	conn, err := c.acquire(ctx)
+	if !c.opts.forceJSON && !c.legacy.Load() {
+		if mc := c.liveSlot(); mc != nil {
+			resp, err := mc.do(req, deadline)
+			if err == nil {
+				c.brk.Success()
+				c.met.Histogram("shardnet.call").Observe(time.Since(start))
+				if werr := decodeWireErr(c.shard, resp.ErrCode, resp.ErrMsg); werr != nil {
+					return nil, werr
+				}
+				return resp, nil
+			}
+			if !errors.Is(err, errConnDead) {
+				c.brk.Failure()
+				c.met.Counter("shardnet.client.io_errors").Inc()
+				return nil, err
+			}
+			// The slot died before accepting the call: fall through and
+			// negotiate a fresh connection for this attempt.
+		}
+		return c.negotiateCall(ctx, req, deadline, start)
+	}
+	return c.jsonCall(ctx, req, deadline, start)
+}
+
+// negotiateCall runs req over a fresh connection as the negotiation
+// exchange: the request goes out as a JSON frame advertising Features,
+// and the response's Codec field decides whether the connection is
+// promoted to binary multiplexing or pooled as a legacy connection.
+// Either way the request itself has been served — negotiation costs
+// zero extra round trips.
+func (c *shardClient) negotiateCall(ctx context.Context, req *request, deadline, start time.Time) (*response, error) {
+	conn, err := c.dial(ctx)
 	if err != nil {
 		c.brk.Failure()
 		c.met.Counter("shardnet.client.dial_errors").Inc()
@@ -149,7 +247,9 @@ func (c *shardClient) call(ctx context.Context, req *request) (*response, error)
 	// deadline_exceeded response arrive instead of racing it.
 	conn.SetDeadline(deadline.Add(100 * time.Millisecond))
 
-	if err := writeFrame(conn, req); err != nil {
+	hello := *req
+	hello.Features = wireFeatures
+	if err := writeFrame(conn, &hello); err != nil {
 		conn.Close()
 		c.brk.Failure()
 		c.met.Counter("shardnet.client.io_errors").Inc()
@@ -160,6 +260,46 @@ func (c *shardClient) call(ctx context.Context, req *request) (*response, error)
 		conn.Close()
 		c.brk.Failure()
 		c.met.Counter("shardnet.client.io_errors").Inc()
+		return nil, fmt.Errorf("%w: awaiting reply from %s: %v", ErrIndeterminate, c.name, err)
+	}
+	if resp.Codec == codecB1 {
+		c.adoptMux(conn)
+	} else {
+		c.legacy.Store(true)
+		c.release(conn)
+	}
+	c.brk.Success()
+	c.met.Histogram("shardnet.call").Observe(time.Since(start))
+	if werr := decodeWireErr(c.shard, resp.ErrCode, resp.ErrMsg); werr != nil {
+		return nil, werr
+	}
+	return &resp, nil
+}
+
+// jsonCall is the legacy protocol: one request in flight per pooled
+// connection, JSON envelopes both ways.
+func (c *shardClient) jsonCall(ctx context.Context, req *request, deadline, start time.Time) (*response, error) {
+	conn, err := c.acquire(ctx)
+	if err != nil {
+		c.brk.Failure()
+		c.met.Counter("shardnet.client.dial_errors").Inc()
+		return nil, err
+	}
+	conn.SetDeadline(deadline.Add(100 * time.Millisecond))
+
+	if err := writeFrame(conn, req); err != nil {
+		conn.Close()
+		c.brk.Failure()
+		c.met.Counter("shardnet.client.io_errors").Inc()
+		c.legacy.Store(false) // the peer may have restarted upgraded; re-probe
+		return nil, fmt.Errorf("%w: send to %s: %v", ErrIndeterminate, c.name, err)
+	}
+	var resp response
+	if err := readFrame(conn, &resp); err != nil {
+		conn.Close()
+		c.brk.Failure()
+		c.met.Counter("shardnet.client.io_errors").Inc()
+		c.legacy.Store(false)
 		return nil, fmt.Errorf("%w: awaiting reply from %s: %v", ErrIndeterminate, c.name, err)
 	}
 	c.release(conn)
@@ -193,9 +333,12 @@ func (c *shardClient) currentHedgeDelay() time.Duration {
 	return d
 }
 
-// hedgedCall races a second connection against a slow first attempt:
-// if no reply lands within the adaptive budget, a duplicate request is
-// launched and the first success wins. Only for idempotent reads — the
+// hedgedCall races a duplicate request against a slow first attempt:
+// if no reply lands within the adaptive budget, a second request is
+// launched and the first success wins. Over the multiplexed transport
+// the hedge pipelines independently (round-robin steers it to another
+// connection when one is live); over the legacy protocol it uses a
+// second pooled connection. Only for idempotent reads — the
 // coordinator's write path never hedges (retries with idempotency keys
 // cover writes instead). A fast failure is returned immediately and
 // left to the caller's retry policy; hedging exists for the
@@ -254,8 +397,15 @@ func (c *shardClient) close() {
 	c.closed = true
 	idle := c.idle
 	c.idle = nil
+	slots := c.slots
+	c.slots = nil
 	c.mu.Unlock()
 	for _, conn := range idle {
 		conn.Close()
+	}
+	for _, mc := range slots {
+		if mc != nil {
+			mc.kill(errors.New("client closed"))
+		}
 	}
 }

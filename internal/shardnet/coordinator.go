@@ -38,8 +38,17 @@ type Config struct {
 	// double-apply; zero values take the defaults below.
 	ReadRetry  retry.Config
 	WriteRetry retry.Config
-	// MaxIdle is the per-shard pooled connection count (default 4).
+	// MaxIdle is the per-shard pooled connection count used when a peer
+	// only speaks the legacy JSON protocol (default 4).
 	MaxIdle int
+	// MuxConns is the fixed number of multiplexed binary connections
+	// per shard against a binary-capable peer (default 2) — pipelining
+	// carries the concurrency, not connection count.
+	MuxConns int
+	// ForceJSONWire pins every connection to the legacy JSON protocol,
+	// never offering the binary codec — the mixed-version interop tests
+	// and the wire benchmark's JSON baseline use it.
+	ForceJSONWire bool
 	// Metrics receives coordinator counters; nil allocates privately.
 	Metrics *metrics.Registry
 }
@@ -132,6 +141,8 @@ func (co *Coordinator) newClient(si int, name, addr string) *shardClient {
 		callTimeout: co.cfg.CallTimeout,
 		hedgeDelay:  co.cfg.HedgeDelay,
 		maxIdle:     co.cfg.MaxIdle,
+		muxConns:    co.cfg.MuxConns,
+		forceJSON:   co.cfg.ForceJSONWire,
 		brk:         co.cfg.Breaker,
 		met:         co.met,
 	})
@@ -318,31 +329,110 @@ func (co *Coordinator) Get(id string) (jsondoc.Doc, error) {
 	return resp.Doc, nil
 }
 
-// Count sums live shard counts; dark shards contribute zero (Count is
-// introspective, mirroring the in-process tier where a fully dark
-// shard's documents are likewise invisible until it recovers).
+// GetMany fetches a batch of documents, coalescing the batch into one
+// get_many frame per shard issued concurrently — a page of remote
+// fetches costs one round trip per shard instead of one per id. The
+// result aligns 1:1 with ids (nil for absent ids and ids on dark
+// shards); missing lists the dark shard indices, sorted.
+func (co *Coordinator) GetMany(ctx context.Context, ids []string) ([]jsondoc.Doc, []int, error) {
+	docs := make([]jsondoc.Doc, len(ids))
+	if len(ids) == 0 {
+		return docs, nil, nil
+	}
+	// Group ids by owning shard, remembering each id's result slots
+	// (an id may appear more than once in the batch).
+	co.mu.RLock()
+	perShard := make(map[int][]string)
+	for _, id := range ids {
+		si := co.smap.ShardOf(id)
+		perShard[si] = append(perShard[si], id)
+	}
+	co.mu.RUnlock()
+	slots := make(map[string][]int, len(ids))
+	for i, id := range ids {
+		slots[id] = append(slots[id], i)
+	}
+
+	var (
+		mu      sync.Mutex
+		missing []int
+		wg      sync.WaitGroup
+	)
+	for si, shardIDs := range perShard {
+		wg.Add(1)
+		go func(si int, shardIDs []string) {
+			defer wg.Done()
+			resp, err := co.readCall(ctx, si, func(mapv uint64) *request {
+				return &request{Op: opGetMany, Shard: si, MapVersion: mapv, IDs: shardIDs}
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				missing = append(missing, si)
+				return
+			}
+			for _, d := range resp.Docs {
+				id, _ := d[docstore.IDField].(string)
+				for _, i := range slots[id] {
+					docs[i] = d
+				}
+			}
+		}(si, shardIDs)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	sort.Ints(missing)
+	return docs, missing, nil
+}
+
+// Count sums live shard counts scattered concurrently; dark shards
+// contribute zero (Count is introspective, mirroring the in-process
+// tier where a fully dark shard's documents are likewise invisible
+// until it recovers).
 func (co *Coordinator) Count() int {
+	counts := make([]int, co.NumShards())
+	var wg sync.WaitGroup
+	for si := range counts {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			resp, err := co.readCall(context.Background(), si, func(mapv uint64) *request {
+				return &request{Op: opCount, Shard: si, MapVersion: mapv}
+			})
+			if err == nil {
+				counts[si] = resp.N
+			}
+		}(si)
+	}
+	wg.Wait()
 	total := 0
-	for si := 0; si < co.NumShards(); si++ {
-		resp, err := co.readCall(context.Background(), si, func(mapv uint64) *request {
-			return &request{Op: opCount, Shard: si, MapVersion: mapv}
-		})
-		if err == nil {
-			total += resp.N
-		}
+	for _, n := range counts {
+		total += n
 	}
 	return total
 }
 
-// IDs merges every live shard's sorted id list; dark shards are
-// skipped (same best-effort contract as Count).
+// IDs merges every live shard's sorted id list, scattered
+// concurrently; dark shards are skipped (same best-effort contract as
+// Count).
 func (co *Coordinator) IDs() []string {
+	perShard := make([][]string, co.NumShards())
+	var wg sync.WaitGroup
+	for si := range perShard {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			ids, err := co.ShardIDsContext(context.Background(), si)
+			if err == nil {
+				perShard[si] = ids
+			}
+		}(si)
+	}
+	wg.Wait()
 	var all []string
-	for si := 0; si < co.NumShards(); si++ {
-		ids, err := co.ShardIDsContext(context.Background(), si)
-		if err != nil {
-			continue
-		}
+	for _, ids := range perShard {
 		all = append(all, ids...)
 	}
 	sort.Strings(all)
@@ -357,13 +447,33 @@ func (co *Coordinator) Scan(fn func(jsondoc.Doc) bool) {
 
 // ScanContext streams a snapshot of every shard in order, failing
 // loudly (dark-shard error) rather than silently dropping a partition.
+// While one shard's snapshot is being consumed, the next shard's is
+// already being fetched, so the scan's wall clock overlaps network and
+// iteration instead of summing them.
 func (co *Coordinator) ScanContext(ctx context.Context, fn func(jsondoc.Doc) bool) error {
-	for si := 0; si < co.NumShards(); si++ {
-		docs, err := co.SnapshotShardContext(ctx, si)
-		if err != nil {
-			return err
+	type snap struct {
+		docs []jsondoc.Doc
+		err  error
+	}
+	n := co.NumShards()
+	fetch := func(si int) chan snap {
+		ch := make(chan snap, 1)
+		go func() {
+			docs, err := co.SnapshotShardContext(ctx, si)
+			ch <- snap{docs, err}
+		}()
+		return ch
+	}
+	next := fetch(0)
+	for si := 0; si < n; si++ {
+		cur := <-next
+		if cur.err != nil {
+			return cur.err
 		}
-		for _, d := range docs {
+		if si+1 < n {
+			next = fetch(si + 1)
+		}
+		for _, d := range cur.docs {
 			if err := ctx.Err(); err != nil {
 				return err
 			}

@@ -1,0 +1,114 @@
+package shardnet
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"covidkg/internal/jsondoc"
+)
+
+// getManyCluster spins three shard servers and a coordinator over them.
+func getManyCluster(t *testing.T) (*Coordinator, []*Server) {
+	t.Helper()
+	var servers []*Server
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		srv, addr := startServer(t, fmt.Sprintf("shard%d", i), "")
+		servers = append(servers, srv)
+		addrs = append(addrs, addr)
+	}
+	co, err := Dial(fastCfg(), addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(co.Close)
+	return co, servers
+}
+
+// TestCoordinatorGetManyBatches pins the batched scatter-gather read:
+// one GetMany over ids spanning every shard returns the documents
+// aligned with the input (duplicates included), nils for absences, and
+// no missing shards while the tier is healthy.
+func TestCoordinatorGetManyBatches(t *testing.T) {
+	co, _ := getManyCluster(t)
+	ctx := context.Background()
+
+	var ids []string
+	for i := 0; i < 30; i++ {
+		id := fmt.Sprintf("gm-%d", i)
+		if _, err := co.Insert(jsondoc.Doc{"_id": id, "i": float64(i)}); err != nil {
+			t.Fatalf("insert %s: %v", id, err)
+		}
+		ids = append(ids, id)
+	}
+	// Cover every shard, then salt with absences and a duplicate.
+	query := append(append([]string{}, ids...), "absent-a", ids[4], "absent-b")
+	docs, missing, err := co.GetMany(ctx, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != len(query) {
+		t.Fatalf("len(docs) = %d, want %d", len(docs), len(query))
+	}
+	if len(missing) != 0 {
+		t.Fatalf("missing = %v on a healthy tier", missing)
+	}
+	for i, id := range query {
+		if id == "absent-a" || id == "absent-b" {
+			if docs[i] != nil {
+				t.Fatalf("docs[%d] = %v for absent id", i, docs[i])
+			}
+			continue
+		}
+		if docs[i] == nil || docs[i]["_id"] != id {
+			t.Fatalf("docs[%d] = %v, want %s", i, docs[i], id)
+		}
+	}
+}
+
+// TestCoordinatorGetManyDarkShard kills one shard server and asserts
+// the batch degrades exactly like single gets: surviving shards serve,
+// the dead shard's ids come back nil, and its index is reported.
+func TestCoordinatorGetManyDarkShard(t *testing.T) {
+	co, servers := getManyCluster(t)
+	ctx := context.Background()
+
+	var ids []string
+	for i := 0; i < 40; i++ {
+		id := fmt.Sprintf("dk-%d", i)
+		if _, err := co.Insert(jsondoc.Doc{"_id": id}); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+		ids = append(ids, id)
+	}
+	const down = 1
+	servers[down].Close()
+	time.Sleep(50 * time.Millisecond)
+
+	docs, missing, err := co.GetMany(ctx, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 1 || missing[0] != down {
+		t.Fatalf("missing = %v, want [%d]", missing, down)
+	}
+	served, dark := 0, 0
+	for i, id := range ids {
+		if co.ShardOfID(id) == down {
+			if docs[i] != nil {
+				t.Fatalf("%s served from dead shard", id)
+			}
+			dark++
+			continue
+		}
+		if docs[i] == nil || docs[i]["_id"] != id {
+			t.Fatalf("docs[%d] = %v, want %s from healthy shard", i, docs[i], id)
+		}
+		served++
+	}
+	if served == 0 || dark == 0 {
+		t.Fatalf("degenerate split: %d served, %d dark", served, dark)
+	}
+}

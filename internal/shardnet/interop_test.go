@@ -1,0 +1,341 @@
+package shardnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"covidkg/internal/jsondoc"
+	"covidkg/internal/metrics"
+)
+
+// interopClient builds a direct shard client with tight timeouts.
+func interopClient(t *testing.T, addr string, forceJSON bool) *shardClient {
+	t.Helper()
+	c := newShardClient(0, "shard0", addr, clientOpts{
+		dialTimeout: time.Second,
+		callTimeout: 5 * time.Second,
+		forceJSON:   forceJSON,
+	})
+	t.Cleanup(c.close)
+	return c
+}
+
+// TestMixedVersionInterop drives the full negotiation matrix: every
+// combination of {binary-capable, legacy-JSON} client and server must
+// serve the same insert/get/get_many sequence, and the connection must
+// land in binary-mux mode exactly when both sides are capable.
+func TestMixedVersionInterop(t *testing.T) {
+	cases := []struct {
+		name       string
+		legacySrv  bool // server declines the codec offer
+		forceJSON  bool // client never offers
+		wantBinary bool
+	}{
+		{"new_client_new_server", false, false, true},
+		{"new_client_legacy_server", true, false, false},
+		{"legacy_client_new_server", false, true, false},
+		{"legacy_client_legacy_server", true, true, false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			srv, err := NewServer(ServerConfig{Name: "shard0", Replicas: 3, LegacyJSONOnly: tc.legacySrv, Logf: t.Logf})
+			if err != nil {
+				t.Fatal(err)
+			}
+			addr, err := srv.Start("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { srv.Close() })
+
+			c := interopClient(t, addr.String(), tc.forceJSON)
+			ctx := context.Background()
+
+			ids := make([]string, 10)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("doc-%d", i)
+				resp, err := c.call(ctx, &request{Op: opInsert, Doc: jsondoc.Doc{
+					"_id": ids[i], "n": float64(i), "title": "interop " + ids[i],
+				}})
+				if err != nil {
+					t.Fatalf("insert %d: %v", i, err)
+				}
+				if resp.ErrCode != "" {
+					t.Fatalf("insert %d: remote error %s: %s", i, resp.ErrCode, resp.ErrMsg)
+				}
+			}
+			resp, err := c.call(ctx, &request{Op: opGet, ID: ids[3]})
+			if err != nil || resp.ErrCode != "" {
+				t.Fatalf("get: %v / %s", err, resp.ErrCode)
+			}
+			if got := resp.Doc["_id"]; got != ids[3] {
+				t.Fatalf("get returned %v, want %s", got, ids[3])
+			}
+			resp, err = c.call(ctx, &request{Op: opGetMany, IDs: ids})
+			if err != nil || resp.ErrCode != "" {
+				t.Fatalf("get_many: %v / %s", err, resp.ErrCode)
+			}
+			if len(resp.Docs) != len(ids) {
+				t.Fatalf("get_many returned %d docs, want %d", len(resp.Docs), len(ids))
+			}
+
+			if got := c.hasLiveMux(); got != tc.wantBinary {
+				t.Fatalf("binary mux active = %v, want %v", got, tc.wantBinary)
+			}
+			if tc.wantBinary && c.legacy.Load() {
+				t.Fatal("legacy latched on a binary-capable pairing")
+			}
+		})
+	}
+}
+
+// hasLiveMux reports whether any mux slot holds a live negotiated
+// connection (test helper).
+func (c *shardClient) hasLiveMux() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, m := range c.slots {
+		if m != nil && m.live() {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRawJSONClientAgainstNewServer emulates a previous-version client
+// byte-for-byte: raw JSON frames with no Features field, several
+// requests over one connection. The server must stay in JSON mode for
+// the whole connection life.
+func TestRawJSONClientAgainstNewServer(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Name: "shard0", Replicas: 3, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	for i := 0; i < 5; i++ {
+		if err := writeFrame(conn, &request{Op: opInsert, Doc: jsondoc.Doc{"_id": fmt.Sprintf("raw-%d", i)}}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		var resp response
+		if err := readFrame(conn, &resp); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if resp.ErrCode != "" {
+			t.Fatalf("insert %d: %s", i, resp.ErrCode)
+		}
+		if resp.Codec != "" || resp.Mux {
+			t.Fatalf("server offered codec upgrade to a client that never asked (codec=%q mux=%v)", resp.Codec, resp.Mux)
+		}
+	}
+	if err := writeFrame(conn, &request{Op: opGet, ID: "raw-2"}); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := readFrame(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Doc["_id"] != "raw-2" {
+		t.Fatalf("get returned %v", resp.Doc["_id"])
+	}
+}
+
+// TestMuxPipelinesConcurrentCalls floods one client with concurrent
+// reads and asserts they all complete correctly over the small fixed
+// mux set — the demux-by-correlation-id path under real concurrency.
+func TestMuxPipelinesConcurrentCalls(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Name: "shard0", Replicas: 3, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	c := interopClient(t, addr.String(), false)
+	ctx := context.Background()
+	const n = 64
+	for i := 0; i < n; i++ {
+		if _, err := c.call(ctx, &request{Op: opInsert, Doc: jsondoc.Doc{"_id": fmt.Sprintf("p-%d", i), "i": float64(i)}}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n*4)
+	for g := 0; g < n*4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("p-%d", g%n)
+			resp, err := c.call(ctx, &request{Op: opGet, ID: id})
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if resp.ErrCode != "" {
+				errs[g] = fmt.Errorf("remote: %s", resp.ErrCode)
+				return
+			}
+			if resp.Doc["_id"] != id {
+				errs[g] = fmt.Errorf("got %v, want %s (cross-wired correlation?)", resp.Doc["_id"], id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("call %d: %v", g, err)
+		}
+	}
+	if !c.hasLiveMux() {
+		t.Fatal("concurrent reads did not run over the mux")
+	}
+}
+
+// TestMuxIndeterminateOnSilentServer pins outcome classification under
+// pipelining: a server that negotiates binary and then goes silent
+// must produce ErrIndeterminate — the frame left the client, so the
+// conservative classification is "may have been applied".
+func TestMuxIndeterminateOnSilentServer(t *testing.T) {
+	addr := scriptedServer(t, func(conn net.Conn) {
+		var req request
+		if err := readFrame(conn, &req); err != nil {
+			return
+		}
+		// Accept the codec offer, then never answer another frame.
+		if err := writeFrame(conn, &response{ID: "hello", Codec: codecB1, Mux: true}); err != nil {
+			return
+		}
+		buf := make([]byte, 4096)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+		}
+	})
+
+	c := interopClient(t, addr, false)
+	// The negotiation exchange itself succeeds.
+	if _, err := c.call(context.Background(), &request{Op: opPing}); err != nil {
+		t.Fatalf("negotiation call: %v", err)
+	}
+	if !c.hasLiveMux() {
+		t.Fatal("client did not adopt the mux")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	_, err := c.call(ctx, &request{Op: opGet, ID: "x"})
+	if !errors.Is(err, ErrIndeterminate) {
+		t.Fatalf("silent server after write: err = %v, want ErrIndeterminate", err)
+	}
+}
+
+// TestMuxClassifiesQueuedVsWrittenOnDeath drives a muxConn over an
+// unread pipe: the first call's frame is claimed by the writer (stuck
+// in flush), the second stays queued. When the connection dies, the
+// written call must classify ErrIndeterminate and the queued one
+// ErrNotSent — never the other way around.
+func TestMuxClassifiesQueuedVsWrittenOnDeath(t *testing.T) {
+	near, far := net.Pipe()
+	defer far.Close()
+	m := newMuxConn("shard0", near, metrics.NewRegistry())
+	defer m.kill(errors.New("test done"))
+
+	deadline := time.Now().Add(5 * time.Second)
+	type result struct {
+		err error
+	}
+	res1 := make(chan result, 1)
+	go func() {
+		_, err := m.do(&request{Op: opGet, ID: "first"}, deadline)
+		res1 <- result{err}
+	}()
+	// Let the writer claim the first frame and block flushing it into
+	// the unread pipe.
+	time.Sleep(100 * time.Millisecond)
+	res2 := make(chan result, 1)
+	go func() {
+		_, err := m.do(&request{Op: opGet, ID: "second"}, deadline)
+		res2 <- result{err}
+	}()
+	time.Sleep(100 * time.Millisecond)
+
+	far.Close() // connection dies with call 1 written, call 2 queued
+
+	r1 := <-res1
+	if !errors.Is(r1.err, ErrIndeterminate) {
+		t.Fatalf("written call: err = %v, want ErrIndeterminate", r1.err)
+	}
+	r2 := <-res2
+	if !errors.Is(r2.err, ErrNotSent) && !errors.Is(r2.err, errConnDead) {
+		t.Fatalf("queued call: err = %v, want ErrNotSent (or conn-dead redial)", r2.err)
+	}
+	if errors.Is(r2.err, ErrIndeterminate) {
+		t.Fatalf("queued call misclassified as indeterminate: %v", r2.err)
+	}
+}
+
+// TestLegacyLatchClearsOnRestart pins the re-probe path: after a
+// legacy peer is replaced by a binary-capable one on the same address,
+// the client's next fresh connection renegotiates up to binary.
+func TestLegacyLatchClearsOnRestart(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Name: "shard0", Replicas: 3, LegacyJSONOnly: true, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := interopClient(t, addr.String(), false)
+	ctx := context.Background()
+	if _, err := c.call(ctx, &request{Op: opPing}); err != nil {
+		t.Fatalf("ping legacy: %v", err)
+	}
+	if !c.legacy.Load() {
+		t.Fatal("legacy did not latch against a JSON-only server")
+	}
+
+	// Upgrade the peer in place: same address, binary-capable build.
+	host := addr.String()
+	srv.Close()
+	srv2, err := NewServer(ServerConfig{Name: "shard0", Replicas: 3, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv2.Start(host); err != nil {
+		t.Fatalf("restart on %s: %v", host, err)
+	}
+	t.Cleanup(func() { srv2.Close() })
+
+	// Drive calls until the pooled-legacy connections die and a fresh
+	// dial renegotiates. Retries ride the client's own io-failure
+	// handling, which clears the latch.
+	okDeadline := time.Now().Add(5 * time.Second)
+	for !c.hasLiveMux() {
+		if time.Now().After(okDeadline) {
+			t.Fatal("client never renegotiated binary after the peer upgrade")
+		}
+		c.call(ctx, &request{Op: opPing}) //nolint:errcheck // failures expected while conns churn
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,6 +1,7 @@
 package shardnet
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -37,6 +38,11 @@ type ServerConfig struct {
 	Metrics *metrics.Registry
 	// Logf sinks server logs; nil means log.Printf.
 	Logf func(format string, args ...any)
+	// LegacyJSONOnly declines every binary-codec offer, pinning the
+	// server to the sequential JSON protocol — it emulates a
+	// previous-version peer for mixed-version interop tests and the
+	// JSON-vs-binary wire benchmark.
+	LegacyJSONOnly bool
 }
 
 // idemOutcome is the recorded result of a keyed write, returned
@@ -167,9 +173,10 @@ func (s *Server) upsert(d jsondoc.Doc) error {
 	return err
 }
 
-// Serve accepts connections on ln until Close. Each connection runs a
-// sequential request loop — concurrency comes from the client pooling
-// connections, keeping the protocol free of stream multiplexing.
+// Serve accepts connections on ln until Close. Each connection starts
+// in the sequential JSON protocol; a request advertising the binary
+// codec switches the connection to the concurrent binary loop after
+// its response (see handleConn).
 func (s *Server) Serve(ln net.Listener) error {
 	s.connMu.Lock()
 	s.ln = ln
@@ -248,9 +255,124 @@ func (s *Server) handleConn(conn net.Conn) {
 			return // peer closed or garbage frame: drop the conn
 		}
 		resp := s.dispatch(&req)
+		upgrade := !s.cfg.LegacyJSONOnly && hasFeature(req.Features, codecB1)
+		if upgrade {
+			resp.Codec = codecB1
+			resp.Mux = true
+		}
 		conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
 		if err := writeFrame(conn, resp); err != nil {
 			return
+		}
+		if upgrade {
+			s.serveBinary(conn)
+			return
+		}
+	}
+}
+
+func hasFeature(features []string, want string) bool {
+	for _, f := range features {
+		if f == want {
+			return true
+		}
+	}
+	return false
+}
+
+// binaryConnConcurrency bounds how many requests one multiplexed
+// connection may have in dispatch at once — backpressure so a client
+// pipelining faster than the store drains cannot queue goroutines
+// unboundedly.
+const binaryConnConcurrency = 64
+
+// serveBinary runs one negotiated connection's binary loop: a reader
+// decodes correlation-tagged request frames and dispatches each on its
+// own goroutine (bounded by a semaphore), and a writer goroutine
+// serializes completed responses back, batching queued frames per
+// flush. Responses return in completion order — the correlation id,
+// not arrival order, pairs them with requests.
+func (s *Server) serveBinary(conn net.Conn) {
+	respCh := make(chan *[]byte, 128)
+	go s.binaryWriteLoop(conn, respCh)
+
+	sem := make(chan struct{}, binaryConnConcurrency)
+	var wg sync.WaitGroup
+	var rbuf []byte
+	br := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		conn.SetReadDeadline(time.Now().Add(5 * time.Minute))
+		payload, err := readRawFrame(br, &rbuf)
+		if err != nil {
+			break
+		}
+		corr, req, derr := decodeBinaryRequest(payload)
+		if derr != nil {
+			// Protocol desync: the stream cannot be re-synchronized, and
+			// answering with a made-up correlation id would mis-pair a
+			// caller. Drop the connection; the client redials.
+			s.logf("shardnet %s: binary decode: %v", s.cfg.Name, derr)
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			resp := s.dispatch(req)
+			buf := getBuf()
+			frame, err := appendResponseFrame((*buf)[:0], corr, resp)
+			if err != nil {
+				// Response encoding failures (a non-JSON value smuggled into
+				// a doc) degrade to an internal error so the caller is not
+				// left waiting for a frame that never comes.
+				frame, err = appendResponseFrame((*buf)[:0], corr, errResponse(fmt.Errorf("shardnet: encode response: %w", err)))
+				if err != nil {
+					putBuf(buf)
+					return
+				}
+			}
+			*buf = frame
+			respCh <- buf
+		}()
+	}
+	conn.Close()
+	wg.Wait()
+	close(respCh)
+}
+
+// binaryWriteLoop drains respCh onto the socket, flushing once per
+// batch of queued responses. On a write error it keeps draining (and
+// recycling) buffers so in-flight handlers never block on a dead
+// connection.
+func (s *Server) binaryWriteLoop(conn net.Conn, respCh chan *[]byte) {
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	for buf := range respCh {
+		conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		if err := writeRespBatch(bw, respCh, buf); err != nil {
+			conn.Close()
+			for b := range respCh {
+				putBuf(b)
+			}
+			return
+		}
+	}
+}
+
+func writeRespBatch(bw *bufio.Writer, respCh chan *[]byte, buf *[]byte) error {
+	for {
+		_, err := bw.Write(*buf)
+		putBuf(buf)
+		if err != nil {
+			return err
+		}
+		select {
+		case buf = <-respCh:
+			if buf == nil {
+				return bw.Flush()
+			}
+		default:
+			return bw.Flush()
 		}
 	}
 }

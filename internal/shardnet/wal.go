@@ -30,11 +30,18 @@ type walRecord struct {
 }
 
 // wal is an append-only log of committed writes with per-record
-// integrity: [4-byte BE length][4-byte BE CRC32][JSON payload]. Replay
+// integrity: [4-byte BE length][4-byte BE CRC32][payload]. Replay
 // stops at the first record whose length or checksum does not hold and
 // truncates the file there — a torn tail from a crash mid-append is
 // discarded rather than poisoning recovery, and everything before it
 // is intact by construction (each append is fsynced before ack).
+//
+// The payload's first byte versions its encoding: '{' is a legacy
+// JSON record, walBinV1 is the compact binary record written by this
+// build (reusing the wire codec's value encoding and pooled buffers,
+// so the fsync path of every acked write no longer pays a
+// json.Marshal). A log can mix both — replay dispatches per record —
+// so upgrading a shard server never orphans its existing WAL.
 type wal struct {
 	mu   sync.Mutex
 	f    *os.File
@@ -42,6 +49,107 @@ type wal struct {
 }
 
 const maxWALRecord = 16 << 20
+
+// walBinV1 tags a binary WAL record: version byte, op byte, uvarint
+// length-prefixed id and idem strings, then a presence byte optionally
+// followed by the codec-encoded document.
+const walBinV1 = 0x01
+
+const (
+	walOpInsert = 1
+	walOpDelete = 2
+	walOpPut    = 3
+)
+
+func appendWALRecord(b []byte, rec walRecord) ([]byte, error) {
+	b = append(b, walBinV1)
+	switch rec.Op {
+	case "insert":
+		b = append(b, walOpInsert)
+	case "delete":
+		b = append(b, walOpDelete)
+	case "put":
+		b = append(b, walOpPut)
+	default:
+		return b, fmt.Errorf("shardnet: wal: unknown op %q", rec.Op)
+	}
+	b = appendUvarint(b, uint64(len(rec.ID)))
+	b = append(b, rec.ID...)
+	b = appendUvarint(b, uint64(len(rec.Idem)))
+	b = append(b, rec.Idem...)
+	if len(rec.Doc) == 0 {
+		return append(b, 0), nil
+	}
+	b = append(b, 1)
+	return appendObject(b, rec.Doc)
+}
+
+// decodeWALRecord parses one record payload, dispatching on the
+// version byte: legacy JSON records ('{') and binary records (walBinV1)
+// coexist in one log across an upgrade.
+func decodeWALRecord(p []byte) (walRecord, error) {
+	var rec walRecord
+	if len(p) == 0 {
+		return rec, fmt.Errorf("shardnet: wal: empty record")
+	}
+	if p[0] == '{' {
+		if err := json.Unmarshal(p, &rec); err != nil {
+			return rec, fmt.Errorf("shardnet: wal: decode json record: %w", err)
+		}
+		return rec, nil
+	}
+	if p[0] != walBinV1 {
+		return rec, fmt.Errorf("shardnet: wal: unknown record version 0x%02x", p[0])
+	}
+	if len(p) < 2 {
+		return rec, fmt.Errorf("shardnet: wal: truncated record")
+	}
+	switch p[1] {
+	case walOpInsert:
+		rec.Op = "insert"
+	case walOpDelete:
+		rec.Op = "delete"
+	case walOpPut:
+		rec.Op = "put"
+	default:
+		return rec, fmt.Errorf("shardnet: wal: unknown op byte 0x%02x", p[1])
+	}
+	pos := 2
+	var err error
+	if rec.ID, pos, err = readWALString(p, pos); err != nil {
+		return rec, err
+	}
+	if rec.Idem, pos, err = readWALString(p, pos); err != nil {
+		return rec, err
+	}
+	if pos >= len(p) {
+		return rec, fmt.Errorf("shardnet: wal: truncated record")
+	}
+	if p[pos] == 0 {
+		return rec, nil
+	}
+	v, _, err := decodeValue(p, pos+1, 0)
+	if err != nil {
+		return rec, fmt.Errorf("shardnet: wal: decode doc: %w", err)
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return rec, fmt.Errorf("shardnet: wal: doc holds %T, want object", v)
+	}
+	rec.Doc = jsondoc.Doc(m)
+	return rec, nil
+}
+
+func readWALString(p []byte, pos int) (string, int, error) {
+	n, pos, err := readUvarint(p, pos)
+	if err != nil {
+		return "", 0, fmt.Errorf("shardnet: wal: %w", err)
+	}
+	if n > uint64(len(p)-pos) {
+		return "", 0, fmt.Errorf("shardnet: wal: string of %d bytes with %d remaining", n, len(p)-pos)
+	}
+	return string(p[pos : pos+int(n)]), pos + int(n), nil
+}
 
 // openWAL opens (creating if absent) the log at path and replays every
 // intact record through apply in append order. The file is truncated
@@ -93,8 +201,8 @@ func replayWAL(f *os.File, apply func(walRecord)) (valid int64, err error) {
 		if crc32.ChecksumIEEE(payload) != sum {
 			return valid, nil // corrupt record
 		}
-		var rec walRecord
-		if err := json.Unmarshal(payload, &rec); err != nil {
+		rec, err := decodeWALRecord(payload)
+		if err != nil {
 			return valid, nil
 		}
 		valid += int64(8 + len(payload))
@@ -104,16 +212,23 @@ func replayWAL(f *os.File, apply func(walRecord)) (valid int64, err error) {
 
 // append durably commits one record: the write syscall and fsync both
 // complete before append returns, so a caller that acks after append
-// never acks a write a crash can lose.
+// never acks a write a crash can lose. The record is encoded in the
+// binary format into a pooled buffer — header and payload leave in one
+// write syscall with no per-append allocation.
 func (w *wal) append(rec walRecord) error {
-	payload, err := json.Marshal(rec)
+	bp := getBuf()
+	defer putBuf(bp)
+	buf, err := appendWALRecord(append((*bp)[:0], 0, 0, 0, 0, 0, 0, 0, 0), rec)
 	if err != nil {
 		return fmt.Errorf("shardnet: encode wal record: %w", err)
 	}
-	var hdr [8]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
-	buf := append(hdr[:], payload...)
+	*bp = buf
+	payload := buf[8:]
+	if len(payload) > maxWALRecord {
+		return fmt.Errorf("shardnet: wal record of %d bytes exceeds %d limit", len(payload), maxWALRecord)
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
 
 	w.mu.Lock()
 	defer w.mu.Unlock()

@@ -24,11 +24,18 @@
 // extends to live migration: a shard streams to a new process, the map
 // version cuts over, and the old owner drains.
 //
-// The wire format is deliberately boring: a 4-byte big-endian length
-// prefix followed by one JSON-encoded envelope per frame, one request
-// in flight per connection (the client pools connections for
-// concurrency). Framing stays debuggable with nc and tcpdump, and the
-// envelope evolves by adding fields.
+// Framing is a 4-byte big-endian length prefix per frame in both
+// directions. What rides inside a frame is negotiated per connection:
+// every connection opens with one JSON envelope exchange (the first
+// real request, carrying Features), and a binary-capable peer answers
+// with response.Codec set, switching the connection to the compact
+// binary codec (codec.go) with correlation-id multiplexing — many
+// pipelined requests in flight per connection, demultiplexed by a
+// reader goroutine (mux.go). A peer that does not answer the offer
+// stays on the legacy protocol unchanged: JSON envelopes, one request
+// in flight per connection, concurrency from pooled connections. Old
+// and new builds interoperate in every direction because the offer is
+// itself a legal legacy request and ignoring it is a valid answer.
 package shardnet
 
 import (
@@ -72,6 +79,9 @@ const (
 // is the coordinator's shard-map version, letting a drained owner
 // reject writes routed with a stale map; DeadlineUnixMicro propagates
 // the caller's context deadline into the server's handler context.
+// Features, set only on the first request of a fresh connection,
+// advertises the wire codecs the client can speak; servers that
+// predate it ignore the field.
 type request struct {
 	Op                string        `json:"op"`
 	Shard             int           `json:"shard"`
@@ -83,6 +93,7 @@ type request struct {
 	Doc               jsondoc.Doc   `json:"doc,omitempty"`
 	Docs              []jsondoc.Doc `json:"docs,omitempty"`
 	Version           uint64        `json:"version,omitempty"`
+	Features          []string      `json:"features,omitempty"`
 }
 
 // response is one framed response envelope. ErrCode is one of the wire
@@ -103,6 +114,13 @@ type response struct {
 	Stale    int                    `json:"stale,omitempty"`
 	Resync   *docstore.ResyncReport `json:"resync,omitempty"`
 	WALBytes int64                  `json:"wal_bytes,omitempty"`
+
+	// Codec and Mux answer a request's Features offer: a server that
+	// sets Codec to codecB1 has switched the connection to binary
+	// multiplexed frames starting with the next frame; clients that
+	// predate them ignore both fields and keep speaking JSON.
+	Codec string `json:"codec,omitempty"`
+	Mux   bool   `json:"mux,omitempty"`
 }
 
 // Wire error codes. Each maps to exactly one sentinel so the client can
